@@ -1,0 +1,72 @@
+// Section 3.3 ablation: the basic (proxy-hint) configuration of Figure 4(a)
+// vs the alternate (client-hint) configuration of Figure 4(b), sweeping the
+// client hint cache's false-negative rate. The paper: as long as the client
+// false-negative rate stays below ~50%, the alternate configuration wins; at
+// best it is ~20% faster on the testbed parameters.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/experiment.h"
+#include "trace/generator.h"
+
+using namespace bh;
+
+int main(int argc, char** argv) {
+  benchutil::Args args(1.0 / 64.0);
+  args.parse(argc, argv);
+  benchutil::print_header(
+      "Ablation: proxy-hint vs client-hint configuration (DEC, testbed)",
+      args.scale);
+
+  const auto workload = trace::workload_by_name(args.trace).scaled(args.scale);
+  const auto records = trace::TraceGenerator(workload).generate_all();
+
+  core::ExperimentConfig cfg;
+  cfg.workload = workload;
+  cfg.cost_model = "testbed";
+  cfg.system = core::SystemKind::kHints;
+  const auto proxy = core::run_experiment_on(records, cfg);
+  const double proxy_ms = proxy.metrics.mean_response_ms();
+  std::printf("proxy-hint configuration (Figure 4a): %.0f ms\n\n", proxy_ms);
+
+  TextTable t({"client false-negative rate", "client-hint (ms)",
+               "vs proxy config", "verdict"});
+  for (double fnr : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    cfg.hints.client_direct = true;
+    cfg.hints.client_hint_false_negative = fnr;
+    const auto r = core::run_experiment_on(records, cfg);
+    const double ms = r.metrics.mean_response_ms();
+    t.add_row({fmt(fnr, 2), fmt(ms, 0), fmt(proxy_ms / ms, 2),
+               ms < proxy_ms ? "client wins" : "proxy wins"});
+  }
+  t.print(std::cout);
+
+  std::printf("\npaper: client configuration superior while its false-"
+              "negative rate stays below ~50%%; up to ~20%% faster when its "
+              "hint cache matches the proxy's hit rate\n");
+
+  // The same trade-off with the real mechanism: bounded per-client hint
+  // caches fed by the metadata hierarchy, instead of the parameterized
+  // false-negative model.
+  std::printf("\n--- real per-client hint caches (capacity sweep) ---\n");
+  TextTable t2({"client hint cache (KB)", "client-hint (ms)",
+                "vs proxy config", "false neg/req"});
+  for (double kb : {1.0, 16.0, 256.0, 4096.0}) {
+    cfg.hints.client_hint_false_negative = 0.0;
+    cfg.hints.client_hint_bytes =
+        std::max<std::uint64_t>(std::uint64_t(kb * 1024.0), 64);
+    const auto r = core::run_experiment_on(records, cfg);
+    const double ms = r.metrics.mean_response_ms();
+    t2.add_row({fmt(kb, 0), fmt(ms, 0), fmt(proxy_ms / ms, 2),
+                fmt(double(r.metrics.false_negatives) /
+                        double(std::max<std::uint64_t>(r.metrics.requests, 1)),
+                    3)});
+  }
+  t2.print(std::cout);
+  std::printf("\n(the paper's space argument: a per-client cache is "
+              "necessarily smaller than a proxy's pooled one, so its reach — "
+              "and the configuration's advantage — shrinks with capacity)\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Section 3.1.3 ablation: properties of the Plaxton et al. randomized tree
+// embedding used to self-configure the metadata hierarchy — root load
+// distribution, route lengths, parent locality by level, and the disturbance
+// caused by node churn.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "net/topology.h"
+#include "plaxton/plaxton.h"
+#include "plaxton/plaxton_directory.h"
+
+using namespace bh;
+
+int main() {
+  std::printf("=== Ablation: Plaxton tree embedding over 64 cache nodes ===\n\n");
+
+  const net::HierarchyTopology topo(64, 8, 256);
+  auto dist = [&topo](NodeIndex a, NodeIndex b) {
+    return double(topo.lca_level(a, b));
+  };
+
+  for (std::uint32_t digit_bits : {1u, 2u, 3u}) {
+    plaxton::PlaxtonMesh mesh(plaxton::ids_for_topology(64, 7), dist,
+                              plaxton::PlaxtonConfig{digit_bits});
+    const int kObjects = 20000;
+
+    std::map<NodeIndex, int> load;
+    double total_len = 0;
+    std::vector<double> hop_dist_sum;
+    std::vector<int> hop_dist_count;
+    for (int o = 0; o < kObjects; ++o) {
+      const std::uint64_t oid = mix64(std::uint64_t(o) + 101);
+      const auto path = mesh.route(NodeIndex(o % 64), oid);
+      ++load[path.back()];
+      total_len += double(path.size());
+      for (std::size_t h = 1; h < path.size(); ++h) {
+        if (hop_dist_sum.size() < h) {
+          hop_dist_sum.push_back(0);
+          hop_dist_count.push_back(0);
+        }
+        hop_dist_sum[h - 1] += dist(path[h - 1], path[h]);
+        ++hop_dist_count[h - 1];
+      }
+    }
+
+    int max_load = 0;
+    for (auto& [n, c] : load) max_load = std::max(max_load, c);
+    std::printf("--- %u-bit digits (arity %u) ---\n", digit_bits,
+                1u << digit_bits);
+    std::printf("nodes acting as roots: %zu/64;  max root load %.2fx fair "
+                "share;  mean route length %.2f hops\n",
+                load.size(), double(max_load) * 64.0 / kObjects,
+                total_len / kObjects - 1);
+    std::printf("mean parent distance by level (locality: lower levels are "
+                "closer):\n   ");
+    for (std::size_t h = 0; h < hop_dist_sum.size() && h < 8; ++h) {
+      if (hop_dist_count[h] == 0) continue;
+      std::printf(" L%zu=%.2f", h + 1, hop_dist_sum[h] / hop_dist_count[h]);
+    }
+    std::printf("\n");
+
+    // Churn disturbance: remove one node, count moved roots.
+    std::vector<NodeIndex> before(kObjects);
+    for (int o = 0; o < kObjects; ++o) {
+      before[o] = mesh.root_of(mix64(std::uint64_t(o) + 101));
+    }
+    mesh.remove_node(13);
+    int moved = 0;
+    for (int o = 0; o < kObjects; ++o) {
+      if (mesh.root_of(mix64(std::uint64_t(o) + 101)) != before[o]) ++moved;
+    }
+    std::printf("removing 1 of 64 nodes moved %.1f%% of object roots "
+                "(fair share: %.1f%%)\n\n", 100.0 * moved / kObjects,
+                100.0 / 64);
+  }
+
+  std::printf("paper properties: automatic configuration, ~1/n of objects "
+              "rooted per node, locality at low levels, small disturbance on "
+              "reconfiguration\n");
+
+  // ------------------------------------------------------------------
+  // Distributed directory over the mesh vs a single fixed metadata root:
+  // metadata load balance and lookup quality.
+  // ------------------------------------------------------------------
+  std::printf("\n--- metadata load: Plaxton directory vs fixed tree root ---\n");
+  plaxton::PlaxtonMesh mesh(plaxton::ids_for_topology(64, 7), dist,
+                            plaxton::PlaxtonConfig{2});
+  plaxton::PlaxtonDirectory directory(&mesh);
+  Rng rng(99);
+  const int kObjs = 30000;
+  int found_near = 0, found = 0;
+  for (int o = 0; o < kObjs; ++o) {
+    const ObjectId oid{mix64(std::uint64_t(o) + 1)};
+    // Each object acquires 1-3 holders.
+    const int copies = 1 + int(rng.next_below(3));
+    NodeIndex first = kInvalidNode;
+    for (int c = 0; c < copies; ++c) {
+      const auto at = NodeIndex(rng.next_below(64));
+      directory.inform(at, oid);
+      if (first == kInvalidNode) first = at;
+    }
+    const auto requester = NodeIndex(rng.next_below(64));
+    const auto hit = directory.find_nearest(requester, oid);
+    if (hit.location != kInvalidNode) {
+      ++found;
+      if (topo.lca_level(requester, hit.location) <= 2) ++found_near;
+    }
+  }
+  const auto load = directory.per_node_entries();
+  std::size_t max_load = 0, total = 0;
+  for (std::size_t l : load) {
+    max_load = std::max(max_load, l);
+    total += l;
+  }
+  std::printf("directory entries: %zu total; max node holds %.2fx the mean "
+              "(a fixed tree's root would hold an entry for every object: "
+              "%d)\n",
+              total, double(max_load) * double(load.size()) / double(total),
+              kObjs);
+  std::printf("lookups: %.1f%% located a copy; %.1f%% of located copies were "
+              "within the requester's L2 subtree when one existed nearby\n",
+              100.0 * found / kObjs,
+              found ? 100.0 * found_near / found : 0.0);
+  return 0;
+}

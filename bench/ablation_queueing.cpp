@@ -1,0 +1,47 @@
+// Ablation: queueing delay and the cost of hops under load (Section 2.1.1).
+//
+// The testbed was measured idle; the paper hypothesizes that "busy nodes
+// would probably increase the importance of reducing the number of hops".
+// This bench drives Poisson request streams through chains of 1, 2, and 3
+// single-server proxies (store-and-forward, exponential service) and shows
+// the end-to-end time exploding with utilization — much faster for longer
+// chains, because every extra hop is another queue to sit in.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "sim/queueing.h"
+
+using namespace bh;
+
+int main() {
+  std::printf("=== Ablation: per-hop queueing delay vs load ===\n");
+  std::printf("(each proxy: single server, 50 ms mean service; M/M/1 mean "
+              "sojourn = s/(1-rho))\n\n");
+
+  const double service = 0.050;  // 50 ms per request per proxy
+  const std::uint64_t jobs = 200000;
+
+  TextTable t({"utilization", "1 hop (ms)", "2 hops (ms)", "3 hops (ms)",
+               "3-hop penalty vs idle", "analytic 1-hop (ms)"});
+  for (double rho : {0.1, 0.3, 0.5, 0.7, 0.8, 0.9}) {
+    const double arrival_rate = rho / service;
+    double ms[3];
+    for (int hops = 1; hops <= 3; ++hops) {
+      const auto r = sim::run_station_chain(hops, arrival_rate, service, jobs,
+                                            2024 + hops);
+      ms[hops - 1] = r.mean_end_to_end * 1000.0;
+    }
+    const double idle3 = 3 * service * 1000.0;
+    t.add_row({fmt(rho, 1), fmt(ms[0], 1), fmt(ms[1], 1), fmt(ms[2], 1),
+               fmt(ms[2] / idle3, 2) + "x",
+               fmt(service / (1 - rho) * 1000.0, 1)});
+  }
+  t.print(std::cout);
+
+  std::printf("\nshape: at 90%% utilization a 3-hop store-and-forward path "
+              "costs ~10x its idle time, while a direct (1-hop) access "
+              "grows by the same factor from a 3x smaller base — load "
+              "amplifies the per-hop penalty, as the paper hypothesized\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the bench binaries that regenerate the paper's tables
+// and figures. Every bench accepts:
+//   --scale=<f>   down-scale factor for the Table 4 workloads (default varies
+//                 per bench so the full suite finishes in minutes)
+//   --trace=<t>   dec | berkeley | prodigy (where applicable)
+// Capacities and hint sizes printed with paper-scale labels are applied
+// scaled by the same factor, so shapes are preserved.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "trace/workload.h"
+
+namespace bh::benchutil {
+
+struct Args {
+  double scale;
+  std::string trace = "dec";
+
+  explicit Args(double default_scale) : scale(default_scale) {}
+
+  void parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a.rfind("--scale=", 0) == 0) {
+        scale = std::atof(a.c_str() + 8);
+        if (scale <= 0) {
+          std::fprintf(stderr, "bad --scale\n");
+          std::exit(2);
+        }
+      } else if (a.rfind("--trace=", 0) == 0) {
+        trace = a.substr(8);
+      } else if (a == "--help" || a == "-h") {
+        std::printf("options: --scale=<f> --trace=dec|berkeley|prodigy\n");
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+        std::exit(2);
+      }
+    }
+  }
+};
+
+inline void print_header(const char* what, double scale) {
+  std::printf("=== %s ===\n", what);
+  std::printf("(synthetic workloads at scale %.5g of Table 4; "
+              "capacities scaled to match)\n\n", scale);
+}
+
+}  // namespace bh::benchutil

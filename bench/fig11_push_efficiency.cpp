@@ -1,0 +1,63 @@
+// Figure 11: (a) efficiency of the push algorithms — the fraction of pushed
+// bytes that are later accessed — and (b) the bandwidth consumed by pushed
+// vs demand-fetched data, for the DEC trace in the space-constrained
+// configuration.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/experiment.h"
+#include "trace/generator.h"
+
+using namespace bh;
+
+int main(int argc, char** argv) {
+  benchutil::Args args(1.0 / 32.0);
+  args.parse(argc, argv);
+  benchutil::print_header("Figure 11: push efficiency and bandwidth (DEC)",
+                          args.scale);
+
+  const auto workload = trace::workload_by_name(args.trace).scaled(args.scale);
+  const auto records = trace::TraceGenerator(workload).generate_all();
+
+  struct Algo {
+    const char* label;
+    core::PushPolicy push;
+  };
+  const Algo algos[] = {
+      {"Updates", core::PushPolicy::kUpdate},
+      {"Push-1", core::PushPolicy::kPush1},
+      {"Push-half", core::PushPolicy::kPushHalf},
+      {"Push-all", core::PushPolicy::kPushAll},
+  };
+
+  TextTable t({"algorithm", "efficiency", "pushed KB/s", "demand KB/s",
+               "push/demand", "copies pushed", "copies used"});
+  for (const Algo& algo : algos) {
+    core::ExperimentConfig cfg;
+    cfg.workload = workload;
+    cfg.cost_model = "rousskov-min";
+    cfg.system = core::SystemKind::kHints;
+    cfg.hints.l1_capacity = std::uint64_t(5.0 * args.scale * double(1_GB));
+    cfg.hints.push = algo.push;
+    const auto r = core::run_experiment_on(records, cfg);
+    const double secs = std::max(r.recorded_seconds, 1.0);
+    // Report paper-scale bandwidth (the request rate scales with the trace).
+    const double unscale = 1.0 / args.scale;
+    const double push_kbs = double(r.push.bytes_pushed) / secs / 1024 * unscale;
+    const double demand_kbs = double(r.demand_bytes) / secs / 1024 * unscale;
+    t.add_row({algo.label, fmt(r.push.efficiency(), 3), fmt(push_kbs, 1),
+               fmt(demand_kbs, 1),
+               fmt(demand_kbs > 0 ? push_kbs / demand_kbs : 0, 2),
+               fmt_count(double(r.push.copies_pushed)),
+               fmt_count(double(r.push.copies_used))});
+  }
+  t.print(std::cout);
+
+  std::printf("\npaper shape: update push is efficient (~1/3 of pushed bytes "
+              "used) but small; hierarchical pushes run 13%% down to 4%% "
+              "efficiency, with push-all consuming up to ~4x the demand "
+              "bandwidth\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 1: measured access times in the testbed hierarchy for objects of
+// various sizes. (a) through the three-level hierarchy, (b) fetched directly
+// from each cache and the server, (c) through the L1 proxy and then directly
+// to the specified cache or server.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "net/cost_model.h"
+
+using namespace bh;
+
+int main() {
+  const auto tb = net::TestbedCostModel::fitted();
+  std::printf("=== Figure 1: testbed access times (ms) vs object size ===\n\n");
+
+  const std::uint64_t sizes[] = {2_KB, 4_KB, 8_KB, 16_KB, 32_KB, 64_KB,
+                                 128_KB, 256_KB, 512_KB, 1024_KB};
+  auto label = [](std::uint64_t s) {
+    return std::to_string(s >> 10) + "KB";
+  };
+
+  {
+    TextTable t({"size", "CLN--L1", "CLN--L1--L2", "CLN--L1--L2--L3",
+                 "CLN--L1--L2--L3--SRV"});
+    for (auto s : sizes) {
+      t.add_row({label(s), fmt(tb.hierarchy_hit(1, s), 0),
+                 fmt(tb.hierarchy_hit(2, s), 0), fmt(tb.hierarchy_hit(3, s), 0),
+                 fmt(tb.hierarchy_miss(s), 0)});
+    }
+    std::printf("(a) objects accessed through the three-level hierarchy\n");
+    t.print(std::cout);
+  }
+  {
+    TextTable t({"size", "CLN--L1", "CLN--L2", "CLN--L3", "CLN--SRV"});
+    for (auto s : sizes) {
+      t.add_row({label(s), fmt(tb.direct_hit(1, s), 0),
+                 fmt(tb.direct_hit(2, s), 0), fmt(tb.direct_hit(3, s), 0),
+                 fmt(tb.direct_miss(s), 0)});
+    }
+    std::printf("\n(b) objects fetched directly from each cache and server\n");
+    t.print(std::cout);
+  }
+  {
+    TextTable t({"size", "CLN--L1", "CLN--L1--L2", "CLN--L1--L3",
+                 "CLN--L1--SRV"});
+    for (auto s : sizes) {
+      t.add_row({label(s), fmt(tb.via_l1_hit(1, s), 0),
+                 fmt(tb.via_l1_hit(2, s), 0), fmt(tb.via_l1_hit(3, s), 0),
+                 fmt(tb.via_l1_miss(s), 0)});
+    }
+    std::printf("\n(c) requests through the L1 proxy, then direct\n");
+    t.print(std::cout);
+  }
+
+  std::printf(
+      "\nanchors (paper section 2.1.1): 8KB L3 hierarchy-direct gap = %.0f ms "
+      "(paper ~545); hierarchy/direct ratio = %.2f (paper ~2.5)\n",
+      tb.hierarchy_hit(3, 8_KB) - tb.direct_hit(3, 8_KB),
+      tb.hierarchy_hit(3, 8_KB) / tb.direct_hit(3, 8_KB));
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 3: overall per-read and per-byte hit rate within infinite L1 caches
+// (256 clients), L2 caches (2048 clients), and the L3 cache (all clients),
+// for the three traces. As sharing increases, so does the achievable hit
+// rate.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/experiment.h"
+
+using namespace bh;
+
+int main(int argc, char** argv) {
+  benchutil::Args args(1.0 / 32.0);
+  args.parse(argc, argv);
+  benchutil::print_header("Figure 3: hit rate vs sharing level", args.scale);
+
+  TextTable t({"trace", "L1 hit", "L2 hit", "L3 hit", "L1 byte", "L2 byte",
+               "L3 byte"});
+  for (const char* name : {"dec", "berkeley", "prodigy"}) {
+    core::ExperimentConfig cfg;
+    cfg.workload = trace::workload_by_name(name).scaled(args.scale);
+    cfg.cost_model = "rousskov-min";
+    cfg.system = core::SystemKind::kHierarchy;
+    const auto r = core::run_experiment(cfg);
+    const auto& c = r.levels;
+    if (c.requests == 0) continue;
+    // Bars are cumulative: the hit rate of a cache shared by that many
+    // clients includes everything below it.
+    double hit = 0, byte = 0;
+    std::vector<std::string> row{name};
+    std::vector<std::string> byte_cells;
+    for (int level = 1; level <= 3; ++level) {
+      hit += double(c.hits[level]) / double(c.requests);
+      byte += double(c.hit_bytes[level]) / double(c.bytes);
+      row.push_back(fmt(hit, 3));
+      byte_cells.push_back(fmt(byte, 3));
+    }
+    row.insert(row.end(), byte_cells.begin(), byte_cells.end());
+    t.add_row(row);
+  }
+  t.print(std::cout);
+
+  std::printf("\npaper (DEC): L1 ~0.50, L2 ~0.62, L3 ~0.78; hit rates rise "
+              "with sharing for every trace\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 5: global hit rate as a function of the per-proxy hint cache size
+// (DEC trace; 16-byte 4-way-associative entries, size in MB on the x-axis).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/experiment.h"
+
+using namespace bh;
+
+int main(int argc, char** argv) {
+  benchutil::Args args(1.0 / 32.0);
+  args.parse(argc, argv);
+  benchutil::print_header("Figure 5: hit rate vs hint cache size (DEC)",
+                          args.scale);
+
+  const double sizes_mb[] = {0.05, 0.1, 0.5, 1, 5, 10, 50, 100};
+
+  TextTable t({"hint cache (paper-MB)", "hit ratio", "remote hits/req",
+               "false negatives/req"});
+  auto run = [&](const char* label, std::uint64_t bytes) {
+    core::ExperimentConfig cfg;
+    cfg.workload = trace::workload_by_name(args.trace).scaled(args.scale);
+    cfg.cost_model = "rousskov-min";
+    cfg.system = core::SystemKind::kHints;
+    cfg.hints.hint_bytes = bytes;
+    const auto r = core::run_experiment(cfg);
+    const auto& m = r.metrics;
+    t.add_row({label, fmt(m.hit_ratio(), 3),
+               fmt(double(m.hits_remote_l2 + m.hits_remote_l3) /
+                       double(m.requests), 3),
+               fmt(double(m.false_negatives) / double(m.requests), 3)});
+  };
+  for (double mb : sizes_mb) {
+    const auto bytes =
+        static_cast<std::uint64_t>(mb * args.scale * double(1_MB));
+    run(fmt(mb, 2).c_str(), std::max<std::uint64_t>(bytes, 64));
+  }
+  run("inf", kUnlimitedBytes);
+  t.print(std::cout);
+
+  std::printf("\npaper shape: tiny hint caches add little reach beyond the "
+              "local cache; ~10MB captures most of it and ~100MB tracks "
+              "nearly all data in the system\n");
+  return 0;
+}

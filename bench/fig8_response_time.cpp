@@ -1,0 +1,86 @@
+// Figure 8: simulated mean response time for the DEC, Berkeley, and Prodigy
+// traces under the three access-cost parameterizations (Testbed, Rousskov
+// min, Rousskov max), for the traditional data hierarchy, the centralized
+// directory, and the hint architecture — with (a) infinite disks and (b) the
+// space-constrained configuration (5 GB per hierarchy node; hint system L1s
+// get 4.5 GB of data + 500 MB of hints, i.e. strictly less total space).
+// Also prints Table 6 (hierarchy/hints response-time ratios).
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/experiment.h"
+#include "trace/generator.h"
+
+using namespace bh;
+
+int main(int argc, char** argv) {
+  benchutil::Args args(1.0 / 64.0);
+  args.parse(argc, argv);
+  benchutil::print_header("Figure 8: mean response time by architecture",
+                          args.scale);
+
+  const char* traces[] = {"dec", "berkeley", "prodigy"};
+  const char* models[] = {"rousskov-max", "rousskov-min", "testbed"};
+  const char* model_label[] = {"Max", "Min", "Testbed"};
+
+  std::map<std::string, double> table6;  // "trace/model" -> ratio (infinite)
+
+  for (bool constrained : {false, true}) {
+    std::printf("--- (%c) %s ---\n", constrained ? 'b' : 'a',
+                constrained ? "space constrained (paper: 5 GB/node)"
+                            : "infinite disk");
+    TextTable t({"trace", "costs", "Hierarchy (ms)", "Directory (ms)",
+                 "Hints (ms)", "speedup hier/hints"});
+    for (const char* tr : traces) {
+      const auto workload = trace::workload_by_name(tr).scaled(args.scale);
+      const auto records = trace::TraceGenerator(workload).generate_all();
+      for (int mi = 0; mi < 3; ++mi) {
+        core::ExperimentConfig cfg;
+        cfg.workload = workload;
+        cfg.cost_model = models[mi];
+        if (constrained) {
+          cfg.baseline_node_capacity =
+              std::uint64_t(5.0 * args.scale * double(1_GB));
+          cfg.hints.l1_capacity =
+              std::uint64_t(4.5 * args.scale * double(1_GB));
+          cfg.hints.hint_bytes =
+              std::uint64_t(0.5 * args.scale * double(1_GB));
+        }
+
+        cfg.system = core::SystemKind::kHierarchy;
+        const auto hier = core::run_experiment_on(records, cfg);
+        cfg.system = core::SystemKind::kDirectory;
+        const auto dir = core::run_experiment_on(records, cfg);
+        cfg.system = core::SystemKind::kHints;
+        const auto hints = core::run_experiment_on(records, cfg);
+
+        const double ratio = hier.metrics.mean_response_ms() /
+                             hints.metrics.mean_response_ms();
+        if (!constrained) {
+          table6[std::string(tr) + "/" + model_label[mi]] = ratio;
+        }
+        t.add_row({tr, model_label[mi],
+                   fmt(hier.metrics.mean_response_ms(), 0),
+                   fmt(dir.metrics.mean_response_ms(), 0),
+                   fmt(hints.metrics.mean_response_ms(), 0), fmt(ratio, 2)});
+      }
+    }
+    t.print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf("--- Table 6: hierarchy/hints response-time ratio ---\n");
+  TextTable t6({"trace", "Max", "Min", "Testbed"});
+  for (const char* tr : traces) {
+    t6.add_row({tr, fmt(table6[std::string(tr) + "/Max"], 2),
+                fmt(table6[std::string(tr) + "/Min"], 2),
+                fmt(table6[std::string(tr) + "/Testbed"], 2)});
+  }
+  t6.print(std::cout);
+  std::printf("\npaper Table 6: Prodigy 1.80/1.38/2.31, Berkeley "
+              "1.79/1.32/2.79, DEC 1.62/1.28/1.99\n");
+  return 0;
+}

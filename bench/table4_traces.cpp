@@ -1,0 +1,42 @@
+// Table 4: characteristics of the trace workloads. Prints the paper's
+// nominal values alongside what the (scaled) synthetic generator actually
+// produced.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "trace/generator.h"
+#include "trace/stats.h"
+
+using namespace bh;
+
+int main(int argc, char** argv) {
+  benchutil::Args args(1.0 / 32.0);
+  args.parse(argc, argv);
+  benchutil::print_header("Table 4: trace workload characteristics", args.scale);
+
+  TextTable t({"trace", "clients", "accesses", "distinct URLs", "days",
+               "first-ref frac", "mean obj size", "uncachable", "errors"});
+  for (const char* name : {"dec", "berkeley", "prodigy"}) {
+    const auto params = trace::workload_by_name(name).scaled(args.scale);
+    const auto records = trace::TraceGenerator(params).generate_all();
+    const auto s = trace::compute_stats(records);
+    t.add_row({name, fmt_count(double(s.distinct_clients)),
+               fmt_count(double(s.requests)),
+               fmt_count(double(s.distinct_objects)),
+               fmt(s.duration_days, 0),
+               fmt(s.first_reference_fraction, 3),
+               fmt_count(s.mean_object_size) + "B",
+               fmt(double(s.uncachable_requests) / double(s.requests), 3),
+               fmt(double(s.error_requests) / double(s.requests), 3)});
+  }
+  t.print(std::cout);
+
+  std::printf("\npaper (unscaled): DEC 16660 clients / 22.1M / 4.15M / 21d;"
+              " Berkeley 8372 / 8.8M / 1.8M / 19d;"
+              " Prodigy 35354 / 4.2M / 1.2M / 3d\n");
+  std::printf("first-ref frac = global compulsory-miss share "
+              "(DEC paper value: ~0.19)\n");
+  return 0;
+}

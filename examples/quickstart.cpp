@@ -1,0 +1,67 @@
+// Quickstart: generate a scaled DEC-like workload, run it through the
+// traditional data hierarchy and the hint architecture, and print the
+// headline comparison (mean response time, hit breakdown, speedup).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment.h"
+
+using namespace bh;
+
+namespace {
+
+void print_result(const core::ExperimentResult& r) {
+  const core::Metrics& m = r.metrics;
+  std::printf("%-18s mean response %8.1f ms   p50 %.0f  p99 %.0f   "
+              "hit ratio %.3f\n",
+              r.system_name.c_str(), m.mean_response_ms(),
+              m.latency.quantile(0.5), m.latency.quantile(0.99),
+              m.hit_ratio());
+  std::printf("%-18s   L1 %.3f  remote-L2 %.3f  remote-L3 %.3f  L2 %.3f  "
+              "L3 %.3f  server %.3f\n",
+              "", static_cast<double>(m.hits_l1) / m.requests,
+              static_cast<double>(m.hits_remote_l2) / m.requests,
+              static_cast<double>(m.hits_remote_l3) / m.requests,
+              static_cast<double>(m.hits_l2) / m.requests,
+              static_cast<double>(m.hits_l3) / m.requests,
+              static_cast<double>(m.server_fetches) / m.requests);
+  if (m.false_positives + m.false_negatives > 0) {
+    std::printf("%-18s   false-pos %llu  false-neg %llu\n", "",
+                static_cast<unsigned long long>(m.false_positives),
+                static_cast<unsigned long long>(m.false_negatives));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Scale and cost model are adjustable from the command line:
+  //   quickstart [scale] [testbed|rousskov-min|rousskov-max]
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0 / 32.0;
+  const std::string cost = argc > 2 ? argv[2] : "testbed";
+
+  core::ExperimentConfig cfg;
+  cfg.workload = trace::dec_workload().scaled(scale);
+  cfg.cost_model = cost;
+
+  std::printf("workload: %s x%.4g  (%llu requests, %llu objects, %u clients, "
+              "%u L1 proxies)\n",
+              cfg.workload.name.c_str(), scale,
+              static_cast<unsigned long long>(cfg.workload.num_requests),
+              static_cast<unsigned long long>(cfg.workload.num_objects),
+              cfg.workload.num_clients, cfg.workload.num_l1());
+  std::printf("cost model: %s\n\n", cost.c_str());
+
+  cfg.system = core::SystemKind::kHierarchy;
+  const auto hier = core::run_experiment(cfg);
+  print_result(hier);
+
+  cfg.system = core::SystemKind::kHints;
+  const auto hints = core::run_experiment(cfg);
+  print_result(hints);
+
+  std::printf("\nspeedup (hierarchy/hints): %.2f\n",
+              hier.metrics.mean_response_ms() / hints.metrics.mean_response_ms());
+  return 0;
+}

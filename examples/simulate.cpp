@@ -1,0 +1,144 @@
+// Example: the full research harness as a command-line tool.
+//
+//   simulate [--trace=dec|berkeley|prodigy] [--scale=f]
+//            [--system=hierarchy|directory|hints|icp]
+//            [--cost=testbed|rousskov-min|rousskov-max]
+//            [--push=none|update|push1|pushhalf|pushall|ideal]
+//            [--l1-gb=N] [--hint-mb=N] [--hint-delay-s=N]
+//            [--client-direct] [--csv]
+//
+// Prints a human-readable summary, or one CSV row (with header) under
+// --csv so sweeps can be scripted with a shell loop.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/experiment.h"
+
+using namespace bh;
+
+namespace {
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "simulate: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+core::PushPolicy parse_push(const std::string& s) {
+  if (s == "none") return core::PushPolicy::kNone;
+  if (s == "update") return core::PushPolicy::kUpdate;
+  if (s == "push1") return core::PushPolicy::kPush1;
+  if (s == "pushhalf") return core::PushPolicy::kPushHalf;
+  if (s == "pushall") return core::PushPolicy::kPushAll;
+  if (s == "ideal") return core::PushPolicy::kIdeal;
+  die("unknown --push: " + s);
+}
+
+core::SystemKind parse_system(const std::string& s) {
+  if (s == "hierarchy") return core::SystemKind::kHierarchy;
+  if (s == "directory") return core::SystemKind::kDirectory;
+  if (s == "hints") return core::SystemKind::kHints;
+  if (s == "icp") return core::SystemKind::kIcp;
+  die("unknown --system: " + s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace = "dec", system = "hints", cost = "testbed",
+              push = "none";
+  double scale = 1.0 / 64.0, l1_gb = 0, hint_mb = 0, hint_delay = 0;
+  bool client_direct = false, csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&](const char* prefix) -> std::optional<std::string> {
+      if (a.rfind(prefix, 0) == 0) return a.substr(std::strlen(prefix));
+      return std::nullopt;
+    };
+    if (auto v = val("--trace=")) trace = *v;
+    else if (auto v2 = val("--scale=")) scale = std::atof(v2->c_str());
+    else if (auto v3 = val("--system=")) system = *v3;
+    else if (auto v4 = val("--cost=")) cost = *v4;
+    else if (auto v5 = val("--push=")) push = *v5;
+    else if (auto v6 = val("--l1-gb=")) l1_gb = std::atof(v6->c_str());
+    else if (auto v7 = val("--hint-mb=")) hint_mb = std::atof(v7->c_str());
+    else if (auto v8 = val("--hint-delay-s=")) hint_delay = std::atof(v8->c_str());
+    else if (a == "--client-direct") client_direct = true;
+    else if (a == "--csv") csv = true;
+    else die("unknown option: " + a + " (see the header comment)");
+  }
+  if (scale <= 0) die("--scale must be > 0");
+
+  core::ExperimentConfig cfg;
+  cfg.workload = trace::workload_by_name(trace).scaled(scale);
+  cfg.cost_model = cost;
+  cfg.system = parse_system(system);
+  cfg.hints.push = parse_push(push);
+  cfg.hints.client_direct = client_direct;
+  if (l1_gb > 0) {
+    const auto bytes = std::uint64_t(l1_gb * scale * double(1_GB));
+    cfg.baseline_node_capacity = bytes;
+    cfg.hints.l1_capacity = bytes;
+  }
+  if (hint_mb > 0) {
+    cfg.hints.hint_bytes =
+        std::max<std::uint64_t>(std::uint64_t(hint_mb * scale * double(1_MB)), 64);
+  }
+  cfg.hints.hint_hop_delay = hint_delay;
+
+  const auto r = core::run_experiment(cfg);
+  const auto& m = r.metrics;
+
+  if (csv) {
+    std::printf("trace,system,cost,push,scale,mean_ms,p50_ms,p90_ms,p99_ms,"
+                "hit_ratio,byte_hit_ratio,false_pos,false_neg,"
+                "push_efficiency,root_upd_s\n");
+    std::printf("%s,%s,%s,%s,%g,%.2f,%.2f,%.2f,%.2f,%.4f,%.4f,%llu,%llu,"
+                "%.4f,%.3f\n",
+                trace.c_str(), r.system_name.c_str(), cost.c_str(),
+                push.c_str(), scale, m.mean_response_ms(),
+                m.latency.quantile(0.5), m.latency.quantile(0.9),
+                m.latency.quantile(0.99), m.hit_ratio(), m.byte_hit_ratio(),
+                (unsigned long long)m.false_positives,
+                (unsigned long long)m.false_negatives, r.push.efficiency(),
+                r.root_update_rate());
+    return 0;
+  }
+
+  std::printf("%s on %s (%s costs, push=%s, scale %.4g)\n",
+              r.system_name.c_str(), trace.c_str(), cost.c_str(),
+              push.c_str(), scale);
+  std::printf("  mean response  %.1f ms   (p50 %.0f, p90 %.0f, p99 %.0f)\n",
+              m.mean_response_ms(), m.latency.quantile(0.5),
+              m.latency.quantile(0.9), m.latency.quantile(0.99));
+  std::printf("  hit ratio      %.3f   (byte hit %.3f)\n", m.hit_ratio(),
+              m.byte_hit_ratio());
+  std::printf("  sources        L1 %.3f  remote %.3f  L2/L3 %.3f  server "
+              "%.3f\n",
+              double(m.hits_l1) / double(std::max<std::uint64_t>(m.requests, 1)),
+              double(m.hits_remote_l2 + m.hits_remote_l3) /
+                  double(std::max<std::uint64_t>(m.requests, 1)),
+              double(m.hits_l2 + m.hits_l3) /
+                  double(std::max<std::uint64_t>(m.requests, 1)),
+              double(m.server_fetches) /
+                  double(std::max<std::uint64_t>(m.requests, 1)));
+  if (m.false_positives + m.false_negatives > 0) {
+    std::printf("  hint errors    %llu false positives, %llu false "
+                "negatives\n",
+                (unsigned long long)m.false_positives,
+                (unsigned long long)m.false_negatives);
+  }
+  if (r.push.bytes_pushed > 0) {
+    std::printf("  push           %.3f efficiency, %llu copies\n",
+                r.push.efficiency(),
+                (unsigned long long)r.push.copies_pushed);
+  }
+  if (r.leaf_updates > 0) {
+    std::printf("  hint updates   %.2f/s at the root vs %.2f/s centralized\n",
+                r.root_update_rate(), r.leaf_update_rate());
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "baseline/central_directory.h"
+
+namespace bh::baseline {
+
+CentralDirectorySystem::CentralDirectorySystem(
+    const net::HierarchyTopology& topo, const net::CostModel& cost,
+    CentralDirectoryConfig cfg)
+    : topo_(topo), cost_(cost) {
+  l1_.reserve(topo_.num_l1());
+  for (std::uint32_t i = 0; i < topo_.num_l1(); ++i) {
+    l1_.emplace_back(cfg.l1_capacity);
+  }
+}
+
+void CentralDirectorySystem::on_insert(NodeIndex node, ObjectId id) {
+  directory_[id].insert(node);
+  ++directory_updates_;
+}
+
+void CentralDirectorySystem::on_evict(NodeIndex node, ObjectId id) {
+  auto it = directory_.find(id);
+  if (it != directory_.end()) {
+    it->second.erase(node);
+    if (it->second.empty()) directory_.erase(it);
+  }
+  ++directory_updates_;
+}
+
+core::RequestOutcome CentralDirectorySystem::handle_request(
+    const trace::Record& r) {
+  const NodeIndex l1 = topo_.l1_of_client(r.client);
+  core::RequestOutcome out;
+  out.bytes = r.size;
+
+  if (cache::LruCache::Entry* e = l1_[l1].find(r.object);
+      e != nullptr && e->version >= r.version) {
+    out.latency = cost_.hierarchy_hit(1, r.size);
+    out.source = core::Source::kL1;
+    return out;
+  }
+
+  // Miss at the proxy: one round trip to the central directory, then either
+  // a direct cache-to-cache fetch or the origin server. The directory is
+  // authoritative, so there are no false positives. CRISP deploys the
+  // mapping service regionally, near its proxies, so the query is priced at
+  // intermediate distance.
+  const Millis query = cost_.control_rtt(net::kIntermediateDistance);
+  NodeIndex best = kInvalidNode;
+  int best_dist = 4;
+  if (auto it = directory_.find(r.object); it != directory_.end()) {
+    it->second.for_each([&](NodeIndex holder) {
+      if (holder == l1) return;  // our own stale/absent copy does not count
+      const cache::LruCache::Entry* he = l1_[holder].peek(r.object);
+      if (he == nullptr || he->version < r.version) return;
+      const int d = topo_.lca_level(l1, holder);
+      if (d < best_dist) {
+        best_dist = d;
+        best = holder;
+      }
+    });
+  }
+
+  auto insert_local = [&] {
+    l1_[l1].insert(r.object, r.size, r.version, /*pushed=*/false,
+                   [&](const cache::LruCache::Entry& v) { on_evict(l1, v.id); });
+    on_insert(l1, r.object);
+  };
+
+  if (best != kInvalidNode) {
+    out.latency = query + cost_.via_l1_hit(best_dist, r.size);
+    out.source = best_dist == 2 ? core::Source::kRemoteL2 : core::Source::kRemoteL3;
+    insert_local();
+    return out;
+  }
+
+  out.latency = query + cost_.via_l1_miss(r.size);
+  out.source = core::Source::kServer;
+  insert_local();
+  return out;
+}
+
+void CentralDirectorySystem::handle_modify(const trace::Record& r) {
+  auto it = directory_.find(r.object);
+  if (it != directory_.end()) {
+    it->second.for_each([&](NodeIndex holder) { l1_[holder].erase(r.object); });
+    directory_.erase(it);
+  }
+}
+
+}  // namespace bh::baseline

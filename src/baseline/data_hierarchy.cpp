@@ -1,0 +1,75 @@
+#include "baseline/data_hierarchy.h"
+
+namespace bh::baseline {
+
+DataHierarchySystem::DataHierarchySystem(const net::HierarchyTopology& topo,
+                                         const net::CostModel& cost,
+                                         DataHierarchyConfig cfg)
+    : topo_(topo), cost_(cost), l3_(cfg.l3_capacity) {
+  l1_.reserve(topo_.num_l1());
+  for (std::uint32_t i = 0; i < topo_.num_l1(); ++i) l1_.emplace_back(cfg.l1_capacity);
+  l2_.reserve(topo_.num_l2());
+  for (std::uint32_t i = 0; i < topo_.num_l2(); ++i) l2_.emplace_back(cfg.l2_capacity);
+}
+
+core::RequestOutcome DataHierarchySystem::handle_request(
+    const trace::Record& r) {
+  const NodeIndex l1 = topo_.l1_of_client(r.client);
+  const std::uint32_t l2 = topo_.l2_of_l1(l1);
+  core::RequestOutcome out;
+  out.bytes = r.size;
+
+  if (recording_) {
+    ++counters_.requests;
+    counters_.bytes += r.size;
+  }
+  auto count_hit = [&](int level) {
+    if (!recording_) return;
+    ++counters_.hits[level];
+    counters_.hit_bytes[level] += r.size;
+  };
+
+  // A copy is usable only if it is at least as fresh as the request's
+  // version (stale copies were invalidated by handle_modify, but a version
+  // guard keeps the check robust when modifies are not replayed).
+  auto fresh = [&](cache::LruCache::Entry* e) {
+    return e != nullptr && e->version >= r.version;
+  };
+
+  if (fresh(l1_[l1].find(r.object))) {
+    out.latency = cost_.hierarchy_hit(1, r.size);
+    out.source = core::Source::kL1;
+    count_hit(1);
+    return out;
+  }
+  if (fresh(l2_[l2].find(r.object))) {
+    out.latency = cost_.hierarchy_hit(2, r.size);
+    out.source = core::Source::kL2;
+    count_hit(2);
+    l1_[l1].insert(r.object, r.size, r.version, /*pushed=*/false);
+    return out;
+  }
+  if (fresh(l3_.find(r.object))) {
+    out.latency = cost_.hierarchy_hit(3, r.size);
+    out.source = core::Source::kL3;
+    count_hit(3);
+    l1_[l1].insert(r.object, r.size, r.version, /*pushed=*/false);
+    l2_[l2].insert(r.object, r.size, r.version, /*pushed=*/false);
+    return out;
+  }
+
+  out.latency = cost_.hierarchy_miss(r.size);
+  out.source = core::Source::kServer;
+  l1_[l1].insert(r.object, r.size, r.version, /*pushed=*/false);
+  l2_[l2].insert(r.object, r.size, r.version, /*pushed=*/false);
+  l3_.insert(r.object, r.size, r.version, /*pushed=*/false);
+  return out;
+}
+
+void DataHierarchySystem::handle_modify(const trace::Record& r) {
+  for (auto& c : l1_) c.erase(r.object);
+  for (auto& c : l2_) c.erase(r.object);
+  l3_.erase(r.object);
+}
+
+}  // namespace bh::baseline

@@ -1,0 +1,58 @@
+// The traditional three-level data-cache hierarchy (Section 2.1) — the
+// baseline every result in the paper is measured against.
+//
+// A request walks up L1 -> L2 -> L3 until it finds the object, falling
+// through to the origin server at the root; the reply funnels back down and
+// every cache along the path stores a copy (hierarchical double caching).
+// Response time is priced with the cost model's "Total Hierarchical"
+// composition, including the store-and-forward penalty of each hop.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/lru_cache.h"
+#include "core/cache_system.h"
+#include "net/cost_model.h"
+#include "net/topology.h"
+
+namespace bh::baseline {
+
+struct DataHierarchyConfig {
+  // Per-node data capacities (the paper's space-constrained runs give every
+  // node in the hierarchy 5 GB).
+  std::uint64_t l1_capacity = kUnlimitedBytes;
+  std::uint64_t l2_capacity = kUnlimitedBytes;
+  std::uint64_t l3_capacity = kUnlimitedBytes;
+};
+
+class DataHierarchySystem final : public core::CacheSystem {
+ public:
+  DataHierarchySystem(const net::HierarchyTopology& topo,
+                      const net::CostModel& cost, DataHierarchyConfig cfg);
+
+  core::RequestOutcome handle_request(const trace::Record& r) override;
+  void handle_modify(const trace::Record& r) override;
+  std::string name() const override { return "data-hierarchy"; }
+
+  // Per-level hit/byte-hit counters for the sharing experiment (Figure 3).
+  struct LevelCounters {
+    std::uint64_t hits[4] = {0, 0, 0, 0};       // [0] unused, [1..3] = L1..L3
+    std::uint64_t hit_bytes[4] = {0, 0, 0, 0};
+    std::uint64_t requests = 0;
+    std::uint64_t bytes = 0;
+  };
+  const LevelCounters& level_counters() const { return counters_; }
+  void set_recording(bool on) override { recording_ = on; }
+
+ private:
+  net::HierarchyTopology topo_;
+  const net::CostModel& cost_;
+  std::vector<cache::LruCache> l1_;
+  std::vector<cache::LruCache> l2_;
+  cache::LruCache l3_;
+  LevelCounters counters_;
+  bool recording_ = true;
+};
+
+}  // namespace bh::baseline

@@ -1,0 +1,84 @@
+#include "baseline/icp.h"
+
+namespace bh::baseline {
+
+IcpHierarchySystem::IcpHierarchySystem(const net::HierarchyTopology& topo,
+                                       const net::CostModel& cost,
+                                       IcpConfig cfg)
+    : topo_(topo), cost_(cost), l3_(cfg.l3_capacity) {
+  l1_.reserve(topo_.num_l1());
+  for (std::uint32_t i = 0; i < topo_.num_l1(); ++i) l1_.emplace_back(cfg.l1_capacity);
+  l2_.reserve(topo_.num_l2());
+  for (std::uint32_t i = 0; i < topo_.num_l2(); ++i) l2_.emplace_back(cfg.l2_capacity);
+}
+
+core::RequestOutcome IcpHierarchySystem::handle_request(
+    const trace::Record& r) {
+  const NodeIndex l1 = topo_.l1_of_client(r.client);
+  const std::uint32_t l2 = topo_.l2_of_l1(l1);
+  core::RequestOutcome out;
+  out.bytes = r.size;
+
+  auto fresh = [&](cache::LruCache::Entry* e) {
+    return e != nullptr && e->version >= r.version;
+  };
+
+  if (fresh(l1_[l1].find(r.object))) {
+    out.latency = cost_.hierarchy_hit(1, r.size);
+    out.source = core::Source::kL1;
+    return out;
+  }
+
+  // ICP: multicast a query to every sibling under the same L2 parent and
+  // wait for their replies — one intermediate-distance round trip, paid by
+  // hit and miss alike.
+  const std::uint32_t base = l2 * topo_.l1_per_l2();
+  const std::uint32_t end = std::min(base + topo_.l1_per_l2(), topo_.num_l1());
+  const Millis query_cost = cost_.control_rtt(net::kIntermediateDistance);
+  NodeIndex sibling = kInvalidNode;
+  for (std::uint32_t s = base; s < end; ++s) {
+    if (s == l1) continue;
+    ++icp_queries_;
+    if (sibling == kInvalidNode && fresh(l1_[s].peek_mut(r.object))) {
+      sibling = s;
+    }
+  }
+  out.latency = query_cost;
+
+  if (sibling != kInvalidNode) {
+    ++icp_hits_;
+    out.latency += cost_.via_l1_hit(net::kIntermediateDistance, r.size);
+    out.source = core::Source::kRemoteL2;
+    l1_[l1].insert(r.object, r.size, r.version, /*pushed=*/false);
+    return out;
+  }
+
+  // No sibling had it: climb the data hierarchy as usual, query cost sunk.
+  if (fresh(l2_[l2].find(r.object))) {
+    out.latency += cost_.hierarchy_hit(2, r.size);
+    out.source = core::Source::kL2;
+    l1_[l1].insert(r.object, r.size, r.version, /*pushed=*/false);
+    return out;
+  }
+  if (fresh(l3_.find(r.object))) {
+    out.latency += cost_.hierarchy_hit(3, r.size);
+    out.source = core::Source::kL3;
+    l1_[l1].insert(r.object, r.size, r.version, /*pushed=*/false);
+    l2_[l2].insert(r.object, r.size, r.version, /*pushed=*/false);
+    return out;
+  }
+  out.latency += cost_.hierarchy_miss(r.size);
+  out.source = core::Source::kServer;
+  l1_[l1].insert(r.object, r.size, r.version, /*pushed=*/false);
+  l2_[l2].insert(r.object, r.size, r.version, /*pushed=*/false);
+  l3_.insert(r.object, r.size, r.version, /*pushed=*/false);
+  return out;
+}
+
+void IcpHierarchySystem::handle_modify(const trace::Record& r) {
+  for (auto& c : l1_) c.erase(r.object);
+  for (auto& c : l2_) c.erase(r.object);
+  l3_.erase(r.object);
+}
+
+}  // namespace bh::baseline

@@ -1,0 +1,51 @@
+// ICP-augmented hierarchy (Wessels & Claffy, RFC 2186) — the multicast-query
+// alternative the paper argues against (Sections 2.1 and 3.1.1).
+//
+// Before forwarding a miss up the data hierarchy, an L1 proxy multicasts an
+// ICP query to its sibling caches and waits for their replies; a positive
+// reply turns into a direct cache-to-cache fetch. The scheme finds nearby
+// copies without a metadata hierarchy, but it (a) adds a query round trip to
+// every L1 miss — violating "do not slow down misses" — and (b) limits
+// sharing to the sibling group, because querying every cache in a large
+// system is unaffordable. Both effects are visible in the ablation bench.
+#pragma once
+
+#include <vector>
+
+#include "cache/lru_cache.h"
+#include "core/cache_system.h"
+#include "net/cost_model.h"
+#include "net/topology.h"
+
+namespace bh::baseline {
+
+struct IcpConfig {
+  std::uint64_t l1_capacity = kUnlimitedBytes;
+  std::uint64_t l2_capacity = kUnlimitedBytes;
+  std::uint64_t l3_capacity = kUnlimitedBytes;
+};
+
+class IcpHierarchySystem final : public core::CacheSystem {
+ public:
+  IcpHierarchySystem(const net::HierarchyTopology& topo,
+                     const net::CostModel& cost, IcpConfig cfg);
+
+  core::RequestOutcome handle_request(const trace::Record& r) override;
+  void handle_modify(const trace::Record& r) override;
+  std::string name() const override { return "icp-hierarchy"; }
+
+  // ICP query messages sent (each L1 miss queries every sibling).
+  std::uint64_t icp_queries() const { return icp_queries_; }
+  std::uint64_t icp_hits() const { return icp_hits_; }
+
+ private:
+  net::HierarchyTopology topo_;
+  const net::CostModel& cost_;
+  std::vector<cache::LruCache> l1_;
+  std::vector<cache::LruCache> l2_;
+  cache::LruCache l3_;
+  std::uint64_t icp_queries_ = 0;
+  std::uint64_t icp_hits_ = 0;
+};
+
+}  // namespace bh::baseline

@@ -1,0 +1,114 @@
+#include "cache/consistency_sim.h"
+
+namespace bh::cache {
+
+const char* consistency_mode_name(ConsistencyMode m) {
+  switch (m) {
+    case ConsistencyMode::kStrongInvalidation: return "strong-invalidation";
+    case ConsistencyMode::kTtl: return "ttl";
+    case ConsistencyMode::kPollEveryAccess: return "poll-every-access";
+    case ConsistencyMode::kLease: return "lease";
+  }
+  return "?";
+}
+
+ConsistencySimulator::ConsistencySimulator(ConsistencyConfig cfg)
+    : cfg_(cfg), cache_(cfg.capacity_bytes) {}
+
+void ConsistencySimulator::step(const trace::Record& r) {
+  if (r.type == trace::RecordType::kModify) {
+    switch (cfg_.mode) {
+      case ConsistencyMode::kStrongInvalidation:
+        cache_.erase(r.object);
+        break;
+      case ConsistencyMode::kLease: {
+        // The server notifies current lease holders (server-driven
+        // invalidation); an expired lease means the holder hears nothing.
+        auto it = meta_.find(r.object);
+        if (it != meta_.end() && it->second.lease_until >= r.time) {
+          cache_.erase(r.object);
+        }
+        break;
+      }
+      case ConsistencyMode::kTtl:
+      case ConsistencyMode::kPollEveryAccess:
+        break;  // nobody tells the cache anything
+    }
+    return;
+  }
+
+  if (r.uncachable || r.error) return;  // outside this study's scope
+  ++stats_.requests;
+
+  auto fetch = [&] {
+    ++stats_.fetches;
+    cache_.insert(r.object, r.size, r.version, /*pushed=*/false);
+    meta_[r.object] =
+        Freshness{r.time, r.time + cfg_.lease_seconds};
+  };
+
+  LruCache::Entry* e = cache_.find(r.object);
+  if (e == nullptr) {
+    fetch();
+    return;
+  }
+  const bool fresh = e->version >= r.version;
+
+  switch (cfg_.mode) {
+    case ConsistencyMode::kStrongInvalidation: {
+      // Stale copies were invalidated the instant the object changed.
+      if (fresh) {
+        ++stats_.true_hits;
+      } else {
+        fetch();
+      }
+      break;
+    }
+    case ConsistencyMode::kTtl: {
+      const SimTime age = r.time - meta_[r.object].fetched_at;
+      if (age > cfg_.ttl_seconds) {
+        if (fresh) ++stats_.good_discards;
+        cache_.erase(r.object);
+        fetch();
+      } else if (fresh) {
+        ++stats_.true_hits;
+      } else {
+        ++stats_.stale_hits;  // served stale data as if it were fresh
+      }
+      break;
+    }
+    case ConsistencyMode::kPollEveryAccess: {
+      ++stats_.validations;
+      if (fresh) {
+        ++stats_.useless_validations;
+        ++stats_.true_hits;
+      } else {
+        fetch();
+      }
+      break;
+    }
+    case ConsistencyMode::kLease: {
+      if (r.time <= meta_[r.object].lease_until) {
+        // Within the lease the server would have invalidated on change, so
+        // the copy is fresh by construction (the guard keeps this honest).
+        if (fresh) {
+          ++stats_.true_hits;
+        } else {
+          ++stats_.stale_hits;
+        }
+      } else {
+        ++stats_.validations;
+        if (fresh) {
+          ++stats_.useless_validations;
+          ++stats_.true_hits;
+          meta_[r.object].lease_until = r.time + cfg_.lease_seconds;
+        } else {
+          fetch();
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace bh::cache

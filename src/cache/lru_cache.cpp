@@ -1,0 +1,79 @@
+#include "cache/lru_cache.h"
+
+namespace bh::cache {
+
+LruCache::LruCache(std::uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+LruCache::Entry* LruCache::find(ObjectId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &*it->second;
+}
+
+const LruCache::Entry* LruCache::peek(ObjectId id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+LruCache::Entry* LruCache::peek_mut(ObjectId id) {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+bool LruCache::insert(ObjectId id, std::uint64_t size, Version version,
+                      bool pushed, const EvictFn& on_evict) {
+  if (!unlimited() && size > capacity_bytes_) return false;
+
+  if (auto it = index_.find(id); it != index_.end()) {
+    Entry& e = *it->second;
+    used_bytes_ -= e.size;
+    e.size = size;
+    e.version = version;
+    // A demand insert over a pushed copy supersedes the push tag; a push over
+    // a demand copy must not hide that the bytes were already wanted.
+    if (!pushed) {
+      e.pushed = false;
+      e.used_since_push = false;
+    }
+    used_bytes_ += size;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    evict_to_fit(0, on_evict);
+    return true;
+  }
+
+  evict_to_fit(size, on_evict);
+  lru_.push_front(Entry{id, size, version, pushed, false});
+  index_.emplace(id, lru_.begin());
+  used_bytes_ += size;
+  return true;
+}
+
+bool LruCache::erase(ObjectId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  used_bytes_ -= it->second->size;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void LruCache::age(ObjectId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  lru_.splice(lru_.end(), lru_, it->second);
+}
+
+void LruCache::evict_to_fit(std::uint64_t incoming, const EvictFn& on_evict) {
+  if (unlimited()) return;
+  while (!lru_.empty() && used_bytes_ + incoming > capacity_bytes_) {
+    const Entry victim = lru_.back();
+    used_bytes_ -= victim.size;
+    index_.erase(victim.id);
+    lru_.pop_back();
+    if (on_evict) on_evict(victim);
+  }
+}
+
+}  // namespace bh::cache

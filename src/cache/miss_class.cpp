@@ -1,0 +1,78 @@
+#include "cache/miss_class.h"
+
+namespace bh::cache {
+
+const char* access_class_name(AccessClass c) {
+  switch (c) {
+    case AccessClass::kHit:
+      return "hit";
+    case AccessClass::kCompulsoryMiss:
+      return "compulsory";
+    case AccessClass::kCapacityMiss:
+      return "capacity";
+    case AccessClass::kCommunicationMiss:
+      return "communication";
+    case AccessClass::kErrorMiss:
+      return "error";
+    case AccessClass::kUncachableMiss:
+      return "uncachable";
+  }
+  return "?";
+}
+
+bool is_miss(AccessClass c) { return c != AccessClass::kHit; }
+
+MissClassifier::MissClassifier(std::uint64_t capacity_bytes,
+                               double negative_ttl_seconds)
+    : cache_(capacity_bytes), negative_ttl_(negative_ttl_seconds) {}
+
+AccessClass MissClassifier::access(ObjectId id, std::uint64_t size,
+                                   Version version, bool uncachable,
+                                   bool error, SimTime now) {
+  History& h = history_[id];
+  const bool first = !h.seen;
+  const bool updated_since = h.seen && version > h.last_version;
+  const bool was_cached = h.was_cached;
+  h.seen = true;
+
+  // Negative result caching: a remembered error answers the request locally
+  // — whether this one would have erred or not.
+  if (negative_ttl_ > 0.0) {
+    if (auto it = negative_.find(id);
+        it != negative_.end() && now - it->second <= negative_ttl_) {
+      ++negative_hits_;
+      if (!error) ++masked_successes_;
+      return AccessClass::kErrorMiss;
+    }
+  }
+
+  // Error and uncachable replies leave no copy behind, so they must not
+  // advance the version history either — otherwise an error reply would
+  // mask the communication miss that follows an invalidation.
+  if (error) {
+    if (negative_ttl_ > 0.0) negative_[id] = now;
+    return AccessClass::kErrorMiss;
+  }
+  if (uncachable) return AccessClass::kUncachableMiss;
+  h.last_version = version;
+
+  if (LruCache::Entry* e = cache_.find(id)) {
+    if (e->version >= version) return AccessClass::kHit;
+    // Stale copy still resident (no invalidation event reached us): the
+    // update forces a refetch.
+    cache_.insert(id, size, version, /*pushed=*/false);
+    return AccessClass::kCommunicationMiss;
+  }
+
+  cache_.insert(id, size, version, /*pushed=*/false);
+  h.was_cached = true;
+  // Seen before but never cached (only error replies so far): the first
+  // cachable access is still compulsory, regardless of version history.
+  if (first || !was_cached) return AccessClass::kCompulsoryMiss;
+  if (updated_since) return AccessClass::kCommunicationMiss;
+  return AccessClass::kCapacityMiss;
+}
+
+void MissClassifier::invalidate(ObjectId id) { cache_.erase(id); }
+
+}  // namespace bh::cache

@@ -1,0 +1,76 @@
+// Miss classification in the taxonomy of Figure 2.
+//
+// MissClassifier wraps an LruCache and decides, for every access, whether it
+// is a hit or a compulsory / capacity / communication / error / uncachable
+// miss. The communication-vs-capacity distinction requires remembering, per
+// object, the last version this cache observed and whether the copy left the
+// cache for space reasons or because of an update.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cache/lru_cache.h"
+#include "common/types.h"
+
+namespace bh::cache {
+
+enum class AccessClass : std::uint8_t {
+  kHit,
+  kCompulsoryMiss,    // first access to the object by anyone behind the cache
+  kCapacityMiss,      // previously cached copy was evicted for space
+  kCommunicationMiss, // previously cached copy was invalidated by an update
+  kErrorMiss,         // request produced an error reply
+  kUncachableMiss,    // cache must contact the server (CGI, non-GET, ...)
+};
+
+inline constexpr int kNumAccessClasses = 6;
+
+const char* access_class_name(AccessClass c);
+bool is_miss(AccessClass c);
+
+class MissClassifier {
+ public:
+  // `negative_ttl_seconds` > 0 enables negative result caching (Section
+  // 2.2.2 lists it as an avenue for reducing error misses, citing DNS and
+  // Harvest): an error reply is remembered for the TTL and repeat requests
+  // are answered locally. The risk is inherent: a request that would have
+  // succeeded inside the TTL is also answered with the cached error.
+  explicit MissClassifier(std::uint64_t capacity_bytes = kUnlimitedBytes,
+                          double negative_ttl_seconds = 0.0);
+
+  // Classifies one access and updates cache state: hits refresh recency;
+  // cachable misses insert the (current-version) object. Error and uncachable
+  // requests never enter the cache. `now` matters only to negative caching.
+  AccessClass access(ObjectId id, std::uint64_t size, Version version,
+                     bool uncachable, bool error, SimTime now = 0.0);
+
+  // Error replies served from the negative cache (no server round trip),
+  // and successes masked by a cached error (negative caching's collateral).
+  std::uint64_t negative_hits() const { return negative_hits_; }
+  std::uint64_t masked_successes() const { return masked_successes_; }
+
+  // Strong-consistency invalidation: the object changed server-side, so any
+  // cached copy is discarded immediately. The next access still classifies as
+  // a communication miss via the version comparison.
+  void invalidate(ObjectId id);
+
+  LruCache& data() { return cache_; }
+  const LruCache& data() const { return cache_; }
+
+ private:
+  struct History {
+    Version last_version = 0;
+    bool seen = false;
+    bool was_cached = false;  // ever actually inserted (not error-only)
+  };
+
+  LruCache cache_;
+  std::unordered_map<ObjectId, History> history_;
+  double negative_ttl_;
+  std::unordered_map<ObjectId, SimTime> negative_;  // error seen at time t
+  std::uint64_t negative_hits_ = 0;
+  std::uint64_t masked_successes_ = 0;
+};
+
+}  // namespace bh::cache

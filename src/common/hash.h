@@ -1,0 +1,27 @@
+// Small non-cryptographic hashing utilities.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bh {
+
+// 64-bit FNV-1a over an arbitrary byte string.
+constexpr std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Finalizer from SplitMix64; a cheap bijective scrambler for integer keys.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace bh

@@ -1,0 +1,86 @@
+// Log-bucketed latency histogram.
+//
+// The paper reports means; a production cache reports distributions.
+// Buckets grow geometrically (5% resolution by default) so a single compact
+// array spans microseconds to minutes, and quantiles are read back with
+// bounded relative error.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace bh {
+
+class LatencyHistogram {
+ public:
+  // Values below `min_value` share the first bucket; growth per bucket is
+  // `resolution` (default 5%).
+  explicit LatencyHistogram(double min_value = 0.001, double resolution = 1.05)
+      : min_value_(min_value),
+        log_growth_(std::log(resolution)),
+        counts_(1, 0) {}
+
+  void record(double value) {
+    ++total_;
+    sum_ += value;
+    max_ = total_ == 1 ? value : std::max(max_, value);
+    const std::size_t b = bucket_of(value);
+    if (counts_.size() <= b) counts_.resize(b + 1, 0);
+    ++counts_[b];
+  }
+
+  std::uint64_t count() const { return total_; }
+  double mean() const { return total_ ? sum_ / double(total_) : 0.0; }
+  double max() const { return total_ ? max_ : 0.0; }
+
+  // Value at quantile q in [0, 1] (upper bucket bound; <= 5% high by
+  // construction). 0 when empty.
+  double quantile(double q) const {
+    if (total_ == 0) return 0.0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    const auto want =
+        static_cast<std::uint64_t>(std::ceil(q * double(total_)));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+      seen += counts_[b];
+      if (seen >= want) return upper_bound(b);
+    }
+    return upper_bound(counts_.size() - 1);
+  }
+
+  void merge(const LatencyHistogram& other) {
+    if (counts_.size() < other.counts_.size()) {
+      counts_.resize(other.counts_.size(), 0);
+    }
+    for (std::size_t b = 0; b < other.counts_.size(); ++b) {
+      counts_[b] += other.counts_[b];
+    }
+    if (other.total_ > 0) {
+      max_ = total_ ? std::max(max_, other.max_) : other.max_;
+    }
+    total_ += other.total_;
+    sum_ += other.sum_;
+  }
+
+ private:
+  std::size_t bucket_of(double value) const {
+    if (value <= min_value_) return 0;
+    return 1 + static_cast<std::size_t>(std::log(value / min_value_) /
+                                        log_growth_);
+  }
+  double upper_bound(std::size_t bucket) const {
+    if (bucket == 0) return min_value_;
+    return min_value_ * std::exp(log_growth_ * double(bucket));
+  }
+
+  double min_value_;
+  double log_growth_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace bh

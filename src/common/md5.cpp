@@ -1,0 +1,159 @@
+#include "common/md5.h"
+
+#include <cstring>
+
+namespace bh {
+namespace {
+
+constexpr std::array<std::uint32_t, 64> kK = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+constexpr std::array<std::uint32_t, 64> kShift = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+constexpr std::uint32_t rotl(std::uint32_t x, std::uint32_t n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+Md5::Md5() : state_{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476} {}
+
+void Md5::process_block(const std::uint8_t* block) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<std::uint32_t>(block[i * 4]) |
+           static_cast<std::uint32_t>(block[i * 4 + 1]) << 8 |
+           static_cast<std::uint32_t>(block[i * 4 + 2]) << 16 |
+           static_cast<std::uint32_t>(block[i * 4 + 3]) << 24;
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    std::uint32_t g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) & 15;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) & 15;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) & 15;
+    }
+    const std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + rotl(a + f + kK[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_len_ += len;
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(len, buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    process_block(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_.data(), p, len);
+    buffer_len_ = len;
+  }
+}
+
+Md5::Digest Md5::finish() {
+  const std::uint64_t bit_len = total_len_ * 8;
+  static constexpr std::uint8_t kPad[64] = {0x80};
+  const std::size_t pad_len =
+      (buffer_len_ < 56) ? 56 - buffer_len_ : 120 - buffer_len_;
+  update(kPad, pad_len);
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+  }
+  // The length bytes must not be counted toward the message length; update()
+  // already accounted for padding, so splice the final block manually.
+  std::memcpy(buffer_.data() + buffer_len_, len_bytes, 8);
+  process_block(buffer_.data());
+  buffer_len_ = 0;
+
+  Digest out;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      out[i * 4 + j] = static_cast<std::uint8_t>(state_[i] >> (8 * j));
+    }
+  }
+  return out;
+}
+
+Md5::Digest Md5::digest(std::string_view s) {
+  Md5 h;
+  h.update(s);
+  return h.finish();
+}
+
+std::string Md5::hex(const Digest& d) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (std::uint8_t b : d) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 15]);
+  }
+  return out;
+}
+
+namespace {
+std::uint64_t low64(const Md5::Digest& d) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(d[i]) << (8 * i);
+  }
+  return v;
+}
+}  // namespace
+
+ObjectId object_id_from_url(std::string_view url) {
+  return ObjectId{low64(Md5::digest(url))};
+}
+
+std::uint64_t node_id_from_address(std::string_view address) {
+  return low64(Md5::digest(address));
+}
+
+}  // namespace bh

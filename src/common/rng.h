@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component takes an explicit Rng so whole experiments are
+// reproducible from a single seed; nothing reads global entropy.
+#pragma once
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace bh {
+
+// xoshiro256** seeded via SplitMix64. Fast, high quality, and value-copyable
+// so substreams can be forked cheaply.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      s = mix64(x);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free approximation is fine here; the
+    // tiny modulo bias of 64-bit multiply-high is irrelevant for simulation.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+  // Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  // Log-normal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  // Standard normal via Box-Muller (no cached second value; simplicity over
+  // the factor-of-two speedup).
+  double normal();
+
+  // Fork an independent substream keyed by `key`.
+  Rng fork(std::uint64_t key) const {
+    return Rng(mix64(state_[0] ^ mix64(key)));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace bh

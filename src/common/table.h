@@ -1,0 +1,32 @@
+// Minimal fixed-width text table writer used by the bench binaries to print
+// paper-style tables and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bh {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with column alignment, a header underline, and 2-space gutters.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of decimals (locale-independent).
+std::string fmt(double v, int decimals = 1);
+
+// Formats n as a human-readable count, e.g. "22.1M", "4150K".
+std::string fmt_count(double n);
+
+}  // namespace bh

@@ -1,0 +1,65 @@
+#include "common/zipf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bh {
+namespace {
+
+// expm1(x) / x computed stably near 0.
+double expm1_over_x(double x) {
+  if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x));
+}
+
+// log1p(x) / x computed stably near 0.
+double log1p_over_x(double x) {
+  if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x));
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be >= 1");
+  if (s <= 0.0) throw std::invalid_argument("ZipfSampler: s must be > 0");
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_num_elements_ = h_integral(static_cast<double>(n) + 0.5);
+  // Acceptance shortcut threshold from Hörmann & Derflinger; purely a speedup,
+  // the envelope test below it is the real acceptance condition.
+  sample_shift_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfSampler::h(double x) const { return std::exp(-s_ * std::log(x)); }
+
+// int_1^x t^-s dt, written as log(x) * expm1((1-s) log x) / ((1-s) log x)
+// so it is continuous across s == 1.
+double ZipfSampler::h_integral(double x) const {
+  const double log_x = std::log(x);
+  return expm1_over_x((1.0 - s_) * log_x) * log_x;
+}
+
+double ZipfSampler::h_integral_inverse(double x) const {
+  double t = x * (1.0 - s_);
+  if (t < -1.0) t = -1.0;  // numeric guard
+  return std::exp(log1p_over_x(t) * x);
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  while (true) {
+    const double u =
+        h_integral_num_elements_ +
+        rng.next_double() * (h_integral_x1_ - h_integral_num_elements_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= sample_shift_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+}  // namespace bh

@@ -1,0 +1,38 @@
+// Zipf-distributed sampling over ranks 0..n-1.
+//
+// Web object popularity is famously Zipf-like; the trace generators use this
+// sampler for the shared-object reference stream. Implementation is
+// rejection-inversion (Hörmann & Derflinger), O(1) per sample with no O(n)
+// table, so traces with millions of distinct objects generate quickly.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace bh {
+
+class ZipfSampler {
+ public:
+  // n >= 1 ranks; exponent s > 0 (s != 1 handled, s == 1 handled).
+  ZipfSampler(std::uint64_t n, double s);
+
+  // Returns a rank in [0, n), rank 0 most popular.
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double exponent() const { return s_; }
+
+ private:
+  double h(double x) const;
+  double h_integral(double x) const;
+  double h_integral_inverse(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_integral_x1_;
+  double h_integral_num_elements_;
+  double sample_shift_;
+};
+
+}  // namespace bh

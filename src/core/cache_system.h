@@ -1,0 +1,119 @@
+// Common interface for the simulated cache architectures.
+//
+// Three architectures implement it: the traditional data hierarchy and the
+// CRISP-style centralized directory (baselines, src/baseline) and the
+// hint-hierarchy system with optional push caching (the paper's
+// contribution, src/core). The experiment driver feeds each the same trace
+// and prices every request through the same cost model, so differences in
+// mean response time come only from the architecture — exactly the paper's
+// methodology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "trace/record.h"
+
+namespace bh::core {
+
+// Where a request was ultimately served from.
+enum class Source : std::uint8_t {
+  kL1,        // the client's own L1 proxy
+  kRemoteL2,  // direct cache-to-cache from a node under the same L2 subtree
+  kRemoteL3,  // direct cache-to-cache from a node elsewhere in the system
+  kL2,        // an L2 data cache (traditional hierarchy only)
+  kL3,        // the L3 data cache (traditional hierarchy only)
+  kServer,    // origin server
+};
+
+struct RequestOutcome {
+  Millis latency = 0;
+  Source source = Source::kServer;
+  std::uint64_t bytes = 0;
+  bool hint_false_positive = false;  // probed a cache that lacked the object
+  bool hint_false_negative = false;  // no hint although a copy existed
+  bool served_from_pushed = false;   // the supplying copy was push-placed
+};
+
+class CacheSystem {
+ public:
+  virtual ~CacheSystem() = default;
+
+  // Serves one request (never an error/uncachable record; the driver filters
+  // those out per Section 2.2.2).
+  virtual RequestOutcome handle_request(const trace::Record& r) = 0;
+
+  // Processes a server-side modification: strong consistency invalidates
+  // every cached copy immediately.
+  virtual void handle_modify(const trace::Record& r) = 0;
+
+  // Starts/stops accumulation of system-internal statistics (the driver
+  // flips this to true at the end of the warmup window).
+  virtual void set_recording(bool on) { (void)on; }
+
+  virtual std::string name() const = 0;
+};
+
+// Aggregate per-run metrics, filled by the experiment driver.
+struct Metrics {
+  std::uint64_t requests = 0;
+  double total_latency_ms = 0;
+
+  std::uint64_t hits_l1 = 0;
+  std::uint64_t hits_remote_l2 = 0;
+  std::uint64_t hits_remote_l3 = 0;
+  std::uint64_t hits_l2 = 0;
+  std::uint64_t hits_l3 = 0;
+  std::uint64_t server_fetches = 0;
+
+  std::uint64_t false_positives = 0;
+  std::uint64_t false_negatives = 0;
+  std::uint64_t pushed_hits = 0;
+
+  std::uint64_t bytes_requested = 0;
+  std::uint64_t hit_bytes = 0;
+
+  // Full latency distribution (ms); the paper reports means, a deployment
+  // wants tails.
+  LatencyHistogram latency;
+
+  void add(const RequestOutcome& o) {
+    ++requests;
+    total_latency_ms += o.latency;
+    latency.record(o.latency);
+    bytes_requested += o.bytes;
+    switch (o.source) {
+      case Source::kL1: ++hits_l1; break;
+      case Source::kRemoteL2: ++hits_remote_l2; break;
+      case Source::kRemoteL3: ++hits_remote_l3; break;
+      case Source::kL2: ++hits_l2; break;
+      case Source::kL3: ++hits_l3; break;
+      case Source::kServer: ++server_fetches; break;
+    }
+    if (o.source != Source::kServer) hit_bytes += o.bytes;
+    if (o.hint_false_positive) ++false_positives;
+    if (o.hint_false_negative) ++false_negatives;
+    if (o.served_from_pushed) ++pushed_hits;
+  }
+
+  double mean_response_ms() const {
+    return requests == 0 ? 0.0 : total_latency_ms / static_cast<double>(requests);
+  }
+  std::uint64_t total_hits() const {
+    return hits_l1 + hits_remote_l2 + hits_remote_l3 + hits_l2 + hits_l3;
+  }
+  double hit_ratio() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(total_hits()) / static_cast<double>(requests);
+  }
+  double byte_hit_ratio() const {
+    return bytes_requested == 0
+               ? 0.0
+               : static_cast<double>(hit_bytes) / static_cast<double>(bytes_requested);
+  }
+};
+
+}  // namespace bh::core

@@ -1,0 +1,143 @@
+#include "core/experiment.h"
+
+#include <functional>
+#include <memory>
+
+#include "baseline/central_directory.h"
+#include "baseline/icp.h"
+#include "net/cost_model.h"
+#include "net/topology.h"
+#include "sim/event_queue.h"
+#include "trace/generator.h"
+
+namespace bh::core {
+
+const char* system_kind_name(SystemKind k) {
+  switch (k) {
+    case SystemKind::kHierarchy: return "hierarchy";
+    case SystemKind::kDirectory: return "directory";
+    case SystemKind::kHints: return "hints";
+    case SystemKind::kIcp: return "icp";
+  }
+  return "?";
+}
+
+namespace {
+
+using RecordFeed = std::function<void(const std::function<void(const trace::Record&)>&)>;
+
+ExperimentResult run_with_feed(const ExperimentConfig& cfg,
+                               const RecordFeed& feed) {
+  const trace::WorkloadParams& w = cfg.workload;
+  const net::HierarchyTopology topo(w.num_l1(), w.l1_per_l2, w.clients_per_l1);
+  const std::unique_ptr<net::CostModel> cost = net::make_cost_model(cfg.cost_model);
+  sim::EventQueue queue;
+
+  std::unique_ptr<CacheSystem> system;
+  baseline::DataHierarchySystem* hierarchy = nullptr;
+  baseline::CentralDirectorySystem* directory = nullptr;
+  baseline::IcpHierarchySystem* icp = nullptr;
+  HintSystem* hints = nullptr;
+  switch (cfg.system) {
+    case SystemKind::kHierarchy: {
+      auto s = std::make_unique<baseline::DataHierarchySystem>(
+          topo, *cost,
+          baseline::DataHierarchyConfig{cfg.baseline_node_capacity,
+                                        cfg.baseline_node_capacity,
+                                        cfg.baseline_node_capacity});
+      hierarchy = s.get();
+      system = std::move(s);
+      break;
+    }
+    case SystemKind::kDirectory: {
+      auto s = std::make_unique<baseline::CentralDirectorySystem>(
+          topo, *cost,
+          baseline::CentralDirectoryConfig{cfg.baseline_node_capacity});
+      directory = s.get();
+      system = std::move(s);
+      break;
+    }
+    case SystemKind::kHints: {
+      auto s = std::make_unique<HintSystem>(topo, *cost, cfg.hints, queue);
+      hints = s.get();
+      system = std::move(s);
+      break;
+    }
+    case SystemKind::kIcp: {
+      auto s = std::make_unique<baseline::IcpHierarchySystem>(
+          topo, *cost,
+          baseline::IcpConfig{cfg.baseline_node_capacity,
+                              cfg.baseline_node_capacity,
+                              cfg.baseline_node_capacity});
+      icp = s.get();
+      system = std::move(s);
+      break;
+    }
+  }
+
+  const double warmup_seconds = cfg.warmup_days * 86400.0;
+  system->set_recording(false);
+  bool recording = false;
+
+  ExperimentResult result;
+  result.system_name = system->name();
+
+  feed([&](const trace::Record& r) {
+    queue.run_until(r.time);
+    if (!recording && r.time >= warmup_seconds) {
+      recording = true;
+      system->set_recording(true);
+    }
+    if (r.type == trace::RecordType::kModify) {
+      system->handle_modify(r);
+      return;
+    }
+    // Uncachable and error requests are excluded from all response-time and
+    // hit-rate results (Section 2.2.2).
+    if (r.uncachable || r.error) return;
+    const RequestOutcome out = system->handle_request(r);
+    result.trace_seconds = r.time;
+    if (recording) result.metrics.add(out);
+  });
+  queue.run_all();
+
+  result.recorded_seconds =
+      result.trace_seconds > warmup_seconds ? result.trace_seconds - warmup_seconds : 0;
+
+  if (hints != nullptr) {
+    result.root_updates = hints->metadata().root_updates();
+    result.leaf_updates = hints->metadata().leaf_updates();
+    result.meta_messages = hints->metadata().total_messages();
+    result.push = hints->push_stats();
+    result.demand_bytes = hints->demand_bytes();
+  }
+  if (directory != nullptr) {
+    result.directory_updates = directory->directory_updates();
+  }
+  if (icp != nullptr) {
+    result.icp_queries = icp->icp_queries();
+    result.icp_hits = icp->icp_hits();
+  }
+  if (hierarchy != nullptr) {
+    result.levels = hierarchy->level_counters();
+  }
+  return result;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  return run_with_feed(cfg, [&](const std::function<void(const trace::Record&)>& sink) {
+    trace::TraceGenerator gen(cfg.workload);
+    gen.generate(sink);
+  });
+}
+
+ExperimentResult run_experiment_on(const std::vector<trace::Record>& records,
+                                   const ExperimentConfig& cfg) {
+  return run_with_feed(cfg, [&](const std::function<void(const trace::Record&)>& sink) {
+    for (const trace::Record& r : records) sink(r);
+  });
+}
+
+}  // namespace bh::core

@@ -1,0 +1,83 @@
+// The experiment driver: wires a workload, a cost model, and an architecture
+// together and replays the trace, reproducing the paper's methodology — the
+// first two days of each trace warm the caches before statistics are
+// gathered, and uncachable/error requests are excluded from response-time
+// results (Section 2.2.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/data_hierarchy.h"
+#include "core/cache_system.h"
+#include "core/hint_system.h"
+#include "trace/record.h"
+#include "trace/workload.h"
+
+namespace bh::core {
+
+enum class SystemKind : std::uint8_t {
+  kHierarchy,  // traditional 3-level data hierarchy
+  kDirectory,  // CRISP-style centralized directory
+  kHints,      // hint hierarchy (+ optional push, via hints config)
+  kIcp,        // hierarchy with ICP sibling queries at the L1 level
+};
+
+const char* system_kind_name(SystemKind k);
+
+struct ExperimentConfig {
+  trace::WorkloadParams workload;
+  std::string cost_model = "testbed";
+  SystemKind system = SystemKind::kHints;
+
+  // Per-node data capacity for the baselines (every hierarchy level and
+  // every directory L1 node). The hint system's capacities live in `hints`.
+  std::uint64_t baseline_node_capacity = kUnlimitedBytes;
+  HintSystemConfig hints;
+
+  double warmup_days = 2.0;
+};
+
+struct ExperimentResult {
+  std::string system_name;
+  Metrics metrics;
+  double trace_seconds = 0;
+  double recorded_seconds = 0;
+
+  // Hint-system extras.
+  std::uint64_t root_updates = 0;
+  std::uint64_t leaf_updates = 0;
+  std::uint64_t meta_messages = 0;
+  PushStats push;
+  std::uint64_t demand_bytes = 0;
+
+  // Directory extras.
+  std::uint64_t directory_updates = 0;
+
+  // ICP extras.
+  std::uint64_t icp_queries = 0;
+  std::uint64_t icp_hits = 0;
+
+  // Hierarchy extras (Figure 3).
+  baseline::DataHierarchySystem::LevelCounters levels;
+
+  // Updates per second over the whole trace (Table 5 reports trace-wide
+  // averages).
+  double root_update_rate() const {
+    return trace_seconds > 0 ? static_cast<double>(root_updates) / trace_seconds : 0;
+  }
+  double leaf_update_rate() const {
+    return trace_seconds > 0 ? static_cast<double>(leaf_updates) / trace_seconds : 0;
+  }
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+// Replays a pre-generated trace instead of regenerating it (the records must
+// come from cfg.workload so the topology matches). Benches sweeping many
+// architectures over one workload use this to amortize generation.
+ExperimentResult run_experiment_on(const std::vector<trace::Record>& records,
+                                   const ExperimentConfig& cfg);
+
+}  // namespace bh::core

@@ -1,0 +1,313 @@
+#include "core/hint_system.h"
+
+#include <algorithm>
+
+namespace bh::core {
+
+const char* push_policy_name(PushPolicy p) {
+  switch (p) {
+    case PushPolicy::kNone: return "none";
+    case PushPolicy::kUpdate: return "update-push";
+    case PushPolicy::kPush1: return "push-1";
+    case PushPolicy::kPushHalf: return "push-half";
+    case PushPolicy::kPushAll: return "push-all";
+    case PushPolicy::kIdeal: return "push-ideal";
+  }
+  return "?";
+}
+
+HintSystem::HintSystem(const net::HierarchyTopology& topo,
+                       const net::CostModel& cost, HintSystemConfig cfg,
+                       sim::EventQueue& queue)
+    : topo_(topo),
+      cost_(cost),
+      cfg_(cfg),
+      queue_(queue),
+      meta_(topo,
+            hints::MetadataConfig{cfg.hint_bytes, cfg.hint_hop_delay},
+            queue),
+      rng_(cfg.seed) {
+  l1_.reserve(topo_.num_l1());
+  for (std::uint32_t i = 0; i < topo_.num_l1(); ++i) {
+    l1_.emplace_back(cfg_.l1_capacity);
+  }
+  if (cfg_.client_direct && cfg_.client_hint_bytes > 0) {
+    // Real per-client hint caches, extending the metadata hierarchy one
+    // level past the proxies: every change to a proxy's hint store fans out
+    // to that proxy's clients.
+    client_stores_.reserve(topo_.num_clients());
+    for (std::uint32_t c = 0; c < topo_.num_clients(); ++c) {
+      client_stores_.push_back(hints::make_hint_store(cfg_.client_hint_bytes));
+    }
+    meta_.set_leaf_observer([this](NodeIndex leaf, ObjectId id, NodeIndex loc) {
+      const std::uint32_t base = leaf * topo_.clients_per_l1();
+      const std::uint32_t end =
+          std::min(base + topo_.clients_per_l1(), topo_.num_clients());
+      for (std::uint32_t c = base; c < end; ++c) {
+        if (loc == kInvalidNode) {
+          client_stores_[c]->erase(id);
+        } else {
+          client_stores_[c]->insert(id, hints::machine_of_node(loc));
+        }
+      }
+    });
+  }
+}
+
+std::string HintSystem::name() const {
+  std::string n = cfg_.client_direct ? "hints-client" : "hints";
+  if (cfg_.push != PushPolicy::kNone) {
+    n += "+";
+    n += push_policy_name(cfg_.push);
+  }
+  return n;
+}
+
+void HintSystem::set_recording(bool on) { recording_ = on; }
+
+Millis HintSystem::hint_lookup_cost() const {
+  if (cfg_.hint_memory_bytes == kUnlimitedBytes ||
+      cfg_.hint_bytes == kUnlimitedBytes ||
+      cfg_.hint_bytes <= cfg_.hint_memory_bytes) {
+    return cfg_.hint_lookup_ms;
+  }
+  // Hint references have essentially no locality (Section 3.2.1), so the
+  // fault probability is simply the fraction of the table not resident.
+  const double resident = double(cfg_.hint_memory_bytes) / double(cfg_.hint_bytes);
+  return cfg_.hint_lookup_ms + (1.0 - resident) * cfg_.hint_disk_lookup_ms;
+}
+
+bool HintSystem::holder_is_fresh(NodeIndex node, const trace::Record& r) const {
+  const cache::LruCache::Entry* e = l1_[node].peek(r.object);
+  return e != nullptr && e->version >= r.version;
+}
+
+bool HintSystem::note_use(cache::LruCache::Entry& e) {
+  if (!e.pushed) return false;
+  if (!e.used_since_push) {
+    e.used_since_push = true;
+    if (recording_) {
+      ++push_stats_.copies_used;
+      push_stats_.bytes_used += e.size;
+    }
+  }
+  return true;
+}
+
+void HintSystem::insert_copy(NodeIndex node, ObjectId id, std::uint64_t size,
+                             Version version, bool pushed) {
+  const bool ok = l1_[node].insert(
+      id, size, version, pushed, [this, node](const cache::LruCache::Entry& v) {
+        if (auto it = holders_.find(v.id); it != holders_.end()) {
+          it->second.erase(node);
+          if (it->second.empty()) holders_.erase(it);
+        }
+        meta_.invalidate(node, v.id);
+      });
+  if (!ok) return;
+  holders_[id].insert(node);
+  meta_.inform(node, id);
+}
+
+RequestOutcome HintSystem::handle_request(const trace::Record& r) {
+  const NodeIndex l1 = topo_.l1_of_client(r.client);
+  RequestOutcome out;
+  out.bytes = r.size;
+
+  // 1. The local L1 data cache.
+  if (cache::LruCache::Entry* e = l1_[l1].find(r.object);
+      e != nullptr && e->version >= r.version) {
+    out.latency = cost_.hierarchy_hit(1, r.size);
+    out.source = Source::kL1;
+    out.served_from_pushed = note_use(*e);
+    return out;
+  }
+
+  // 2. The local hint cache — a memory (or memory-mapped-file) access,
+  // never a network hop. In the alternate configuration the *client's* hint
+  // cache answers instead of the proxy's.
+  out.latency = hint_lookup_cost();
+  std::optional<NodeIndex> hint;
+  if (!client_stores_.empty()) {
+    const auto c = static_cast<std::uint32_t>(
+        r.client % client_stores_.size());
+    if (auto m = client_stores_[c]->lookup(r.object)) {
+      hint = hints::node_of_machine(*m);
+    }
+  } else {
+    hint = meta_.find_nearest(l1, r.object);
+    if (hint && cfg_.client_direct &&
+        rng_.bernoulli(cfg_.client_hint_false_negative)) {
+      // The smaller client hint cache missed an entry the proxy would have
+      // had (parameterized model, used when no real client stores exist).
+      hint.reset();
+    }
+  }
+  if (hint && *hint == l1) hint.reset();  // our own (stale) copy is useless
+
+  const auto remote_cost = [&](int dist) {
+    return cfg_.client_direct ? cost_.direct_hit(dist, r.size)
+                              : cost_.via_l1_hit(dist, r.size);
+  };
+  const auto miss_cost = [&] {
+    return cfg_.client_direct ? cost_.direct_miss(r.size)
+                              : cost_.via_l1_miss(r.size);
+  };
+
+  if (hint) {
+    const NodeIndex m = *hint;
+    const int dist = topo_.lca_level(l1, m);
+    if (holder_is_fresh(m, r)) {
+      // 3a. Direct cache-to-cache transfer from the hinted node.
+      if (cfg_.push == PushPolicy::kIdeal) {
+        // Best case: the copy would already have been pushed next to the
+        // client, at no space cost (Section 4.1.1).
+        out.latency = cost_.hierarchy_hit(1, r.size);
+      } else {
+        out.latency += remote_cost(dist);
+      }
+      out.source = dist == 2 ? Source::kRemoteL2 : Source::kRemoteL3;
+      out.served_from_pushed = note_use(*l1_[m].peek_mut(r.object));
+      insert_copy(l1, r.object, r.size, r.version, /*pushed=*/false);
+      demand_bytes_ += recording_ ? r.size : 0;
+      if (cfg_.push == PushPolicy::kPush1 || cfg_.push == PushPolicy::kPushHalf ||
+          cfg_.push == PushPolicy::kPushAll) {
+        hierarchical_push(l1, m, r);
+      }
+      return out;
+    }
+    // 3b. False positive: the hinted cache no longer has a fresh copy. It
+    // replies with an error and we fall through to the server; the bogus
+    // hint is dropped (no further searching — do not slow down misses).
+    out.hint_false_positive = true;
+    out.latency += cost_.control_rtt(dist);
+    meta_.leaf_store(l1).erase(r.object);
+    if (!client_stores_.empty()) {
+      client_stores_[r.client % client_stores_.size()]->erase(r.object);
+    }
+  } else if (auto it = holders_.find(r.object);
+             it != holders_.end() && !it->second.empty()) {
+    // No hint although a fresh copy exists somewhere: false negative.
+    bool fresh_somewhere = false;
+    it->second.for_each([&](NodeIndex n) {
+      if (n != l1 && holder_is_fresh(n, r)) fresh_somewhere = true;
+    });
+    out.hint_false_negative = fresh_somewhere;
+  }
+
+  // 4. Origin server.
+  out.latency += miss_cost();
+  out.source = Source::kServer;
+  insert_copy(l1, r.object, r.size, r.version, /*pushed=*/false);
+  demand_bytes_ += recording_ ? r.size : 0;
+  if (cfg_.push == PushPolicy::kUpdate) update_push(l1, r);
+  return out;
+}
+
+void HintSystem::handle_modify(const trace::Record& r) {
+  auto it = holders_.find(r.object);
+  if (it != holders_.end()) {
+    if (cfg_.push == PushPolicy::kUpdate) {
+      // Remember who held the stale version; they are prime candidates for
+      // the new one (Section 4.1.2). A holder whose previous pushed copy was
+      // never read is skipped — the aging mechanism: objects updated many
+      // times without being read stop receiving pushes.
+      NodeSet interested;
+      it->second.for_each([&](NodeIndex n) {
+        const cache::LruCache::Entry* e = l1_[n].peek(r.object);
+        if (e != nullptr && e->pushed && !e->used_since_push) return;
+        interested.insert(n);
+      });
+      if (!interested.empty()) prior_holders_[r.object] = interested;
+    }
+    it->second.for_each([&](NodeIndex n) { l1_[n].erase(r.object); });
+    holders_.erase(it);
+  }
+  meta_.invalidate_object(r.object);
+}
+
+void HintSystem::update_push(NodeIndex fetcher, const trace::Record& r) {
+  auto it = prior_holders_.find(r.object);
+  if (it == prior_holders_.end()) return;
+  NodeSet targets = it->second;
+  prior_holders_.erase(it);
+  targets.for_each([&](NodeIndex n) {
+    if (n == fetcher) return;
+    // Respect the configured update-fetch bandwidth cap.
+    const double allowed =
+        cfg_.update_push_max_bytes_per_sec * std::max(queue_.now(), 1.0);
+    if (push_budget_used_ + r.size > allowed) {
+      if (recording_) ++push_stats_.pushes_rate_limited;
+      return;
+    }
+    push_budget_used_ += r.size;
+    push_copy(n, r);
+  });
+}
+
+void HintSystem::hierarchical_push(NodeIndex requester, NodeIndex supplier,
+                                   const trace::Record& r) {
+  const int k = topo_.lca_level(requester, supplier);
+  if (k < 2) return;
+
+  // Eligible subtrees are the level-(k-1) subtrees sharing the level-k
+  // parent. For k == 2 those are the individual L1 caches under the shared
+  // L2 parent, so every push degree seeds the whole group (Figure 9). For
+  // k == 3 they are the L2 groups, and the degree picks 1 / half / all of
+  // each group's caches.
+  std::vector<NodeIndex> group_scratch;
+  auto push_into_group = [&](std::uint32_t g, std::size_t degree_count) {
+    group_scratch.clear();
+    const std::uint32_t base = g * topo_.l1_per_l2();
+    const std::uint32_t end = std::min(base + topo_.l1_per_l2(), topo_.num_l1());
+    for (std::uint32_t n = base; n < end; ++n) {
+      if (n == requester || n == supplier) continue;
+      if (holder_is_fresh(n, r)) continue;
+      group_scratch.push_back(n);
+    }
+    // Random subset of the group, degree_count wide.
+    for (std::size_t pick = 0;
+         pick < degree_count && !group_scratch.empty(); ++pick) {
+      const std::size_t j = rng_.next_below(group_scratch.size());
+      push_copy(group_scratch[j], r);
+      group_scratch[j] = group_scratch.back();
+      group_scratch.pop_back();
+    }
+  };
+
+  const std::uint32_t group_size = topo_.l1_per_l2();
+  std::size_t degree = group_size;  // push-all
+  if (cfg_.push == PushPolicy::kPush1) degree = 1;
+  if (cfg_.push == PushPolicy::kPushHalf) degree = (group_size + 1) / 2;
+
+  if (k == 2) {
+    // Every level-1 subtree (single cache) under the shared parent gets one.
+    push_into_group(topo_.l2_of_l1(requester), group_size);
+    return;
+  }
+  // k == 3: seed the level-2 subtrees that do not yet hold a copy (the two
+  // subtrees that fetched it already have one — Figure 9).
+  auto group_has_copy = [&](std::uint32_t g) {
+    const std::uint32_t base = g * topo_.l1_per_l2();
+    const std::uint32_t end = std::min(base + topo_.l1_per_l2(), topo_.num_l1());
+    for (std::uint32_t n = base; n < end; ++n) {
+      if (holder_is_fresh(n, r)) return true;
+    }
+    return false;
+  };
+  for (std::uint32_t g = 0; g < topo_.num_l2(); ++g) {
+    if (group_has_copy(g)) continue;
+    push_into_group(g, degree);
+  }
+}
+
+void HintSystem::push_copy(NodeIndex target, const trace::Record& r) {
+  if (holder_is_fresh(target, r)) return;
+  insert_copy(target, r.object, r.size, r.version, /*pushed=*/true);
+  if (recording_) {
+    ++push_stats_.copies_pushed;
+    push_stats_.bytes_pushed += r.size;
+  }
+}
+
+}  // namespace bh::core

@@ -1,0 +1,48 @@
+#include "hints/front_cache.h"
+
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace bh::hints {
+
+FrontedHintStore::FrontedHintStore(std::unique_ptr<HintStore> inner,
+                                   std::size_t front_entries)
+    : inner_(std::move(inner)), front_(front_entries) {
+  if (inner_ == nullptr) {
+    throw std::invalid_argument("FrontedHintStore: inner store required");
+  }
+  if (front_entries == 0) {
+    throw std::invalid_argument("FrontedHintStore: need at least one entry");
+  }
+}
+
+std::size_t FrontedHintStore::slot(ObjectId id) const {
+  return std::size_t(mix64(id.value ^ 0xF407) % front_.size());
+}
+
+std::optional<MachineId> FrontedHintStore::lookup(ObjectId id) {
+  if (id.value == kInvalidHintKey) return std::nullopt;
+  ++front_lookups_;
+  HintRecord& f = front_[slot(id)];
+  if (f.key == id.value) {
+    ++front_hits_;
+    return MachineId{f.location};
+  }
+  auto result = inner_->lookup(id);
+  if (result) f = HintRecord{id.value, result->value};
+  return result;
+}
+
+void FrontedHintStore::insert(ObjectId id, MachineId loc) {
+  inner_->insert(id, loc);
+  front_[slot(id)] = HintRecord{id.value, loc.value};
+}
+
+bool FrontedHintStore::erase(ObjectId id) {
+  HintRecord& f = front_[slot(id)];
+  if (f.key == id.value) f = HintRecord{};
+  return inner_->erase(id);
+}
+
+}  // namespace bh::hints

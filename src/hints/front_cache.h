@@ -1,0 +1,45 @@
+// Front-end hint cache (Section 3.2.1).
+//
+// The prototype's hash-indexed hint table has poor memory-page locality, and
+// the paper considers "adding a front-end cache of hint entries" while
+// doubting it will help: once a hint is read, the object lands in the data
+// cache and the hint is unlikely to be read again soon. This decorator makes
+// the idea concrete — a small direct-mapped array in front of any HintStore —
+// and exposes its hit rate so the doubt can be tested (see the hint-cache
+// microbenchmarks and hints_test).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hints/hint_cache.h"
+
+namespace bh::hints {
+
+class FrontedHintStore final : public HintStore {
+ public:
+  FrontedHintStore(std::unique_ptr<HintStore> inner, std::size_t front_entries);
+
+  std::optional<MachineId> lookup(ObjectId id) override;
+  void insert(ObjectId id, MachineId loc) override;
+  bool erase(ObjectId id) override;
+  std::size_t entry_count() const override { return inner_->entry_count(); }
+
+  std::uint64_t front_lookups() const { return front_lookups_; }
+  std::uint64_t front_hits() const { return front_hits_; }
+  double front_hit_ratio() const {
+    return front_lookups_ ? double(front_hits_) / double(front_lookups_) : 0;
+  }
+  HintStore& inner() { return *inner_; }
+
+ private:
+  std::size_t slot(ObjectId id) const;
+
+  std::unique_ptr<HintStore> inner_;
+  std::vector<HintRecord> front_;
+  std::uint64_t front_lookups_ = 0;
+  std::uint64_t front_hits_ = 0;
+};
+
+}  // namespace bh::hints

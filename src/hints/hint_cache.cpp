@@ -1,0 +1,138 @@
+#include "hints/hint_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace bh::hints {
+
+AssociativeHintCache::AssociativeHintCache(std::uint64_t capacity_bytes) {
+  const std::uint64_t set_bytes = sizeof(HintRecord) * kWays;
+  num_sets_ = static_cast<std::size_t>(std::max<std::uint64_t>(1, capacity_bytes / set_bytes));
+  records_.assign(num_sets_ * kWays, HintRecord{});
+  last_touch_.assign(records_.size(), 0);
+}
+
+std::size_t AssociativeHintCache::set_base(std::uint64_t key) const {
+  // Keys are MD5-derived (or mixed) and already uniform; fold them onto the
+  // set index with a multiplicative scramble so power-of-two set counts don't
+  // expose low-bit structure.
+  return static_cast<std::size_t>(mix64(key) % num_sets_) * kWays;
+}
+
+void AssociativeHintCache::touch(std::size_t slot) {
+  last_touch_[slot] = ++tick_;
+}
+
+std::optional<MachineId> AssociativeHintCache::lookup(ObjectId id) {
+  ++stats_.lookups;
+  if (id.value == kInvalidHintKey) return std::nullopt;
+  const std::size_t base = set_base(id.value);
+  for (std::uint32_t w = 0; w < kWays; ++w) {
+    if (records_[base + w].key == id.value) {
+      ++stats_.hits;
+      touch(base + w);
+      return MachineId{records_[base + w].location};
+    }
+  }
+  return std::nullopt;
+}
+
+void AssociativeHintCache::insert(ObjectId id, MachineId loc) {
+  if (id.value == kInvalidHintKey) return;
+  ++stats_.inserts;
+  const std::size_t base = set_base(id.value);
+  std::size_t victim = base;
+  bool found_empty = false;
+  for (std::uint32_t w = 0; w < kWays; ++w) {
+    HintRecord& r = records_[base + w];
+    if (r.key == id.value) {  // refresh in place
+      r.location = loc.value;
+      touch(base + w);
+      return;
+    }
+    if (!found_empty && r.key == kInvalidHintKey) {
+      victim = base + w;
+      found_empty = true;
+    }
+  }
+  if (!found_empty) {
+    for (std::uint32_t w = 1; w < kWays; ++w) {
+      if (last_touch_[base + w] < last_touch_[victim]) victim = base + w;
+    }
+    ++stats_.conflict_evictions;
+  } else {
+    ++valid_;
+  }
+  records_[victim] = HintRecord{id.value, loc.value};
+  touch(victim);
+}
+
+bool AssociativeHintCache::erase(ObjectId id) {
+  if (id.value == kInvalidHintKey) return false;
+  const std::size_t base = set_base(id.value);
+  for (std::uint32_t w = 0; w < kWays; ++w) {
+    if (records_[base + w].key == id.value) {
+      records_[base + w] = HintRecord{};
+      last_touch_[base + w] = 0;
+      --valid_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t AssociativeHintCache::entry_count() const { return valid_; }
+
+void AssociativeHintCache::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("hint cache: cannot open for write: " + path);
+  const std::uint64_t n = records_.size();
+  f.write(reinterpret_cast<const char*>(&n), sizeof n);
+  f.write(reinterpret_cast<const char*>(records_.data()),
+          static_cast<std::streamsize>(n * sizeof(HintRecord)));
+  if (!f) throw std::runtime_error("hint cache: write failed: " + path);
+}
+
+AssociativeHintCache AssociativeHintCache::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("hint cache: cannot open for read: " + path);
+  std::uint64_t n = 0;
+  f.read(reinterpret_cast<char*>(&n), sizeof n);
+  if (!f || n == 0 || n % kWays != 0) {
+    throw std::runtime_error("hint cache: corrupt image: " + path);
+  }
+  AssociativeHintCache cache(n * sizeof(HintRecord));
+  f.read(reinterpret_cast<char*>(cache.records_.data()),
+         static_cast<std::streamsize>(n * sizeof(HintRecord)));
+  if (!f) throw std::runtime_error("hint cache: truncated image: " + path);
+  cache.valid_ = static_cast<std::size_t>(
+      std::count_if(cache.records_.begin(), cache.records_.end(),
+                    [](const HintRecord& r) { return r.key != kInvalidHintKey; }));
+  return cache;
+}
+
+std::optional<MachineId> UnboundedHintStore::lookup(ObjectId id) {
+  auto it = map_.find(id.value);
+  if (it == map_.end()) return std::nullopt;
+  return MachineId{it->second};
+}
+
+void UnboundedHintStore::insert(ObjectId id, MachineId loc) {
+  map_[id.value] = loc.value;
+}
+
+bool UnboundedHintStore::erase(ObjectId id) { return map_.erase(id.value) > 0; }
+
+std::unique_ptr<HintStore> make_hint_store(std::uint64_t capacity_bytes) {
+  if (capacity_bytes == kUnlimitedBytes) {
+    return std::make_unique<UnboundedHintStore>();
+  }
+  return std::make_unique<AssociativeHintCache>(capacity_bytes);
+}
+
+}  // namespace bh::hints

@@ -1,0 +1,100 @@
+// Location-hint stores.
+//
+// AssociativeHintCache is the prototype's structure: a flat array of 16-byte
+// records managed as a 4-way set-associative cache indexed by the URL hash,
+// sized in bytes (Figure 5's x-axis). The flat array can be saved to and
+// loaded from a file, standing in for the prototype's memory-mapped file. A
+// modest amount of associativity guards against hot URLs landing in the same
+// bucket; within a set, replacement prefers empty slots and then evicts the
+// least recently touched record (the prototype's "preferentially cache
+// recently updated entries" mechanism).
+//
+// UnboundedHintStore backs the "infinite hint cache" points of Figures 5/6.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hints/hint_record.h"
+
+namespace bh::hints {
+
+class HintStore {
+ public:
+  virtual ~HintStore() = default;
+
+  // Nearest known location for the object, if any.
+  virtual std::optional<MachineId> lookup(ObjectId id) = 0;
+
+  // Records `loc` as the nearest known copy of `id`, replacing any previous
+  // hint for the same object.
+  virtual void insert(ObjectId id, MachineId loc) = 0;
+
+  // Drops the hint for `id`. Returns true if one was present.
+  virtual bool erase(ObjectId id) = 0;
+
+  virtual std::size_t entry_count() const = 0;
+};
+
+struct HintCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t conflict_evictions = 0;  // valid records displaced by inserts
+};
+
+class AssociativeHintCache final : public HintStore {
+ public:
+  static constexpr std::uint32_t kWays = 4;
+
+  // `capacity_bytes` is rounded down to a whole number of 4-way sets; at
+  // least one set is always allocated.
+  explicit AssociativeHintCache(std::uint64_t capacity_bytes);
+
+  std::optional<MachineId> lookup(ObjectId id) override;
+  void insert(ObjectId id, MachineId loc) override;
+  bool erase(ObjectId id) override;
+  std::size_t entry_count() const override;
+
+  std::uint64_t capacity_bytes() const { return records_.size() * sizeof(HintRecord); }
+  std::size_t capacity_entries() const { return records_.size(); }
+  const HintCacheStats& stats() const { return stats_; }
+
+  // Persists / restores the raw record array (the prototype keeps it in a
+  // memory-mapped file so a cold hint is one disk access away).
+  void save(const std::string& path) const;
+  static AssociativeHintCache load(const std::string& path);
+
+ private:
+  std::size_t set_base(std::uint64_t key) const;
+  void touch(std::size_t slot);
+
+  std::vector<HintRecord> records_;
+  // Per-slot recency, kept outside the records so the on-disk image stays
+  // exactly 16 bytes per hint.
+  std::vector<std::uint32_t> last_touch_;
+  std::uint32_t tick_ = 0;
+  std::size_t num_sets_ = 0;
+  std::size_t valid_ = 0;
+  HintCacheStats stats_;
+};
+
+class UnboundedHintStore final : public HintStore {
+ public:
+  std::optional<MachineId> lookup(ObjectId id) override;
+  void insert(ObjectId id, MachineId loc) override;
+  bool erase(ObjectId id) override;
+  std::size_t entry_count() const override { return map_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> map_;
+};
+
+// Factory honouring kUnlimitedBytes.
+std::unique_ptr<HintStore> make_hint_store(std::uint64_t capacity_bytes);
+
+}  // namespace bh::hints

@@ -1,0 +1,249 @@
+#include "hints/metadata_hierarchy.h"
+
+#include <utility>
+
+namespace bh::hints {
+
+MetadataHierarchy::MetadataHierarchy(const net::HierarchyTopology& topo,
+                                     MetadataConfig cfg,
+                                     sim::EventQueue& queue)
+    : topo_(topo), cfg_(cfg), queue_(queue) {
+  leaves_.reserve(topo_.num_l1());
+  for (std::uint32_t i = 0; i < topo_.num_l1(); ++i) {
+    leaves_.push_back(make_hint_store(cfg_.leaf_hint_bytes));
+  }
+  l2_state_.resize(topo_.num_l2());
+}
+
+template <typename Fn>
+void MetadataHierarchy::send(int hops, Fn&& fn) {
+  ++total_messages_;
+  if (cfg_.hop_delay <= 0.0) {
+    fn(queue_.now());
+    return;
+  }
+  queue_.schedule_after(cfg_.hop_delay * hops, std::forward<Fn>(fn));
+}
+
+// ---------------------------------------------------------------------------
+// Leaf-side entry points (the Squid interface commands)
+// ---------------------------------------------------------------------------
+
+void MetadataHierarchy::inform(NodeIndex node, ObjectId id) {
+  ++leaf_updates_;
+  // Termination rule: if this node already knows of a copy within its
+  // parent's (L2) subtree, the new copy is not the first one there and the
+  // update stops at the leaf.
+  if (auto hint = leaves_[node]->lookup(id)) {
+    const NodeIndex known = node_of_machine(*hint);
+    if (topo_.lca_level(node, known) <= 2) return;
+  }
+  const std::uint32_t l2 = topo_.l2_of_l1(node);
+  send(1, [this, l2, node, id](SimTime) { l2_child_inform(l2, node, id); });
+}
+
+void MetadataHierarchy::invalidate(NodeIndex node, ObjectId id) {
+  ++leaf_updates_;
+  const std::uint32_t l2 = topo_.l2_of_l1(node);
+  send(1, [this, l2, node, id](SimTime) { l2_child_remove(l2, node, id); });
+}
+
+std::optional<NodeIndex> MetadataHierarchy::find_nearest(NodeIndex node,
+                                                         ObjectId id) {
+  auto hint = leaves_[node]->lookup(id);
+  if (!hint) return std::nullopt;
+  return node_of_machine(*hint);
+}
+
+void MetadataHierarchy::invalidate_object(ObjectId id) {
+  // Strong consistency: the update invalidates every copy, so every hint and
+  // every piece of metadata about the object dies with it. Messages already
+  // in flight may later resurrect a hint; the resulting false positive is
+  // handled (and priced) at request time, just as in the real system.
+  for (std::uint32_t leaf = 0; leaf < leaves_.size(); ++leaf) {
+    if (leaves_[leaf]->erase(id) && observer_) {
+      observer_(leaf, id, kInvalidNode);
+    }
+  }
+  for (auto& state : l2_state_) state.erase(id);
+  root_state_.erase(id);
+}
+
+// ---------------------------------------------------------------------------
+// L2 metadata nodes
+// ---------------------------------------------------------------------------
+
+NodeIndex MetadataHierarchy::l2_representative(const InternalEntry& e,
+                                               std::uint32_t l2) const {
+  (void)l2;
+  if (e.child_mask == 0) return kInvalidNode;
+  const int slot = __builtin_ctzll(e.child_mask);
+  if (static_cast<std::size_t>(slot) < e.reps.size()) return e.reps[slot];
+  return kInvalidNode;
+}
+
+void MetadataHierarchy::l2_child_inform(std::uint32_t l2, NodeIndex leaf,
+                                        ObjectId id) {
+  InternalEntry& e = l2_state_[l2][id];
+  const std::uint32_t slot = leaf % topo_.l1_per_l2();
+  const bool was_empty = e.child_mask == 0;
+  e.child_mask |= 1ULL << slot;
+  if (e.reps.empty()) e.reps.assign(topo_.l1_per_l2(), kInvalidNode);
+  e.reps[slot] = leaf;
+  if (!was_empty) return;  // second copy in the subtree: not distributed
+
+  // Tell children that do not themselves hold copies about the new copy.
+  const std::uint32_t base = l2 * topo_.l1_per_l2();
+  const std::uint32_t end = std::min(base + topo_.l1_per_l2(), topo_.num_l1());
+  for (std::uint32_t c = base; c < end; ++c) {
+    if (c == leaf) continue;
+    if (e.child_mask & (1ULL << (c % topo_.l1_per_l2()))) continue;
+    send(1, [this, c, leaf, id](SimTime) { leaf_learn(c, leaf, id); });
+  }
+
+  // First copy in this subtree and nothing known outside it: propagate up.
+  if (e.external == kInvalidNode) {
+    send(1, [this, l2, leaf, id](SimTime) { root_child_inform(l2, leaf, id); });
+  }
+}
+
+void MetadataHierarchy::l2_parent_inform(std::uint32_t l2, NodeIndex loc,
+                                         ObjectId id) {
+  InternalEntry& e = l2_state_[l2][id];
+  if (e.external != kInvalidNode) return;  // equally distant; keep the old one
+  e.external = loc;
+  if (e.child_mask != 0) return;  // children already have a nearer copy
+  const std::uint32_t base = l2 * topo_.l1_per_l2();
+  const std::uint32_t end = std::min(base + topo_.l1_per_l2(), topo_.num_l1());
+  for (std::uint32_t c = base; c < end; ++c) {
+    send(1, [this, c, loc, id](SimTime) { leaf_learn(c, loc, id); });
+  }
+}
+
+void MetadataHierarchy::l2_child_remove(std::uint32_t l2, NodeIndex leaf,
+                                        ObjectId id) {
+  auto it = l2_state_[l2].find(id);
+  if (it == l2_state_[l2].end()) return;  // stale remove (object invalidated)
+  InternalEntry& e = it->second;
+  const std::uint32_t slot = leaf % topo_.l1_per_l2();
+  if (!(e.child_mask & (1ULL << slot))) return;
+  e.child_mask &= ~(1ULL << slot);
+  if (!e.reps.empty()) e.reps[slot] = kInvalidNode;
+
+  // Advertise the non-presence with the next best location, if any.
+  const NodeIndex next = e.child_mask != 0 ? l2_representative(e, l2) : e.external;
+  const std::uint32_t base = l2 * topo_.l1_per_l2();
+  const std::uint32_t end = std::min(base + topo_.l1_per_l2(), topo_.num_l1());
+  for (std::uint32_t c = base; c < end; ++c) {
+    if (c == leaf) continue;
+    send(1, [this, c, leaf, next, id](SimTime) {
+      leaf_forget(c, leaf, id);
+      if (next != kInvalidNode) leaf_learn(c, next, id);
+    });
+  }
+
+  if (e.child_mask == 0) {
+    send(1, [this, l2, leaf, id](SimTime) { root_child_remove(l2, leaf, id); });
+    if (e.empty()) l2_state_[l2].erase(it);
+  }
+}
+
+void MetadataHierarchy::l2_parent_remove(std::uint32_t l2, ObjectId id) {
+  // Covered by the (gone, next) correction path in root_child_remove; kept
+  // for interface symmetry.
+  (void)l2;
+  (void)id;
+}
+
+// ---------------------------------------------------------------------------
+// Root metadata node
+// ---------------------------------------------------------------------------
+
+void MetadataHierarchy::root_child_inform(std::uint32_t l2, NodeIndex loc,
+                                          ObjectId id) {
+  ++root_updates_;
+  InternalEntry& e = root_state_[id];
+  const bool was_empty = e.child_mask == 0;
+  e.child_mask |= 1ULL << l2;
+  if (e.reps.empty()) e.reps.assign(topo_.num_l2(), kInvalidNode);
+  e.reps[l2] = loc;
+  if (!was_empty) return;
+
+  for (std::uint32_t g = 0; g < topo_.num_l2(); ++g) {
+    if (g == l2) continue;
+    if (e.child_mask & (1ULL << g)) continue;
+    send(1, [this, g, loc, id](SimTime) { l2_parent_inform(g, loc, id); });
+  }
+}
+
+void MetadataHierarchy::root_child_remove(std::uint32_t l2, NodeIndex gone,
+                                          ObjectId id) {
+  ++root_updates_;
+  auto it = root_state_.find(id);
+  if (it == root_state_.end()) return;
+  InternalEntry& e = it->second;
+  e.child_mask &= ~(1ULL << l2);
+  if (!e.reps.empty()) e.reps[l2] = kInvalidNode;
+
+  NodeIndex next = kInvalidNode;
+  if (e.child_mask != 0) {
+    const int slot = __builtin_ctzll(e.child_mask);
+    next = e.reps[static_cast<std::size_t>(slot)];
+  }
+
+  // Groups without local copies may hold hints pointing at the vanished
+  // leaf; send them the correction.
+  for (std::uint32_t g = 0; g < topo_.num_l2(); ++g) {
+    if (e.child_mask & (1ULL << g)) continue;
+    send(1, [this, g, gone, next, id](SimTime) {
+      // The group's external pointer and its leaves' hints are corrected.
+      auto git = l2_state_[g].find(id);
+      if (git != l2_state_[g].end() && git->second.external == gone) {
+        git->second.external = next;
+      } else if (git == l2_state_[g].end() && next != kInvalidNode) {
+        l2_state_[g][id].external = next;
+      }
+      const std::uint32_t base = g * topo_.l1_per_l2();
+      const std::uint32_t end =
+          std::min(base + topo_.l1_per_l2(), topo_.num_l1());
+      for (std::uint32_t c = base; c < end; ++c) {
+        send(1, [this, c, gone, next, id](SimTime) {
+          leaf_forget(c, gone, id);
+          if (next != kInvalidNode) leaf_learn(c, next, id);
+        });
+      }
+    });
+  }
+
+  if (e.empty()) root_state_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Leaf hint-cache updates
+// ---------------------------------------------------------------------------
+
+void MetadataHierarchy::leaf_learn(NodeIndex leaf, NodeIndex loc, ObjectId id) {
+  if (loc == leaf) return;
+  HintStore& store = *leaves_[leaf];
+  if (auto cur = store.lookup(id)) {
+    const NodeIndex cur_node = node_of_machine(*cur);
+    if (topo_.lca_level(leaf, cur_node) <= topo_.lca_level(leaf, loc)) {
+      return;  // existing hint is at least as close
+    }
+  }
+  store.insert(id, machine_of_node(loc));
+  if (observer_) observer_(leaf, id, loc);
+}
+
+void MetadataHierarchy::leaf_forget(NodeIndex leaf, NodeIndex loc,
+                                    ObjectId id) {
+  HintStore& store = *leaves_[leaf];
+  if (auto cur = store.lookup(id)) {
+    if (node_of_machine(*cur) == loc) {
+      store.erase(id);
+      if (observer_) observer_(leaf, id, kInvalidNode);
+    }
+  }
+}
+
+}  // namespace bh::hints

@@ -1,0 +1,208 @@
+#include "net/cost_model.h"
+
+#include <stdexcept>
+
+namespace bh::net {
+
+// ---------------------------------------------------------------------------
+// RousskovCostModel
+// ---------------------------------------------------------------------------
+
+RousskovCostModel::RousskovCostModel(std::string name, AccessComponents leaf,
+                                     AccessComponents intermediate,
+                                     AccessComponents root, Millis server_time)
+    : name_(std::move(name)),
+      leaf_(leaf),
+      intermediate_(intermediate),
+      root_(root),
+      server_time_(server_time) {}
+
+// Table 3, "min" column: minima of 20-minute medians during peak hours.
+RousskovCostModel RousskovCostModel::min() {
+  return RousskovCostModel("rousskov-min",
+                           /*leaf=*/{16, 72, 75},
+                           /*intermediate=*/{50, 60, 70},
+                           /*root=*/{100, 100, 120},
+                           /*server_time=*/550);
+}
+
+// Table 3, "max" column.
+RousskovCostModel RousskovCostModel::max() {
+  return RousskovCostModel("rousskov-max",
+                           /*leaf=*/{62, 135, 155},
+                           /*intermediate=*/{550, 950, 1050},
+                           /*root=*/{1200, 650, 1000},
+                           /*server_time=*/3200);
+}
+
+const AccessComponents& RousskovCostModel::level(int i) const {
+  switch (i) {
+    case 1:
+      return leaf_;
+    case 2:
+      return intermediate_;
+    case 3:
+      return root_;
+    default:
+      throw std::out_of_range("RousskovCostModel: level must be 1..3");
+  }
+}
+
+// "Total Hierarchical": connect+reply of every traversed level plus the disk
+// time of the level that supplies the data.
+Millis RousskovCostModel::hierarchy_hit(int lvl, std::uint64_t) const {
+  Millis total = level(lvl).disk;
+  for (int i = 1; i <= lvl; ++i) {
+    total += level(i).connect + level(i).reply;
+  }
+  return total;
+}
+
+Millis RousskovCostModel::hierarchy_miss(std::uint64_t) const {
+  Millis total = server_time_;
+  for (int i = 1; i <= 3; ++i) {
+    total += level(i).connect + level(i).reply;
+  }
+  return total;
+}
+
+// "Total Client Direct": one connect + disk + reply at the target's distance
+// class.
+Millis RousskovCostModel::direct_hit(int distance, std::uint64_t) const {
+  const AccessComponents& c = level(distance);
+  return c.connect + c.disk + c.reply;
+}
+
+Millis RousskovCostModel::direct_miss(std::uint64_t) const {
+  return server_time_;
+}
+
+// "Total via L1": the L1 proxy's connect + reply wrap a direct access.
+Millis RousskovCostModel::via_l1_hit(int distance, std::uint64_t bytes) const {
+  if (distance == kLeafDistance) return hierarchy_hit(1, bytes);
+  return leaf_.connect + leaf_.reply + direct_hit(distance, bytes);
+}
+
+Millis RousskovCostModel::via_l1_miss(std::uint64_t) const {
+  return leaf_.connect + leaf_.reply + server_time_;
+}
+
+// A dataless round trip: connection establishment plus a header-only reply.
+// No disk component is charged because nothing is fetched.
+Millis RousskovCostModel::control_rtt(int distance) const {
+  const AccessComponents& c = level(distance);
+  return c.connect + c.reply;
+}
+
+// ---------------------------------------------------------------------------
+// TestbedCostModel
+// ---------------------------------------------------------------------------
+
+TestbedCostModel::TestbedCostModel(std::string name, TestbedLink l1,
+                                   TestbedLink l2, TestbedLink l3,
+                                   TestbedLink server, Millis forward_overhead)
+    : name_(std::move(name)),
+      l1_(l1),
+      l2_(l2),
+      l3_(l3),
+      server_(server),
+      forward_overhead_(forward_overhead) {}
+
+// Fitted to the Section 2.1.1 anchors at 8 KB:
+//   direct L1 hit         ~  65 ms
+//   direct L2-distance    ~ 275 ms   (L1 is ~4.75x faster)
+//   direct L3-distance    ~ 360 ms   (L1 is ~6.17x faster)
+//   hierarchy L3 hit      ~ 905 ms   (545 ms slower than direct, ~2.5x)
+// Bandwidths reflect 1996-era transcontinental paths; the LAN hop is a
+// switched 10 Mbit/s Ethernet.
+TestbedCostModel TestbedCostModel::fitted() {
+  return TestbedCostModel(
+      "testbed",
+      /*l1=*/{10, 25, 25, 1200.0},
+      /*l2=*/{60, 25, 45, 55.0},
+      /*l3=*/{90, 25, 55, 42.0},
+      /*server=*/{120, 50, 70, 35.0},
+      /*forward_overhead=*/150);
+}
+
+const TestbedLink& TestbedCostModel::level(int i) const {
+  switch (i) {
+    case 1:
+      return l1_;
+    case 2:
+      return l2_;
+    case 3:
+      return l3_;
+    default:
+      throw std::out_of_range("TestbedCostModel: level must be 1..3");
+  }
+}
+
+Millis TestbedCostModel::transfer(const TestbedLink& link,
+                                  std::uint64_t bytes) const {
+  return link.reply_base +
+         static_cast<double>(bytes) / 1024.0 / link.bandwidth_kbps * 1000.0;
+}
+
+// Store-and-forward: connects up the chain, one disk read at the supplier,
+// the full object retransmitted on every hop coming down, plus a fixed
+// forwarding overhead for every intermediate proxy traversed.
+Millis TestbedCostModel::hierarchy_hit(int lvl, std::uint64_t bytes) const {
+  Millis total = level(lvl).disk;
+  for (int i = 1; i <= lvl; ++i) {
+    total += level(i).connect + transfer(level(i), bytes);
+  }
+  total += forward_overhead_ * static_cast<double>(lvl - 1);
+  return total;
+}
+
+Millis TestbedCostModel::hierarchy_miss(std::uint64_t bytes) const {
+  Millis total = server_.connect + server_.disk + transfer(server_, bytes);
+  for (int i = 1; i <= 3; ++i) {
+    total += level(i).connect + transfer(level(i), bytes);
+  }
+  total += forward_overhead_ * 3.0;
+  return total;
+}
+
+Millis TestbedCostModel::direct_hit(int distance, std::uint64_t bytes) const {
+  const TestbedLink& l = level(distance);
+  return l.connect + l.disk + transfer(l, bytes);
+}
+
+Millis TestbedCostModel::direct_miss(std::uint64_t bytes) const {
+  return server_.connect + server_.disk + transfer(server_, bytes);
+}
+
+Millis TestbedCostModel::via_l1_hit(int distance, std::uint64_t bytes) const {
+  if (distance == kLeafDistance) return hierarchy_hit(1, bytes);
+  // The L1 proxy accepts the request, fetches cache-to-cache, and forwards
+  // the object over the LAN.
+  return l1_.connect + transfer(l1_, bytes) + direct_hit(distance, bytes);
+}
+
+Millis TestbedCostModel::via_l1_miss(std::uint64_t bytes) const {
+  return l1_.connect + transfer(l1_, bytes) + direct_miss(bytes);
+}
+
+Millis TestbedCostModel::control_rtt(int distance) const {
+  const TestbedLink& l = level(distance);
+  return l.connect + l.reply_base;
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<CostModel> make_cost_model(const std::string& which) {
+  if (which == "testbed") {
+    return std::make_unique<TestbedCostModel>(TestbedCostModel::fitted());
+  }
+  if (which == "rousskov-min" || which == "min") {
+    return std::make_unique<RousskovCostModel>(RousskovCostModel::min());
+  }
+  if (which == "rousskov-max" || which == "max") {
+    return std::make_unique<RousskovCostModel>(RousskovCostModel::max());
+  }
+  throw std::invalid_argument("unknown cost model: " + which);
+}
+
+}  // namespace bh::net

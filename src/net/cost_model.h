@@ -1,0 +1,147 @@
+// Access-time models.
+//
+// The paper parameterizes its simulator with three sets of access costs: the
+// Berkeley/San Diego/Austin/Cornell testbed measurements (Figure 1) and the
+// min/max medians derived from Rousskov's measurements of deployed Squid
+// caches (Table 3). All response times in the evaluation are compositions of
+// per-level {client connect, disk, proxy reply} components, exactly as the
+// paper composes the "Total Hierarchical", "Total Client Direct", and "Total
+// via L1" columns of Table 3.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+
+namespace bh::net {
+
+// Distance class of a data source relative to the requesting client's L1:
+//   1 = leaf distance (the client's own L1 proxy)
+//   2 = intermediate distance (a cache under the same L2 subtree)
+//   3 = root distance (anywhere else in the cache system)
+// Servers are priced separately.
+inline constexpr int kLeafDistance = 1;
+inline constexpr int kIntermediateDistance = 2;
+inline constexpr int kRootDistance = 3;
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  // Hit serviced by a traditional data hierarchy at `level` (1..3): the
+  // request traverses levels 1..level and the object is sent back
+  // store-and-forward through the same chain.
+  virtual Millis hierarchy_hit(int level, std::uint64_t bytes) const = 0;
+
+  // Miss in a traditional data hierarchy: traverse all three levels, then the
+  // root fetches from the origin server and the object funnels back down.
+  virtual Millis hierarchy_miss(std::uint64_t bytes) const = 0;
+
+  // Client (or its firewall-free host) accesses a cache at the given
+  // distance class directly.
+  virtual Millis direct_hit(int distance, std::uint64_t bytes) const = 0;
+
+  // Client fetches straight from the origin server.
+  virtual Millis direct_miss(std::uint64_t bytes) const = 0;
+
+  // Request passes through the client's L1 proxy, which then fetches from a
+  // cache at the given distance class via a direct cache-to-cache transfer.
+  // distance == kLeafDistance is simply an L1 hit.
+  virtual Millis via_l1_hit(int distance, std::uint64_t bytes) const = 0;
+
+  // Request passes through the L1 proxy which goes straight to the server.
+  virtual Millis via_l1_miss(std::uint64_t bytes) const = 0;
+
+  // A control round trip to a node at the given distance class with no data
+  // payload: used for false-positive hint probes (remote cache replies with
+  // an error) and for directory-query messages in the centralized-directory
+  // baseline.
+  virtual Millis control_rtt(int distance) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Per-level access components in the sense of Rousskov's breakdown.
+struct AccessComponents {
+  Millis connect = 0;  // accept() until parsable HTTP request
+  Millis disk = 0;     // swap object in from disk
+  Millis reply = 0;    // send object back on the network
+};
+
+// Cost model built from fixed per-level components (object size ignored, as
+// in Table 3 where components are medians over live traffic).
+class RousskovCostModel final : public CostModel {
+ public:
+  RousskovCostModel(std::string name, AccessComponents leaf,
+                    AccessComponents intermediate, AccessComponents root,
+                    Millis server_time);
+
+  // The two parameterizations used throughout the evaluation: minima and
+  // maxima of 20-minute medians over the 8AM-5PM peak (Table 3).
+  static RousskovCostModel min();
+  static RousskovCostModel max();
+
+  Millis hierarchy_hit(int level, std::uint64_t bytes) const override;
+  Millis hierarchy_miss(std::uint64_t bytes) const override;
+  Millis direct_hit(int distance, std::uint64_t bytes) const override;
+  Millis direct_miss(std::uint64_t bytes) const override;
+  Millis via_l1_hit(int distance, std::uint64_t bytes) const override;
+  Millis via_l1_miss(std::uint64_t bytes) const override;
+  Millis control_rtt(int distance) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  const AccessComponents& level(int i) const;
+
+  std::string name_;
+  AccessComponents leaf_;
+  AccessComponents intermediate_;
+  AccessComponents root_;
+  Millis server_time_;
+};
+
+// Per-level parameters of the size-dependent testbed model (Figure 1).
+struct TestbedLink {
+  Millis connect = 0;      // connection establishment to/through this level
+  Millis disk = 0;         // disk/service time at this level
+  Millis reply_base = 0;   // fixed part of sending the reply
+  double bandwidth_kbps = 1.0;  // KB per second on this hop
+};
+
+// Cost model fitted to the testbed measurements: response time grows with
+// object size through per-hop store-and-forward transfers, and traversing an
+// intermediate proxy adds a fixed forwarding overhead (Squid accept + parse +
+// queueing), which is what makes hierarchy hits so much slower than direct
+// ones (the 545 ms gap at 8 KB in Section 2.1.1).
+class TestbedCostModel final : public CostModel {
+ public:
+  TestbedCostModel(std::string name, TestbedLink l1, TestbedLink l2,
+                   TestbedLink l3, TestbedLink server, Millis forward_overhead);
+
+  // Parameters fitted to Figure 1 / Section 2.1.1 anchors.
+  static TestbedCostModel fitted();
+
+  Millis hierarchy_hit(int level, std::uint64_t bytes) const override;
+  Millis hierarchy_miss(std::uint64_t bytes) const override;
+  Millis direct_hit(int distance, std::uint64_t bytes) const override;
+  Millis direct_miss(std::uint64_t bytes) const override;
+  Millis via_l1_hit(int distance, std::uint64_t bytes) const override;
+  Millis via_l1_miss(std::uint64_t bytes) const override;
+  Millis control_rtt(int distance) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  const TestbedLink& level(int i) const;
+  Millis transfer(const TestbedLink& link, std::uint64_t bytes) const;
+
+  std::string name_;
+  TestbedLink l1_, l2_, l3_, server_;
+  Millis forward_overhead_;
+};
+
+// The three standard parameterizations, in the order the figures print them.
+std::unique_ptr<CostModel> make_cost_model(const std::string& which);
+
+}  // namespace bh::net

@@ -1,0 +1,62 @@
+// The fixed three-level cache topology used throughout the paper's
+// evaluation: 256 clients share each L1 proxy, eight L1 proxies share an L2,
+// and all L2s share a single L3 root (Section 2.2.3). Data caches exist at
+// every level in the traditional hierarchy but only at the leaves (L1) in the
+// hint architecture; the same topology doubles as the metadata hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/types.h"
+
+namespace bh::net {
+
+class HierarchyTopology {
+ public:
+  HierarchyTopology(std::uint32_t num_l1, std::uint32_t l1_per_l2,
+                    std::uint32_t clients_per_l1)
+      : num_l1_(num_l1),
+        l1_per_l2_(l1_per_l2),
+        clients_per_l1_(clients_per_l1) {
+    if (num_l1 == 0 || l1_per_l2 == 0 || clients_per_l1 == 0) {
+      throw std::invalid_argument("HierarchyTopology: all arities must be > 0");
+    }
+  }
+
+  // The paper's default configuration (Sections 2.2.3 and 3.1.2).
+  static HierarchyTopology paper_default() {
+    return HierarchyTopology(64, 8, 256);
+  }
+
+  std::uint32_t num_l1() const { return num_l1_; }
+  std::uint32_t num_l2() const { return (num_l1_ + l1_per_l2_ - 1) / l1_per_l2_; }
+  std::uint32_t l1_per_l2() const { return l1_per_l2_; }
+  std::uint32_t clients_per_l1() const { return clients_per_l1_; }
+  std::uint32_t num_clients() const { return num_l1_ * clients_per_l1_; }
+
+  // Clients map to L1 proxies in contiguous blocks; client ids beyond the
+  // nominal population wrap, which keeps dynamically-bound ids (Prodigy)
+  // usable.
+  NodeIndex l1_of_client(ClientIndex client) const {
+    return (client / clients_per_l1_) % num_l1_;
+  }
+
+  std::uint32_t l2_of_l1(NodeIndex l1) const { return l1 / l1_per_l2_; }
+
+  // Lowest-common-ancestor level of two L1 caches: 1 if identical, 2 if they
+  // share an L2 parent, 3 otherwise. This is the distance class used to price
+  // direct cache-to-cache transfers.
+  int lca_level(NodeIndex l1_a, NodeIndex l1_b) const {
+    if (l1_a == l1_b) return 1;
+    if (l2_of_l1(l1_a) == l2_of_l1(l1_b)) return 2;
+    return 3;
+  }
+
+ private:
+  std::uint32_t num_l1_;
+  std::uint32_t l1_per_l2_;
+  std::uint32_t clients_per_l1_;
+};
+
+}  // namespace bh::net

@@ -1,0 +1,166 @@
+#include "plaxton/plaxton.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace bh::plaxton {
+
+PlaxtonMesh::PlaxtonMesh(std::vector<std::uint64_t> ids, DistanceFn distance,
+                         PlaxtonConfig cfg)
+    : cfg_(cfg),
+      ids_(std::move(ids)),
+      alive_(ids_.size(), true),
+      alive_count_(ids_.size()),
+      distance_(std::move(distance)) {
+  if (ids_.empty()) throw std::invalid_argument("PlaxtonMesh: no nodes");
+  if (cfg_.digit_bits == 0 || cfg_.digit_bits > 8) {
+    throw std::invalid_argument("PlaxtonMesh: digit_bits must be 1..8");
+  }
+  std::unordered_set<std::uint64_t> uniq(ids_.begin(), ids_.end());
+  if (uniq.size() != ids_.size()) {
+    throw std::invalid_argument("PlaxtonMesh: node ids must be unique");
+  }
+  // Enough levels that some prefix is guaranteed unique: ids are unique, so
+  // 64 bits of digits always suffice; buckets shrink long before that.
+  max_levels_ = 64 / cfg_.digit_bits;
+  rebuild_buckets();
+}
+
+std::uint64_t PlaxtonMesh::low_digits(std::uint64_t id,
+                                      std::uint32_t levels) const {
+  const std::uint32_t bits = levels * cfg_.digit_bits;
+  if (bits >= 64) return id;
+  return id & ((1ULL << bits) - 1);
+}
+
+std::uint32_t PlaxtonMesh::digit_at(std::uint64_t id,
+                                    std::uint32_t level) const {
+  const std::uint32_t shift = level * cfg_.digit_bits;
+  if (shift >= 64) return 0;
+  return static_cast<std::uint32_t>((id >> shift) &
+                                    ((1ULL << cfg_.digit_bits) - 1));
+}
+
+void PlaxtonMesh::rebuild_buckets() {
+  buckets_.clear();
+  for (std::uint32_t level = 0; level <= max_levels_; ++level) {
+    std::unordered_map<std::uint64_t, std::vector<NodeIndex>> bucket;
+    bool any_shared = false;
+    for (NodeIndex n = 0; n < ids_.size(); ++n) {
+      if (!alive_[n]) continue;
+      auto& vec = bucket[low_digits(ids_[n], level)];
+      vec.push_back(n);
+      if (vec.size() > 1) any_shared = true;
+    }
+    buckets_.push_back(std::move(bucket));
+    // Once every live node sits alone in its bucket, deeper levels are
+    // identical singletons; stop.
+    if (!any_shared && level > 0) break;
+  }
+}
+
+NodeIndex PlaxtonMesh::neighbor(NodeIndex from, std::uint32_t level,
+                                std::uint64_t prefix,
+                                std::uint32_t digit) const {
+  if (level + 1 >= buckets_.size()) return kInvalidNode;
+  const std::uint64_t want =
+      prefix | (static_cast<std::uint64_t>(digit) << (level * cfg_.digit_bits));
+  auto it = buckets_[level + 1].find(want);
+  if (it == buckets_[level + 1].end()) return kInvalidNode;
+  NodeIndex best = kInvalidNode;
+  double best_d = 0;
+  for (NodeIndex cand : it->second) {
+    const double d = cand == from ? 0.0 : distance_(from, cand);
+    if (best == kInvalidNode || d < best_d ||
+        (d == best_d && cand < best)) {
+      best = cand;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+std::vector<NodeIndex> PlaxtonMesh::route(NodeIndex start,
+                                          std::uint64_t object_id) const {
+  if (start >= ids_.size() || !alive_[start]) {
+    throw std::invalid_argument("PlaxtonMesh::route: bad start node");
+  }
+  std::vector<NodeIndex> path{start};
+  NodeIndex cur = start;
+  std::uint64_t prefix = 0;
+  const std::uint32_t radix = 1u << cfg_.digit_bits;
+
+  for (std::uint32_t level = 0; level + 1 < buckets_.size(); ++level) {
+    // If the current prefix bucket holds only `cur`, it is the root.
+    auto it = buckets_[level].find(prefix);
+    if (it == buckets_[level].end() || it->second.size() <= 1) break;
+
+    // Deterministic surrogate routing: take the object's digit if some live
+    // node extends the prefix with it, else the cyclically-next digit value
+    // that works. The choice depends only on the shared bucket, so routes
+    // from different starts converge.
+    const std::uint32_t wanted = digit_at(object_id, level);
+    NodeIndex next = kInvalidNode;
+    std::uint32_t chosen = wanted;
+    for (std::uint32_t k = 0; k < radix; ++k) {
+      chosen = (wanted + k) % radix;
+      next = neighbor(cur, level, prefix, chosen);
+      if (next != kInvalidNode) break;
+    }
+    if (next == kInvalidNode) break;  // no extension exists: cur is the root
+    prefix |= static_cast<std::uint64_t>(chosen) << (level * cfg_.digit_bits);
+    if (next != cur) path.push_back(next);
+    cur = next;
+  }
+  return path;
+}
+
+NodeIndex PlaxtonMesh::root_of(std::uint64_t object_id) const {
+  // Any live start converges to the same root.
+  NodeIndex start = kInvalidNode;
+  for (NodeIndex n = 0; n < ids_.size(); ++n) {
+    if (alive_[n]) {
+      start = n;
+      break;
+    }
+  }
+  if (start == kInvalidNode) {
+    throw std::logic_error("PlaxtonMesh: no live nodes");
+  }
+  return route(start, object_id).back();
+}
+
+void PlaxtonMesh::remove_node(NodeIndex node) {
+  if (node >= ids_.size() || !alive_[node]) return;
+  if (alive_count_ == 1) {
+    throw std::logic_error("PlaxtonMesh: cannot remove the last node");
+  }
+  alive_[node] = false;
+  --alive_count_;
+  rebuild_buckets();
+}
+
+void PlaxtonMesh::add_node(NodeIndex node) {
+  if (node >= ids_.size() || alive_[node]) return;
+  alive_[node] = true;
+  ++alive_count_;
+  rebuild_buckets();
+}
+
+std::vector<std::uint64_t> ids_for_topology(std::uint32_t num_nodes,
+                                            std::uint64_t seed) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(num_nodes);
+  std::unordered_set<std::uint64_t> used;
+  for (std::uint32_t n = 0; n < num_nodes; ++n) {
+    std::uint64_t id = mix64(seed ^ (0x5151ULL + n));
+    while (id == 0 || !used.insert(id).second) id = mix64(id + 1);
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace bh::plaxton

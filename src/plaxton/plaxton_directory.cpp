@@ -1,0 +1,74 @@
+#include "plaxton/plaxton_directory.h"
+
+#include <algorithm>
+
+namespace bh::plaxton {
+
+PlaxtonDirectory::PlaxtonDirectory(const PlaxtonMesh* mesh) : mesh_(mesh) {
+  // Per-node state grows lazily as routes touch metadata nodes.
+}
+
+void PlaxtonDirectory::inform(NodeIndex node, ObjectId id) {
+  const auto path = mesh_->route(node, id.value);
+  for (NodeIndex meta : path) {
+    if (state_.size() <= meta) state_.resize(meta + 1);
+    auto& holders = state_[meta][id];
+    if (std::find(holders.begin(), holders.end(), node) == holders.end()) {
+      holders.push_back(node);
+      ++pointer_writes_;
+    }
+  }
+}
+
+void PlaxtonDirectory::invalidate(NodeIndex node, ObjectId id) {
+  const auto path = mesh_->route(node, id.value);
+  for (NodeIndex meta : path) {
+    if (state_.size() <= meta) continue;
+    auto it = state_[meta].find(id);
+    if (it == state_[meta].end()) continue;
+    auto& holders = it->second;
+    holders.erase(std::remove(holders.begin(), holders.end(), node),
+                  holders.end());
+    if (holders.empty()) state_[meta].erase(it);
+  }
+}
+
+void PlaxtonDirectory::invalidate_object(ObjectId id) {
+  for (auto& node_state : state_) node_state.erase(id);
+}
+
+LookupResult PlaxtonDirectory::find_nearest(NodeIndex node, ObjectId id) const {
+  LookupResult result;
+  const auto path = mesh_->route(node, id.value);
+  for (NodeIndex meta : path) {
+    ++result.hops;
+    if (state_.size() <= meta) continue;
+    auto it = state_[meta].find(id);
+    if (it == state_[meta].end()) continue;
+    // Nearest recorded holder other than the requester, by the mesh's
+    // distance oracle.
+    NodeIndex best = kInvalidNode;
+    double best_d = 0;
+    for (NodeIndex holder : it->second) {
+      if (holder == node) continue;
+      const double d = mesh_->distance(node, holder);
+      if (best == kInvalidNode || d < best_d || (d == best_d && holder < best)) {
+        best = holder;
+        best_d = d;
+      }
+    }
+    if (best != kInvalidNode) {
+      result.location = best;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::vector<std::size_t> PlaxtonDirectory::per_node_entries() const {
+  std::vector<std::size_t> out(state_.size());
+  for (std::size_t n = 0; n < state_.size(); ++n) out[n] = state_[n].size();
+  return out;
+}
+
+}  // namespace bh::plaxton

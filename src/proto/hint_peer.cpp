@@ -1,0 +1,113 @@
+#include "proto/hint_peer.h"
+
+#include <algorithm>
+
+namespace bh::proto {
+
+HintPeer::HintPeer(PeerConfig cfg, Transport& transport, std::uint64_t seed)
+    : cfg_(std::move(cfg)),
+      transport_(transport),
+      rng_(seed ^ cfg_.self.value),
+      store_(hints::make_hint_store(cfg_.hint_cache_bytes)) {
+  transport_.bind(cfg_.self, [this](MachineId from,
+                                    std::span<const std::uint8_t> bytes) {
+    handle_message(from, bytes);
+  });
+  schedule_next(0.0);
+}
+
+void HintPeer::inform(ObjectId id) {
+  pending_.push_back(
+      {HintUpdate{Action::kInform, id, cfg_.self}, MachineId{0}});
+}
+
+void HintPeer::invalidate(ObjectId id) {
+  // Our own copy is gone; if the hint cache pointed at us (it should not,
+  // but a neighbour's advertisement could have landed), drop it and fall
+  // back to the next best location advertised later.
+  if (auto cur = store_->lookup(id); cur && *cur == cfg_.self) {
+    store_->erase(id);
+  }
+  pending_.push_back(
+      {HintUpdate{Action::kInvalidate, id, cfg_.self}, MachineId{0}});
+}
+
+std::optional<MachineId> HintPeer::find_nearest(ObjectId id) {
+  return store_->lookup(id);
+}
+
+void HintPeer::handle_message(MachineId from,
+                              std::span<const std::uint8_t> bytes) {
+  auto updates = decode_post(bytes);
+  if (!updates) {
+    ++stats_.malformed_messages;
+    return;
+  }
+  for (const HintUpdate& u : *updates) {
+    ++stats_.updates_received;
+    apply(u);
+    // Re-advertise in the next period to everyone but the sender.
+    pending_.push_back({u, from});
+  }
+}
+
+void HintPeer::apply(const HintUpdate& u) {
+  if (u.location == cfg_.self) return;  // about ourselves; nothing to learn
+  switch (u.action) {
+    case Action::kInform: {
+      if (auto cur = store_->lookup(u.object)) {
+        if (cfg_.distance &&
+            cfg_.distance(cfg_.self, *cur) <=
+                cfg_.distance(cfg_.self, u.location)) {
+          return;  // existing hint at least as close
+        }
+        if (!cfg_.distance) return;  // first hint wins when all are equal
+      }
+      store_->insert(u.object, u.location);
+      ++stats_.updates_applied;
+      break;
+    }
+    case Action::kInvalidate: {
+      if (auto cur = store_->lookup(u.object); cur && *cur == u.location) {
+        store_->erase(u.object);
+        ++stats_.updates_applied;
+      }
+      break;
+    }
+  }
+}
+
+void HintPeer::on_timer(SimTime now) {
+  if (now < next_flush_at_) return;
+  flush();
+  schedule_next(now);
+}
+
+void HintPeer::flush() {
+  if (pending_.empty()) return;
+  for (MachineId nb : cfg_.neighbors) {
+    std::vector<HintUpdate> batch;
+    batch.reserve(pending_.size());
+    for (const Pending& p : pending_) {
+      if (p.exclude == nb) continue;
+      // Merge duplicates within the batch.
+      if (std::find(batch.begin(), batch.end(), p.update) != batch.end()) {
+        continue;
+      }
+      batch.push_back(p.update);
+    }
+    if (batch.empty()) continue;
+    std::vector<std::uint8_t> message = encode_post(batch);
+    stats_.updates_sent += batch.size();
+    stats_.bytes_sent += message.size();
+    ++stats_.batches_sent;
+    transport_.send(cfg_.self, nb, std::move(message));
+  }
+  pending_.clear();
+}
+
+void HintPeer::schedule_next(SimTime now) {
+  next_flush_at_ = now + rng_.uniform(0.0, cfg_.max_batch_period);
+}
+
+}  // namespace bh::proto

@@ -1,0 +1,47 @@
+#include "proto/transport.h"
+
+namespace bh::proto {
+
+void LoopbackTransport::bind(MachineId endpoint, Handler handler) {
+  handlers_[endpoint] = std::move(handler);
+}
+
+void LoopbackTransport::send(MachineId from, MachineId to,
+                             std::vector<std::uint8_t> payload) {
+  queue_.push_back(Message{from, to, std::move(payload)});
+}
+
+std::size_t LoopbackTransport::pump(std::size_t max_messages) {
+  std::size_t delivered = 0;
+  while (delivered < max_messages && !queue_.empty()) {
+    Message m = std::move(queue_.front());
+    queue_.pop_front();
+    auto it = handlers_.find(m.to);
+    if (it == handlers_.end()) {
+      ++dropped_unbound_;
+      continue;
+    }
+    it->second(m.from, m.payload);
+    ++delivered;
+  }
+  return delivered;
+}
+
+LossyTransport::LossyTransport(Transport& inner, double loss,
+                               std::uint64_t seed)
+    : inner_(inner), loss_(loss), rng_(seed) {}
+
+void LossyTransport::bind(MachineId endpoint, Handler handler) {
+  inner_.bind(endpoint, std::move(handler));
+}
+
+void LossyTransport::send(MachineId from, MachineId to,
+                          std::vector<std::uint8_t> payload) {
+  if (rng_.bernoulli(loss_)) {
+    ++dropped_;
+    return;
+  }
+  inner_.send(from, to, std::move(payload));
+}
+
+}  // namespace bh::proto

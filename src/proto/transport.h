@@ -1,0 +1,83 @@
+// Message transport abstraction.
+//
+// The prototype exchanges hint batches over TCP between Squid processes; the
+// library abstracts the byte pipe so protocol code is testable and
+// deterministic. LoopbackTransport delivers in-process with an explicit
+// pump() so tests control interleaving; a lossy decorator injects drops for
+// failure testing (hint traffic is soft state, so loss must only degrade hit
+// rates, never correctness).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace bh::proto {
+
+class Transport {
+ public:
+  using Handler =
+      std::function<void(MachineId from, std::span<const std::uint8_t>)>;
+
+  virtual ~Transport() = default;
+
+  // Registers the receive handler for an endpoint. Re-registering replaces.
+  virtual void bind(MachineId endpoint, Handler handler) = 0;
+
+  // Queues a datagram. Delivery order between a fixed (from, to) pair is
+  // preserved; cross-pair ordering is unspecified.
+  virtual void send(MachineId from, MachineId to,
+                    std::vector<std::uint8_t> payload) = 0;
+};
+
+class LoopbackTransport final : public Transport {
+ public:
+  void bind(MachineId endpoint, Handler handler) override;
+  void send(MachineId from, MachineId to,
+            std::vector<std::uint8_t> payload) override;
+
+  // Delivers up to `max_messages` queued messages (all by default).
+  // Returns the number delivered. Messages to unbound endpoints are dropped
+  // and counted.
+  std::size_t pump(std::size_t max_messages = static_cast<std::size_t>(-1));
+
+  std::size_t queued() const { return queue_.size(); }
+  std::uint64_t dropped_unbound() const { return dropped_unbound_; }
+
+ private:
+  struct Message {
+    MachineId from;
+    MachineId to;
+    std::vector<std::uint8_t> payload;
+  };
+  std::unordered_map<MachineId, Handler> handlers_;
+  std::deque<Message> queue_;
+  std::uint64_t dropped_unbound_ = 0;
+};
+
+// Decorator that drops each message with probability `loss`, deterministic
+// under the seed. Hint traffic tolerates loss by design.
+class LossyTransport final : public Transport {
+ public:
+  LossyTransport(Transport& inner, double loss, std::uint64_t seed);
+
+  void bind(MachineId endpoint, Handler handler) override;
+  void send(MachineId from, MachineId to,
+            std::vector<std::uint8_t> payload) override;
+
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  Transport& inner_;
+  double loss_;
+  Rng rng_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace bh::proto

@@ -1,0 +1,100 @@
+#include "proto/wire.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <string>
+
+namespace bh::proto {
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+constexpr std::string_view kRequestLine = "POST /updates HTTP/1.0\r\n";
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_body(std::span<const HintUpdate> updates) {
+  std::vector<std::uint8_t> out;
+  out.reserve(updates.size() * kUpdateWireBytes);
+  for (const HintUpdate& u : updates) {
+    put_u32(out, static_cast<std::uint32_t>(u.action));
+    put_u64(out, u.object.value);
+    put_u64(out, u.location.value);
+  }
+  return out;
+}
+
+std::optional<std::vector<HintUpdate>> decode_body(
+    std::span<const std::uint8_t> body) {
+  if (body.size() % kUpdateWireBytes != 0) return std::nullopt;
+  std::vector<HintUpdate> out;
+  out.reserve(body.size() / kUpdateWireBytes);
+  for (std::size_t off = 0; off < body.size(); off += kUpdateWireBytes) {
+    const std::uint32_t action = get_u32(body.data() + off);
+    if (action != static_cast<std::uint32_t>(Action::kInform) &&
+        action != static_cast<std::uint32_t>(Action::kInvalidate)) {
+      return std::nullopt;
+    }
+    HintUpdate u;
+    u.action = static_cast<Action>(action);
+    u.object = ObjectId{get_u64(body.data() + off + 4)};
+    u.location = MachineId{get_u64(body.data() + off + 12)};
+    out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_post(std::span<const HintUpdate> updates) {
+  const std::vector<std::uint8_t> body = encode_body(updates);
+  std::string header(kRequestLine);
+  header += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  std::vector<std::uint8_t> out;
+  out.reserve(header.size() + body.size());
+  out.insert(out.end(), header.begin(), header.end());
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<std::vector<HintUpdate>> decode_post(
+    std::span<const std::uint8_t> message) {
+  const std::string_view text(reinterpret_cast<const char*>(message.data()),
+                              message.size());
+  if (!text.starts_with(kRequestLine)) return std::nullopt;
+  const std::size_t header_end = text.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) return std::nullopt;
+
+  // Find Content-Length among the headers.
+  const std::string_view headers =
+      text.substr(kRequestLine.size(), header_end - kRequestLine.size());
+  constexpr std::string_view kField = "Content-Length:";
+  std::size_t pos = headers.find(kField);
+  if (pos == std::string_view::npos) return std::nullopt;
+  pos += kField.size();
+  while (pos < headers.size() && headers[pos] == ' ') ++pos;
+  std::size_t len = 0;
+  const auto [ptr, ec] =
+      std::from_chars(headers.data() + pos, headers.data() + headers.size(), len);
+  if (ec != std::errc{}) return std::nullopt;
+
+  const std::size_t body_off = header_end + 4;
+  if (message.size() - body_off != len) return std::nullopt;
+  return decode_body(message.subspan(body_off));
+}
+
+}  // namespace bh::proto

@@ -1,0 +1,53 @@
+// Wire format for hint updates (Section 3.2).
+//
+// The prototype propagates hints by periodically POSTing a batch of updates
+// to each neighbour cache at the "route://updates" URL. Each update is
+// exactly 20 bytes on the wire: a 4-byte action, an 8-byte object identifier
+// (part of the MD5 signature of the URL), and an 8-byte machine identifier
+// (IP address and port). We frame batches as an HTTP/1.0 POST with a binary
+// body, which is what Squid's internal communication interface carries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bh::proto {
+
+enum class Action : std::uint32_t {
+  kInform = 1,      // a copy of the object is now stored at `location`
+  kInvalidate = 2,  // the copy at `location` is gone
+};
+
+struct HintUpdate {
+  Action action = Action::kInform;
+  ObjectId object;
+  MachineId location;
+
+  friend bool operator==(const HintUpdate&, const HintUpdate&) = default;
+};
+
+// Exactly the paper's 20 bytes per update.
+inline constexpr std::size_t kUpdateWireBytes = 20;
+
+// Serializes updates into the 20-byte-per-record binary body.
+std::vector<std::uint8_t> encode_body(std::span<const HintUpdate> updates);
+
+// Parses a binary body; returns nullopt on malformed input (bad length or
+// unknown action).
+std::optional<std::vector<HintUpdate>> decode_body(
+    std::span<const std::uint8_t> body);
+
+// Wraps a body in the POST framing the prototype uses.
+std::vector<std::uint8_t> encode_post(std::span<const HintUpdate> updates);
+
+// Parses a full POST message; validates the request line, the target URL
+// ("/updates"), and Content-Length.
+std::optional<std::vector<HintUpdate>> decode_post(
+    std::span<const std::uint8_t> message);
+
+}  // namespace bh::proto

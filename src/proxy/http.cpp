@@ -1,0 +1,228 @@
+#include "proxy/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace bh::proxy {
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::string_view> find_header(const Headers& headers,
+                                            std::string_view name) {
+  for (const auto& [k, v] : headers) {
+    if (iequals(k, name)) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+// Parses "Key: Value\r\n..." lines; nullopt on malformation.
+std::optional<Headers> parse_headers(std::string_view block) {
+  Headers out;
+  while (!block.empty()) {
+    const std::size_t eol = block.find("\r\n");
+    if (eol == std::string_view::npos) return std::nullopt;
+    const std::string_view line = block.substr(0, eol);
+    block.remove_prefix(eol + 2);
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+    out.emplace_back(std::string(line.substr(0, colon)), std::string(value));
+  }
+  return out;
+}
+
+struct Preamble {
+  std::string_view first_line;
+  Headers headers;
+  std::string_view body;
+};
+
+std::optional<Preamble> split_message(std::string_view raw) {
+  const std::size_t line_end = raw.find("\r\n");
+  if (line_end == std::string_view::npos) return std::nullopt;
+  const std::size_t headers_end = raw.find("\r\n\r\n", line_end);
+  if (headers_end == std::string_view::npos) return std::nullopt;
+
+  auto headers = parse_headers(
+      raw.substr(line_end + 2, headers_end - line_end - 2 + 2));
+  if (!headers) return std::nullopt;
+
+  const std::string_view body = raw.substr(headers_end + 4);
+  std::size_t expected = 0;
+  if (auto cl = find_header(*headers, "Content-Length")) {
+    const auto [ptr, ec] =
+        std::from_chars(cl->data(), cl->data() + cl->size(), expected);
+    if (ec != std::errc{} || ptr != cl->data() + cl->size()) return std::nullopt;
+  }
+  if (body.size() != expected) return std::nullopt;
+  return Preamble{raw.substr(0, line_end), std::move(*headers), body};
+}
+
+void append_headers(std::string& out, const Headers& headers,
+                    std::size_t body_size) {
+  bool has_length = false;
+  for (const auto& [k, v] : headers) {
+    out += k;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+    if (iequals(k, "Content-Length")) has_length = true;
+  }
+  if (!has_length) {
+    out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  }
+  out += "\r\n";
+}
+
+}  // namespace
+
+std::optional<std::string_view> HttpRequest::header(
+    std::string_view name) const {
+  return find_header(headers, name);
+}
+
+std::optional<std::string_view> HttpResponse::header(
+    std::string_view name) const {
+  return find_header(headers, name);
+}
+
+std::string HttpRequest::path() const {
+  const std::size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::optional<std::string> HttpRequest::query_param(
+    std::string_view name) const {
+  const std::size_t q = target.find('?');
+  if (q == std::string::npos) return std::nullopt;
+  std::string_view query = std::string_view(target).substr(q + 1);
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == name) {
+      return std::string(pair.substr(eq + 1));
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return std::nullopt;
+}
+
+std::string serialize(const HttpRequest& r) {
+  std::string out = r.method + " " + r.target + " HTTP/1.0\r\n";
+  append_headers(out, r.headers, r.body.size());
+  out += r.body;
+  return out;
+}
+
+std::string serialize(const HttpResponse& r) {
+  std::string out =
+      "HTTP/1.0 " + std::to_string(r.status) + " " + r.reason + "\r\n";
+  append_headers(out, r.headers, r.body.size());
+  out += r.body;
+  return out;
+}
+
+std::optional<HttpRequest> parse_request(std::string_view raw) {
+  auto pre = split_message(raw);
+  if (!pre) return std::nullopt;
+  // "METHOD SP TARGET SP HTTP/x.y"
+  const std::string_view line = pre->first_line;
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) return std::nullopt;
+  if (!line.substr(sp2 + 1).starts_with("HTTP/")) return std::nullopt;
+  HttpRequest req;
+  req.method = std::string(line.substr(0, sp1));
+  req.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  req.headers = std::move(pre->headers);
+  req.body = std::string(pre->body);
+  if (req.method.empty() || req.target.empty()) return std::nullopt;
+  return req;
+}
+
+std::optional<HttpResponse> parse_response(std::string_view raw) {
+  auto pre = split_message(raw);
+  if (!pre) return std::nullopt;
+  const std::string_view line = pre->first_line;
+  if (!line.starts_with("HTTP/")) return std::nullopt;
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return std::nullopt;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string_view code = line.substr(
+      sp1 + 1, sp2 == std::string_view::npos ? line.size() - sp1 - 1
+                                             : sp2 - sp1 - 1);
+  HttpResponse resp;
+  const auto [ptr, ec] =
+      std::from_chars(code.data(), code.data() + code.size(), resp.status);
+  if (ec != std::errc{}) return std::nullopt;
+  resp.reason = sp2 == std::string_view::npos
+                    ? ""
+                    : std::string(line.substr(sp2 + 1));
+  resp.headers = std::move(pre->headers);
+  resp.body = std::string(pre->body);
+  return resp;
+}
+
+std::optional<std::string> read_http_message(TcpStream& stream) {
+  std::string buf;
+  std::size_t headers_end = std::string::npos;
+  while (headers_end == std::string::npos) {
+    auto chunk = stream.read_some(8192);
+    if (!chunk) return std::nullopt;
+    if (chunk->empty()) return std::nullopt;  // EOF before headers done
+    buf += *chunk;
+    headers_end = buf.find("\r\n\r\n");
+    if (buf.size() > (1 << 20) && headers_end == std::string::npos) {
+      return std::nullopt;  // header flood
+    }
+  }
+
+  std::size_t expected = 0;
+  {
+    auto headers = parse_headers(buf.substr(0, headers_end + 2).substr(
+        buf.find("\r\n") + 2));
+    if (!headers) return std::nullopt;
+    if (auto cl = find_header(*headers, "Content-Length")) {
+      const auto [ptr, ec] =
+          std::from_chars(cl->data(), cl->data() + cl->size(), expected);
+      if (ec != std::errc{}) return std::nullopt;
+    }
+  }
+  const std::size_t total = headers_end + 4 + expected;
+  while (buf.size() < total) {
+    auto chunk = stream.read_some(65536);
+    if (!chunk || chunk->empty()) return std::nullopt;
+    buf += *chunk;
+  }
+  if (buf.size() != total) return std::nullopt;  // trailing junk
+  return buf;
+}
+
+std::optional<HttpResponse> http_call(std::uint16_t port,
+                                      const HttpRequest& request) {
+  auto stream = TcpStream::connect(port);
+  if (!stream) return std::nullopt;
+  if (!stream->write_all(serialize(request))) return std::nullopt;
+  stream->shutdown_write();
+  auto raw = read_http_message(*stream);
+  if (!raw) return std::nullopt;
+  return parse_response(*raw);
+}
+
+}  // namespace bh::proxy

@@ -1,0 +1,56 @@
+// A deliberately small HTTP/1.0 subset: request line, response status line,
+// headers, Content-Length framing, connection-per-request. It is exactly
+// what the prototype era's Squid spoke between caches, and all the daemon
+// needs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "proxy/socket.h"
+
+namespace bh::proxy {
+
+using Headers = std::vector<std::pair<std::string, std::string>>;
+
+struct HttpRequest {
+  std::string method;  // GET | POST | ...
+  std::string target;  // path + optional query
+  Headers headers;
+  std::string body;
+
+  // Case-insensitive header lookup.
+  std::optional<std::string_view> header(std::string_view name) const;
+  // Query parameter from the target ("/x?a=1&b=2"), if present.
+  std::optional<std::string> query_param(std::string_view name) const;
+  std::string path() const;  // target without the query string
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  Headers headers;
+  std::string body;
+
+  std::optional<std::string_view> header(std::string_view name) const;
+};
+
+std::string serialize(const HttpRequest& r);
+std::string serialize(const HttpResponse& r);
+
+// Strict parsers over a complete message; nullopt on any malformation,
+// including a body shorter or longer than Content-Length.
+std::optional<HttpRequest> parse_request(std::string_view raw);
+std::optional<HttpResponse> parse_response(std::string_view raw);
+
+// Reads one complete message (headers + Content-Length body) from a stream.
+std::optional<std::string> read_http_message(TcpStream& stream);
+
+// One-shot client exchange: connect, send, read full reply.
+std::optional<HttpResponse> http_call(std::uint16_t port,
+                                      const HttpRequest& request);
+
+}  // namespace bh::proxy

@@ -1,0 +1,140 @@
+#include "proxy/origin_server.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace bh::proxy {
+
+std::string origin_body(ObjectId id, Version version, std::size_t size) {
+  std::string body(size, '\0');
+  std::uint64_t state = mix64(id.value ^ (std::uint64_t(version) << 32));
+  for (std::size_t i = 0; i < size; ++i) {
+    if (i % 8 == 0) state = mix64(state);
+    body[i] = static_cast<char>((state >> ((i % 8) * 8)) & 0xFF);
+  }
+  return body;
+}
+
+std::string object_path(ObjectId id, std::size_t size) {
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(id.value));
+  return "/obj/" + std::string(hex) + "?size=" + std::to_string(size);
+}
+
+std::optional<ObjectId> object_from_path(std::string_view path) {
+  constexpr std::string_view kPrefix = "/obj/";
+  if (!path.starts_with(kPrefix)) return std::nullopt;
+  const std::string_view hex = path.substr(kPrefix.size());
+  if (hex.size() != 16) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(hex.data(), hex.data() + hex.size(), value, 16);
+  if (ec != std::errc{} || ptr != hex.data() + hex.size()) return std::nullopt;
+  return ObjectId{value};
+}
+
+OriginServer::OriginServer() {
+  listener_ = TcpListener::bind_ephemeral();
+  if (!listener_) throw std::runtime_error("origin: cannot bind");
+  port_ = listener_->port();
+  thread_ = std::thread([this] { serve(); });
+}
+
+OriginServer::~OriginServer() { stop(); }
+
+void OriginServer::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_->shut_down();
+  if (thread_.joinable()) thread_.join();
+}
+
+void OriginServer::modify(ObjectId id) {
+  std::vector<std::uint16_t> targets;
+  {
+    std::lock_guard lock(mu_);
+    auto [it, inserted] = versions_.emplace(id, 2);
+    if (!inserted) ++it->second;
+    targets = registered_;
+  }
+  // Server-driven invalidation: every subscribed cache drops its copy now.
+  for (const std::uint16_t port : targets) {
+    HttpRequest del;
+    del.method = "DELETE";
+    del.target = object_path(id, 0);
+    if (http_call(port, del)) ++invalidations_;
+  }
+}
+
+void OriginServer::register_cache(std::uint16_t port) {
+  std::lock_guard lock(mu_);
+  if (std::find(registered_.begin(), registered_.end(), port) ==
+      registered_.end()) {
+    registered_.push_back(port);
+  }
+}
+
+Version OriginServer::version_of(ObjectId id) const {
+  std::lock_guard lock(mu_);
+  auto it = versions_.find(id);
+  return it == versions_.end() ? 1 : it->second;
+}
+
+void OriginServer::serve() {
+  while (!stopping_.load()) {
+    auto stream = listener_->accept();
+    if (!stream) break;
+    auto raw = read_http_message(*stream);
+    if (!raw) continue;
+    auto req = parse_request(*raw);
+    HttpResponse resp;
+    if (!req) {
+      resp.status = 400;
+      resp.reason = "Bad Request";
+    } else {
+      resp = handle(*req);
+    }
+    stream->write_all(serialize(resp));
+  }
+}
+
+HttpResponse OriginServer::handle(const HttpRequest& req) {
+  HttpResponse resp;
+  if (req.method == "POST" && req.path() == "/register") {
+    const auto port = static_cast<std::uint16_t>(
+        std::strtoul(req.body.c_str(), nullptr, 10));
+    if (port == 0) {
+      resp.status = 400;
+      resp.reason = "Bad Port";
+      return resp;
+    }
+    register_cache(port);
+    resp.body = "registered";
+    return resp;
+  }
+  const auto id = object_from_path(req.path());
+  if (req.method != "GET" || !id) {
+    resp.status = 404;
+    resp.reason = "Not Found";
+    return resp;
+  }
+  std::size_t size = 1024;
+  if (auto s = req.query_param("size")) {
+    size = static_cast<std::size_t>(std::strtoull(s->c_str(), nullptr, 10));
+    size = std::min<std::size_t>(size, 4u << 20);
+  }
+  const Version version = version_of(*id);
+  resp.body = origin_body(*id, version, size);
+  resp.headers.emplace_back("X-Version", std::to_string(version));
+  resp.headers.emplace_back("Content-Type", "application/octet-stream");
+  ++requests_;
+  return resp;
+}
+
+}  // namespace bh::proxy

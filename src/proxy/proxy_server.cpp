@@ -1,0 +1,393 @@
+#include "proxy/proxy_server.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "proxy/origin_server.h"
+
+namespace bh::proxy {
+
+ProxyServer::ProxyServer(ProxyConfig cfg)
+    : cfg_(std::move(cfg)), hints_(hints::make_hint_store(cfg_.hint_bytes)) {
+  listener_ = TcpListener::bind_ephemeral();
+  if (!listener_) throw std::runtime_error("proxy: cannot bind");
+  port_ = listener_->port();
+  accept_thread_ = std::thread([this] { serve(); });
+  if (cfg_.register_with_origin) {
+    HttpRequest reg;
+    reg.method = "POST";
+    reg.target = "/register";
+    reg.body = std::to_string(port_);
+    http_call(cfg_.origin_port, reg);
+  }
+}
+
+ProxyServer::~ProxyServer() { stop(); }
+
+void ProxyServer::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_->shut_down();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::unique_lock lock(workers_mu_);
+  workers_cv_.wait(lock, [this] { return active_workers_ == 0; });
+}
+
+ProxyStats ProxyServer::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void ProxyServer::serve() {
+  while (!stopping_.load()) {
+    auto stream = listener_->accept();
+    if (!stream) break;
+    {
+      std::lock_guard lock(workers_mu_);
+      ++active_workers_;
+    }
+    // Connection handlers must run concurrently with the accept loop: a
+    // request can trigger a nested fetch from a peer daemon which may, at
+    // the same time, be fetching from us.
+    std::thread([this, s = std::move(*stream)]() mutable {
+      handle_connection(std::move(s));
+      std::lock_guard lock(workers_mu_);
+      --active_workers_;
+      workers_cv_.notify_all();
+    }).detach();
+  }
+}
+
+void ProxyServer::handle_connection(TcpStream stream) {
+  auto raw = read_http_message(stream);
+  if (!raw) return;
+  auto req = parse_request(*raw);
+  HttpResponse resp;
+  if (!req) {
+    resp.status = 400;
+    resp.reason = "Bad Request";
+  } else {
+    resp = handle(*req);
+  }
+  stream.write_all(serialize(resp));
+}
+
+HttpResponse ProxyServer::handle(const HttpRequest& req) {
+  if (req.method == "POST" && req.path() == "/updates") {
+    return handle_updates(req);
+  }
+  if (req.method == "PUT") {
+    return handle_push(req);
+  }
+  if (req.method == "DELETE") {
+    // Server-driven invalidation from the origin.
+    HttpResponse resp;
+    const auto id = object_from_path(req.path());
+    if (!id) {
+      resp.status = 404;
+      resp.reason = "Not Found";
+      return resp;
+    }
+    invalidate(*id);
+    resp.body = "invalidated";
+    return resp;
+  }
+  if (req.method == "GET") {
+    return handle_get(req);
+  }
+  HttpResponse resp;
+  resp.status = 404;
+  resp.reason = "Not Found";
+  return resp;
+}
+
+// ---------------------------------------------------------------------------
+// data path
+// ---------------------------------------------------------------------------
+
+HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
+  HttpResponse resp;
+  const auto id = object_from_path(req.path());
+  if (!id) {
+    resp.status = 404;
+    resp.reason = "Not Found";
+    return resp;
+  }
+  const bool cache_only = req.header("X-No-Forward").has_value();
+
+  // 1. Local cache.
+  std::optional<MachineId> hint;
+  {
+    std::unique_lock lock(mu_);
+    if (!cache_only) ++stats_.requests;
+    if (auto body = lookup_locked(*id)) {
+      if (cache_only) {
+        ++stats_.peer_serves;
+      } else {
+        ++stats_.local_hits;
+      }
+      resp.body = std::move(*body);
+      resp.headers.emplace_back("X-Cache", "HIT");
+      resp.headers.emplace_back("X-Served-By", cfg_.name);
+      if (cache_only && cfg_.push_on_peer_fetch) {
+        // A cousin just fetched from us: seed our other neighbours too
+        // (hierarchical push on miss, supplier-driven, Figure 9).
+        std::uint16_t requester = 0;
+        if (auto r = req.header("X-Requester-Port")) {
+          requester = static_cast<std::uint16_t>(
+              std::strtoul(std::string(*r).c_str(), nullptr, 10));
+        }
+        const std::string body_copy = resp.body;
+        lock.unlock();
+        push_to_neighbors(*id, body_copy, requester);
+      }
+      return resp;
+    }
+    if (cache_only) {
+      // A peer probed us on a hint we no longer honour: the error reply that
+      // prices a false positive.
+      ++stats_.peer_rejects;
+      resp.status = 404;
+      resp.reason = "Not Cached";
+      resp.headers.emplace_back("X-Served-By", cfg_.name);
+      return resp;
+    }
+    // 2. The local hint cache (a memory lookup).
+    hint = hints_->lookup(*id);
+  }
+
+  // 3. Direct cache-to-cache transfer from the hinted peer.
+  if (hint) {
+    HttpRequest peer_req;
+    peer_req.method = "GET";
+    peer_req.target = req.target;
+    peer_req.headers.emplace_back("X-No-Forward", "1");
+    peer_req.headers.emplace_back("X-Requester-Port", std::to_string(port_));
+    const auto peer_port = static_cast<std::uint16_t>(hint->value);
+    auto peer_resp = http_call(peer_port, peer_req);
+    if (peer_resp && peer_resp->status == 200) {
+      std::lock_guard lock(mu_);
+      ++stats_.sibling_hits;
+      store_locked(*id, peer_resp->body);
+      resp.body = std::move(peer_resp->body);
+      resp.headers.emplace_back("X-Cache", "SIBLING");
+      resp.headers.emplace_back("X-Served-By", cfg_.name);
+      return resp;
+    }
+    // False positive: drop the hint and fall through to the origin — no
+    // further searching (do not slow down misses).
+    std::lock_guard lock(mu_);
+    ++stats_.false_positives;
+    hints_->erase(*id);
+  }
+
+  // 4. Origin server.
+  HttpRequest origin_req;
+  origin_req.method = "GET";
+  origin_req.target = req.target;
+  auto origin_resp = http_call(cfg_.origin_port, origin_req);
+  if (!origin_resp || origin_resp->status != 200) {
+    resp.status = 502;
+    resp.reason = "Bad Gateway";
+    return resp;
+  }
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.origin_fetches;
+    store_locked(*id, origin_resp->body);
+  }
+  resp.body = std::move(origin_resp->body);
+  resp.headers.emplace_back("X-Cache", "MISS");
+  resp.headers.emplace_back("X-Served-By", cfg_.name);
+  return resp;
+}
+
+// ---------------------------------------------------------------------------
+// metadata path
+// ---------------------------------------------------------------------------
+
+HttpResponse ProxyServer::handle_updates(const HttpRequest& req) {
+  HttpResponse resp;
+  const auto updates = proto::decode_body(std::span(
+      reinterpret_cast<const std::uint8_t*>(req.body.data()), req.body.size()));
+  if (!updates) {
+    resp.status = 400;
+    resp.reason = "Bad Batch";
+    return resp;
+  }
+  MachineId from{0};
+  if (auto f = req.header("X-From")) {
+    from = MachineId{std::strtoull(std::string(*f).c_str(), nullptr, 10)};
+  }
+
+  std::lock_guard lock(mu_);
+  for (const proto::HintUpdate& u : *updates) {
+    ++stats_.updates_received;
+    if (u.location != self()) {
+      switch (u.action) {
+        case proto::Action::kInform: {
+          const auto cur = hints_->lookup(u.object);
+          // Keep the nearest known copy; without a distance oracle the first
+          // hint wins.
+          bool replace = !cur.has_value();
+          if (cur && cfg_.distance) {
+            replace = cfg_.distance(u.location.value) < cfg_.distance(cur->value);
+          }
+          if (replace) hints_->insert(u.object, u.location);
+          break;
+        }
+        case proto::Action::kInvalidate: {
+          if (auto cur = hints_->lookup(u.object); cur && *cur == u.location) {
+            hints_->erase(u.object);
+          }
+          break;
+        }
+      }
+    }
+    // Re-advertise to the other neighbours next flush.
+    pending_.push_back({u, from});
+  }
+  resp.body = "ok";
+  return resp;
+}
+
+void ProxyServer::add_hint_neighbor(std::uint16_t port) {
+  std::lock_guard lock(mu_);
+  cfg_.hint_neighbors.push_back(port);
+}
+
+HttpResponse ProxyServer::handle_push(const HttpRequest& req) {
+  HttpResponse resp;
+  const auto id = object_from_path(req.path());
+  if (!id) {
+    resp.status = 404;
+    resp.reason = "Not Found";
+    return resp;
+  }
+  std::lock_guard lock(mu_);
+  ++stats_.pushes_received;
+  // A push never displaces an existing copy's recency semantics: if we
+  // already cache the object, keep ours.
+  if (objects_.find(*id) == objects_.end()) {
+    store_locked(*id, req.body);
+  }
+  resp.body = "ok";
+  return resp;
+}
+
+void ProxyServer::push_to_neighbors(ObjectId id, const std::string& body,
+                                    std::uint16_t skip_port) {
+  std::vector<std::uint16_t> neighbors;
+  {
+    std::lock_guard lock(mu_);
+    neighbors = cfg_.hint_neighbors;
+  }
+  for (const std::uint16_t nb : neighbors) {
+    if (nb == skip_port) continue;
+    HttpRequest put;
+    put.method = "PUT";
+    put.target = object_path(id, body.size());
+    put.body = body;
+    const auto sent = http_call(nb, put);
+    std::lock_guard lock(mu_);
+    if (sent && sent->status == 200) {
+      ++stats_.pushes_sent;
+      stats_.push_bytes_sent += body.size();
+    }
+  }
+}
+
+void ProxyServer::flush_hints() {
+  std::vector<PendingUpdate> pending;
+  std::vector<std::uint16_t> neighbors;
+  {
+    std::lock_guard lock(mu_);
+    pending.swap(pending_);
+    neighbors = cfg_.hint_neighbors;
+  }
+  if (pending.empty()) return;
+
+  for (const std::uint16_t nb : neighbors) {
+    std::vector<proto::HintUpdate> batch;
+    for (const PendingUpdate& p : pending) {
+      if (p.exclude.value == nb) continue;
+      if (std::find(batch.begin(), batch.end(), p.update) != batch.end()) {
+        continue;
+      }
+      batch.push_back(p.update);
+    }
+    if (batch.empty()) continue;
+    const auto body = proto::encode_body(batch);
+    HttpRequest req;
+    req.method = "POST";
+    req.target = "/updates";
+    req.headers.emplace_back("X-From", std::to_string(port_));
+    req.body.assign(reinterpret_cast<const char*>(body.data()), body.size());
+    const auto sent = http_call(nb, req);
+    std::lock_guard lock(mu_);
+    if (sent && sent->status == 200) {
+      stats_.updates_sent += batch.size();
+      stats_.update_bytes_sent += body.size();
+    }
+    // Failed sends are dropped: hint traffic is soft state.
+  }
+}
+
+void ProxyServer::invalidate(ObjectId id) {
+  std::lock_guard lock(mu_);
+  auto it = objects_.find(id);
+  if (it != objects_.end()) {
+    used_bytes_ -= it->second.body.size();
+    lru_.erase(it->second.lru_it);
+    objects_.erase(it);
+    queue_update_locked(proto::Action::kInvalidate, id, self(), MachineId{0});
+  }
+  hints_->erase(id);
+}
+
+// ---------------------------------------------------------------------------
+// local store (callers hold mu_)
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> ProxyServer::lookup_locked(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.body;
+}
+
+void ProxyServer::store_locked(ObjectId id, std::string body) {
+  auto it = objects_.find(id);
+  if (it != objects_.end()) {
+    used_bytes_ -= it->second.body.size();
+    it->second.body = std::move(body);
+    used_bytes_ += it->second.body.size();
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  evict_to_fit_locked(body.size());
+  if (body.size() > cfg_.capacity_bytes) return;  // too big to cache
+  lru_.push_front(id);
+  used_bytes_ += body.size();
+  objects_.emplace(id, CachedObject{std::move(body), lru_.begin()});
+  queue_update_locked(proto::Action::kInform, id, self(), MachineId{0});
+}
+
+void ProxyServer::evict_to_fit_locked(std::size_t incoming) {
+  while (!lru_.empty() && used_bytes_ + incoming > cfg_.capacity_bytes) {
+    const ObjectId victim = lru_.back();
+    auto it = objects_.find(victim);
+    used_bytes_ -= it->second.body.size();
+    objects_.erase(it);
+    lru_.pop_back();
+    queue_update_locked(proto::Action::kInvalidate, victim, self(),
+                        MachineId{0});
+  }
+}
+
+void ProxyServer::queue_update_locked(proto::Action action, ObjectId id,
+                                      MachineId loc, MachineId exclude) {
+  pending_.push_back({proto::HintUpdate{action, id, loc}, exclude});
+}
+
+}  // namespace bh::proxy

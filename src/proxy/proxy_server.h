@@ -1,0 +1,150 @@
+// The hint-enabled proxy cache daemon — the library's analogue of the
+// paper's modified Squid (Section 3.2), over real TCP.
+//
+// Each daemon owns an in-memory object cache (LRU, byte-capacity) and the
+// prototype's 16-byte-record hint cache. Client GETs are served locally when
+// possible; otherwise the local hint cache names a peer for a direct
+// cache-to-cache fetch (the peer replies 404 rather than forwarding — a
+// false positive costs one error round trip, exactly the simulated
+// behaviour); otherwise the daemon fetches from the origin. Hint updates
+// (inform on insert, invalidate on eviction) accumulate and are POSTed in
+// the prototype's 20-byte-per-update batches to the configured neighbours —
+// loop-free when the neighbour graph is a tree.
+//
+// Peer responses advertise "X-Cache: HIT | SIBLING | MISS" so callers (and
+// the tests) can observe exactly which path served them.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "hints/hint_cache.h"
+#include "proto/wire.h"
+#include "proxy/http.h"
+#include "proxy/socket.h"
+
+namespace bh::proxy {
+
+struct ProxyConfig {
+  std::string name = "proxy";
+  std::uint16_t origin_port = 0;
+  std::uint64_t capacity_bytes = 64ULL << 20;
+  std::uint64_t hint_bytes = 1ULL << 20;
+  // Ports of the neighbour proxies this daemon exchanges hint batches with.
+  std::vector<std::uint16_t> hint_neighbors;
+  // Network proximity between this daemon and a machine id (= port), used to
+  // keep the nearest advertised copy. Defaults to "all equal".
+  std::function<double(std::uint64_t)> distance;
+
+  // Push caching (Section 4, "we are in the process of adding ... push
+  // caching to the prototype"): when this daemon supplies an object to a
+  // peer (a cache-to-cache fetch), it also PUTs a copy to each of its other
+  // hint neighbours — the daemon analogue of hierarchical push on miss.
+  bool push_on_peer_fetch = false;
+
+  // Subscribe to the origin's server-driven invalidation (DELETE callbacks
+  // on modify) — the paper's strong-consistency assumption, end-to-end.
+  bool register_with_origin = false;
+};
+
+struct ProxyStats {
+  std::uint64_t requests = 0;
+  std::uint64_t local_hits = 0;
+  std::uint64_t sibling_hits = 0;
+  std::uint64_t origin_fetches = 0;
+  std::uint64_t false_positives = 0;  // hinted peer replied 404
+  std::uint64_t peer_serves = 0;      // cache-only requests we answered 200
+  std::uint64_t peer_rejects = 0;     // cache-only requests we answered 404
+  std::uint64_t updates_sent = 0;
+  std::uint64_t updates_received = 0;
+  std::uint64_t update_bytes_sent = 0;
+  std::uint64_t pushes_sent = 0;
+  std::uint64_t pushes_received = 0;
+  std::uint64_t push_bytes_sent = 0;
+};
+
+class ProxyServer {
+ public:
+  explicit ProxyServer(ProxyConfig cfg);
+  ~ProxyServer();
+
+  ProxyServer(const ProxyServer&) = delete;
+  ProxyServer& operator=(const ProxyServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  MachineId self() const { return MachineId{port_}; }
+
+  // Sends the pending hint-update batch to every neighbour now. (Tests and
+  // examples drive batching explicitly for determinism; a deployment would
+  // call this from a randomized 0-60 s timer as the prototype does.)
+  void flush_hints();
+
+  // Adds a hint-exchange neighbour after construction — ports are ephemeral,
+  // so mutual neighbour pairs can only be wired once both daemons exist.
+  void add_hint_neighbor(std::uint16_t port);
+
+  // Strong-consistency invalidation: drop the local copy (if any) and
+  // advertise the non-presence.
+  void invalidate(ObjectId id);
+
+  ProxyStats stats() const;
+
+  void stop();
+
+ private:
+  struct CachedObject {
+    std::string body;
+    std::list<ObjectId>::iterator lru_it;
+  };
+
+  void serve();
+  void handle_connection(TcpStream stream);
+  HttpResponse handle(const HttpRequest& req);
+  HttpResponse handle_get(const HttpRequest& req);
+  HttpResponse handle_updates(const HttpRequest& req);
+  HttpResponse handle_push(const HttpRequest& req);
+  void push_to_neighbors(ObjectId id, const std::string& body,
+                         std::uint16_t skip_port);
+
+  // Cache maintenance; callers hold mu_.
+  void store_locked(ObjectId id, std::string body);
+  std::optional<std::string> lookup_locked(ObjectId id);
+  void evict_to_fit_locked(std::size_t incoming);
+  void queue_update_locked(proto::Action action, ObjectId id, MachineId loc,
+                           MachineId exclude);
+
+  ProxyConfig cfg_;
+  std::optional<TcpListener> listener_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  // Connection handlers run in their own threads; stop() waits for them.
+  std::mutex workers_mu_;
+  std::condition_variable workers_cv_;
+  std::size_t active_workers_ = 0;
+
+  mutable std::mutex mu_;
+  std::unordered_map<ObjectId, CachedObject> objects_;
+  std::list<ObjectId> lru_;  // front = most recent
+  std::uint64_t used_bytes_ = 0;
+  std::unique_ptr<hints::HintStore> hints_;
+  struct PendingUpdate {
+    proto::HintUpdate update;
+    MachineId exclude;
+  };
+  std::vector<PendingUpdate> pending_;
+  ProxyStats stats_;
+};
+
+}  // namespace bh::proxy

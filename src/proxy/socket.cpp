@@ -1,0 +1,143 @@
+#include "proxy/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+namespace bh::proxy {
+namespace {
+
+void set_timeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+Fd::~Fd() { reset(); }
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpStream::TcpStream(Fd fd, double timeout_seconds) : fd_(std::move(fd)) {
+  set_timeout(fd_.get(), timeout_seconds);
+  const int one = 1;
+  ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+std::optional<TcpStream> TcpStream::connect(std::uint16_t port,
+                                            double timeout_seconds) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return std::nullopt;
+  const sockaddr_in addr = loopback(port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    return std::nullopt;
+  }
+  return TcpStream(std::move(fd), timeout_seconds);
+}
+
+bool TcpStream::write_all(std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd_.get(), data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> TcpStream::read_some(std::size_t max) {
+  std::string buf(max, '\0');
+  while (true) {
+    const ssize_t n = ::recv(fd_.get(), buf.data(), buf.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    buf.resize(static_cast<std::size_t>(n));
+    return buf;
+  }
+}
+
+std::optional<std::string> TcpStream::read_to_end(std::size_t limit) {
+  std::string out;
+  while (out.size() < limit) {
+    auto chunk = read_some(8192);
+    if (!chunk) return std::nullopt;
+    if (chunk->empty()) break;  // EOF
+    out += *chunk;
+  }
+  return out;
+}
+
+void TcpStream::shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }
+
+std::optional<TcpListener> TcpListener::bind_ephemeral() {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return std::nullopt;
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = loopback(0);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return std::nullopt;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return std::nullopt;
+  }
+  if (::listen(fd.get(), 64) != 0) return std::nullopt;
+  return TcpListener(std::move(fd), ntohs(addr.sin_port));
+}
+
+std::optional<TcpStream> TcpListener::accept() {
+  while (true) {
+    const int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    return TcpStream(Fd(fd));
+  }
+}
+
+void TcpListener::shut_down() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+}  // namespace bh::proxy

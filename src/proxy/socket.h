@@ -1,0 +1,80 @@
+// RAII loopback TCP primitives for the proxy daemon.
+//
+// The prototype is a modified Squid: real processes exchanging HTTP over
+// TCP. This wrapper keeps the daemon code free of raw file descriptors and
+// gives every operation a timeout so a wedged peer can never hang a test.
+// Only loopback is supported on purpose — the daemon is a demonstration and
+// test vehicle, not an internet-facing server.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bh::proxy {
+
+// Owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd();
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+class TcpStream {
+ public:
+  // Connects to 127.0.0.1:port; nullopt on failure.
+  static std::optional<TcpStream> connect(std::uint16_t port,
+                                          double timeout_seconds = 5.0);
+
+  explicit TcpStream(Fd fd, double timeout_seconds = 5.0);
+
+  // Writes the whole buffer; false on error.
+  bool write_all(std::string_view data);
+
+  // Reads up to `max` bytes; empty string on EOF, nullopt on error/timeout.
+  std::optional<std::string> read_some(std::size_t max = 4096);
+
+  // Reads until EOF or `limit` bytes.
+  std::optional<std::string> read_to_end(std::size_t limit = 1 << 22);
+
+  void shutdown_write();
+
+ private:
+  Fd fd_;
+};
+
+class TcpListener {
+ public:
+  // Binds 127.0.0.1 on an ephemeral port; nullopt on failure.
+  static std::optional<TcpListener> bind_ephemeral();
+
+  std::uint16_t port() const { return port_; }
+
+  // Blocks for the next connection; nullopt once shut_down() was called or
+  // on error.
+  std::optional<TcpStream> accept();
+
+  // Unblocks any accept() and makes future ones fail.
+  void shut_down();
+
+ private:
+  TcpListener(Fd fd, std::uint16_t port) : fd_(std::move(fd)), port_(port) {}
+
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace bh::proxy

@@ -1,0 +1,35 @@
+#include "sim/event_queue.h"
+
+#include <limits>
+#include <utility>
+
+namespace bh::sim {
+
+void EventQueue::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) when = now_;
+  heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::run_until(SimTime horizon) {
+  while (!heap_.empty() && heap_.top().when <= horizon) {
+    // priority_queue::top() is const; move out via const_cast, which is safe
+    // because the element is popped immediately and never compared again.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ev.cb(now_);
+  }
+  if (horizon > now_) now_ = horizon;
+}
+
+void EventQueue::run_all() {
+  // Unlike run_until, does not advance now() past the final event.
+  while (!heap_.empty()) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ev.cb(now_);
+  }
+}
+
+}  // namespace bh::sim

@@ -1,0 +1,60 @@
+// Discrete-event simulation engine.
+//
+// The experiment driver injects trace requests in timestamp order and the
+// cache systems schedule background work (hint-update propagation, pushed
+// data arrivals) as future events. Ties are broken by insertion sequence so
+// runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bh::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime now)>;
+
+  // Schedules `cb` at absolute simulated time `when` (seconds). Events
+  // scheduled in the past run at the current frontier, never before it.
+  void schedule_at(SimTime when, Callback cb);
+
+  // Schedules `cb` `delay` seconds after `now()`.
+  void schedule_after(SimTime delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  // Runs every event with time <= horizon, advancing now() as it goes.
+  // Events scheduled during the drain that land within the horizon also run.
+  void run_until(SimTime horizon);
+
+  // Runs everything currently queued (and anything it schedules).
+  void run_all();
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  SimTime now_ = 0.0;
+};
+
+}  // namespace bh::sim

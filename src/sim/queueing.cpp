@@ -1,0 +1,84 @@
+#include "sim/queueing.h"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace bh::sim {
+
+QueueStation::QueueStation(EventQueue& queue, double mean_service_seconds,
+                           std::uint64_t seed)
+    : queue_(queue), mean_service_(mean_service_seconds), rng_(seed) {
+  if (mean_service_seconds <= 0) {
+    throw std::invalid_argument("QueueStation: service time must be > 0");
+  }
+}
+
+void QueueStation::submit(Done done) {
+  waiting_.push_back(Job{queue_.now(), std::move(done)});
+  if (!busy_) start_next();
+}
+
+void QueueStation::start_next() {
+  if (waiting_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Job job = std::move(waiting_.front());
+  waiting_.pop_front();
+  const double service = rng_.exponential(mean_service_);
+  busy_time_ += service;
+  queue_.schedule_after(service, [this, job = std::move(job)](SimTime now) {
+    ++completed_;
+    total_sojourn_ += now - job.arrival;
+    if (job.done) job.done(now);
+    start_next();
+  });
+}
+
+ChainResult run_station_chain(int hops, double arrival_rate,
+                              double mean_service_seconds, std::uint64_t jobs,
+                              std::uint64_t seed) {
+  if (hops < 1) throw std::invalid_argument("run_station_chain: hops >= 1");
+  EventQueue queue;
+  std::vector<std::unique_ptr<QueueStation>> stations;
+  for (int h = 0; h < hops; ++h) {
+    stations.push_back(std::make_unique<QueueStation>(
+        queue, mean_service_seconds, seed + std::uint64_t(h) * 7919));
+  }
+
+  Rng arrivals(seed ^ 0xA77A);
+  double total_end_to_end = 0;
+  std::uint64_t finished = 0;
+
+  // Forward a job from station h to h+1; the last station tallies.
+  std::function<void(int, SimTime, SimTime)> enter =
+      [&](int hop, SimTime start, SimTime) {
+        stations[std::size_t(hop)]->submit([&, hop, start](SimTime done_at) {
+          if (hop + 1 < hops) {
+            enter(hop + 1, start, done_at);
+          } else {
+            total_end_to_end += done_at - start;
+            ++finished;
+          }
+        });
+      };
+
+  double t = 0;
+  for (std::uint64_t j = 0; j < jobs; ++j) {
+    t += arrivals.exponential(1.0 / arrival_rate);
+    queue.schedule_at(t, [&, t](SimTime now) { enter(0, now, now); });
+  }
+  queue.run_all();
+
+  ChainResult r;
+  r.jobs = finished;
+  r.mean_end_to_end = finished ? total_end_to_end / double(finished) : 0;
+  double util = 0;
+  for (const auto& s : stations) util += s->utilization();
+  r.per_station_utilization = util / double(hops);
+  return r;
+}
+
+}  // namespace bh::sim

@@ -1,0 +1,75 @@
+// FIFO queueing stations on the event engine.
+//
+// Section 2.1.1 measured idle caches and cautions that "if the caches were
+// heavily loaded, queueing delays ... might significantly increase the
+// per-hop costs we observe. Busy nodes would probably increase the importance
+// of reducing the number of hops." QueueStation models one proxy as a
+// single-server FIFO queue with exponential service times; chains of
+// stations reproduce a store-and-forward path, so the hypothesis can be
+// tested quantitatively (bench/ablation_queueing).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace bh::sim {
+
+class QueueStation {
+ public:
+  // mean_service_seconds > 0; rng seed fixes the service-time stream.
+  QueueStation(EventQueue& queue, double mean_service_seconds,
+               std::uint64_t seed);
+
+  // Enqueues a job at now(); `done(completion_time)` fires when the server
+  // finishes it (FIFO order).
+  using Done = std::function<void(SimTime)>;
+  void submit(Done done);
+
+  std::uint64_t completed() const { return completed_; }
+  double busy_time() const { return busy_time_; }
+  // Mean time in system (waiting + service) over completed jobs.
+  double mean_sojourn() const {
+    return completed_ ? total_sojourn_ / double(completed_) : 0.0;
+  }
+  // Server utilization over [0, now].
+  double utilization() const {
+    const double t = queue_.now();
+    return t > 0 ? busy_time_ / t : 0.0;
+  }
+
+ private:
+  struct Job {
+    SimTime arrival;
+    Done done;
+  };
+
+  void start_next();
+
+  EventQueue& queue_;
+  double mean_service_;
+  Rng rng_;
+  std::deque<Job> waiting_;
+  bool busy_ = false;
+  std::uint64_t completed_ = 0;
+  double total_sojourn_ = 0;
+  double busy_time_ = 0;
+};
+
+// Runs an open M/M/1-style experiment: Poisson arrivals at `arrival_rate`
+// through a chain of `hops` identical stations (store-and-forward: a job
+// enters hop k+1 when hop k finishes it). Returns the mean end-to-end time.
+struct ChainResult {
+  double mean_end_to_end = 0;
+  double per_station_utilization = 0;
+  std::uint64_t jobs = 0;
+};
+ChainResult run_station_chain(int hops, double arrival_rate,
+                              double mean_service_seconds, std::uint64_t jobs,
+                              std::uint64_t seed);
+
+}  // namespace bh::sim

@@ -1,0 +1,180 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bh::trace {
+
+namespace {
+constexpr double kSecondsPerDay = 86400.0;
+constexpr std::uint32_t kClientHistoryCap = 32;
+constexpr std::uint32_t kL1HistoryCap = 96;
+constexpr std::uint32_t kL2HistoryCap = 192;
+}  // namespace
+
+void TraceGenerator::History::push(std::uint32_t obj_index) {
+  if (items_.size() < cap_) {
+    items_.push_back(obj_index);
+    return;
+  }
+  items_[next_] = obj_index;
+  next_ = (next_ + 1) % cap_;
+}
+
+std::uint32_t TraceGenerator::History::sample(Rng& rng) const {
+  return items_[rng.next_below(items_.size())];
+}
+
+TraceGenerator::TraceGenerator(WorkloadParams params)
+    : params_(std::move(params)),
+      rng_(params_.seed),
+      zipf_(std::max<std::uint64_t>(params_.num_objects, 1),
+            params_.zipf_exponent) {
+  params_.validate();
+  objects_.reserve(params_.num_objects);
+
+  const std::uint32_t num_l1 = params_.num_l1();
+  const std::uint32_t num_l2 = (num_l1 + params_.l1_per_l2 - 1) / params_.l1_per_l2;
+  client_hist_.assign(params_.num_clients, History(kClientHistoryCap));
+  l1_hist_.assign(num_l1, History(kL1HistoryCap));
+  l2_hist_.assign(std::max(num_l2, 1u), History(kL2HistoryCap));
+}
+
+std::uint32_t TraceGenerator::create_object(SimTime now) {
+  ObjectInfo info;
+  // Ids derive from a counter through a bijective mixer: uniform like MD5
+  // hashes but collision-free by construction.
+  info.id = ObjectId{mix64(params_.seed ^ (objects_.size() + 1))};
+  const double raw =
+      rng_.lognormal(params_.size_lognorm_mu, params_.size_lognorm_sigma);
+  info.size = static_cast<std::uint32_t>(std::clamp(
+      raw, static_cast<double>(params_.min_object_size),
+      static_cast<double>(params_.max_object_size)));
+  info.uncachable = rng_.bernoulli(params_.uncachable_object_fraction);
+  // Mutability correlates with popularity (arrival rank is a popularity
+  // proxy): frequently-updated pages tend to be the widely-read ones (news
+  // front pages), which is what makes update push worth its bandwidth.
+  const double frac = static_cast<double>(objects_.size()) /
+                      static_cast<double>(params_.num_objects);
+  info.is_mutable =
+      rng_.bernoulli(params_.mutable_object_fraction * (2.0 - 1.8 * frac));
+  objects_.push_back(info);
+  const auto index = static_cast<std::uint32_t>(objects_.size() - 1);
+  if (info.is_mutable) {
+    const double interval =
+        params_.mean_update_interval_days * kSecondsPerDay;
+    updates_.push(Update{now + rng_.exponential(interval), index});
+  }
+  return index;
+}
+
+std::uint32_t TraceGenerator::sample_global_rank(Rng& rng) {
+  // Zipf over the full object universe, rejected down to the currently-seen
+  // prefix. Mass concentrates at low ranks, so rejection is cheap even early.
+  const auto seen = static_cast<std::uint64_t>(objects_.size());
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::uint64_t rank = zipf_.sample(rng);
+    if (rank < seen) return static_cast<std::uint32_t>(rank);
+  }
+  // Pathologically unlucky: fall back to uniform over the seen prefix.
+  return static_cast<std::uint32_t>(rng.next_below(seen));
+}
+
+std::uint32_t TraceGenerator::pick_rereference(ClientIndex client, Rng& rng) {
+  const std::uint32_t l1 = (client / params_.clients_per_l1) %
+                           static_cast<std::uint32_t>(l1_hist_.size());
+  const std::uint32_t l2 = l1 / params_.l1_per_l2;
+  const double r = rng.next_double();
+  double acc = params_.p_client_history;
+  if (r < acc && !client_hist_[client].empty()) {
+    return client_hist_[client].sample(rng);
+  }
+  acc += params_.p_l1_history;
+  if (r < acc && !l1_hist_[l1].empty()) {
+    return l1_hist_[l1].sample(rng);
+  }
+  acc += params_.p_l2_history;
+  if (r < acc && !l2_hist_[l2].empty()) {
+    return l2_hist_[l2].sample(rng);
+  }
+  return sample_global_rank(rng);
+}
+
+void TraceGenerator::generate(const std::function<void(const Record&)>& sink) {
+  if (consumed_) throw std::logic_error("TraceGenerator::generate called twice");
+  consumed_ = true;
+
+  const double duration = params_.duration_days * kSecondsPerDay;
+  const double gap = duration / static_cast<double>(params_.num_requests);
+  std::uint64_t remaining_new = params_.num_objects;
+
+  for (std::uint64_t i = 0; i < params_.num_requests; ++i) {
+    const SimTime now = gap * static_cast<double>(i);
+    const std::uint64_t remaining_requests = params_.num_requests - i;
+
+    // Interleave due modification events.
+    while (!updates_.empty() && updates_.top().when <= now) {
+      const Update u = updates_.top();
+      updates_.pop();
+      ObjectInfo& obj = objects_[u.obj_index];
+      obj.version += 1;
+      Record rec;
+      rec.time = u.when;
+      rec.type = RecordType::kModify;
+      rec.object = obj.id;
+      rec.size = obj.size;
+      rec.version = obj.version;
+      sink(rec);
+      const double interval = params_.mean_update_interval_days * kSecondsPerDay;
+      const SimTime next = u.when + rng_.exponential(interval);
+      if (next <= duration) updates_.push(Update{next, u.obj_index});
+    }
+
+    const auto client =
+        static_cast<ClientIndex>(rng_.next_below(params_.num_clients));
+
+    // Exactly `num_objects` first references, spread uniformly at random
+    // across the request stream (probability = remaining quota / remaining
+    // requests makes the total exact).
+    std::uint32_t obj_index;
+    const bool is_new =
+        remaining_new > 0 &&
+        (objects_.empty() || remaining_new == remaining_requests ||
+         rng_.next_double() * static_cast<double>(remaining_requests) <
+             static_cast<double>(remaining_new));
+    if (is_new) {
+      obj_index = create_object(now);
+      --remaining_new;
+    } else {
+      obj_index = pick_rereference(client, rng_);
+    }
+
+    const ObjectInfo& obj = objects_[obj_index];
+    Record rec;
+    rec.time = now;
+    rec.type = RecordType::kRequest;
+    rec.object = obj.id;
+    rec.client = client;
+    rec.size = obj.size;
+    rec.version = obj.version;
+    rec.uncachable = obj.uncachable;
+    rec.error = rng_.bernoulli(params_.error_request_fraction);
+    sink(rec);
+
+    const std::uint32_t l1 = (client / params_.clients_per_l1) %
+                             static_cast<std::uint32_t>(l1_hist_.size());
+    client_hist_[client].push(obj_index);
+    l1_hist_[l1].push(obj_index);
+    l2_hist_[l1 / params_.l1_per_l2].push(obj_index);
+  }
+}
+
+std::vector<Record> TraceGenerator::generate_all() {
+  std::vector<Record> out;
+  out.reserve(params_.num_requests + params_.num_requests / 8);
+  generate([&](const Record& r) { out.push_back(r); });
+  return out;
+}
+
+}  // namespace bh::trace

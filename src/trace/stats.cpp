@@ -1,0 +1,44 @@
+#include "trace/stats.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace bh::trace {
+
+TraceStats compute_stats(const std::vector<Record>& records) {
+  TraceStats s;
+  std::unordered_map<ObjectId, std::uint32_t> object_size;
+  std::unordered_set<ClientIndex> clients;
+  std::uint64_t first_refs = 0;
+  double t_end = 0;
+
+  for (const Record& r : records) {
+    t_end = std::max(t_end, r.time);
+    if (r.type == RecordType::kModify) {
+      ++s.modifies;
+      continue;
+    }
+    ++s.requests;
+    s.total_bytes += r.size;
+    clients.insert(r.client);
+    if (r.uncachable) ++s.uncachable_requests;
+    if (r.error) ++s.error_requests;
+    if (object_size.emplace(r.object, r.size).second) ++first_refs;
+  }
+
+  s.distinct_objects = object_size.size();
+  s.distinct_clients = clients.size();
+  s.duration_days = t_end / 86400.0;
+  if (!object_size.empty()) {
+    double sum = 0;
+    for (const auto& [id, size] : object_size) sum += size;
+    s.mean_object_size = sum / static_cast<double>(object_size.size());
+  }
+  if (s.requests > 0) {
+    s.first_reference_fraction =
+        static_cast<double>(first_refs) / static_cast<double>(s.requests);
+  }
+  return s;
+}
+
+}  // namespace bh::trace

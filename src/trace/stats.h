@@ -1,0 +1,29 @@
+// Trace summary statistics (the numbers Table 4 reports, plus size moments).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace bh::trace {
+
+struct TraceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t modifies = 0;
+  std::uint64_t distinct_objects = 0;
+  std::uint64_t distinct_clients = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t uncachable_requests = 0;
+  std::uint64_t error_requests = 0;
+  double duration_days = 0;
+  double mean_object_size = 0;  // over distinct objects
+
+  // Fraction of requests that are the first reference to their object —
+  // the global compulsory-miss share an infinite shared cache would see.
+  double first_reference_fraction = 0;
+};
+
+TraceStats compute_stats(const std::vector<Record>& records);
+
+}  // namespace bh::trace

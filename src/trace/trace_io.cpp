@@ -1,0 +1,157 @@
+#include "trace/trace_io.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bh::trace {
+namespace {
+
+constexpr char kMagic[8] = {'B', 'H', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr std::size_t kRecordBytes = 32;
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void encode(const Record& r, std::uint8_t* out) {
+  // time is stored as microseconds to keep the record integral and compact.
+  const auto micros = static_cast<std::uint64_t>(r.time * 1e6 + 0.5);
+  put_u64(out + 0, micros);
+  put_u64(out + 8, r.object.value);
+  put_u32(out + 16, r.client);
+  put_u32(out + 20, r.size);
+  put_u32(out + 24, r.version);
+  out[28] = static_cast<std::uint8_t>(r.type);
+  out[29] = static_cast<std::uint8_t>((r.uncachable ? 1 : 0) |
+                                      (r.error ? 2 : 0));
+  out[30] = 0;
+  out[31] = 0;
+}
+
+Record decode(const std::uint8_t* in) {
+  Record r;
+  r.time = static_cast<double>(get_u64(in + 0)) / 1e6;
+  r.object = ObjectId{get_u64(in + 8)};
+  r.client = get_u32(in + 16);
+  r.size = get_u32(in + 20);
+  r.version = get_u32(in + 24);
+  r.type = static_cast<RecordType>(in[28]);
+  r.uncachable = (in[29] & 1) != 0;
+  r.error = (in[29] & 2) != 0;
+  return r;
+}
+
+}  // namespace
+
+void write_binary(std::ostream& os, const std::vector<Record>& records) {
+  os.write(kMagic, sizeof kMagic);
+  std::uint8_t count[8];
+  put_u64(count, records.size());
+  os.write(reinterpret_cast<const char*>(count), 8);
+  std::array<std::uint8_t, kRecordBytes> buf;
+  for (const Record& r : records) {
+    encode(r, buf.data());
+    os.write(reinterpret_cast<const char*>(buf.data()), kRecordBytes);
+  }
+}
+
+std::vector<Record> read_binary(std::istream& is) {
+  char magic[8];
+  is.read(magic, 8);
+  if (!is || std::memcmp(magic, kMagic, 8) != 0) {
+    throw std::runtime_error("trace: bad magic");
+  }
+  std::uint8_t count_buf[8];
+  is.read(reinterpret_cast<char*>(count_buf), 8);
+  if (!is) throw std::runtime_error("trace: truncated header");
+  const std::uint64_t count = get_u64(count_buf);
+  std::vector<Record> out;
+  out.reserve(count);
+  std::array<std::uint8_t, kRecordBytes> buf;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    is.read(reinterpret_cast<char*>(buf.data()), kRecordBytes);
+    if (!is) throw std::runtime_error("trace: truncated record");
+    out.push_back(decode(buf.data()));
+  }
+  return out;
+}
+
+void write_binary_file(const std::string& path,
+                       const std::vector<Record>& records) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("trace: cannot open for write: " + path);
+  write_binary(f, records);
+  if (!f) throw std::runtime_error("trace: write failed: " + path);
+}
+
+std::vector<Record> read_binary_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("trace: cannot open for read: " + path);
+  return read_binary(f);
+}
+
+void write_text(std::ostream& os, const std::vector<Record>& records) {
+  os << std::hex;
+  for (const Record& r : records) {
+    std::ostringstream line;
+    if (r.type == RecordType::kRequest) {
+      line << "R " << r.time << ' ' << r.client << ' ' << std::hex
+           << r.object.value << std::dec << ' ' << r.size << ' ' << r.version
+           << ' ';
+      if (!r.uncachable && !r.error) line << '-';
+      if (r.uncachable) line << 'c';
+      if (r.error) line << 'e';
+    } else {
+      line << "M " << r.time << ' ' << std::hex << r.object.value << std::dec
+           << ' ' << r.size << ' ' << r.version;
+    }
+    os << line.str() << '\n';
+  }
+}
+
+std::vector<Record> read_text(std::istream& is) {
+  std::vector<Record> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char kind;
+    ls >> kind;
+    Record r;
+    if (kind == 'R') {
+      std::string flags;
+      ls >> r.time >> r.client >> std::hex >> r.object.value >> std::dec >>
+          r.size >> r.version >> flags;
+      r.type = RecordType::kRequest;
+      r.uncachable = flags.find('c') != std::string::npos;
+      r.error = flags.find('e') != std::string::npos;
+    } else if (kind == 'M') {
+      ls >> r.time >> std::hex >> r.object.value >> std::dec >> r.size >>
+          r.version;
+      r.type = RecordType::kModify;
+    } else {
+      throw std::runtime_error("trace: bad text record kind");
+    }
+    if (!ls) throw std::runtime_error("trace: bad text record: " + line);
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace bh::trace

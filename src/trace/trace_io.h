@@ -1,0 +1,29 @@
+// Trace persistence.
+//
+// Binary format: a 16-byte header ("BHTRACE1", record count) followed by
+// fixed 32-byte little-endian records. A line-oriented text format is also
+// provided for eyeballing and for interoperating with scripts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace bh::trace {
+
+// Binary.
+void write_binary(std::ostream& os, const std::vector<Record>& records);
+std::vector<Record> read_binary(std::istream& is);
+void write_binary_file(const std::string& path, const std::vector<Record>& records);
+std::vector<Record> read_binary_file(const std::string& path);
+
+// Text: one record per line,
+//   R <time> <client> <object-hex> <size> <version> <flags: c=uncachable e=error or ->
+//   M <time> <object-hex> <size> <version>
+void write_text(std::ostream& os, const std::vector<Record>& records);
+std::vector<Record> read_text(std::istream& is);
+
+}  // namespace bh::trace

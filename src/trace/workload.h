@@ -1,0 +1,78 @@
+// Workload parameter sets.
+//
+// The paper evaluates on three proprietary proxy traces (Table 4). We
+// synthesize statistically similar streams: the head-count parameters
+// (clients, requests, distinct URLs, duration) come straight from Table 4,
+// and the behavioural knobs (popularity skew, locality mix, update and
+// uncachable rates) are calibrated so the miss decomposition of Figure 2 and
+// the per-level hit ratios of Figure 3 land near the published curves.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace bh::trace {
+
+struct WorkloadParams {
+  std::string name;
+
+  // Table 4 head counts.
+  std::uint32_t num_clients = 0;
+  std::uint64_t num_requests = 0;
+  std::uint64_t num_objects = 0;  // distinct URLs referenced
+  double duration_days = 0;
+
+  // Popularity: Zipf exponent over the seen-object rank stream.
+  double zipf_exponent = 0.8;
+
+  // Re-reference locality mix: a re-reference is drawn from the requesting
+  // client's own recent history, its L1 group's history, its L2 subtree's
+  // history, or the global popularity distribution (the remainder).
+  double p_client_history = 0.20;
+  double p_l1_history = 0.12;
+  double p_l2_history = 0.08;
+
+  // Fraction of objects that are uncachable (CGI, non-GET, ...).
+  double uncachable_object_fraction = 0.02;
+  // Per-request probability of an error reply.
+  double error_request_fraction = 0.01;
+
+  // Consistency churn: fraction of objects that ever change, and the mean
+  // interval between changes for those that do.
+  double mutable_object_fraction = 0.10;
+  double mean_update_interval_days = 2.0;
+
+  // Object sizes: lognormal, clipped.
+  double size_lognorm_mu = 8.3;     // median ~4 KB
+  double size_lognorm_sigma = 1.3;  // mean ~10 KB, heavy tail
+  std::uint32_t min_object_size = 128;
+  std::uint32_t max_object_size = 8u << 20;
+
+  // Clients per L1 proxy group and L1 proxies per L2 subtree, used both for
+  // generating group-local references and by the simulated topology.
+  std::uint32_t clients_per_l1 = 256;
+  std::uint32_t l1_per_l2 = 8;
+
+  std::uint64_t seed = 1;
+
+  // Returns a copy with request/object counts (and clients, to keep per-node
+  // load realistic) multiplied by f. Durations stay fixed so request *rates*
+  // scale with f too.
+  WorkloadParams scaled(double f) const;
+
+  std::uint32_t num_l1() const {
+    return (num_clients + clients_per_l1 - 1) / clients_per_l1;
+  }
+
+  void validate() const;
+};
+
+// Presets for the three Table 4 traces.
+WorkloadParams dec_workload();
+WorkloadParams berkeley_workload();
+WorkloadParams prodigy_workload();
+
+WorkloadParams workload_by_name(const std::string& name);
+
+}  // namespace bh::trace

@@ -1,0 +1,260 @@
+// Tests for the LRU object cache and the miss classifier.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/lru_cache.h"
+#include "cache/miss_class.h"
+
+namespace bh::cache {
+namespace {
+
+ObjectId obj(std::uint64_t v) { return ObjectId{v}; }
+
+// --- LruCache ---
+
+TEST(LruCacheTest, InsertFindPeek) {
+  LruCache c(1000);
+  EXPECT_TRUE(c.insert(obj(1), 100, 1, false));
+  ASSERT_NE(c.find(obj(1)), nullptr);
+  EXPECT_EQ(c.find(obj(1))->size, 100u);
+  EXPECT_EQ(c.peek(obj(2)), nullptr);
+  EXPECT_EQ(c.used_bytes(), 100u);
+  EXPECT_EQ(c.object_count(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache c(300);
+  c.insert(obj(1), 100, 1, false);
+  c.insert(obj(2), 100, 1, false);
+  c.insert(obj(3), 100, 1, false);
+  c.find(obj(1));  // 1 becomes MRU; 2 is now LRU
+  std::vector<std::uint64_t> evicted;
+  c.insert(obj(4), 100, 1, false,
+           [&](const LruCache::Entry& e) { evicted.push_back(e.id.value); });
+  EXPECT_EQ(evicted, (std::vector<std::uint64_t>{2}));
+  EXPECT_TRUE(c.contains(obj(1)));
+  EXPECT_FALSE(c.contains(obj(2)));
+}
+
+TEST(LruCacheTest, EvictsMultipleToFit) {
+  LruCache c(300);
+  c.insert(obj(1), 100, 1, false);
+  c.insert(obj(2), 100, 1, false);
+  c.insert(obj(3), 100, 1, false);
+  std::vector<std::uint64_t> evicted;
+  c.insert(obj(4), 250, 1, false,
+           [&](const LruCache::Entry& e) { evicted.push_back(e.id.value); });
+  EXPECT_EQ(evicted, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(c.used_bytes(), 250u);
+}
+
+TEST(LruCacheTest, OversizedObjectIsNotCached) {
+  LruCache c(100);
+  EXPECT_FALSE(c.insert(obj(1), 101, 1, false));
+  EXPECT_EQ(c.object_count(), 0u);
+}
+
+TEST(LruCacheTest, UnlimitedNeverEvicts) {
+  LruCache c;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    c.insert(obj(i + 1), 1_MB, 1, false,
+             [](const LruCache::Entry&) { FAIL() << "unexpected eviction"; });
+  }
+  EXPECT_EQ(c.object_count(), 10000u);
+  EXPECT_TRUE(c.unlimited());
+}
+
+TEST(LruCacheTest, ReinsertUpdatesSizeAndVersion) {
+  LruCache c(1000);
+  c.insert(obj(1), 100, 1, false);
+  c.insert(obj(1), 300, 2, false);
+  EXPECT_EQ(c.used_bytes(), 300u);
+  EXPECT_EQ(c.peek(obj(1))->version, 2u);
+  EXPECT_EQ(c.object_count(), 1u);
+}
+
+TEST(LruCacheTest, ReinsertSmallerReleasesBytes) {
+  LruCache c(1000);
+  c.insert(obj(1), 800, 1, false);
+  c.insert(obj(1), 100, 2, false);
+  EXPECT_EQ(c.used_bytes(), 100u);
+}
+
+TEST(LruCacheTest, EraseRemoves) {
+  LruCache c(1000);
+  c.insert(obj(1), 100, 1, false);
+  EXPECT_TRUE(c.erase(obj(1)));
+  EXPECT_FALSE(c.erase(obj(1)));
+  EXPECT_EQ(c.used_bytes(), 0u);
+}
+
+TEST(LruCacheTest, AgeMovesToEvictionFront) {
+  LruCache c(300);
+  c.insert(obj(1), 100, 1, false);
+  c.insert(obj(2), 100, 1, false);
+  c.insert(obj(3), 100, 1, false);
+  c.age(obj(3));  // freshly inserted but aged: evicted first
+  std::vector<std::uint64_t> evicted;
+  c.insert(obj(4), 100, 1, false,
+           [&](const LruCache::Entry& e) { evicted.push_back(e.id.value); });
+  EXPECT_EQ(evicted, (std::vector<std::uint64_t>{3}));
+}
+
+TEST(LruCacheTest, PushedFlagSemantics) {
+  LruCache c(1000);
+  c.insert(obj(1), 100, 1, /*pushed=*/true);
+  EXPECT_TRUE(c.peek(obj(1))->pushed);
+  // A demand insert over a pushed copy clears the tag.
+  c.insert(obj(1), 100, 1, /*pushed=*/false);
+  EXPECT_FALSE(c.peek(obj(1))->pushed);
+  // A push over a demand copy must not re-tag it.
+  c.insert(obj(1), 100, 2, /*pushed=*/true);
+  EXPECT_FALSE(c.peek(obj(1))->pushed);
+}
+
+TEST(LruCacheTest, PeekDoesNotPromote) {
+  LruCache c(200);
+  c.insert(obj(1), 100, 1, false);
+  c.insert(obj(2), 100, 1, false);
+  c.peek(obj(1));
+  c.peek_mut(obj(1));
+  std::vector<std::uint64_t> evicted;
+  c.insert(obj(3), 100, 1, false,
+           [&](const LruCache::Entry& e) { evicted.push_back(e.id.value); });
+  EXPECT_EQ(evicted, (std::vector<std::uint64_t>{1}));  // peek kept 1 as LRU
+}
+
+// Capacity accounting stays consistent under arbitrary operation sequences.
+class LruCachePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LruCachePropertyTest, UsageNeverExceedsCapacity) {
+  const std::uint64_t cap = GetParam();
+  LruCache c(cap);
+  std::uint64_t seed = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t id = (seed >> 33) % 200 + 1;
+    const std::uint64_t size = (seed >> 13) % 400 + 1;
+    switch (seed % 3) {
+      case 0:
+        c.insert(obj(id), size, 1, (seed >> 5) & 1);
+        break;
+      case 1:
+        c.find(obj(id));
+        break;
+      case 2:
+        c.erase(obj(id));
+        break;
+    }
+    ASSERT_LE(c.used_bytes(), cap);
+    // Recount bytes from scratch.
+    std::uint64_t sum = 0;
+    std::size_t n = 0;
+    c.for_each([&](const LruCache::Entry& e) {
+      sum += e.size;
+      ++n;
+    });
+    ASSERT_EQ(sum, c.used_bytes());
+    ASSERT_EQ(n, c.object_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, LruCachePropertyTest,
+                         ::testing::Values(500, 1000, 5000, 50000));
+
+// --- MissClassifier ---
+
+TEST(MissClassTest, FirstAccessIsCompulsory) {
+  MissClassifier mc;
+  EXPECT_EQ(mc.access(obj(1), 100, 1, false, false),
+            AccessClass::kCompulsoryMiss);
+  EXPECT_EQ(mc.access(obj(1), 100, 1, false, false), AccessClass::kHit);
+}
+
+TEST(MissClassTest, ErrorAndUncachableClassified) {
+  MissClassifier mc;
+  EXPECT_EQ(mc.access(obj(1), 100, 1, false, true), AccessClass::kErrorMiss);
+  EXPECT_EQ(mc.access(obj(2), 100, 1, true, false),
+            AccessClass::kUncachableMiss);
+  // Neither entered the cache.
+  EXPECT_FALSE(mc.data().contains(obj(1)));
+  EXPECT_FALSE(mc.data().contains(obj(2)));
+}
+
+TEST(MissClassTest, VersionBumpIsCommunicationMiss) {
+  MissClassifier mc;
+  mc.access(obj(1), 100, 1, false, false);
+  EXPECT_EQ(mc.access(obj(1), 100, 2, false, false),
+            AccessClass::kCommunicationMiss);
+  EXPECT_EQ(mc.access(obj(1), 100, 2, false, false), AccessClass::kHit);
+}
+
+TEST(MissClassTest, InvalidatedThenAccessedIsCommunicationMiss) {
+  MissClassifier mc;
+  mc.access(obj(1), 100, 1, false, false);
+  mc.invalidate(obj(1));
+  EXPECT_EQ(mc.access(obj(1), 100, 2, false, false),
+            AccessClass::kCommunicationMiss);
+}
+
+TEST(MissClassTest, EvictionIsCapacityMiss) {
+  MissClassifier mc(150);
+  mc.access(obj(1), 100, 1, false, false);
+  mc.access(obj(2), 100, 1, false, false);  // evicts 1
+  EXPECT_EQ(mc.access(obj(1), 100, 1, false, false),
+            AccessClass::kCapacityMiss);
+}
+
+TEST(MissClassTest, InfiniteCacheHasNoCapacityMisses) {
+  MissClassifier mc;
+  for (std::uint64_t i = 1; i <= 1000; ++i) {
+    mc.access(obj(i), 1000, 1, false, false);
+  }
+  for (std::uint64_t i = 1; i <= 1000; ++i) {
+    EXPECT_EQ(mc.access(obj(i), 1000, 1, false, false), AccessClass::kHit);
+  }
+}
+
+TEST(MissClassTest, NegativeCachingServesRepeatErrorsLocally) {
+  MissClassifier mc(kUnlimitedBytes, /*negative_ttl_seconds=*/60.0);
+  EXPECT_EQ(mc.access(obj(1), 100, 1, false, true, 0.0),
+            AccessClass::kErrorMiss);
+  // The repeat within the TTL is still an error, but from the negative cache.
+  EXPECT_EQ(mc.access(obj(1), 100, 1, false, true, 30.0),
+            AccessClass::kErrorMiss);
+  EXPECT_EQ(mc.negative_hits(), 1u);
+  // Past the TTL the cache re-probes the server.
+  EXPECT_EQ(mc.access(obj(1), 100, 1, false, true, 120.0),
+            AccessClass::kErrorMiss);
+  EXPECT_EQ(mc.negative_hits(), 1u);
+}
+
+TEST(MissClassTest, NegativeCachingMasksSuccesses) {
+  MissClassifier mc(kUnlimitedBytes, 60.0);
+  mc.access(obj(1), 100, 1, false, true, 0.0);
+  // A would-have-succeeded request inside the TTL is served the cached error.
+  EXPECT_EQ(mc.access(obj(1), 100, 1, false, false, 10.0),
+            AccessClass::kErrorMiss);
+  EXPECT_EQ(mc.masked_successes(), 1u);
+  // After expiry it proceeds normally and is compulsory (never cached).
+  EXPECT_EQ(mc.access(obj(1), 100, 1, false, false, 120.0),
+            AccessClass::kCompulsoryMiss);
+}
+
+TEST(MissClassTest, NegativeCachingOffByDefault) {
+  MissClassifier mc;
+  mc.access(obj(1), 100, 1, false, true, 0.0);
+  mc.access(obj(1), 100, 1, false, true, 1.0);
+  EXPECT_EQ(mc.negative_hits(), 0u);
+}
+
+TEST(MissClassTest, ClassNames) {
+  EXPECT_STREQ(access_class_name(AccessClass::kHit), "hit");
+  EXPECT_STREQ(access_class_name(AccessClass::kCompulsoryMiss), "compulsory");
+  EXPECT_FALSE(is_miss(AccessClass::kHit));
+  EXPECT_TRUE(is_miss(AccessClass::kCapacityMiss));
+}
+
+}  // namespace
+}  // namespace bh::cache

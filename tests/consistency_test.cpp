@@ -1,0 +1,177 @@
+// Tests for the consistency-policy simulator.
+#include <gtest/gtest.h>
+
+#include "cache/consistency_sim.h"
+
+namespace bh::cache {
+namespace {
+
+trace::Record req(std::uint64_t object, double time, Version version = 1,
+                  std::uint32_t size = 1000) {
+  trace::Record r;
+  r.type = trace::RecordType::kRequest;
+  r.object = ObjectId{object};
+  r.time = time;
+  r.version = version;
+  r.size = size;
+  return r;
+}
+
+trace::Record modify(std::uint64_t object, double time, Version version) {
+  trace::Record r;
+  r.type = trace::RecordType::kModify;
+  r.object = ObjectId{object};
+  r.time = time;
+  r.version = version;
+  r.size = 1000;
+  return r;
+}
+
+ConsistencyConfig config(ConsistencyMode mode) {
+  ConsistencyConfig c;
+  c.mode = mode;
+  c.ttl_seconds = 100;
+  c.lease_seconds = 100;
+  return c;
+}
+
+TEST(ConsistencyTest, StrongNeverServesStale) {
+  ConsistencySimulator sim(config(ConsistencyMode::kStrongInvalidation));
+  sim.step(req(1, 0));
+  sim.step(req(1, 10));
+  sim.step(modify(1, 20, 2));
+  sim.step(req(1, 30, 2));
+  const auto& s = sim.stats();
+  EXPECT_EQ(s.requests, 3u);
+  EXPECT_EQ(s.true_hits, 1u);
+  EXPECT_EQ(s.stale_hits, 0u);
+  EXPECT_EQ(s.fetches, 2u);
+}
+
+TEST(ConsistencyTest, TtlServesStaleWithinWindow) {
+  ConsistencySimulator sim(config(ConsistencyMode::kTtl));
+  sim.step(req(1, 0));
+  sim.step(modify(1, 10, 2));
+  sim.step(req(1, 20, 2));  // stale copy still within TTL: served stale
+  const auto& s = sim.stats();
+  EXPECT_EQ(s.stale_hits, 1u);
+  EXPECT_EQ(s.fetches, 1u);
+}
+
+TEST(ConsistencyTest, TtlDiscardsGoodCopiesAfterExpiry) {
+  ConsistencySimulator sim(config(ConsistencyMode::kTtl));
+  sim.step(req(1, 0));
+  sim.step(req(1, 150));  // unchanged but past the 100 s TTL
+  const auto& s = sim.stats();
+  EXPECT_EQ(s.good_discards, 1u);
+  EXPECT_EQ(s.fetches, 2u);
+  EXPECT_EQ(s.true_hits, 0u);
+}
+
+TEST(ConsistencyTest, PollValidatesEveryHit) {
+  ConsistencySimulator sim(config(ConsistencyMode::kPollEveryAccess));
+  sim.step(req(1, 0));
+  sim.step(req(1, 10));
+  sim.step(req(1, 20));
+  sim.step(modify(1, 25, 2));
+  sim.step(req(1, 30, 2));  // validation detects the change, refetch
+  const auto& s = sim.stats();
+  EXPECT_EQ(s.validations, 3u);
+  EXPECT_EQ(s.useless_validations, 2u);
+  EXPECT_EQ(s.true_hits, 2u);
+  EXPECT_EQ(s.stale_hits, 0u);
+  EXPECT_EQ(s.fetches, 2u);
+}
+
+TEST(ConsistencyTest, LeaseInvalidatesWhileHeld) {
+  ConsistencySimulator sim(config(ConsistencyMode::kLease));
+  sim.step(req(1, 0));           // lease until t=100
+  sim.step(modify(1, 50, 2));    // within lease: server callback invalidates
+  sim.step(req(1, 60, 2));       // miss -> fresh fetch, no staleness
+  const auto& s = sim.stats();
+  EXPECT_EQ(s.stale_hits, 0u);
+  EXPECT_EQ(s.fetches, 2u);
+}
+
+TEST(ConsistencyTest, ExpiredLeaseRevalidates) {
+  ConsistencySimulator sim(config(ConsistencyMode::kLease));
+  sim.step(req(1, 0));            // lease until 100
+  sim.step(modify(1, 150, 2));    // lease expired: no callback, stale copy stays
+  sim.step(req(1, 200, 2));       // revalidation catches it
+  const auto& s = sim.stats();
+  EXPECT_EQ(s.validations, 1u);
+  EXPECT_EQ(s.stale_hits, 0u);
+  EXPECT_EQ(s.fetches, 2u);
+}
+
+TEST(ConsistencyTest, FreshHitWithinLeaseIsFree) {
+  ConsistencySimulator sim(config(ConsistencyMode::kLease));
+  sim.step(req(1, 0));
+  sim.step(req(1, 50));  // within lease: no validation round trip
+  const auto& s = sim.stats();
+  EXPECT_EQ(s.validations, 0u);
+  EXPECT_EQ(s.true_hits, 1u);
+}
+
+TEST(ConsistencyTest, UncachableAndErrorAreIgnored) {
+  ConsistencySimulator sim(config(ConsistencyMode::kStrongInvalidation));
+  trace::Record r = req(1, 0);
+  r.uncachable = true;
+  sim.step(r);
+  r.uncachable = false;
+  r.error = true;
+  sim.step(r);
+  EXPECT_EQ(sim.stats().requests, 0u);
+}
+
+// All four policies replaying the same stream agree on one invariant: the
+// apparent hit ratio decomposes into true + stale, and strong/poll/lease
+// never serve stale data.
+class ConsistencyPropertyTest
+    : public ::testing::TestWithParam<ConsistencyMode> {};
+
+TEST_P(ConsistencyPropertyTest, InvariantsHoldOnRandomStream) {
+  ConsistencySimulator sim(config(GetParam()));
+  std::uint64_t seed = 4242;
+  double t = 0;
+  std::vector<Version> versions(50, 1);
+  for (int i = 0; i < 20000; ++i) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    t += double(seed % 97) / 10.0;
+    const std::uint64_t obj = seed % 50 + 1;
+    if (seed % 13 == 0) {
+      sim.step(modify(obj, t, ++versions[obj - 1]));
+    } else {
+      sim.step(req(obj, t, versions[obj - 1]));
+    }
+  }
+  const auto& s = sim.stats();
+  EXPECT_EQ(s.true_hits + s.stale_hits + s.fetches, s.requests);
+  EXPECT_LE(s.useless_validations, s.validations);
+  if (GetParam() != ConsistencyMode::kTtl) {
+    // Only TTL can serve stale data in this model; leases rely on the
+    // server's callback while held and revalidate after expiry.
+    EXPECT_EQ(s.stale_hits, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ConsistencyPropertyTest,
+    ::testing::Values(ConsistencyMode::kStrongInvalidation,
+                      ConsistencyMode::kTtl,
+                      ConsistencyMode::kPollEveryAccess,
+                      ConsistencyMode::kLease),
+    [](const auto& info) {
+      return std::string(consistency_mode_name(info.param)) == "ttl"
+                 ? "Ttl"
+                 : std::string(consistency_mode_name(info.param)) ==
+                           "strong-invalidation"
+                       ? "Strong"
+                       : std::string(consistency_mode_name(info.param)) ==
+                                 "poll-every-access"
+                             ? "Poll"
+                             : "Lease";
+    });
+
+}  // namespace
+}  // namespace bh::cache

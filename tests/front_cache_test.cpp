@@ -1,0 +1,115 @@
+// Tests for the front-end hint cache decorator and the disk-faulting hint
+// lookup cost model.
+#include <gtest/gtest.h>
+
+#include "core/hint_system.h"
+#include "hints/front_cache.h"
+#include "net/cost_model.h"
+#include "net/topology.h"
+#include "sim/event_queue.h"
+
+namespace bh::hints {
+namespace {
+
+ObjectId obj(std::uint64_t v) { return ObjectId{v}; }
+
+TEST(FrontCacheTest, RejectsBadConstruction) {
+  EXPECT_THROW(FrontedHintStore(nullptr, 16), std::invalid_argument);
+  EXPECT_THROW(FrontedHintStore(make_hint_store(1_MB), 0),
+               std::invalid_argument);
+}
+
+TEST(FrontCacheTest, ServesFromFrontAfterFirstLookup) {
+  FrontedHintStore store(make_hint_store(1_MB), 1024);
+  store.inner().insert(obj(5), MachineId{9});  // bypass the front
+  EXPECT_EQ(store.lookup(obj(5))->value, 9u);  // fills the front
+  EXPECT_EQ(store.front_hits(), 0u);
+  EXPECT_EQ(store.lookup(obj(5))->value, 9u);  // front hit
+  EXPECT_EQ(store.front_hits(), 1u);
+}
+
+TEST(FrontCacheTest, InsertPopulatesFront) {
+  FrontedHintStore store(make_hint_store(1_MB), 1024);
+  store.insert(obj(7), MachineId{3});
+  EXPECT_EQ(store.lookup(obj(7))->value, 3u);
+  EXPECT_EQ(store.front_hits(), 1u);
+}
+
+TEST(FrontCacheTest, EraseClearsBothLevels) {
+  FrontedHintStore store(make_hint_store(1_MB), 1024);
+  store.insert(obj(7), MachineId{3});
+  EXPECT_TRUE(store.erase(obj(7)));
+  EXPECT_EQ(store.lookup(obj(7)), std::nullopt);
+}
+
+TEST(FrontCacheTest, ConflictingSlotsEvictSilently) {
+  FrontedHintStore store(make_hint_store(1_MB), 1);  // one front slot
+  store.insert(obj(1), MachineId{1});
+  store.insert(obj(2), MachineId{2});  // displaces obj 1 in the front
+  // Both still resolve via the inner store.
+  EXPECT_EQ(store.lookup(obj(1))->value, 1u);
+  EXPECT_EQ(store.lookup(obj(2))->value, 2u);
+}
+
+TEST(FrontCacheTest, PoorLocalityStreamGetsPoorFrontHitRate) {
+  // The paper's doubt: hint reads are filtered by the data cache, so a
+  // sequential no-reuse stream should barely hit the front cache.
+  FrontedHintStore store(make_hint_store(64_MB), 4096);
+  for (std::uint64_t k = 1; k <= 100000; ++k) {
+    store.inner().insert(obj(k), MachineId{k});
+  }
+  for (std::uint64_t k = 1; k <= 100000; ++k) {
+    store.lookup(obj(k));  // each object read exactly once
+  }
+  EXPECT_LT(store.front_hit_ratio(), 0.01);
+}
+
+TEST(FrontCacheTest, EntryCountDelegatesToInner) {
+  FrontedHintStore store(make_hint_store(1_MB), 16);
+  store.insert(obj(1), MachineId{1});
+  store.insert(obj(2), MachineId{2});
+  EXPECT_EQ(store.entry_count(), 2u);
+}
+
+}  // namespace
+}  // namespace bh::hints
+
+namespace bh::core {
+namespace {
+
+trace::Record request(std::uint64_t object, ClientIndex client) {
+  trace::Record r;
+  r.type = trace::RecordType::kRequest;
+  r.object = ObjectId{object};
+  r.client = client;
+  r.size = 8192;
+  r.version = 1;
+  return r;
+}
+
+TEST(HintDiskCostTest, FullyResidentTableCostsMicroseconds) {
+  net::HierarchyTopology topo{16, 4, 4};
+  auto cost = net::RousskovCostModel::min();
+  sim::EventQueue queue;
+  HintSystemConfig cfg;
+  cfg.hint_bytes = 1_MB;
+  cfg.hint_memory_bytes = 1_MB;
+  HintSystem sys(topo, cost, cfg, queue);
+  auto out = sys.handle_request(request(1, 0));
+  EXPECT_NEAR(out.latency, 641 + 0.0043, 1e-6);
+}
+
+TEST(HintDiskCostTest, OverflowingTablePaysExpectedFaults) {
+  net::HierarchyTopology topo{16, 4, 4};
+  auto cost = net::RousskovCostModel::min();
+  sim::EventQueue queue;
+  HintSystemConfig cfg;
+  cfg.hint_bytes = 4_MB;
+  cfg.hint_memory_bytes = 1_MB;  // 75% of lookups fault in from disk
+  HintSystem sys(topo, cost, cfg, queue);
+  auto out = sys.handle_request(request(1, 0));
+  EXPECT_NEAR(out.latency, 641 + 0.0043 + 0.75 * 10.8, 1e-6);
+}
+
+}  // namespace
+}  // namespace bh::core

@@ -1,0 +1,299 @@
+// Tests for the hint-cache data structure and the metadata hierarchy.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "hints/hint_cache.h"
+#include "hints/metadata_hierarchy.h"
+#include "net/topology.h"
+#include "sim/event_queue.h"
+
+namespace bh::hints {
+namespace {
+
+ObjectId obj(std::uint64_t v) { return ObjectId{v}; }
+MachineId loc(std::uint64_t v) { return MachineId{v}; }
+
+// --- machine id packing ---
+
+TEST(MachineIdTest, RoundTrip) {
+  for (NodeIndex n : {0u, 1u, 63u, 1000u}) {
+    EXPECT_EQ(node_of_machine(machine_of_node(n)), n);
+  }
+}
+
+TEST(MachineIdTest, CarriesPort3128) {
+  EXPECT_EQ(machine_of_node(5).value & 0xFFFFFFFFu, 3128u);
+}
+
+// --- associative hint cache ---
+
+TEST(HintCacheTest, RecordIsSixteenBytes) {
+  EXPECT_EQ(sizeof(HintRecord), 16u);
+}
+
+TEST(HintCacheTest, CapacityRoundsToSets) {
+  AssociativeHintCache c(1000);  // 1000/64 = 15 sets
+  EXPECT_EQ(c.capacity_entries(), 15u * 4u);
+  EXPECT_EQ(c.capacity_bytes(), 15u * 64u);
+  AssociativeHintCache tiny(1);  // at least one set
+  EXPECT_EQ(tiny.capacity_entries(), 4u);
+}
+
+TEST(HintCacheTest, InsertLookupErase) {
+  AssociativeHintCache c(1_MB);
+  EXPECT_EQ(c.lookup(obj(42)), std::nullopt);
+  c.insert(obj(42), loc(7));
+  ASSERT_TRUE(c.lookup(obj(42)).has_value());
+  EXPECT_EQ(c.lookup(obj(42))->value, 7u);
+  EXPECT_EQ(c.entry_count(), 1u);
+  EXPECT_TRUE(c.erase(obj(42)));
+  EXPECT_EQ(c.lookup(obj(42)), std::nullopt);
+  EXPECT_FALSE(c.erase(obj(42)));
+  EXPECT_EQ(c.entry_count(), 0u);
+}
+
+TEST(HintCacheTest, InsertReplacesLocationInPlace) {
+  AssociativeHintCache c(1_MB);
+  c.insert(obj(42), loc(7));
+  c.insert(obj(42), loc(9));
+  EXPECT_EQ(c.lookup(obj(42))->value, 9u);
+  EXPECT_EQ(c.entry_count(), 1u);
+}
+
+TEST(HintCacheTest, InvalidKeyIsIgnored) {
+  AssociativeHintCache c(1_MB);
+  c.insert(obj(kInvalidHintKey), loc(1));
+  EXPECT_EQ(c.entry_count(), 0u);
+  EXPECT_EQ(c.lookup(obj(kInvalidHintKey)), std::nullopt);
+}
+
+TEST(HintCacheTest, SetConflictEvictsLruEntry) {
+  // A single-set cache: the fifth distinct key must displace the least
+  // recently touched of the four.
+  AssociativeHintCache c(64);  // one 4-way set
+  for (std::uint64_t k = 1; k <= 4; ++k) c.insert(obj(k), loc(k));
+  EXPECT_EQ(c.entry_count(), 4u);
+  c.lookup(obj(1));  // touch 1; LRU is now 2
+  c.insert(obj(5), loc(5));
+  EXPECT_EQ(c.entry_count(), 4u);
+  EXPECT_TRUE(c.lookup(obj(1)).has_value());
+  EXPECT_FALSE(c.lookup(obj(2)).has_value());
+  EXPECT_TRUE(c.lookup(obj(5)).has_value());
+  EXPECT_EQ(c.stats().conflict_evictions, 1u);
+}
+
+TEST(HintCacheTest, StatsCountLookupsAndHits) {
+  AssociativeHintCache c(1_MB);
+  c.insert(obj(1), loc(1));
+  c.lookup(obj(1));
+  c.lookup(obj(2));
+  EXPECT_EQ(c.stats().lookups, 2u);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().inserts, 1u);
+}
+
+TEST(HintCacheTest, ManyEntriesSurviveInLargeCache) {
+  AssociativeHintCache c(10_MB);  // 655k entries
+  const std::uint64_t n = 100000;
+  for (std::uint64_t k = 1; k <= n; ++k) c.insert(obj(k * 977 + 1), loc(k));
+  std::uint64_t present = 0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    present += c.lookup(obj(k * 977 + 1)).has_value();
+  }
+  // With 15% load factor, only a tiny fraction can be conflict casualties.
+  EXPECT_GT(present, n * 97 / 100);
+}
+
+TEST(HintCacheTest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/bh_hints_test.img";
+  AssociativeHintCache c(4096);
+  for (std::uint64_t k = 1; k <= 50; ++k) c.insert(obj(k), loc(k * 3));
+  c.save(path);
+  AssociativeHintCache back = AssociativeHintCache::load(path);
+  EXPECT_EQ(back.capacity_entries(), c.capacity_entries());
+  EXPECT_EQ(back.entry_count(), c.entry_count());
+  for (std::uint64_t k = 1; k <= 50; ++k) {
+    auto h = back.lookup(obj(k));
+    ASSERT_TRUE(h.has_value()) << k;
+    EXPECT_EQ(h->value, k * 3);
+  }
+}
+
+TEST(HintCacheTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/bh_hints_garbage.img";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "junk";
+  }
+  EXPECT_THROW(AssociativeHintCache::load(path), std::runtime_error);
+}
+
+TEST(UnboundedHintStoreTest, Basics) {
+  UnboundedHintStore s;
+  EXPECT_EQ(s.lookup(obj(1)), std::nullopt);
+  s.insert(obj(1), loc(2));
+  EXPECT_EQ(s.lookup(obj(1))->value, 2u);
+  EXPECT_EQ(s.entry_count(), 1u);
+  EXPECT_TRUE(s.erase(obj(1)));
+  EXPECT_EQ(s.entry_count(), 0u);
+}
+
+TEST(HintStoreFactoryTest, SelectsByCapacity) {
+  auto bounded = make_hint_store(1_MB);
+  auto unbounded = make_hint_store(kUnlimitedBytes);
+  EXPECT_NE(dynamic_cast<AssociativeHintCache*>(bounded.get()), nullptr);
+  EXPECT_NE(dynamic_cast<UnboundedHintStore*>(unbounded.get()), nullptr);
+}
+
+// --- metadata hierarchy ---
+
+struct Hier {
+  net::HierarchyTopology topo{16, 4, 4};  // 16 leaves, 4 groups
+  sim::EventQueue queue;
+  MetadataHierarchy meta;
+
+  explicit Hier(MetadataConfig cfg = {})
+      : meta(topo, cfg, queue) {}
+};
+
+TEST(MetadataHierarchyTest, FirstCopyPropagatesEverywhere) {
+  Hier h;
+  h.meta.inform(0, obj(99));
+  for (NodeIndex n = 1; n < 16; ++n) {
+    auto near = h.meta.find_nearest(n, obj(99));
+    ASSERT_TRUE(near.has_value()) << "leaf " << n;
+    EXPECT_EQ(*near, 0u);
+  }
+  // The origin leaf has no hint about itself.
+  EXPECT_EQ(h.meta.find_nearest(0, obj(99)), std::nullopt);
+  EXPECT_EQ(h.meta.root_updates(), 1u);
+}
+
+TEST(MetadataHierarchyTest, SecondCopyInSameSubtreeIsFiltered) {
+  Hier h;
+  h.meta.inform(0, obj(99));
+  const auto msgs_before = h.meta.total_messages();
+  // Leaf 1 (same L2 group as 0) pulls a copy: its hint points at 0, so the
+  // update must die at the leaf and nothing new reaches the root.
+  h.meta.inform(1, obj(99));
+  EXPECT_EQ(h.meta.root_updates(), 1u);
+  EXPECT_EQ(h.meta.total_messages(), msgs_before);
+}
+
+TEST(MetadataHierarchyTest, CopyInOtherSubtreeUpdatesItsGroupOnly) {
+  Hier h;
+  h.meta.inform(0, obj(99));
+  h.meta.inform(8, obj(99));  // group 2
+  // Leaves in group 2 now prefer the near copy at 8.
+  EXPECT_EQ(*h.meta.find_nearest(9, obj(99)), 8u);
+  EXPECT_EQ(*h.meta.find_nearest(11, obj(99)), 8u);
+  // Leaves in group 0 keep pointing at 0 (their near copy).
+  EXPECT_EQ(*h.meta.find_nearest(1, obj(99)), 0u);
+}
+
+TEST(MetadataHierarchyTest, SequentialEvictionDropsHintsInOrphanedGroup) {
+  Hier h;
+  h.meta.inform(0, obj(99));
+  h.meta.inform(8, obj(99));  // filtered upward: the root never learns of it
+  h.meta.invalidate(0, obj(99));
+  // Group-0 leaves lose their hint (the root knew no other copy) and will
+  // self-heal on the next demand fetch; group-2 leaves keep their near copy.
+  EXPECT_EQ(h.meta.find_nearest(1, obj(99)), std::nullopt);
+  EXPECT_EQ(*h.meta.find_nearest(9, obj(99)), 8u);
+}
+
+TEST(MetadataHierarchyTest, EvictionAdvertisesNextBestLocation) {
+  // Two copies appear concurrently (before propagation), so both register at
+  // the root; evicting one must fail the system over to the other.
+  MetadataConfig cfg;
+  cfg.hop_delay = 1.0;
+  Hier h(cfg);
+  h.meta.inform(0, obj(99));
+  h.meta.inform(8, obj(99));
+  h.queue.run_until(100.0);  // let everything settle
+  h.meta.invalidate(0, obj(99));
+  h.queue.run_until(200.0);
+  auto near = h.meta.find_nearest(1, obj(99));
+  ASSERT_TRUE(near.has_value());
+  EXPECT_EQ(*near, 8u);
+}
+
+TEST(MetadataHierarchyTest, LastEvictionForgetsObject) {
+  Hier h;
+  h.meta.inform(0, obj(99));
+  h.meta.invalidate(0, obj(99));
+  for (NodeIndex n = 0; n < 16; ++n) {
+    EXPECT_EQ(h.meta.find_nearest(n, obj(99)), std::nullopt) << n;
+  }
+}
+
+TEST(MetadataHierarchyTest, ConsistencyInvalidationWipesHints) {
+  Hier h;
+  h.meta.inform(0, obj(99));
+  h.meta.inform(8, obj(99));
+  h.meta.invalidate_object(obj(99));
+  for (NodeIndex n = 0; n < 16; ++n) {
+    EXPECT_EQ(h.meta.find_nearest(n, obj(99)), std::nullopt) << n;
+  }
+}
+
+TEST(MetadataHierarchyTest, NearestPrefersOwnSubtree) {
+  Hier h;
+  h.meta.inform(12, obj(5));  // group 3
+  EXPECT_EQ(*h.meta.find_nearest(1, obj(5)), 12u);
+  h.meta.inform(2, obj(5));  // group 0: nearer for leaf 1
+  EXPECT_EQ(*h.meta.find_nearest(1, obj(5)), 2u);
+}
+
+TEST(MetadataHierarchyTest, RootSeesFractionOfUpdates) {
+  Hier h;
+  // Copies of 50 objects appear at several leaves each.
+  for (std::uint64_t o = 1; o <= 50; ++o) {
+    h.meta.inform(static_cast<NodeIndex>(o % 16), obj(o));
+    h.meta.inform(static_cast<NodeIndex>((o + 5) % 16), obj(o));
+    h.meta.inform(static_cast<NodeIndex>((o + 9) % 16), obj(o));
+  }
+  EXPECT_EQ(h.meta.leaf_updates(), 150u);
+  // The hierarchy filters: the root hears far fewer than all updates.
+  EXPECT_LT(h.meta.root_updates(), h.meta.leaf_updates() / 2);
+  EXPECT_GE(h.meta.root_updates(), 50u);  // at least the first copies
+}
+
+TEST(MetadataHierarchyTest, DelayedPropagationArrivesAfterDelay) {
+  MetadataConfig cfg;
+  cfg.hop_delay = 10.0;
+  Hier h(cfg);
+  h.meta.inform(0, obj(7));
+  // Nothing visible yet anywhere else.
+  EXPECT_EQ(h.meta.find_nearest(9, obj(7)), std::nullopt);
+  // After one hop (leaf->L2) siblings still don't know; the full path to a
+  // distant group is leaf -> L2 -> root -> L2 -> leaf = 4 hops.
+  h.queue.run_until(15.0);
+  EXPECT_EQ(h.meta.find_nearest(9, obj(7)), std::nullopt);
+  h.queue.run_until(100.0);
+  ASSERT_TRUE(h.meta.find_nearest(9, obj(7)).has_value());
+  EXPECT_EQ(*h.meta.find_nearest(9, obj(7)), 0u);
+  // Same-group sibling needed only 2 hops.
+  EXPECT_EQ(*h.meta.find_nearest(1, obj(7)), 0u);
+}
+
+TEST(MetadataHierarchyTest, BoundedLeafStoresLoseHints) {
+  MetadataConfig cfg;
+  cfg.leaf_hint_bytes = 64;  // one 4-way set per leaf
+  Hier h(cfg);
+  for (std::uint64_t o = 1; o <= 100; ++o) {
+    h.meta.inform(static_cast<NodeIndex>(o % 4), obj(o * 31 + 7));
+  }
+  // A leaf in another group can remember at most 4 of the 100.
+  std::size_t remembered = 0;
+  for (std::uint64_t o = 1; o <= 100; ++o) {
+    remembered += h.meta.find_nearest(12, obj(o * 31 + 7)).has_value();
+  }
+  EXPECT_LE(remembered, 4u);
+}
+
+}  // namespace
+}  // namespace bh::hints

@@ -1,0 +1,82 @@
+// Tests for the log-bucketed latency histogram.
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace bh {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramTest, MeanAndMaxAreExact) {
+  LatencyHistogram h;
+  for (double v : {1.0, 2.0, 3.0, 10.0}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+}
+
+TEST(HistogramTest, QuantilesWithinResolution) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(double(i));
+  // Upper bucket bounds: at most 5% above the true value.
+  EXPECT_NEAR(h.quantile(0.5), 500, 500 * 0.06);
+  EXPECT_NEAR(h.quantile(0.9), 900, 900 * 0.06);
+  EXPECT_NEAR(h.quantile(0.99), 990, 990 * 0.06);
+  EXPECT_GE(h.quantile(1.0), 1000 * 0.95);
+}
+
+TEST(HistogramTest, QuantileIsMonotone) {
+  LatencyHistogram h;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) h.record(rng.lognormal(3.0, 1.5));
+  double prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, TinyValuesShareFirstBucket) {
+  LatencyHistogram h(0.001);
+  h.record(1e-9);
+  h.record(0.0005);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.001);
+}
+
+TEST(HistogramTest, MergeCombinesStreams) {
+  LatencyHistogram a, b;
+  for (int i = 1; i <= 100; ++i) a.record(double(i));
+  for (int i = 101; i <= 200; ++i) b.record(double(i));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_NEAR(a.mean(), 100.5, 1e-9);
+  EXPECT_NEAR(a.quantile(0.5), 100, 100 * 0.06);
+  EXPECT_DOUBLE_EQ(a.max(), 200.0);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  LatencyHistogram a, b;
+  b.record(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(HistogramTest, QuantileClampsArguments) {
+  LatencyHistogram h;
+  h.record(7.0);
+  EXPECT_GT(h.quantile(-1.0), 0.0);
+  EXPECT_GT(h.quantile(2.0), 0.0);
+}
+
+}  // namespace
+}  // namespace bh

@@ -1,0 +1,87 @@
+// Tests for the ICP-augmented hierarchy baseline.
+#include <gtest/gtest.h>
+
+#include "baseline/icp.h"
+#include "net/cost_model.h"
+#include "net/topology.h"
+
+namespace bh::baseline {
+namespace {
+
+trace::Record req(std::uint64_t object, ClientIndex client,
+                  std::uint32_t size = 8192, Version version = 1) {
+  trace::Record r;
+  r.type = trace::RecordType::kRequest;
+  r.object = ObjectId{object};
+  r.client = client;
+  r.size = size;
+  r.version = version;
+  return r;
+}
+
+struct Fixture {
+  net::HierarchyTopology topo{16, 4, 4};
+  net::RousskovCostModel cost = net::RousskovCostModel::min();
+  IcpHierarchySystem sys{topo, cost, {}};
+};
+
+TEST(IcpTest, LocalHitSkipsQueries) {
+  Fixture f;
+  f.sys.handle_request(req(1, 0));
+  const auto queries = f.sys.icp_queries();
+  auto out = f.sys.handle_request(req(1, 0));
+  EXPECT_EQ(out.source, core::Source::kL1);
+  EXPECT_DOUBLE_EQ(out.latency, 163);
+  EXPECT_EQ(f.sys.icp_queries(), queries);  // no new queries
+}
+
+TEST(IcpTest, MissPaysQueryRoundTrip) {
+  Fixture f;
+  auto out = f.sys.handle_request(req(1, 0));
+  EXPECT_EQ(out.source, core::Source::kServer);
+  // Sibling query (120) + full hierarchy miss (981).
+  EXPECT_DOUBLE_EQ(out.latency, 120 + 981);
+  EXPECT_EQ(f.sys.icp_queries(), 3u);  // three siblings under the L2 parent
+}
+
+TEST(IcpTest, SiblingHitBecomesDirectTransfer) {
+  Fixture f;
+  f.sys.handle_request(req(1, 4));  // copy lands at L1 1
+  auto out = f.sys.handle_request(req(1, 0));  // L1 0 queries siblings
+  EXPECT_EQ(out.source, core::Source::kRemoteL2);
+  // Query (120) + direct fetch via L1 at intermediate distance (271).
+  EXPECT_DOUBLE_EQ(out.latency, 120 + 271);
+  EXPECT_EQ(f.sys.icp_hits(), 1u);
+}
+
+TEST(IcpTest, SharingIsLimitedToTheSiblingGroup) {
+  Fixture f;
+  f.sys.handle_request(req(1, 32));  // copy at L1 8 (group 2)
+  // L1 0's siblings (1..3) don't have it; falls through to the hierarchy,
+  // where the L3 copy serves it.
+  auto out = f.sys.handle_request(req(1, 0));
+  EXPECT_EQ(out.source, core::Source::kL3);
+  EXPECT_DOUBLE_EQ(out.latency, 120 + 531);
+}
+
+TEST(IcpTest, StaleSiblingCopyIsNotUsed) {
+  Fixture f;
+  f.sys.handle_request(req(1, 4, 8192, 1));
+  auto out = f.sys.handle_request(req(1, 0, 8192, 2));  // newer version
+  EXPECT_EQ(out.source, core::Source::kServer);
+}
+
+TEST(IcpTest, ModifyPurgesAllLevels) {
+  Fixture f;
+  f.sys.handle_request(req(1, 0));
+  trace::Record m;
+  m.type = trace::RecordType::kModify;
+  m.object = ObjectId{1};
+  m.version = 2;
+  f.sys.handle_modify(m);
+  auto out = f.sys.handle_request(req(1, 4, 8192, 2));
+  EXPECT_EQ(out.source, core::Source::kServer);
+}
+
+}  // namespace
+}  // namespace bh::baseline

@@ -1,0 +1,240 @@
+// End-to-end integration tests: whole experiments on scaled-down workloads,
+// checking the paper's qualitative results — who wins, by roughly what
+// factor, and that the workload calibration lands in the published bands.
+// These run the full pipeline (generator -> event queue -> architecture ->
+// cost model -> metrics) and take a few seconds each.
+#include <gtest/gtest.h>
+
+#include "cache/miss_class.h"
+#include "core/experiment.h"
+#include "trace/generator.h"
+#include "trace/stats.h"
+
+namespace bh::core {
+namespace {
+
+constexpr double kScale = 1.0 / 128.0;
+
+const std::vector<trace::Record>& dec_records() {
+  static const std::vector<trace::Record> records =
+      trace::TraceGenerator(trace::dec_workload().scaled(kScale)).generate_all();
+  return records;
+}
+
+ExperimentConfig base_config(SystemKind kind) {
+  ExperimentConfig cfg;
+  cfg.workload = trace::dec_workload().scaled(kScale);
+  cfg.cost_model = "rousskov-min";
+  cfg.system = kind;
+  return cfg;
+}
+
+TEST(IntegrationTest, HintsBeatHierarchyOnEveryCostModel) {
+  for (const char* model : {"testbed", "rousskov-min", "rousskov-max"}) {
+    auto hier_cfg = base_config(SystemKind::kHierarchy);
+    hier_cfg.cost_model = model;
+    auto hint_cfg = base_config(SystemKind::kHints);
+    hint_cfg.cost_model = model;
+    const auto hier = run_experiment_on(dec_records(), hier_cfg);
+    const auto hints = run_experiment_on(dec_records(), hint_cfg);
+    const double speedup = hier.metrics.mean_response_ms() /
+                           hints.metrics.mean_response_ms();
+    // Paper (Table 6): 1.28 .. 2.79 across traces and models.
+    EXPECT_GT(speedup, 1.15) << model;
+    EXPECT_LT(speedup, 3.5) << model;
+  }
+}
+
+TEST(IntegrationTest, ArchitecturesAgreeOnGlobalHitRatio) {
+  // With infinite caches all three architectures see the same stream of
+  // compulsory/communication misses, so global hit ratios must be close
+  // (hints lose a little to imperfect knowledge).
+  const auto hier =
+      run_experiment_on(dec_records(), base_config(SystemKind::kHierarchy));
+  const auto dir =
+      run_experiment_on(dec_records(), base_config(SystemKind::kDirectory));
+  const auto hints =
+      run_experiment_on(dec_records(), base_config(SystemKind::kHints));
+  EXPECT_NEAR(hier.metrics.hit_ratio(), dir.metrics.hit_ratio(), 0.01);
+  EXPECT_NEAR(hier.metrics.hit_ratio(), hints.metrics.hit_ratio(), 0.03);
+  EXPECT_LE(hints.metrics.hit_ratio(), hier.metrics.hit_ratio() + 1e-9);
+}
+
+TEST(IntegrationTest, HintsBeatDirectoryWhichBeatsHierarchyWhenCongested) {
+  // Figure 8: hints win everywhere. The directory beats the hierarchy when
+  // store-and-forward is expensive (Max costs); at Min costs its per-miss
+  // query round trip can cost it the edge, so only hints' win is asserted
+  // there.
+  for (const char* model : {"rousskov-min", "rousskov-max"}) {
+    auto cfg = base_config(SystemKind::kHierarchy);
+    cfg.cost_model = model;
+    const auto hier = run_experiment_on(dec_records(), cfg);
+    cfg.system = SystemKind::kDirectory;
+    const auto dir = run_experiment_on(dec_records(), cfg);
+    cfg.system = SystemKind::kHints;
+    const auto hints = run_experiment_on(dec_records(), cfg);
+    EXPECT_LT(hints.metrics.mean_response_ms(), dir.metrics.mean_response_ms())
+        << model;
+    if (std::string(model) == "rousskov-max") {
+      EXPECT_LT(dir.metrics.mean_response_ms(), hier.metrics.mean_response_ms());
+    }
+  }
+}
+
+TEST(IntegrationTest, DecCalibrationMatchesPaperBands) {
+  // Figure 3 (DEC): L1 ~0.50, L2 ~0.62, L3 ~0.78 cumulative hit ratios; we
+  // accept generous bands around the published points.
+  auto cfg = base_config(SystemKind::kHierarchy);
+  const auto r = run_experiment_on(dec_records(), cfg);
+  const auto& c = r.levels;
+  ASSERT_GT(c.requests, 0u);
+  const double l1 = static_cast<double>(c.hits[1]) / c.requests;
+  const double l2 = l1 + static_cast<double>(c.hits[2]) / c.requests;
+  const double l3 = l2 + static_cast<double>(c.hits[3]) / c.requests;
+  EXPECT_NEAR(l1, 0.50, 0.12);
+  EXPECT_NEAR(l2, 0.62, 0.12);
+  EXPECT_NEAR(l3, 0.78, 0.08);
+}
+
+TEST(IntegrationTest, MissDecompositionMatchesFigure2Shape) {
+  // DEC, infinite shared cache: compulsory ~19% of all requests, capacity 0,
+  // communication and uncachable small.
+  cache::MissClassifier mc;
+  std::uint64_t counts[cache::kNumAccessClasses] = {};
+  std::uint64_t requests = 0;
+  for (const auto& rec : dec_records()) {
+    if (rec.type == trace::RecordType::kModify) {
+      mc.invalidate(rec.object);
+      continue;
+    }
+    ++requests;
+    ++counts[static_cast<int>(
+        mc.access(rec.object, rec.size, rec.version, rec.uncachable, rec.error))];
+  }
+  const double compulsory =
+      static_cast<double>(counts[static_cast<int>(cache::AccessClass::kCompulsoryMiss)]) /
+      requests;
+  const double capacity =
+      static_cast<double>(counts[static_cast<int>(cache::AccessClass::kCapacityMiss)]) /
+      requests;
+  const double communication =
+      static_cast<double>(
+          counts[static_cast<int>(cache::AccessClass::kCommunicationMiss)]) /
+      requests;
+  EXPECT_NEAR(compulsory, 0.19, 0.03);
+  EXPECT_DOUBLE_EQ(capacity, 0.0);
+  EXPECT_GT(communication, 0.005);
+  EXPECT_LT(communication, 0.10);
+}
+
+TEST(IntegrationTest, IdealPushBoundsThePushAlgorithms) {
+  auto cfg = base_config(SystemKind::kHints);
+  cfg.cost_model = "rousskov-max";  // push matters most under congestion
+  const auto plain = run_experiment_on(dec_records(), cfg);
+
+  cfg.hints.push = PushPolicy::kIdeal;
+  const auto ideal = run_experiment_on(dec_records(), cfg);
+
+  cfg.hints.push = PushPolicy::kPushAll;
+  const auto all = run_experiment_on(dec_records(), cfg);
+
+  // Ideal is an upper bound; push-all lands between plain and ideal.
+  EXPECT_LT(ideal.metrics.mean_response_ms(), all.metrics.mean_response_ms());
+  EXPECT_LT(all.metrics.mean_response_ms(), plain.metrics.mean_response_ms());
+  // Paper: ideal gains up to 1.62x over no-push hints at Max costs.
+  const double bound =
+      plain.metrics.mean_response_ms() / ideal.metrics.mean_response_ms();
+  EXPECT_GT(bound, 1.1);
+  EXPECT_LT(bound, 2.2);
+}
+
+TEST(IntegrationTest, PushEfficiencyOrdering) {
+  // Figure 11(a): update push is the most efficient; efficiency falls as the
+  // push degree grows.
+  auto cfg = base_config(SystemKind::kHints);
+  cfg.baseline_node_capacity = 5_GB;
+  cfg.hints.l1_capacity = 5_GB;
+
+  cfg.hints.push = PushPolicy::kUpdate;
+  const auto upd = run_experiment_on(dec_records(), cfg);
+  cfg.hints.push = PushPolicy::kPush1;
+  const auto p1 = run_experiment_on(dec_records(), cfg);
+  cfg.hints.push = PushPolicy::kPushAll;
+  const auto pall = run_experiment_on(dec_records(), cfg);
+
+  EXPECT_GT(upd.push.efficiency(), p1.push.efficiency());
+  EXPECT_GT(p1.push.efficiency(), pall.push.efficiency());
+  EXPECT_GT(pall.push.bytes_pushed, p1.push.bytes_pushed);
+}
+
+TEST(IntegrationTest, HierarchyFiltersRootUpdates) {
+  // Table 5: the metadata hierarchy's root sees roughly a third of the
+  // updates a centralized directory would receive.
+  const auto hints =
+      run_experiment_on(dec_records(), base_config(SystemKind::kHints));
+  ASSERT_GT(hints.leaf_updates, 0u);
+  const double ratio = static_cast<double>(hints.root_updates) /
+                       static_cast<double>(hints.leaf_updates);
+  EXPECT_LT(ratio, 0.7);
+  EXPECT_GT(ratio, 0.05);
+}
+
+TEST(IntegrationTest, SmallHintCachesDegradeRemoteHits) {
+  // Figure 5's shape: a tiny hint cache loses almost all remote reach; a
+  // large one keeps it.
+  auto cfg = base_config(SystemKind::kHints);
+  cfg.hints.hint_bytes = 64_KB;
+  const auto small = run_experiment_on(dec_records(), cfg);
+  cfg.hints.hint_bytes = 64_MB;
+  const auto large = run_experiment_on(dec_records(), cfg);
+  EXPECT_GT(large.metrics.hit_ratio(), small.metrics.hit_ratio() + 0.02);
+}
+
+TEST(IntegrationTest, StaleHintsDegradeGracefully) {
+  // Figure 6's shape: minutes of propagation delay are tolerable, hours are
+  // not; and delayed hints must surface as false positives/negatives, never
+  // as wrong data.
+  auto cfg = base_config(SystemKind::kHints);
+  cfg.hints.hint_hop_delay = 30.0;  // ~1 minute end-to-end
+  const auto fresh = run_experiment_on(dec_records(), cfg);
+  cfg.hints.hint_hop_delay = 6 * 3600.0;  // half a day end-to-end
+  const auto stale = run_experiment_on(dec_records(), cfg);
+  EXPECT_GT(fresh.metrics.hit_ratio(), stale.metrics.hit_ratio());
+  EXPECT_GT(stale.metrics.false_negatives + stale.metrics.false_positives,
+            fresh.metrics.false_negatives + fresh.metrics.false_positives);
+}
+
+TEST(IntegrationTest, SpaceConstrainedRunsStayOrdered) {
+  // Figure 8(b): with 5 GB nodes the ordering hierarchy > hints holds.
+  auto hier_cfg = base_config(SystemKind::kHierarchy);
+  hier_cfg.baseline_node_capacity = 1_GB;  // scaled-down trace, scaled disk
+  auto hint_cfg = base_config(SystemKind::kHints);
+  hint_cfg.hints.l1_capacity = 900_MB;
+  hint_cfg.hints.hint_bytes = 100_MB;
+  const auto hier = run_experiment_on(dec_records(), hier_cfg);
+  const auto hints = run_experiment_on(dec_records(), hint_cfg);
+  EXPECT_LT(hints.metrics.mean_response_ms(), hier.metrics.mean_response_ms());
+}
+
+TEST(IntegrationTest, ClientHintConfigurationTradeoff) {
+  // Section 3.3: with a perfect client hint cache the alternate
+  // configuration wins; with a >50% false-negative rate it loses.
+  auto cfg = base_config(SystemKind::kHints);
+  cfg.cost_model = "testbed";
+  const auto proxy = run_experiment_on(dec_records(), cfg);
+
+  cfg.hints.client_direct = true;
+  cfg.hints.client_hint_false_negative = 0.0;
+  const auto client_good = run_experiment_on(dec_records(), cfg);
+
+  cfg.hints.client_hint_false_negative = 0.8;
+  const auto client_bad = run_experiment_on(dec_records(), cfg);
+
+  EXPECT_LT(client_good.metrics.mean_response_ms(),
+            proxy.metrics.mean_response_ms());
+  EXPECT_GT(client_bad.metrics.mean_response_ms(),
+            client_good.metrics.mean_response_ms());
+}
+
+}  // namespace
+}  // namespace bh::core

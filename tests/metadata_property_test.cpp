@@ -1,0 +1,161 @@
+// Property-style tests for the metadata hierarchy: randomized operation
+// sequences checked against a ground-truth oracle.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "hints/metadata_hierarchy.h"
+#include "net/topology.h"
+#include "sim/event_queue.h"
+
+namespace bh::hints {
+namespace {
+
+ObjectId obj(std::uint64_t v) { return ObjectId{v + 1} ; }
+
+struct Oracle {
+  std::unordered_map<std::uint64_t, std::unordered_set<NodeIndex>> holders;
+
+  bool holds(std::uint64_t o, NodeIndex n) const {
+    auto it = holders.find(o);
+    return it != holders.end() && it->second.count(n) > 0;
+  }
+};
+
+// With synchronous propagation and no evictions/invalidations, every hint
+// must name a true holder: informs are monotone, so no hint can go stale.
+TEST(MetadataPropertyTest, InsertOnlyHintsAlwaysNameRealHolders) {
+  const net::HierarchyTopology topo(32, 8, 4);
+  sim::EventQueue queue;
+  MetadataHierarchy meta(topo, {}, queue);
+  Oracle oracle;
+  Rng rng(404);
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t o = rng.next_below(200);
+    const auto n = NodeIndex(rng.next_below(32));
+    meta.inform(n, obj(o));
+    oracle.holders[o].insert(n);
+
+    if (step % 50 != 0) continue;
+    for (NodeIndex leaf = 0; leaf < 32; leaf += 5) {
+      for (std::uint64_t q = 0; q < 200; q += 13) {
+        const auto near = meta.find_nearest(leaf, obj(q));
+        if (!near) continue;
+        ASSERT_NE(*near, leaf) << "hint points at the asking node";
+        ASSERT_TRUE(oracle.holds(q, *near))
+            << "hint names node " << *near << " which never held object " << q;
+      }
+    }
+  }
+}
+
+// Full chaos: informs, evictions, and consistency invalidations at zero
+// delay. Structural invariants: hints never point at the asking node, and a
+// consistency invalidation leaves no trace of the object anywhere.
+TEST(MetadataPropertyTest, ChaosMaintainsStructuralInvariants) {
+  const net::HierarchyTopology topo(32, 8, 4);
+  sim::EventQueue queue;
+  MetadataHierarchy meta(topo, {}, queue);
+  Oracle oracle;
+  Rng rng(505);
+
+  for (int step = 0; step < 6000; ++step) {
+    const std::uint64_t o = rng.next_below(100);
+    const auto n = NodeIndex(rng.next_below(32));
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1:
+        meta.inform(n, obj(o));
+        oracle.holders[o].insert(n);
+        break;
+      case 2:
+        if (oracle.holds(o, n)) {
+          meta.invalidate(n, obj(o));
+          oracle.holders[o].erase(n);
+        }
+        break;
+      case 3:
+        if (rng.next_below(10) == 0) {  // rarer: object changes server-side
+          meta.invalidate_object(obj(o));
+          oracle.holders.erase(o);
+          for (NodeIndex leaf = 0; leaf < 32; ++leaf) {
+            ASSERT_EQ(meta.find_nearest(leaf, obj(o)), std::nullopt);
+          }
+        }
+        break;
+    }
+    if (step % 200 == 0) {
+      for (NodeIndex leaf = 0; leaf < 32; leaf += 3) {
+        for (std::uint64_t q = 0; q < 100; q += 7) {
+          const auto near = meta.find_nearest(leaf, obj(q));
+          if (near) ASSERT_NE(*near, leaf);
+        }
+      }
+    }
+  }
+}
+
+// Under synchronous removals, a hint may only name a non-holder transiently
+// never — removals correct every leaf before returning. Verify: after any
+// single eviction, no leaf hint names the evicted node for that object.
+TEST(MetadataPropertyTest, EvictionLeavesNoDanglingPointerToTheEvictee) {
+  const net::HierarchyTopology topo(32, 8, 4);
+  sim::EventQueue queue;
+  MetadataHierarchy meta(topo, {}, queue);
+  Rng rng(606);
+
+  for (int round = 0; round < 300; ++round) {
+    const std::uint64_t o = rng.next_below(50);
+    const auto a = NodeIndex(rng.next_below(32));
+    const auto b = NodeIndex(rng.next_below(32));
+    meta.inform(a, obj(o));
+    meta.inform(b, obj(o));
+    meta.invalidate(a, obj(o));
+    for (NodeIndex leaf = 0; leaf < 32; ++leaf) {
+      const auto near = meta.find_nearest(leaf, obj(o));
+      if (near) ASSERT_NE(*near, a) << "round " << round;
+    }
+    // Clean the slate for the next round.
+    meta.invalidate_object(obj(o));
+  }
+}
+
+// Delayed propagation: messages in flight are allowed to create stale hints
+// (priced as false positives at request time), but the system must converge
+// once the queue drains, and draining must terminate.
+TEST(MetadataPropertyTest, DelayedChaosConvergesWhenDrained) {
+  const net::HierarchyTopology topo(32, 8, 4);
+  sim::EventQueue queue;
+  MetadataConfig cfg;
+  cfg.hop_delay = 5.0;
+  MetadataHierarchy meta(topo, cfg, queue);
+  Rng rng(707);
+
+  double t = 0;
+  for (int step = 0; step < 2000; ++step) {
+    t += rng.exponential(1.0);
+    queue.run_until(t);
+    const std::uint64_t o = rng.next_below(50);
+    const auto n = NodeIndex(rng.next_below(32));
+    if (rng.bernoulli(0.7)) {
+      meta.inform(n, obj(o));
+    } else {
+      meta.invalidate(n, obj(o));
+    }
+  }
+  queue.run_all();
+  EXPECT_TRUE(queue.empty());
+  // Reads must be safe after the dust settles.
+  for (NodeIndex leaf = 0; leaf < 32; ++leaf) {
+    for (std::uint64_t q = 0; q < 50; ++q) {
+      const auto near = meta.find_nearest(leaf, obj(q));
+      if (near) EXPECT_NE(*near, leaf);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bh::hints

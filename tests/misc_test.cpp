@@ -1,0 +1,147 @@
+// Cross-cutting tests: experiment-driver equivalence, trace-file replay
+// through the driver, large objects through the live daemon, and push
+// accounting under eviction pressure.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/experiment.h"
+#include "proxy/origin_server.h"
+#include "proxy/proxy_server.h"
+#include "trace/generator.h"
+#include "trace/trace_io.h"
+
+namespace bh {
+namespace {
+
+TEST(ExperimentDriverTest, StreamedAndReplayedRunsAgree) {
+  core::ExperimentConfig cfg;
+  cfg.workload = trace::dec_workload().scaled(1.0 / 1024.0);
+  cfg.cost_model = "rousskov-min";
+  cfg.system = core::SystemKind::kHints;
+
+  const auto streamed = core::run_experiment(cfg);
+  const auto records = trace::TraceGenerator(cfg.workload).generate_all();
+  const auto replayed = core::run_experiment_on(records, cfg);
+
+  EXPECT_EQ(streamed.metrics.requests, replayed.metrics.requests);
+  EXPECT_DOUBLE_EQ(streamed.metrics.total_latency_ms,
+                   replayed.metrics.total_latency_ms);
+  EXPECT_EQ(streamed.metrics.hits_l1, replayed.metrics.hits_l1);
+  EXPECT_EQ(streamed.root_updates, replayed.root_updates);
+}
+
+TEST(ExperimentDriverTest, TraceFileRoundTripsThroughTheDriver) {
+  core::ExperimentConfig cfg;
+  cfg.workload = trace::berkeley_workload().scaled(1.0 / 2048.0);
+  cfg.cost_model = "rousskov-min";
+  cfg.system = core::SystemKind::kHierarchy;
+
+  const auto records = trace::TraceGenerator(cfg.workload).generate_all();
+  const std::string path = ::testing::TempDir() + "/bh_replay.trace";
+  trace::write_binary_file(path, records);
+  const auto loaded = trace::read_binary_file(path);
+
+  const auto direct = core::run_experiment_on(records, cfg);
+  const auto from_file = core::run_experiment_on(loaded, cfg);
+  EXPECT_EQ(direct.metrics.requests, from_file.metrics.requests);
+  EXPECT_EQ(direct.metrics.total_hits(), from_file.metrics.total_hits());
+}
+
+TEST(ExperimentDriverTest, SystemKindNamesAreStable) {
+  EXPECT_STREQ(core::system_kind_name(core::SystemKind::kHierarchy),
+               "hierarchy");
+  EXPECT_STREQ(core::system_kind_name(core::SystemKind::kDirectory),
+               "directory");
+  EXPECT_STREQ(core::system_kind_name(core::SystemKind::kHints), "hints");
+  EXPECT_STREQ(core::system_kind_name(core::SystemKind::kIcp), "icp");
+}
+
+TEST(ExperimentDriverTest, WarmupExcludesEarlyRequests) {
+  core::ExperimentConfig cfg;
+  cfg.workload = trace::dec_workload().scaled(1.0 / 1024.0);
+  cfg.cost_model = "rousskov-min";
+  cfg.system = core::SystemKind::kHierarchy;
+  cfg.warmup_days = 0.0;
+  const auto all = core::run_experiment(cfg);
+  cfg.warmup_days = 10.0;
+  const auto late = core::run_experiment(cfg);
+  EXPECT_LT(late.metrics.requests, all.metrics.requests);
+  EXPECT_GT(late.metrics.requests, 0u);
+  EXPECT_LT(late.recorded_seconds, all.recorded_seconds);
+  // The early window's requests are excluded but their cache effects remain:
+  // recorded L1 hits cannot exceed the whole-trace count.
+  EXPECT_LE(late.metrics.hits_l1, all.metrics.hits_l1);
+}
+
+TEST(ProxyLargeObjectTest, MegabyteObjectsFlowThroughTheDaemon) {
+  proxy::OriginServer origin;
+  proxy::ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  cfg.capacity_bytes = 8u << 20;
+  proxy::ProxyServer p(cfg);
+
+  const ObjectId id{0xB16};
+  const std::size_t size = 1u << 20;
+  proxy::HttpRequest req;
+  req.method = "GET";
+  req.target = proxy::object_path(id, size);
+  auto first = proxy::http_call(p.port(), req);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->status, 200);
+  EXPECT_EQ(first->body.size(), size);
+  EXPECT_EQ(first->body, proxy::origin_body(id, 1, size));
+
+  auto second = proxy::http_call(p.port(), req);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->header("X-Cache"), "HIT");
+  EXPECT_EQ(second->body, first->body);
+}
+
+TEST(PushAccountingTest, EvictedUnusedPushesStayUnused) {
+  // Pushed copies that get evicted before anyone reads them must count as
+  // pushed-but-never-used — the denominator of Figure 11(a).
+  net::HierarchyTopology topo{16, 4, 4};
+  auto cost = net::RousskovCostModel::min();
+  sim::EventQueue queue;
+  core::HintSystemConfig cfg;
+  cfg.push = core::PushPolicy::kPushAll;
+  cfg.l1_capacity = 10000;
+  core::HintSystem sys(topo, cost, cfg, queue);
+
+  auto req = [](std::uint64_t object, ClientIndex client, std::uint32_t size) {
+    trace::Record r;
+    r.type = trace::RecordType::kRequest;
+    r.object = ObjectId{object};
+    r.client = client;
+    r.size = size;
+    r.version = 1;
+    return r;
+  };
+
+  sys.handle_request(req(1, 0, 4000));
+  sys.handle_request(req(1, 32, 4000));  // push-all seeds other groups
+  const auto pushed = sys.push_stats().copies_pushed;
+  ASSERT_GT(pushed, 0u);
+  // Flood every L1 with traffic *private to one client* so no cross-cache
+  // fetches (hence no further pushes) occur while the pushed copies evict.
+  for (std::uint64_t o = 0; o < 10; ++o) {
+    for (ClientIndex c = 0; c < 64; c += 4) {
+      sys.handle_request(req(1000 + std::uint64_t(c) * 100 + o, c, 4000));
+    }
+  }
+  EXPECT_EQ(sys.push_stats().copies_used, 0u);
+  EXPECT_EQ(sys.push_stats().copies_pushed, pushed);
+  EXPECT_DOUBLE_EQ(sys.push_stats().efficiency(), 0.0);
+}
+
+TEST(WorkloadScalingTest, UpscalingWorksToo) {
+  const auto p = trace::prodigy_workload().scaled(1.0 / 512.0).scaled(2.0);
+  p.validate();
+  EXPECT_GT(p.num_requests, trace::prodigy_workload().scaled(1.0 / 512.0).num_requests);
+  auto records = trace::TraceGenerator(p).generate_all();
+  EXPECT_GT(records.size(), p.num_requests - 1);
+}
+
+}  // namespace
+}  // namespace bh

@@ -1,0 +1,177 @@
+// Tests for the topology and the cost models. The Rousskov model must
+// reproduce every composed cell of Table 3 exactly; the testbed model must
+// match the qualitative anchors of Section 2.1.1.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/cost_model.h"
+#include "net/topology.h"
+
+namespace bh::net {
+namespace {
+
+// --- topology ---
+
+TEST(TopologyTest, PaperDefaultShape) {
+  const auto t = HierarchyTopology::paper_default();
+  EXPECT_EQ(t.num_l1(), 64u);
+  EXPECT_EQ(t.num_l2(), 8u);
+  EXPECT_EQ(t.clients_per_l1(), 256u);
+  EXPECT_EQ(t.num_clients(), 16384u);
+}
+
+TEST(TopologyTest, ClientMapping) {
+  const auto t = HierarchyTopology::paper_default();
+  EXPECT_EQ(t.l1_of_client(0), 0u);
+  EXPECT_EQ(t.l1_of_client(255), 0u);
+  EXPECT_EQ(t.l1_of_client(256), 1u);
+  EXPECT_EQ(t.l1_of_client(16383), 63u);
+  // Clients beyond the nominal population wrap.
+  EXPECT_EQ(t.l1_of_client(16384), 0u);
+}
+
+TEST(TopologyTest, LcaLevels) {
+  const auto t = HierarchyTopology::paper_default();
+  EXPECT_EQ(t.lca_level(3, 3), 1);
+  EXPECT_EQ(t.lca_level(0, 7), 2);   // same L2 group (0..7)
+  EXPECT_EQ(t.lca_level(0, 8), 3);   // different groups
+  EXPECT_EQ(t.lca_level(63, 56), 2);
+  EXPECT_EQ(t.lca_level(63, 0), 3);
+}
+
+TEST(TopologyTest, RejectsZeroArity) {
+  EXPECT_THROW(HierarchyTopology(0, 8, 256), std::invalid_argument);
+  EXPECT_THROW(HierarchyTopology(64, 0, 256), std::invalid_argument);
+  EXPECT_THROW(HierarchyTopology(64, 8, 0), std::invalid_argument);
+}
+
+TEST(TopologyTest, RaggedLastGroup) {
+  const HierarchyTopology t(10, 8, 4);
+  EXPECT_EQ(t.num_l2(), 2u);
+  EXPECT_EQ(t.l2_of_l1(9), 1u);
+  EXPECT_EQ(t.lca_level(8, 9), 2);
+  EXPECT_EQ(t.lca_level(7, 8), 3);
+}
+
+// --- Rousskov model: every composed cell of Table 3 ---
+
+TEST(RousskovTest, Table3TotalHierarchical) {
+  const auto mn = RousskovCostModel::min();
+  const auto mx = RousskovCostModel::max();
+  EXPECT_DOUBLE_EQ(mn.hierarchy_hit(1, 8192), 163);
+  EXPECT_DOUBLE_EQ(mx.hierarchy_hit(1, 8192), 352);
+  EXPECT_DOUBLE_EQ(mn.hierarchy_hit(2, 8192), 271);
+  EXPECT_DOUBLE_EQ(mx.hierarchy_hit(2, 8192), 2767);
+  EXPECT_DOUBLE_EQ(mn.hierarchy_hit(3, 8192), 531);
+  EXPECT_DOUBLE_EQ(mx.hierarchy_hit(3, 8192), 4667);
+  EXPECT_DOUBLE_EQ(mn.hierarchy_miss(8192), 981);
+  EXPECT_DOUBLE_EQ(mx.hierarchy_miss(8192), 7217);
+}
+
+TEST(RousskovTest, Table3TotalClientDirect) {
+  const auto mn = RousskovCostModel::min();
+  const auto mx = RousskovCostModel::max();
+  EXPECT_DOUBLE_EQ(mn.direct_hit(1, 0), 163);
+  EXPECT_DOUBLE_EQ(mx.direct_hit(1, 0), 352);
+  EXPECT_DOUBLE_EQ(mn.direct_hit(2, 0), 180);
+  EXPECT_DOUBLE_EQ(mx.direct_hit(2, 0), 2550);
+  EXPECT_DOUBLE_EQ(mn.direct_hit(3, 0), 320);
+  EXPECT_DOUBLE_EQ(mx.direct_hit(3, 0), 2850);
+  EXPECT_DOUBLE_EQ(mn.direct_miss(0), 550);
+  EXPECT_DOUBLE_EQ(mx.direct_miss(0), 3200);
+}
+
+TEST(RousskovTest, Table3TotalViaL1) {
+  const auto mn = RousskovCostModel::min();
+  const auto mx = RousskovCostModel::max();
+  EXPECT_DOUBLE_EQ(mn.via_l1_hit(1, 0), 163);
+  EXPECT_DOUBLE_EQ(mx.via_l1_hit(1, 0), 352);
+  EXPECT_DOUBLE_EQ(mn.via_l1_hit(2, 0), 271);
+  EXPECT_DOUBLE_EQ(mx.via_l1_hit(2, 0), 2767);
+  EXPECT_DOUBLE_EQ(mn.via_l1_hit(3, 0), 411);
+  EXPECT_DOUBLE_EQ(mx.via_l1_hit(3, 0), 3067);
+  EXPECT_DOUBLE_EQ(mn.via_l1_miss(0), 641);
+  EXPECT_DOUBLE_EQ(mx.via_l1_miss(0), 3417);
+}
+
+TEST(RousskovTest, ControlRttIsDatalessRoundTrip) {
+  const auto mn = RousskovCostModel::min();
+  EXPECT_DOUBLE_EQ(mn.control_rtt(1), 16 + 75);
+  EXPECT_DOUBLE_EQ(mn.control_rtt(3), 100 + 120);
+  EXPECT_LT(mn.control_rtt(3), mn.direct_hit(3, 0));  // no disk component
+}
+
+TEST(RousskovTest, SizeIndependent) {
+  const auto mn = RousskovCostModel::min();
+  EXPECT_DOUBLE_EQ(mn.hierarchy_hit(3, 100), mn.hierarchy_hit(3, 1000000));
+}
+
+TEST(RousskovTest, RejectsBadLevel) {
+  const auto mn = RousskovCostModel::min();
+  EXPECT_THROW(mn.hierarchy_hit(0, 0), std::out_of_range);
+  EXPECT_THROW(mn.direct_hit(4, 0), std::out_of_range);
+}
+
+// --- testbed model: Section 2.1.1 anchors ---
+
+TEST(TestbedTest, HierarchyVsDirectGapAt8KB) {
+  const auto tb = TestbedCostModel::fitted();
+  const double gap = tb.hierarchy_hit(3, 8192) - tb.direct_hit(3, 8192);
+  // Paper: 545 ms gap for an 8 KB object fetched from the Austin (L3) cache.
+  EXPECT_NEAR(gap, 545, 120);
+  const double ratio = tb.hierarchy_hit(3, 8192) / tb.direct_hit(3, 8192);
+  EXPECT_NEAR(ratio, 2.5, 0.4);
+}
+
+TEST(TestbedTest, L1VsDistantCacheRatiosAt8KB) {
+  const auto tb = TestbedCostModel::fitted();
+  // Paper: L1 accesses are 4.75x faster than L2-distance direct accesses and
+  // 6.17x faster than L3-distance ones for 8 KB objects.
+  EXPECT_NEAR(tb.direct_hit(2, 8192) / tb.hierarchy_hit(1, 8192), 4.75, 1.2);
+  EXPECT_NEAR(tb.direct_hit(3, 8192) / tb.hierarchy_hit(1, 8192), 6.17, 1.5);
+}
+
+TEST(TestbedTest, MonotoneInSize) {
+  const auto tb = TestbedCostModel::fitted();
+  for (std::uint64_t s = 2048; s <= 1048576; s *= 2) {
+    EXPECT_LT(tb.hierarchy_hit(3, s), tb.hierarchy_hit(3, s * 2));
+    EXPECT_LT(tb.direct_hit(2, s), tb.direct_hit(2, s * 2));
+    EXPECT_LT(tb.direct_miss(s), tb.direct_miss(s * 2));
+  }
+}
+
+TEST(TestbedTest, MonotoneInDistanceAndLevel) {
+  const auto tb = TestbedCostModel::fitted();
+  for (std::uint64_t s : {2048u, 65536u, 1048576u}) {
+    EXPECT_LT(tb.direct_hit(1, s), tb.direct_hit(2, s));
+    EXPECT_LT(tb.direct_hit(2, s), tb.direct_hit(3, s));
+    EXPECT_LT(tb.hierarchy_hit(1, s), tb.hierarchy_hit(2, s));
+    EXPECT_LT(tb.hierarchy_hit(2, s), tb.hierarchy_hit(3, s));
+    EXPECT_LT(tb.hierarchy_hit(3, s), tb.hierarchy_miss(s));
+  }
+}
+
+TEST(TestbedTest, MissesAreNotSlowedByDirectPath) {
+  const auto tb = TestbedCostModel::fitted();
+  // The hierarchy slows misses; the via-L1 direct path must not (by much).
+  EXPECT_LT(tb.via_l1_miss(8192), tb.hierarchy_miss(8192));
+}
+
+TEST(TestbedTest, ViaL1WrapsDirect) {
+  const auto tb = TestbedCostModel::fitted();
+  EXPECT_GT(tb.via_l1_hit(3, 8192), tb.direct_hit(3, 8192));
+  EXPECT_DOUBLE_EQ(tb.via_l1_hit(1, 8192), tb.hierarchy_hit(1, 8192));
+}
+
+// --- factory ---
+
+TEST(CostModelFactoryTest, KnownNames) {
+  EXPECT_EQ(make_cost_model("testbed")->name(), "testbed");
+  EXPECT_EQ(make_cost_model("rousskov-min")->name(), "rousskov-min");
+  EXPECT_EQ(make_cost_model("max")->name(), "rousskov-max");
+  EXPECT_THROW(make_cost_model("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bh::net

@@ -1,0 +1,132 @@
+// Tests for the distributed location directory routed over the Plaxton mesh.
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "net/topology.h"
+#include "plaxton/plaxton_directory.h"
+
+namespace bh::plaxton {
+namespace {
+
+struct Fixture {
+  net::HierarchyTopology topo{64, 8, 256};
+  PlaxtonMesh mesh;
+  PlaxtonDirectory dir;
+
+  Fixture()
+      : mesh(ids_for_topology(64, 7),
+             [t = topo](NodeIndex a, NodeIndex b) {
+               return double(t.lca_level(a, b));
+             },
+             PlaxtonConfig{2}),
+        dir(&mesh) {}
+};
+
+TEST(PlaxtonDirectoryTest, InformThenFindFromAnywhere) {
+  Fixture f;
+  const ObjectId obj{mix64(1)};
+  f.dir.inform(5, obj);
+  for (NodeIndex n = 0; n < 64; n += 5) {
+    if (n == 5) continue;
+    const auto hit = f.dir.find_nearest(n, obj);
+    EXPECT_EQ(hit.location, 5u) << "from " << n;
+    EXPECT_GE(hit.hops, 1);
+  }
+}
+
+TEST(PlaxtonDirectoryTest, RequesterIsNeverItsOwnAnswer) {
+  Fixture f;
+  const ObjectId obj{mix64(2)};
+  f.dir.inform(9, obj);
+  const auto hit = f.dir.find_nearest(9, obj);
+  EXPECT_EQ(hit.location, kInvalidNode);
+}
+
+TEST(PlaxtonDirectoryTest, UnknownObjectNotFound) {
+  Fixture f;
+  const auto hit = f.dir.find_nearest(0, ObjectId{mix64(3)});
+  EXPECT_EQ(hit.location, kInvalidNode);
+  EXPECT_GE(hit.hops, 1);
+}
+
+TEST(PlaxtonDirectoryTest, InvalidateRemovesOneHolder) {
+  Fixture f;
+  const ObjectId obj{mix64(4)};
+  f.dir.inform(10, obj);
+  f.dir.inform(20, obj);
+  f.dir.invalidate(10, obj);
+  for (NodeIndex n = 0; n < 64; n += 7) {
+    const auto hit = f.dir.find_nearest(n, obj);
+    if (n == 20) continue;
+    EXPECT_EQ(hit.location, 20u) << "from " << n;
+  }
+  f.dir.invalidate(20, obj);
+  EXPECT_EQ(f.dir.find_nearest(0, obj).location, kInvalidNode);
+}
+
+TEST(PlaxtonDirectoryTest, InvalidateObjectWipesEverything) {
+  Fixture f;
+  const ObjectId obj{mix64(5)};
+  f.dir.inform(1, obj);
+  f.dir.inform(2, obj);
+  f.dir.invalidate_object(obj);
+  EXPECT_EQ(f.dir.find_nearest(40, obj).location, kInvalidNode);
+}
+
+TEST(PlaxtonDirectoryTest, PrefersNearbyCopies) {
+  Fixture f;
+  Rng rng(12);
+  int near_chosen = 0, cases = 0;
+  for (int i = 0; i < 500; ++i) {
+    const ObjectId obj{mix64(std::uint64_t(i) + 100)};
+    const auto requester = NodeIndex(rng.next_below(64));
+    // One copy in the requester's L2 group, one far away.
+    const NodeIndex near =
+        (requester / 8) * 8 + NodeIndex(rng.next_below(8));
+    const NodeIndex far = (near + 24) % 64;
+    if (near == requester) continue;
+    f.dir.inform(near, obj);
+    f.dir.inform(far, obj);
+    const auto hit = f.dir.find_nearest(requester, obj);
+    ASSERT_NE(hit.location, kInvalidNode);
+    ++cases;
+    if (f.topo.lca_level(requester, hit.location) <= 2) ++near_chosen;
+  }
+  // Plaxton routing finds *a* copy always and a nearby one usually: the
+  // requester's low-level route nodes are biased toward its own subtree.
+  ASSERT_GT(cases, 400);
+  EXPECT_GT(double(near_chosen) / cases, 0.5);
+}
+
+TEST(PlaxtonDirectoryTest, LoadIsBalancedAcrossMetadataNodes) {
+  Fixture f;
+  Rng rng(13);
+  const int kObjs = 5000;
+  for (int i = 0; i < kObjs; ++i) {
+    f.dir.inform(NodeIndex(rng.next_below(64)),
+                 ObjectId{mix64(std::uint64_t(i) + 999)});
+  }
+  const auto load = f.dir.per_node_entries();
+  std::size_t max_load = 0, total = 0;
+  for (std::size_t l : load) {
+    max_load = std::max(max_load, l);
+    total += l;
+  }
+  ASSERT_GT(total, 0u);
+  // No node carries the whole namespace (a fixed tree's root would hold all
+  // kObjs entries).
+  EXPECT_LT(max_load, std::size_t(kObjs) / 2);
+}
+
+TEST(PlaxtonDirectoryTest, DuplicateInformIsIdempotent) {
+  Fixture f;
+  const ObjectId obj{mix64(6)};
+  f.dir.inform(3, obj);
+  const auto writes = f.dir.pointer_writes();
+  f.dir.inform(3, obj);
+  EXPECT_EQ(f.dir.pointer_writes(), writes);
+}
+
+}  // namespace
+}  // namespace bh::plaxton

@@ -1,0 +1,174 @@
+// Tests for the Plaxton randomized tree embedding: unique converging roots,
+// load distribution, locality of low-level parents, and small disturbance
+// under churn.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/hash.h"
+#include "net/topology.h"
+#include "plaxton/plaxton.h"
+
+namespace bh::plaxton {
+namespace {
+
+DistanceFn lca_distance(const net::HierarchyTopology& topo) {
+  return [topo](NodeIndex a, NodeIndex b) {
+    return static_cast<double>(topo.lca_level(a, b));
+  };
+}
+
+struct Mesh {
+  net::HierarchyTopology topo{64, 8, 256};
+  PlaxtonMesh mesh;
+
+  explicit Mesh(PlaxtonConfig cfg = {})
+      : mesh(ids_for_topology(64, /*seed=*/7), lca_distance(topo), cfg) {}
+};
+
+TEST(PlaxtonTest, RejectsBadConstruction) {
+  EXPECT_THROW(PlaxtonMesh({}, nullptr), std::invalid_argument);
+  EXPECT_THROW(PlaxtonMesh({1, 1}, [](NodeIndex, NodeIndex) { return 1.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(PlaxtonMesh({1, 2}, [](NodeIndex, NodeIndex) { return 1.0; },
+                           PlaxtonConfig{0}),
+               std::invalid_argument);
+}
+
+TEST(PlaxtonTest, SingleNodeIsAlwaysRoot) {
+  PlaxtonMesh m({42}, [](NodeIndex, NodeIndex) { return 1.0; });
+  EXPECT_EQ(m.root_of(123456), 0u);
+  EXPECT_EQ(m.route(0, 99).size(), 1u);
+}
+
+TEST(PlaxtonTest, AllStartsConvergeToSameRoot) {
+  Mesh m;
+  for (std::uint64_t o = 0; o < 200; ++o) {
+    const std::uint64_t oid = mix64(o + 1);
+    const NodeIndex root = m.mesh.route(0, oid).back();
+    for (NodeIndex start = 1; start < 64; start += 7) {
+      EXPECT_EQ(m.mesh.route(start, oid).back(), root)
+          << "object " << o << " start " << start;
+    }
+  }
+}
+
+TEST(PlaxtonTest, RouteFromRootStaysAtRoot) {
+  Mesh m;
+  for (std::uint64_t o = 0; o < 50; ++o) {
+    const std::uint64_t oid = mix64(o + 777);
+    const NodeIndex root = m.mesh.root_of(oid);
+    EXPECT_EQ(m.mesh.route(root, oid).back(), root);
+  }
+}
+
+TEST(PlaxtonTest, LoadIsSpreadAcrossRoots) {
+  Mesh m;
+  std::map<NodeIndex, int> load;
+  const int kObjects = 6400;
+  for (int o = 0; o < kObjects; ++o) {
+    ++load[m.mesh.root_of(mix64(static_cast<std::uint64_t>(o) + 31))];
+  }
+  // Each of the 64 nodes should root roughly 1/64th of objects. Allow a wide
+  // band: no node may root more than 5x its fair share, and at least half
+  // the nodes must root something.
+  EXPECT_GE(load.size(), 32u);
+  for (const auto& [node, count] : load) {
+    EXPECT_LT(count, kObjects / 64 * 5) << "node " << node;
+  }
+}
+
+TEST(PlaxtonTest, RoutesAreShort) {
+  Mesh m;
+  for (std::uint64_t o = 0; o < 100; ++o) {
+    const auto path = m.mesh.route(o % 64, mix64(o + 5));
+    // 64 nodes, binary digits: expected path length ~log2(64) = 6, certainly
+    // far below the node count.
+    EXPECT_LE(path.size(), 16u);
+  }
+}
+
+TEST(PlaxtonTest, LowLevelHopsAreLocalOnAverage) {
+  Mesh m;
+  double first_hop = 0, last_hop = 0;
+  int firsts = 0, lasts = 0;
+  for (std::uint64_t o = 0; o < 500; ++o) {
+    const auto path = m.mesh.route(static_cast<NodeIndex>(o % 64), mix64(o));
+    if (path.size() < 3) continue;
+    first_hop += m.topo.lca_level(path[0], path[1]);
+    ++firsts;
+    last_hop += m.topo.lca_level(path[path.size() - 2], path.back());
+    ++lasts;
+  }
+  ASSERT_GT(firsts, 50);
+  // Early hops pick among many candidates and can stay near; late hops have
+  // few eligible parents and roam the whole system.
+  EXPECT_LT(first_hop / firsts, last_hop / lasts);
+}
+
+TEST(PlaxtonTest, HigherArityShortensRoutes) {
+  Mesh binary(PlaxtonConfig{1});
+  Mesh quad(PlaxtonConfig{2});
+  double len1 = 0, len2 = 0;
+  for (std::uint64_t o = 0; o < 200; ++o) {
+    len1 += static_cast<double>(binary.mesh.route(0, mix64(o + 9)).size());
+    len2 += static_cast<double>(quad.mesh.route(0, mix64(o + 9)).size());
+  }
+  EXPECT_LT(len2, len1);
+}
+
+TEST(PlaxtonTest, RemovalReassignsItsObjects) {
+  Mesh m;
+  std::vector<std::uint64_t> oids;
+  std::vector<NodeIndex> roots_before;
+  for (std::uint64_t o = 0; o < 1000; ++o) {
+    oids.push_back(mix64(o + 13));
+    roots_before.push_back(m.mesh.root_of(oids.back()));
+  }
+  const NodeIndex victim = roots_before[0];
+  m.mesh.remove_node(victim);
+  EXPECT_FALSE(m.mesh.alive(victim));
+
+  int changed = 0;
+  for (std::size_t i = 0; i < oids.size(); ++i) {
+    const NodeIndex root = m.mesh.root_of(oids[i]);
+    EXPECT_NE(root, victim);
+    if (root != roots_before[i]) ++changed;
+  }
+  // Only objects rooted at (or routed through) the victim move: the
+  // disturbance is a small fraction of the namespace.
+  EXPECT_GT(changed, 0);
+  EXPECT_LT(changed, static_cast<int>(oids.size()) / 4);
+
+  // Re-adding restores the original assignment exactly.
+  m.mesh.add_node(victim);
+  for (std::size_t i = 0; i < oids.size(); ++i) {
+    EXPECT_EQ(m.mesh.root_of(oids[i]), roots_before[i]);
+  }
+}
+
+TEST(PlaxtonTest, CannotRemoveLastNode) {
+  PlaxtonMesh m({5}, [](NodeIndex, NodeIndex) { return 1.0; });
+  EXPECT_THROW(m.remove_node(0), std::logic_error);
+}
+
+TEST(PlaxtonTest, RouteFromDeadNodeThrows) {
+  Mesh m;
+  m.mesh.remove_node(3);
+  EXPECT_THROW(m.mesh.route(3, 1234), std::invalid_argument);
+}
+
+TEST(PlaxtonTest, IdsForTopologyAreUniqueAndDeterministic) {
+  const auto a = ids_for_topology(256, 11);
+  const auto b = ids_for_topology(256, 11);
+  EXPECT_EQ(a, b);
+  std::set<std::uint64_t> uniq(a.begin(), a.end());
+  EXPECT_EQ(uniq.size(), 256u);
+  const auto c = ids_for_topology(256, 12);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace bh::plaxton

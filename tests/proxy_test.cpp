@@ -1,0 +1,412 @@
+// End-to-end tests of the proxy daemon layer over real loopback TCP: HTTP
+// parsing, the origin server, cache-to-cache transfers driven by hints, the
+// false-positive error path, eviction advertisements, and batch exchange.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "proxy/http.h"
+#include "proxy/origin_server.h"
+#include "proxy/proxy_server.h"
+
+namespace bh::proxy {
+namespace {
+
+// --- HTTP layer ---
+
+TEST(HttpTest, RequestRoundTrip) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = "/obj/00000000000000ff?size=10";
+  req.headers.emplace_back("X-No-Forward", "1");
+  req.body = "hello";
+  const std::string wire = serialize(req);
+  auto back = parse_request(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->method, "GET");
+  EXPECT_EQ(back->target, req.target);
+  EXPECT_EQ(back->body, "hello");
+  EXPECT_TRUE(back->header("x-no-forward").has_value());
+  EXPECT_EQ(back->path(), "/obj/00000000000000ff");
+  EXPECT_EQ(back->query_param("size"), "10");
+  EXPECT_EQ(back->query_param("missing"), std::nullopt);
+}
+
+TEST(HttpTest, ResponseRoundTrip) {
+  HttpResponse resp;
+  resp.status = 404;
+  resp.reason = "Not Cached";
+  resp.headers.emplace_back("X-Served-By", "p1");
+  resp.body = std::string(1000, 'x');
+  auto back = parse_response(serialize(resp));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->status, 404);
+  EXPECT_EQ(back->reason, "Not Cached");
+  EXPECT_EQ(back->body.size(), 1000u);
+  EXPECT_EQ(back->header("x-served-by"), "p1");
+}
+
+TEST(HttpTest, ParserRejectsMalformed) {
+  EXPECT_FALSE(parse_request("garbage").has_value());
+  EXPECT_FALSE(parse_request("GET /x\r\n\r\n").has_value());  // no version
+  EXPECT_FALSE(
+      parse_request("GET /x HTTP/1.0\r\nContent-Length: 5\r\n\r\nab")
+          .has_value());  // short body
+  EXPECT_FALSE(
+      parse_request("GET /x HTTP/1.0\r\nBadHeader\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_response("HTTP/1.0 abc Bad\r\n\r\n").has_value());
+}
+
+TEST(HttpTest, BinaryBodySurvives) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/updates";
+  req.body = std::string("\x00\x01\xff\r\n\r\n\x02", 8);
+  auto back = parse_request(serialize(req));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->body, req.body);
+}
+
+// --- origin body determinism ---
+
+TEST(OriginBodyTest, DeterministicAndVersionSensitive) {
+  const ObjectId id{0x1234};
+  EXPECT_EQ(origin_body(id, 1, 100), origin_body(id, 1, 100));
+  EXPECT_NE(origin_body(id, 1, 100), origin_body(id, 2, 100));
+  EXPECT_NE(origin_body(id, 1, 100), origin_body(ObjectId{0x1235}, 1, 100));
+  EXPECT_EQ(origin_body(id, 1, 100).size(), 100u);
+}
+
+TEST(OriginBodyTest, PathRoundTrip) {
+  const ObjectId id{0xDEADBEEFCAFE1234ULL};
+  const std::string path = object_path(id, 512);
+  EXPECT_EQ(path, "/obj/deadbeefcafe1234?size=512");
+  auto back = object_from_path("/obj/deadbeefcafe1234");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, id);
+  EXPECT_FALSE(object_from_path("/obj/short").has_value());
+  EXPECT_FALSE(object_from_path("/other").has_value());
+}
+
+// --- live servers ---
+
+// Fetch through a proxy and return (status, X-Cache, body).
+struct FetchResult {
+  int status = 0;
+  std::string cache;
+  std::string body;
+};
+
+FetchResult fetch(std::uint16_t proxy_port, ObjectId id, std::size_t size) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = object_path(id, size);
+  auto resp = http_call(proxy_port, req);
+  FetchResult r;
+  if (!resp) return r;
+  r.status = resp->status;
+  if (auto c = resp->header("X-Cache")) r.cache = std::string(*c);
+  r.body = std::move(resp->body);
+  return r;
+}
+
+TEST(OriginServerTest, ServesDeterministicContent) {
+  OriginServer origin;
+  HttpRequest req;
+  req.method = "GET";
+  req.target = object_path(ObjectId{42}, 256);
+  auto resp = http_call(origin.port(), req);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, origin_body(ObjectId{42}, 1, 256));
+  EXPECT_EQ(resp->header("X-Version"), "1");
+  origin.modify(ObjectId{42});
+  resp = http_call(origin.port(), req);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->body, origin_body(ObjectId{42}, 2, 256));
+  EXPECT_EQ(origin.requests_served(), 2u);
+}
+
+TEST(OriginServerTest, RejectsUnknownPaths) {
+  OriginServer origin;
+  HttpRequest req;
+  req.method = "GET";
+  req.target = "/nope";
+  auto resp = http_call(origin.port(), req);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 404);
+}
+
+TEST(ProxyServerTest, MissThenLocalHit) {
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  ProxyServer proxy(cfg);
+
+  const ObjectId id{7};
+  auto first = fetch(proxy.port(), id, 100);
+  EXPECT_EQ(first.status, 200);
+  EXPECT_EQ(first.cache, "MISS");
+  EXPECT_EQ(first.body, origin_body(id, 1, 100));
+
+  auto second = fetch(proxy.port(), id, 100);
+  EXPECT_EQ(second.cache, "HIT");
+  EXPECT_EQ(second.body, first.body);
+  EXPECT_EQ(origin.requests_served(), 1u);
+
+  const auto s = proxy.stats();
+  EXPECT_EQ(s.requests, 2u);
+  EXPECT_EQ(s.local_hits, 1u);
+  EXPECT_EQ(s.origin_fetches, 1u);
+}
+
+TEST(ProxyServerTest, HintEnablesCacheToCacheTransfer) {
+  OriginServer origin;
+  ProxyConfig ca;
+  ca.name = "a";
+  ca.origin_port = origin.port();
+  ProxyServer a(ca);
+  ProxyConfig cb;
+  cb.name = "b";
+  cb.origin_port = origin.port();
+  cb.hint_neighbors = {a.port()};
+  ProxyServer b(cb);
+
+  const ObjectId id{9};
+  // b fetches from the origin and advertises its copy to its neighbour a.
+  EXPECT_EQ(fetch(b.port(), id, 64).cache, "MISS");
+  b.flush_hints();
+
+  // a now holds a hint naming b: its first fetch is a SIBLING transfer.
+  auto via_a = fetch(a.port(), id, 64);
+  EXPECT_EQ(via_a.status, 200);
+  EXPECT_EQ(via_a.cache, "SIBLING");
+  EXPECT_EQ(via_a.body, origin_body(id, 1, 64));
+  EXPECT_EQ(origin.requests_served(), 1u);  // the origin was hit exactly once
+
+  const auto sa = a.stats();
+  EXPECT_EQ(sa.sibling_hits, 1u);
+  const auto sb = b.stats();
+  EXPECT_EQ(sb.peer_serves, 1u);
+}
+
+TEST(ProxyServerTest, FalsePositiveCostsOneProbeThenOrigin) {
+  OriginServer origin;
+  ProxyConfig ca;
+  ca.name = "a";
+  ca.origin_port = origin.port();
+  ProxyServer a(ca);
+  ProxyConfig cb;
+  cb.name = "b";
+  cb.origin_port = origin.port();
+  cb.hint_neighbors = {a.port()};
+  ProxyServer b(cb);
+
+  const ObjectId id{11};
+  fetch(b.port(), id, 64);
+  b.flush_hints();          // a now has the hint
+  b.invalidate(id);         // ... which is now stale
+
+  auto via_a = fetch(a.port(), id, 64);
+  EXPECT_EQ(via_a.status, 200);
+  EXPECT_EQ(via_a.cache, "MISS");  // fell through to the origin
+  const auto sa = a.stats();
+  EXPECT_EQ(sa.false_positives, 1u);
+  const auto sb = b.stats();
+  EXPECT_EQ(sb.peer_rejects, 1u);
+  // The bogus hint is gone: the next a-side fetch is a plain local hit.
+  EXPECT_EQ(fetch(a.port(), id, 64).cache, "HIT");
+}
+
+TEST(ProxyServerTest, EvictionAdvertisesInvalidation) {
+  OriginServer origin;
+  ProxyConfig ca;
+  ca.name = "a";
+  ca.origin_port = origin.port();
+  ProxyServer a(ca);
+  ProxyConfig cb;
+  cb.name = "b";
+  cb.origin_port = origin.port();
+  cb.hint_neighbors = {a.port()};
+  cb.capacity_bytes = 150;  // tiny: the second object evicts the first
+  ProxyServer b(cb);
+
+  const ObjectId first{21}, second{22};
+  fetch(b.port(), first, 100);
+  fetch(b.port(), second, 100);  // evicts `first`
+  b.flush_hints();
+
+  // a heard both the inform and the invalidate for `first`: no stale hint,
+  // so a's fetch goes straight to the origin without probing b.
+  auto via_a = fetch(a.port(), first, 100);
+  EXPECT_EQ(via_a.cache, "MISS");
+  EXPECT_EQ(a.stats().false_positives, 0u);
+  // And the hint for `second` still works.
+  EXPECT_EQ(fetch(a.port(), second, 100).cache, "SIBLING");
+}
+
+TEST(ProxyServerTest, UpdatesRelayAlongAChain) {
+  OriginServer origin;
+  ProxyConfig c1;
+  c1.name = "a";
+  c1.origin_port = origin.port();
+  ProxyServer a(c1);
+  ProxyConfig c3 = c1;
+  c3.name = "c";
+  ProxyServer c(c3);
+  // b in the middle relays between a and c.
+  ProxyConfig c2 = c1;
+  c2.name = "b";
+  c2.hint_neighbors = {a.port(), c.port()};
+  ProxyServer b(c2);
+
+  // a -> (flush) -> b -> (flush) -> c.
+  ProxyConfig c1b = c1;
+  c1b.hint_neighbors = {b.port()};
+  ProxyServer a2(c1b);
+
+  const ObjectId id{33};
+  fetch(a2.port(), id, 64);
+  a2.flush_hints();
+  b.flush_hints();
+  // c must now hold a hint naming a2 — its fetch is a SIBLING transfer.
+  auto via_c = fetch(c.port(), id, 64);
+  EXPECT_EQ(via_c.cache, "SIBLING");
+  EXPECT_EQ(via_c.body, origin_body(id, 1, 64));
+  // b relayed but did not echo the update back to a2.
+  EXPECT_EQ(a2.stats().updates_received, 0u);
+  EXPECT_EQ(origin.requests_served(), 1u);
+}
+
+TEST(ProxyServerTest, PushOnPeerFetchSeedsOtherNeighbors) {
+  OriginServer origin;
+  ProxyConfig base;
+  base.origin_port = origin.port();
+  // Supplier s with push enabled; requester r; bystander t.
+  ProxyConfig cs = base;
+  cs.name = "supplier";
+  cs.push_on_peer_fetch = true;
+  ProxyServer s(cs);
+  ProxyConfig cr = base;
+  cr.name = "requester";
+  ProxyServer r(cr);
+  ProxyConfig ct = base;
+  ct.name = "bystander";
+  ProxyServer t(ct);
+  s.add_hint_neighbor(r.port());
+  s.add_hint_neighbor(t.port());
+  r.add_hint_neighbor(s.port());
+
+  const ObjectId id{51};
+  fetch(s.port(), id, 64);  // supplier caches the object
+  s.flush_hints();          // requester + bystander learn the hint
+
+  // The requester's fetch is a cache-to-cache transfer; serving it triggers
+  // a push to the bystander.
+  EXPECT_EQ(fetch(r.port(), id, 64).cache, "SIBLING");
+  EXPECT_EQ(s.stats().pushes_sent, 1u);
+  EXPECT_EQ(t.stats().pushes_received, 1u);
+  // The bystander now serves the object locally without any fetch.
+  EXPECT_EQ(fetch(t.port(), id, 64).cache, "HIT");
+  EXPECT_EQ(origin.requests_served(), 1u);
+}
+
+TEST(ProxyServerTest, PushNeverOverwritesExistingCopy) {
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  ProxyServer p(cfg);
+  const ObjectId id{52};
+  fetch(p.port(), id, 64);  // demand copy (version 1 bytes)
+  // Push different bytes at it.
+  HttpRequest put;
+  put.method = "PUT";
+  put.target = object_path(id, 3);
+  put.body = "xyz";
+  auto resp = http_call(p.port(), put);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(fetch(p.port(), id, 64).body, origin_body(id, 1, 64));
+}
+
+TEST(ProxyServerTest, ServerDrivenInvalidationPreventsStaleReads) {
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  cfg.register_with_origin = true;
+  ProxyServer p(cfg);
+
+  const ObjectId id{61};
+  auto first = fetch(p.port(), id, 128);
+  EXPECT_EQ(first.body, origin_body(id, 1, 128));
+  // The origin modifies the object: the registered proxy's copy dies before
+  // any client can read it.
+  origin.modify(id);
+  EXPECT_GE(origin.invalidations_sent(), 1u);
+  auto second = fetch(p.port(), id, 128);
+  EXPECT_EQ(second.cache, "MISS");  // not served stale
+  EXPECT_EQ(second.body, origin_body(id, 2, 128));
+}
+
+TEST(ProxyServerTest, UnregisteredProxyServesStaleUntilInvalidated) {
+  // Without registration the daemon has no way to learn about the change —
+  // the weak-consistency failure mode the paper's assumption removes.
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  ProxyServer p(cfg);
+
+  const ObjectId id{62};
+  fetch(p.port(), id, 128);
+  origin.modify(id);
+  auto stale = fetch(p.port(), id, 128);
+  EXPECT_EQ(stale.cache, "HIT");
+  EXPECT_EQ(stale.body, origin_body(id, 1, 128));  // stale bytes
+  p.invalidate(id);
+  auto fresh = fetch(p.port(), id, 128);
+  EXPECT_EQ(fresh.body, origin_body(id, 2, 128));
+}
+
+TEST(ProxyServerTest, MalformedBatchIsRejected) {
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  ProxyServer proxy(cfg);
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/updates";
+  req.body = "not a multiple of 20 bytes";
+  auto resp = http_call(proxy.port(), req);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 400);
+}
+
+TEST(ProxyServerTest, ConcurrentFetchesFromBothSides) {
+  // a and b each serve a request that fetches from the *other* proxy; with
+  // single-threaded daemons this would deadlock.
+  OriginServer origin;
+  ProxyConfig ca;
+  ca.name = "a";
+  ca.origin_port = origin.port();
+  ProxyServer a(ca);
+  ProxyConfig cb = ca;
+  cb.name = "b";
+  ProxyServer b(cb);
+  a.add_hint_neighbor(b.port());
+  b.add_hint_neighbor(a.port());
+
+  const ObjectId x{41}, y{42};
+  fetch(a.port(), x, 64);
+  fetch(b.port(), y, 64);
+  a.flush_hints();
+  b.flush_hints();
+
+  std::thread t1([&] { EXPECT_EQ(fetch(b.port(), x, 64).cache, "SIBLING"); });
+  std::thread t2([&] { EXPECT_EQ(fetch(a.port(), y, 64).cache, "SIBLING"); });
+  t1.join();
+  t2.join();
+}
+
+}  // namespace
+}  // namespace bh::proxy

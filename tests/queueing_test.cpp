@@ -1,0 +1,80 @@
+// Tests for the queueing substrate, validated against M/M/1 analytics.
+#include <gtest/gtest.h>
+
+#include "sim/queueing.h"
+
+namespace bh::sim {
+namespace {
+
+TEST(QueueStationTest, RejectsBadService) {
+  EventQueue q;
+  EXPECT_THROW(QueueStation(q, 0.0, 1), std::invalid_argument);
+}
+
+TEST(QueueStationTest, ServesFifo) {
+  EventQueue q;
+  QueueStation s(q, 1.0, 7);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.submit([&order, i](SimTime) { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(s.completed(), 5u);
+}
+
+TEST(QueueStationTest, SojournCoversWaitingAndService) {
+  EventQueue q;
+  QueueStation s(q, 0.5, 11);
+  // Two simultaneous jobs: the second waits for the first.
+  SimTime first = 0, second = 0;
+  s.submit([&](SimTime t) { first = t; });
+  s.submit([&](SimTime t) { second = t; });
+  q.run_all();
+  EXPECT_GT(second, first);
+  EXPECT_GT(s.mean_sojourn(), 0.5 * 0.5);  // at least half a mean service
+}
+
+TEST(QueueStationTest, IdleStationUtilizationMatchesLoad) {
+  const auto r = run_station_chain(1, /*arrival_rate=*/2.0,
+                                   /*mean_service=*/0.2, 50000, 99);
+  // rho = lambda * s = 0.4.
+  EXPECT_NEAR(r.per_station_utilization, 0.4, 0.05);
+}
+
+// M/M/1: mean time in system = s / (1 - rho).
+class Mm1Test : public ::testing::TestWithParam<double> {};
+
+TEST_P(Mm1Test, MeanSojournMatchesAnalytic) {
+  const double rho = GetParam();
+  const double service = 0.1;
+  const auto r = run_station_chain(1, rho / service, service, 120000, 31);
+  const double analytic = service / (1.0 - rho);
+  EXPECT_EQ(r.jobs, 120000u);
+  EXPECT_NEAR(r.mean_end_to_end, analytic, analytic * 0.15) << "rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, Mm1Test, ::testing::Values(0.2, 0.5, 0.7));
+
+TEST(StationChainTest, MoreHopsCostMore) {
+  const double service = 0.05;
+  const auto one = run_station_chain(1, 10.0, service, 40000, 5);
+  const auto three = run_station_chain(3, 10.0, service, 40000, 5);
+  EXPECT_GT(three.mean_end_to_end, 2.5 * one.mean_end_to_end * 0.8);
+  EXPECT_GT(three.mean_end_to_end, one.mean_end_to_end);
+}
+
+TEST(StationChainTest, LoadAmplifiesHopPenalty) {
+  // The paper's hypothesis: the 3-hop penalty grows with utilization.
+  const double service = 0.05;
+  const auto idle = run_station_chain(3, 0.1 / service, service, 40000, 6);
+  const auto busy = run_station_chain(3, 0.8 / service, service, 40000, 6);
+  EXPECT_GT(busy.mean_end_to_end, 2.0 * idle.mean_end_to_end);
+}
+
+TEST(StationChainTest, RejectsBadHops) {
+  EXPECT_THROW(run_station_chain(0, 1.0, 1.0, 10, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bh::sim

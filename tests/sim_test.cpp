@@ -1,0 +1,93 @@
+// Tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace bh::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&](SimTime) { order.push_back(3); });
+  q.schedule_at(1.0, [&](SimTime) { order.push_back(1); });
+  q.schedule_at(2.0, [&](SimTime) { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5.0, [&order, i](SimTime) { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(1.0, [&](SimTime) { ++ran; });
+  q.schedule_at(2.0, [&](SimTime) { ++ran; });
+  q.schedule_at(3.0, [&](SimTime) { ++ran; });
+  q.run_until(2.0);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueueTest, EventsScheduledDuringDrainRun) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule_at(1.0, [&](SimTime now) {
+    times.push_back(now);
+    q.schedule_after(0.5, [&](SimTime t2) { times.push_back(t2); });
+  });
+  q.run_until(2.0);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(EventQueueTest, PastEventsClampToNow) {
+  EventQueue q;
+  q.schedule_at(5.0, [](SimTime) {});
+  q.run_until(5.0);
+  double when = -1;
+  q.schedule_at(1.0, [&](SimTime now) { when = now; });  // in the past
+  q.run_all();
+  EXPECT_DOUBLE_EQ(when, 5.0);
+}
+
+TEST(EventQueueTest, NowAdvancesWithEvents) {
+  EventQueue q;
+  q.schedule_at(7.5, [](SimTime) {});
+  q.run_all();
+  EXPECT_DOUBLE_EQ(q.now(), 7.5);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, RunUntilAdvancesNowWithoutEvents) {
+  EventQueue q;
+  q.run_until(9.0);
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueueTest, CascadedSchedulingIsStable) {
+  // A chain of 1000 zero-delay events must run in creation order.
+  EventQueue q;
+  int count = 0;
+  std::function<void(SimTime)> chain = [&](SimTime) {
+    if (++count < 1000) q.schedule_after(0.0, chain);
+  };
+  q.schedule_at(1.0, chain);
+  q.run_all();
+  EXPECT_EQ(count, 1000);
+}
+
+}  // namespace
+}  // namespace bh::sim

@@ -1,0 +1,202 @@
+// Parameterized sweeps: the same invariants checked across every workload
+// preset, cost model, topology shape, and push policy.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/experiment.h"
+#include "net/cost_model.h"
+#include "net/topology.h"
+#include "trace/generator.h"
+#include "trace/stats.h"
+
+namespace bh {
+namespace {
+
+// --- every workload preset satisfies the generator contract ---
+
+class WorkloadSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadSweep, GeneratorContractHolds) {
+  const auto params = trace::workload_by_name(GetParam()).scaled(1.0 / 512.0);
+  auto records = trace::TraceGenerator(params).generate_all();
+  const auto s = trace::compute_stats(records);
+  EXPECT_EQ(s.requests, params.num_requests);
+  EXPECT_EQ(s.distinct_objects, params.num_objects);
+  SimTime last = 0;
+  for (const auto& r : records) {
+    ASSERT_LE(last, r.time);
+    last = r.time;
+  }
+}
+
+TEST_P(WorkloadSweep, SharingRaisesHitRates) {
+  // Figure 3's qualitative law for every trace: cumulative hit ratio grows
+  // with the sharing level.
+  core::ExperimentConfig cfg;
+  cfg.workload = trace::workload_by_name(GetParam()).scaled(1.0 / 256.0);
+  cfg.cost_model = "rousskov-min";
+  cfg.system = core::SystemKind::kHierarchy;
+  const auto r = core::run_experiment(cfg);
+  const auto& c = r.levels;
+  ASSERT_GT(c.requests, 0u);
+  EXPECT_GT(c.hits[1], 0u);
+  EXPECT_GT(c.hits[2], 0u);
+  EXPECT_GT(c.hits[3], 0u);
+}
+
+TEST_P(WorkloadSweep, HintsNeverLoseToHierarchy) {
+  const auto workload = trace::workload_by_name(GetParam()).scaled(1.0 / 256.0);
+  const auto records = trace::TraceGenerator(workload).generate_all();
+  core::ExperimentConfig cfg;
+  cfg.workload = workload;
+  cfg.cost_model = "testbed";
+  cfg.system = core::SystemKind::kHierarchy;
+  const auto hier = core::run_experiment_on(records, cfg);
+  cfg.system = core::SystemKind::kHints;
+  const auto hints = core::run_experiment_on(records, cfg);
+  EXPECT_LT(hints.metrics.mean_response_ms(),
+            hier.metrics.mean_response_ms());
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, WorkloadSweep,
+                         ::testing::Values("dec", "berkeley", "prodigy"));
+
+// --- every cost model satisfies the structural cost laws ---
+
+class CostModelSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CostModelSweep, StructuralLaws) {
+  const auto model = net::make_cost_model(GetParam());
+  for (std::uint64_t bytes : {1024u, 10240u, 1048576u}) {
+    // Deeper hierarchy hits cost more.
+    EXPECT_LE(model->hierarchy_hit(1, bytes), model->hierarchy_hit(2, bytes));
+    EXPECT_LE(model->hierarchy_hit(2, bytes), model->hierarchy_hit(3, bytes));
+    EXPECT_LE(model->hierarchy_hit(3, bytes), model->hierarchy_miss(bytes));
+    // Farther direct accesses cost more.
+    EXPECT_LE(model->direct_hit(1, bytes), model->direct_hit(2, bytes));
+    EXPECT_LE(model->direct_hit(2, bytes), model->direct_hit(3, bytes));
+    // The via-L1 wrap never makes a remote access cheaper than direct.
+    for (int d = 2; d <= 3; ++d) {
+      EXPECT_GE(model->via_l1_hit(d, bytes), model->direct_hit(d, bytes));
+    }
+    EXPECT_GE(model->via_l1_miss(bytes), model->direct_miss(bytes));
+    // Going through the hierarchy is never cheaper than via-L1 direct.
+    EXPECT_GE(model->hierarchy_miss(bytes), model->via_l1_miss(bytes));
+    // Control round trips carry no payload: cheaper than a data access.
+    for (int d = 1; d <= 3; ++d) {
+      EXPECT_LT(model->control_rtt(d), model->direct_hit(d, bytes));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, CostModelSweep,
+                         ::testing::Values("testbed", "rousskov-min",
+                                           "rousskov-max"));
+
+// --- accounting closes for every architecture ---
+
+class SystemSweep : public ::testing::TestWithParam<core::SystemKind> {};
+
+TEST_P(SystemSweep, SourceAccountingCloses) {
+  core::ExperimentConfig cfg;
+  cfg.workload = trace::dec_workload().scaled(1.0 / 512.0);
+  cfg.cost_model = "rousskov-min";
+  cfg.system = GetParam();
+  const auto r = core::run_experiment(cfg);
+  const auto& m = r.metrics;
+  EXPECT_EQ(m.total_hits() + m.server_fetches, m.requests);
+  EXPECT_GT(m.requests, 0u);
+  EXPECT_GT(m.mean_response_ms(), 0.0);
+  EXPECT_EQ(m.latency.count(), m.requests);
+  // Quantiles bracket the mean sanely.
+  EXPECT_LE(m.latency.quantile(0.0), m.mean_response_ms() * 1.05 + 1);
+  EXPECT_GE(m.latency.quantile(1.0), m.mean_response_ms() * 0.95 - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Systems, SystemSweep,
+    ::testing::Values(core::SystemKind::kHierarchy,
+                      core::SystemKind::kDirectory, core::SystemKind::kHints,
+                      core::SystemKind::kIcp),
+    [](const auto& info) {
+      return std::string(core::system_kind_name(info.param));
+    });
+
+// --- every push policy helps (or at least never hurts) with infinite disk ---
+
+class PushSweep : public ::testing::TestWithParam<core::PushPolicy> {};
+
+TEST_P(PushSweep, PushNeverHurtsWithInfiniteDisk) {
+  const auto workload = trace::dec_workload().scaled(1.0 / 256.0);
+  const auto records = trace::TraceGenerator(workload).generate_all();
+  core::ExperimentConfig cfg;
+  cfg.workload = workload;
+  cfg.cost_model = "rousskov-max";
+  cfg.system = core::SystemKind::kHints;
+  const auto plain = core::run_experiment_on(records, cfg);
+  cfg.hints.push = GetParam();
+  const auto pushed = core::run_experiment_on(records, cfg);
+  // With no space pressure, extra copies can only shorten distances.
+  EXPECT_LE(pushed.metrics.mean_response_ms(),
+            plain.metrics.mean_response_ms() * 1.002);
+  // Hit ratio is not reduced by pushing.
+  EXPECT_GE(pushed.metrics.hit_ratio(), plain.metrics.hit_ratio() - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PushSweep,
+    ::testing::Values(core::PushPolicy::kUpdate, core::PushPolicy::kPush1,
+                      core::PushPolicy::kPushHalf, core::PushPolicy::kPushAll,
+                      core::PushPolicy::kIdeal),
+    [](const auto& info) {
+      std::string name = core::push_policy_name(info.param);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// --- topology shapes ---
+
+class TopologySweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(TopologySweep, LcaIsSymmetricAndBounded) {
+  const auto [num_l1, fanout] = GetParam();
+  const net::HierarchyTopology topo(num_l1, fanout, 16);
+  for (NodeIndex a = 0; a < num_l1; ++a) {
+    for (NodeIndex b = 0; b < num_l1; ++b) {
+      const int d = topo.lca_level(a, b);
+      ASSERT_EQ(d, topo.lca_level(b, a));
+      ASSERT_GE(d, 1);
+      ASSERT_LE(d, 3);
+      ASSERT_EQ(d == 1, a == b);
+    }
+  }
+}
+
+TEST_P(TopologySweep, HintSystemWorksOnAnyShape) {
+  const auto [num_l1, fanout] = GetParam();
+  trace::WorkloadParams w = trace::dec_workload().scaled(1.0 / 1024.0);
+  w.clients_per_l1 = std::max(1u, w.num_clients / num_l1);
+  w.l1_per_l2 = fanout;
+  core::ExperimentConfig cfg;
+  cfg.workload = w;
+  cfg.cost_model = "rousskov-min";
+  cfg.system = core::SystemKind::kHints;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_GT(r.metrics.requests, 0u);
+  EXPECT_EQ(r.metrics.total_hits() + r.metrics.server_fetches,
+            r.metrics.requests);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TopologySweep,
+                         ::testing::Values(std::make_tuple(4u, 2u),
+                                           std::make_tuple(16u, 4u),
+                                           std::make_tuple(64u, 8u),
+                                           std::make_tuple(30u, 7u)));
+
+}  // namespace
+}  // namespace bh

@@ -1,0 +1,284 @@
+// Tests for workload presets, the synthetic generator, trace I/O, and stats.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_map>
+
+#include "trace/generator.h"
+#include "trace/stats.h"
+#include "trace/trace_io.h"
+#include "trace/workload.h"
+
+namespace bh::trace {
+namespace {
+
+WorkloadParams tiny() {
+  WorkloadParams p = dec_workload();
+  return p.scaled(1.0 / 512.0);
+}
+
+// --- workload presets ---
+
+TEST(WorkloadTest, PresetsMatchTable4) {
+  const auto d = dec_workload();
+  EXPECT_EQ(d.num_clients, 16660u);
+  EXPECT_EQ(d.num_requests, 22'100'000u);
+  EXPECT_EQ(d.num_objects, 4'150'000u);
+  EXPECT_DOUBLE_EQ(d.duration_days, 21);
+
+  const auto b = berkeley_workload();
+  EXPECT_EQ(b.num_clients, 8372u);
+  EXPECT_EQ(b.num_requests, 8'800'000u);
+  EXPECT_EQ(b.num_objects, 1'800'000u);
+  EXPECT_DOUBLE_EQ(b.duration_days, 19);
+
+  const auto p = prodigy_workload();
+  EXPECT_EQ(p.num_clients, 35354u);
+  EXPECT_EQ(p.num_requests, 4'200'000u);
+  EXPECT_EQ(p.num_objects, 1'200'000u);
+  EXPECT_DOUBLE_EQ(p.duration_days, 3);
+}
+
+TEST(WorkloadTest, ByNameAndUnknown) {
+  EXPECT_EQ(workload_by_name("dec").name, "dec");
+  EXPECT_EQ(workload_by_name("berkeley").name, "berkeley");
+  EXPECT_EQ(workload_by_name("prodigy").name, "prodigy");
+  EXPECT_THROW(workload_by_name("aol"), std::invalid_argument);
+}
+
+TEST(WorkloadTest, ScalingPreservesShape) {
+  const auto d = dec_workload();
+  const auto s = d.scaled(1.0 / 32.0);
+  EXPECT_NEAR(static_cast<double>(s.num_requests),
+              static_cast<double>(d.num_requests) / 32.0,
+              static_cast<double>(d.num_requests) * 0.01);
+  // The number of L1 groups survives scaling.
+  EXPECT_EQ(s.num_l1(), d.num_l1());
+  EXPECT_DOUBLE_EQ(s.duration_days, d.duration_days);
+}
+
+TEST(WorkloadTest, ValidationCatchesNonsense) {
+  WorkloadParams p = dec_workload();
+  p.num_objects = p.num_requests + 1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = dec_workload();
+  p.p_client_history = 0.9;
+  p.p_l1_history = 0.9;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = dec_workload();
+  p.duration_days = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  EXPECT_THROW(dec_workload().scaled(0.0), std::invalid_argument);
+}
+
+// --- generator ---
+
+TEST(GeneratorTest, ExactHeadCounts) {
+  const auto p = tiny();
+  auto records = TraceGenerator(p).generate_all();
+  const TraceStats s = compute_stats(records);
+  EXPECT_EQ(s.requests, p.num_requests);
+  EXPECT_EQ(s.distinct_objects, p.num_objects);
+  EXPECT_LE(s.duration_days, p.duration_days + 0.01);
+}
+
+TEST(GeneratorTest, Deterministic) {
+  const auto p = tiny();
+  auto a = TraceGenerator(p).generate_all();
+  auto b = TraceGenerator(p).generate_all();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_EQ(a[i].object, b[i].object);
+    EXPECT_EQ(a[i].client, b[i].client);
+    EXPECT_EQ(a[i].time, b[i].time);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto p = tiny();
+  auto a = TraceGenerator(p).generate_all();
+  p.seed ^= 0x1234;
+  auto b = TraceGenerator(p).generate_all();
+  std::size_t same = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) same += a[i].object == b[i].object;
+  EXPECT_LT(same, n / 2);
+}
+
+TEST(GeneratorTest, TimeIsMonotonic) {
+  auto records = TraceGenerator(tiny()).generate_all();
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    ASSERT_LE(records[i - 1].time, records[i].time);
+  }
+}
+
+TEST(GeneratorTest, VersionsAreConsistentWithModifies) {
+  // Each request's version equals 1 + number of modifies for that object
+  // emitted earlier in the stream.
+  auto records = TraceGenerator(tiny()).generate_all();
+  std::unordered_map<std::uint64_t, Version> version;
+  for (const Record& r : records) {
+    if (r.type == RecordType::kModify) {
+      ASSERT_EQ(r.version, version.count(r.object.value)
+                               ? version[r.object.value] + 1
+                               : 2u);
+      version[r.object.value] = r.version;
+    } else {
+      const Version expect =
+          version.count(r.object.value) ? version[r.object.value] : 1u;
+      ASSERT_EQ(r.version, expect);
+      if (!version.count(r.object.value)) version[r.object.value] = 1;
+    }
+  }
+}
+
+TEST(GeneratorTest, ObjectSizeIsStablePerObject) {
+  auto records = TraceGenerator(tiny()).generate_all();
+  std::unordered_map<std::uint64_t, std::uint32_t> size;
+  for (const Record& r : records) {
+    auto [it, inserted] = size.emplace(r.object.value, r.size);
+    if (!inserted) {
+      ASSERT_EQ(it->second, r.size);
+    }
+  }
+}
+
+TEST(GeneratorTest, UncachableIsPerObjectProperty) {
+  auto records = TraceGenerator(tiny()).generate_all();
+  std::unordered_map<std::uint64_t, bool> unc;
+  for (const Record& r : records) {
+    if (r.type != RecordType::kRequest) continue;
+    auto [it, inserted] = unc.emplace(r.object.value, r.uncachable);
+    if (!inserted) {
+      ASSERT_EQ(it->second, r.uncachable);
+    }
+  }
+}
+
+TEST(GeneratorTest, RatesNearTargets) {
+  const auto p = tiny();
+  auto records = TraceGenerator(p).generate_all();
+  const TraceStats s = compute_stats(records);
+  // Compulsory share is distinct/requests by construction.
+  EXPECT_NEAR(s.first_reference_fraction,
+              static_cast<double>(p.num_objects) / p.num_requests, 1e-9);
+  EXPECT_NEAR(static_cast<double>(s.error_requests) / s.requests,
+              p.error_request_fraction, 0.01);
+  // Uncachable is a per-object property; popularity weighting moves the
+  // request-level share around, so the band is loose.
+  EXPECT_NEAR(static_cast<double>(s.uncachable_requests) / s.requests,
+              p.uncachable_object_fraction, p.uncachable_object_fraction + 0.02);
+}
+
+TEST(GeneratorTest, ClientsInRange) {
+  const auto p = tiny();
+  auto records = TraceGenerator(p).generate_all();
+  for (const Record& r : records) {
+    if (r.type != RecordType::kRequest) continue;
+    ASSERT_LT(r.client, p.num_clients);
+  }
+}
+
+TEST(GeneratorTest, GenerateTwiceThrows) {
+  TraceGenerator gen(tiny());
+  gen.generate([](const Record&) {});
+  EXPECT_THROW(gen.generate([](const Record&) {}), std::logic_error);
+}
+
+TEST(GeneratorTest, MeanObjectSizeNearTenKB) {
+  // The paper cites ~10 KB average web objects; the lognormal parameters
+  // must land in that neighbourhood.
+  auto records = TraceGenerator(tiny()).generate_all();
+  const TraceStats s = compute_stats(records);
+  EXPECT_GT(s.mean_object_size, 5_KB);
+  EXPECT_LT(s.mean_object_size, 20_KB);
+}
+
+// --- I/O ---
+
+TEST(TraceIoTest, BinaryRoundTrip) {
+  auto records = TraceGenerator(tiny().scaled(0.1)).generate_all();
+  std::stringstream ss;
+  write_binary(ss, records);
+  auto back = read_binary(ss);
+  ASSERT_EQ(back.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(back[i].object, records[i].object);
+    EXPECT_EQ(back[i].client, records[i].client);
+    EXPECT_EQ(back[i].size, records[i].size);
+    EXPECT_EQ(back[i].version, records[i].version);
+    EXPECT_EQ(back[i].type, records[i].type);
+    EXPECT_EQ(back[i].uncachable, records[i].uncachable);
+    EXPECT_EQ(back[i].error, records[i].error);
+    EXPECT_NEAR(back[i].time, records[i].time, 1e-5);
+  }
+}
+
+TEST(TraceIoTest, BinaryRejectsGarbage) {
+  std::stringstream ss;
+  ss << "definitely not a trace";
+  EXPECT_THROW(read_binary(ss), std::runtime_error);
+}
+
+TEST(TraceIoTest, BinaryRejectsTruncation) {
+  auto records = TraceGenerator(tiny().scaled(0.05)).generate_all();
+  std::stringstream ss;
+  write_binary(ss, records);
+  std::string data = ss.str();
+  data.resize(data.size() - 10);
+  std::stringstream cut(data);
+  EXPECT_THROW(read_binary(cut), std::runtime_error);
+}
+
+TEST(TraceIoTest, TextRoundTrip) {
+  auto records = TraceGenerator(tiny().scaled(0.02)).generate_all();
+  std::stringstream ss;
+  write_text(ss, records);
+  auto back = read_text(ss);
+  ASSERT_EQ(back.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); i += 11) {
+    EXPECT_EQ(back[i].object, records[i].object);
+    EXPECT_EQ(back[i].type, records[i].type);
+    EXPECT_EQ(back[i].uncachable, records[i].uncachable);
+  }
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  auto records = TraceGenerator(tiny().scaled(0.02)).generate_all();
+  const std::string path = ::testing::TempDir() + "/bh_trace_test.bin";
+  write_binary_file(path, records);
+  auto back = read_binary_file(path);
+  EXPECT_EQ(back.size(), records.size());
+}
+
+// --- stats ---
+
+TEST(TraceStatsTest, CountsBasics) {
+  std::vector<Record> rs;
+  Record r;
+  r.type = RecordType::kRequest;
+  r.object = ObjectId{1};
+  r.client = 7;
+  r.size = 100;
+  r.time = 10;
+  rs.push_back(r);
+  r.object = ObjectId{2};
+  r.client = 8;
+  r.uncachable = true;
+  r.time = 20;
+  rs.push_back(r);
+  r.type = RecordType::kModify;
+  r.time = 30;
+  rs.push_back(r);
+
+  const TraceStats s = compute_stats(rs);
+  EXPECT_EQ(s.requests, 2u);
+  EXPECT_EQ(s.modifies, 1u);
+  EXPECT_EQ(s.distinct_objects, 2u);
+  EXPECT_EQ(s.distinct_clients, 2u);
+  EXPECT_EQ(s.uncachable_requests, 1u);
+  EXPECT_DOUBLE_EQ(s.first_reference_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace bh::trace
