@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_icp.dir/ablation_icp.cpp.o"
+  "CMakeFiles/ablation_icp.dir/ablation_icp.cpp.o.d"
+  "ablation_icp"
+  "ablation_icp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_icp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

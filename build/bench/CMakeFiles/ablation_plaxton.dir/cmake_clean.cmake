@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_plaxton.dir/ablation_plaxton.cpp.o"
+  "CMakeFiles/ablation_plaxton.dir/ablation_plaxton.cpp.o.d"
+  "ablation_plaxton"
+  "ablation_plaxton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_plaxton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_push.dir/fig10_push.cpp.o"
+  "CMakeFiles/fig10_push.dir/fig10_push.cpp.o.d"
+  "fig10_push"
+  "fig10_push.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_push_efficiency.cpp" "bench/CMakeFiles/fig11_push_efficiency.dir/fig11_push_efficiency.cpp.o" "gcc" "bench/CMakeFiles/fig11_push_efficiency.dir/fig11_push_efficiency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/bh_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/plaxton/CMakeFiles/bh_plaxton.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bh_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bh_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hints/CMakeFiles/bh_hints.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_testbed.dir/fig1_testbed.cpp.o"
+  "CMakeFiles/fig1_testbed.dir/fig1_testbed.cpp.o.d"
+  "fig1_testbed"
+  "fig1_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_miss_decomposition.dir/fig2_miss_decomposition.cpp.o"
+  "CMakeFiles/fig2_miss_decomposition.dir/fig2_miss_decomposition.cpp.o.d"
+  "fig2_miss_decomposition"
+  "fig2_miss_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_miss_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

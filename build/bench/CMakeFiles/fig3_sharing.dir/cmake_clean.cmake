@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_sharing.dir/fig3_sharing.cpp.o"
+  "CMakeFiles/fig3_sharing.dir/fig3_sharing.cpp.o.d"
+  "fig3_sharing"
+  "fig3_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

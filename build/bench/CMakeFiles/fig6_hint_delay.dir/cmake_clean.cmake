@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_hint_delay.dir/fig6_hint_delay.cpp.o"
+  "CMakeFiles/fig6_hint_delay.dir/fig6_hint_delay.cpp.o.d"
+  "fig6_hint_delay"
+  "fig6_hint_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hint_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hintcache.dir/micro_hintcache.cpp.o"
+  "CMakeFiles/micro_hintcache.dir/micro_hintcache.cpp.o.d"
+  "micro_hintcache"
+  "micro_hintcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hintcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

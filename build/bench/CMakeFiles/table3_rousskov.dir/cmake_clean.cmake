@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_rousskov.dir/table3_rousskov.cpp.o"
+  "CMakeFiles/table3_rousskov.dir/table3_rousskov.cpp.o.d"
+  "table3_rousskov"
+  "table3_rousskov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_rousskov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_traces.dir/table4_traces.cpp.o"
+  "CMakeFiles/table4_traces.dir/table4_traces.cpp.o.d"
+  "table4_traces"
+  "table4_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_update_load.dir/table5_update_load.cpp.o"
+  "CMakeFiles/table5_update_load.dir/table5_update_load.cpp.o.d"
+  "table5_update_load"
+  "table5_update_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_update_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

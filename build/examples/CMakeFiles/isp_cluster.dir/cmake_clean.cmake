@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_cluster.dir/isp_cluster.cpp.o"
+  "CMakeFiles/isp_cluster.dir/isp_cluster.cpp.o.d"
+  "isp_cluster"
+  "isp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

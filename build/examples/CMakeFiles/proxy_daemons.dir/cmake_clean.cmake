@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_daemons.dir/proxy_daemons.cpp.o"
+  "CMakeFiles/proxy_daemons.dir/proxy_daemons.cpp.o.d"
+  "proxy_daemons"
+  "proxy_daemons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_daemons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/central_directory.cpp" "src/baseline/CMakeFiles/bh_baseline.dir/central_directory.cpp.o" "gcc" "src/baseline/CMakeFiles/bh_baseline.dir/central_directory.cpp.o.d"
+  "/root/repo/src/baseline/data_hierarchy.cpp" "src/baseline/CMakeFiles/bh_baseline.dir/data_hierarchy.cpp.o" "gcc" "src/baseline/CMakeFiles/bh_baseline.dir/data_hierarchy.cpp.o.d"
+  "/root/repo/src/baseline/icp.cpp" "src/baseline/CMakeFiles/bh_baseline.dir/icp.cpp.o" "gcc" "src/baseline/CMakeFiles/bh_baseline.dir/icp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bh_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bh_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_baseline.dir/central_directory.cpp.o"
+  "CMakeFiles/bh_baseline.dir/central_directory.cpp.o.d"
+  "CMakeFiles/bh_baseline.dir/data_hierarchy.cpp.o"
+  "CMakeFiles/bh_baseline.dir/data_hierarchy.cpp.o.d"
+  "CMakeFiles/bh_baseline.dir/icp.cpp.o"
+  "CMakeFiles/bh_baseline.dir/icp.cpp.o.d"
+  "libbh_baseline.a"
+  "libbh_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/consistency_sim.cpp" "src/cache/CMakeFiles/bh_cache.dir/consistency_sim.cpp.o" "gcc" "src/cache/CMakeFiles/bh_cache.dir/consistency_sim.cpp.o.d"
+  "/root/repo/src/cache/lru_cache.cpp" "src/cache/CMakeFiles/bh_cache.dir/lru_cache.cpp.o" "gcc" "src/cache/CMakeFiles/bh_cache.dir/lru_cache.cpp.o.d"
+  "/root/repo/src/cache/miss_class.cpp" "src/cache/CMakeFiles/bh_cache.dir/miss_class.cpp.o" "gcc" "src/cache/CMakeFiles/bh_cache.dir/miss_class.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bh_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

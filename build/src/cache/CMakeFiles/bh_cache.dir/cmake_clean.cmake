@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_cache.dir/consistency_sim.cpp.o"
+  "CMakeFiles/bh_cache.dir/consistency_sim.cpp.o.d"
+  "CMakeFiles/bh_cache.dir/lru_cache.cpp.o"
+  "CMakeFiles/bh_cache.dir/lru_cache.cpp.o.d"
+  "CMakeFiles/bh_cache.dir/miss_class.cpp.o"
+  "CMakeFiles/bh_cache.dir/miss_class.cpp.o.d"
+  "libbh_cache.a"
+  "libbh_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

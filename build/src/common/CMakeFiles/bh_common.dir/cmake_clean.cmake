@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_common.dir/md5.cpp.o"
+  "CMakeFiles/bh_common.dir/md5.cpp.o.d"
+  "CMakeFiles/bh_common.dir/rng.cpp.o"
+  "CMakeFiles/bh_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bh_common.dir/table.cpp.o"
+  "CMakeFiles/bh_common.dir/table.cpp.o.d"
+  "CMakeFiles/bh_common.dir/zipf.cpp.o"
+  "CMakeFiles/bh_common.dir/zipf.cpp.o.d"
+  "libbh_common.a"
+  "libbh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

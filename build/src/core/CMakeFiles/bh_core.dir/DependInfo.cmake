@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/bh_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/bh_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/hint_system.cpp" "src/core/CMakeFiles/bh_core.dir/hint_system.cpp.o" "gcc" "src/core/CMakeFiles/bh_core.dir/hint_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bh_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hints/CMakeFiles/bh_hints.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bh_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

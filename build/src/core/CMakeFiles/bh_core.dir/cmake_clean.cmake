@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_core.dir/experiment.cpp.o"
+  "CMakeFiles/bh_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/bh_core.dir/hint_system.cpp.o"
+  "CMakeFiles/bh_core.dir/hint_system.cpp.o.d"
+  "libbh_core.a"
+  "libbh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

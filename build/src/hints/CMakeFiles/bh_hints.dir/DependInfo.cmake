@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hints/front_cache.cpp" "src/hints/CMakeFiles/bh_hints.dir/front_cache.cpp.o" "gcc" "src/hints/CMakeFiles/bh_hints.dir/front_cache.cpp.o.d"
+  "/root/repo/src/hints/hint_cache.cpp" "src/hints/CMakeFiles/bh_hints.dir/hint_cache.cpp.o" "gcc" "src/hints/CMakeFiles/bh_hints.dir/hint_cache.cpp.o.d"
+  "/root/repo/src/hints/metadata_hierarchy.cpp" "src/hints/CMakeFiles/bh_hints.dir/metadata_hierarchy.cpp.o" "gcc" "src/hints/CMakeFiles/bh_hints.dir/metadata_hierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

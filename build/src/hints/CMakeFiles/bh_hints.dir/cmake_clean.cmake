@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_hints.dir/front_cache.cpp.o"
+  "CMakeFiles/bh_hints.dir/front_cache.cpp.o.d"
+  "CMakeFiles/bh_hints.dir/hint_cache.cpp.o"
+  "CMakeFiles/bh_hints.dir/hint_cache.cpp.o.d"
+  "CMakeFiles/bh_hints.dir/metadata_hierarchy.cpp.o"
+  "CMakeFiles/bh_hints.dir/metadata_hierarchy.cpp.o.d"
+  "libbh_hints.a"
+  "libbh_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

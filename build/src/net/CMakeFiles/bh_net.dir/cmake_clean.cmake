@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_net.dir/cost_model.cpp.o"
+  "CMakeFiles/bh_net.dir/cost_model.cpp.o.d"
+  "libbh_net.a"
+  "libbh_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

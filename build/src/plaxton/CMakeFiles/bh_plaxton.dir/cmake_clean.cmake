@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_plaxton.dir/plaxton.cpp.o"
+  "CMakeFiles/bh_plaxton.dir/plaxton.cpp.o.d"
+  "CMakeFiles/bh_plaxton.dir/plaxton_directory.cpp.o"
+  "CMakeFiles/bh_plaxton.dir/plaxton_directory.cpp.o.d"
+  "libbh_plaxton.a"
+  "libbh_plaxton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_plaxton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

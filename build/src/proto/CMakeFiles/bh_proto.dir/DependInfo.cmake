@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/hint_peer.cpp" "src/proto/CMakeFiles/bh_proto.dir/hint_peer.cpp.o" "gcc" "src/proto/CMakeFiles/bh_proto.dir/hint_peer.cpp.o.d"
+  "/root/repo/src/proto/transport.cpp" "src/proto/CMakeFiles/bh_proto.dir/transport.cpp.o" "gcc" "src/proto/CMakeFiles/bh_proto.dir/transport.cpp.o.d"
+  "/root/repo/src/proto/wire.cpp" "src/proto/CMakeFiles/bh_proto.dir/wire.cpp.o" "gcc" "src/proto/CMakeFiles/bh_proto.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hints/CMakeFiles/bh_hints.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_proto.dir/hint_peer.cpp.o"
+  "CMakeFiles/bh_proto.dir/hint_peer.cpp.o.d"
+  "CMakeFiles/bh_proto.dir/transport.cpp.o"
+  "CMakeFiles/bh_proto.dir/transport.cpp.o.d"
+  "CMakeFiles/bh_proto.dir/wire.cpp.o"
+  "CMakeFiles/bh_proto.dir/wire.cpp.o.d"
+  "libbh_proto.a"
+  "libbh_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proxy/http.cpp" "src/proxy/CMakeFiles/bh_proxy.dir/http.cpp.o" "gcc" "src/proxy/CMakeFiles/bh_proxy.dir/http.cpp.o.d"
+  "/root/repo/src/proxy/origin_server.cpp" "src/proxy/CMakeFiles/bh_proxy.dir/origin_server.cpp.o" "gcc" "src/proxy/CMakeFiles/bh_proxy.dir/origin_server.cpp.o.d"
+  "/root/repo/src/proxy/proxy_server.cpp" "src/proxy/CMakeFiles/bh_proxy.dir/proxy_server.cpp.o" "gcc" "src/proxy/CMakeFiles/bh_proxy.dir/proxy_server.cpp.o.d"
+  "/root/repo/src/proxy/socket.cpp" "src/proxy/CMakeFiles/bh_proxy.dir/socket.cpp.o" "gcc" "src/proxy/CMakeFiles/bh_proxy.dir/socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hints/CMakeFiles/bh_hints.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/bh_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

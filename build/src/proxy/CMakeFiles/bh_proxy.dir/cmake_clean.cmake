@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_proxy.dir/http.cpp.o"
+  "CMakeFiles/bh_proxy.dir/http.cpp.o.d"
+  "CMakeFiles/bh_proxy.dir/origin_server.cpp.o"
+  "CMakeFiles/bh_proxy.dir/origin_server.cpp.o.d"
+  "CMakeFiles/bh_proxy.dir/proxy_server.cpp.o"
+  "CMakeFiles/bh_proxy.dir/proxy_server.cpp.o.d"
+  "CMakeFiles/bh_proxy.dir/socket.cpp.o"
+  "CMakeFiles/bh_proxy.dir/socket.cpp.o.d"
+  "libbh_proxy.a"
+  "libbh_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

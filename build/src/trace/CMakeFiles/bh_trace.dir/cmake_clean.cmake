@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_trace.dir/generator.cpp.o"
+  "CMakeFiles/bh_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/bh_trace.dir/stats.cpp.o"
+  "CMakeFiles/bh_trace.dir/stats.cpp.o.d"
+  "CMakeFiles/bh_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/bh_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/bh_trace.dir/workload.cpp.o"
+  "CMakeFiles/bh_trace.dir/workload.cpp.o.d"
+  "libbh_trace.a"
+  "libbh_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

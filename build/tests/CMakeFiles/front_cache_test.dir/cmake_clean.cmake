@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/front_cache_test.dir/front_cache_test.cpp.o"
+  "CMakeFiles/front_cache_test.dir/front_cache_test.cpp.o.d"
+  "front_cache_test"
+  "front_cache_test.pdb"
+  "front_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/front_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

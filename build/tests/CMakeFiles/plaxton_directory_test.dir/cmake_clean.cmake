@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plaxton_directory_test.dir/plaxton_directory_test.cpp.o"
+  "CMakeFiles/plaxton_directory_test.dir/plaxton_directory_test.cpp.o.d"
+  "plaxton_directory_test"
+  "plaxton_directory_test.pdb"
+  "plaxton_directory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plaxton_directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

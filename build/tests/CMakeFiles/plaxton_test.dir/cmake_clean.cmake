@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plaxton_test.dir/plaxton_test.cpp.o"
+  "CMakeFiles/plaxton_test.dir/plaxton_test.cpp.o.d"
+  "plaxton_test"
+  "plaxton_test.pdb"
+  "plaxton_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plaxton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
