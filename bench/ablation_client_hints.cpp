@@ -2,13 +2,16 @@
 // vs the alternate (client-hint) configuration of Figure 4(b), sweeping the
 // client hint cache's false-negative rate. The paper: as long as the client
 // false-negative rate stays below ~50%, the alternate configuration wins; at
-// best it is ~20% faster on the testbed parameters.
+// best it is ~20% faster on the testbed parameters. All eleven
+// configurations share one generated trace and run through the parallel
+// sweep (--jobs).
 #include <cstdio>
 #include <iostream>
 
 #include "bench_util.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "core/sweep.h"
 #include "trace/generator.h"
 
 using namespace bh;
@@ -23,21 +26,39 @@ int main(int argc, char** argv) {
   const auto workload = trace::workload_by_name(args.trace).scaled(args.scale);
   const auto records = trace::TraceGenerator(workload).generate_all();
 
-  core::ExperimentConfig cfg;
-  cfg.workload = workload;
-  cfg.cost_model = "testbed";
-  cfg.system = core::SystemKind::kHints;
-  const auto proxy = core::run_experiment_on(records, cfg);
-  const double proxy_ms = proxy.metrics.mean_response_ms();
+  const double fnrs[] = {0.0, 0.1, 0.25, 0.5, 0.75, 1.0};
+  const double kbs[] = {1.0, 16.0, 256.0, 4096.0};
+
+  core::ExperimentConfig base;
+  base.workload = workload;
+  base.cost_model = "testbed";
+  base.system = core::SystemKind::kHints;
+
+  std::vector<core::ExperimentConfig> configs;
+  configs.push_back(base);  // [0]: proxy-hint configuration
+  for (double fnr : fnrs) {
+    core::ExperimentConfig cfg = base;
+    cfg.hints.client_direct = true;
+    cfg.hints.client_hint_false_negative = fnr;
+    configs.push_back(cfg);
+  }
+  for (double kb : kbs) {
+    core::ExperimentConfig cfg = base;
+    cfg.hints.client_direct = true;
+    cfg.hints.client_hint_bytes =
+        std::max<std::uint64_t>(std::uint64_t(kb * 1024.0), 64);
+    configs.push_back(cfg);
+  }
+  const auto results = core::run_sweep_on(records, configs, args.sweep());
+
+  const double proxy_ms = results[0].metrics.mean_response_ms();
   std::printf("proxy-hint configuration (Figure 4a): %.0f ms\n\n", proxy_ms);
 
   TextTable t({"client false-negative rate", "client-hint (ms)",
                "vs proxy config", "verdict"});
-  for (double fnr : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
-    cfg.hints.client_direct = true;
-    cfg.hints.client_hint_false_negative = fnr;
-    const auto r = core::run_experiment_on(records, cfg);
-    const double ms = r.metrics.mean_response_ms();
+  std::size_t next = 1;
+  for (double fnr : fnrs) {
+    const double ms = results[next++].metrics.mean_response_ms();
     t.add_row({fmt(fnr, 2), fmt(ms, 0), fmt(proxy_ms / ms, 2),
                ms < proxy_ms ? "client wins" : "proxy wins"});
   }
@@ -53,11 +74,8 @@ int main(int argc, char** argv) {
   std::printf("\n--- real per-client hint caches (capacity sweep) ---\n");
   TextTable t2({"client hint cache (KB)", "client-hint (ms)",
                 "vs proxy config", "false neg/req"});
-  for (double kb : {1.0, 16.0, 256.0, 4096.0}) {
-    cfg.hints.client_hint_false_negative = 0.0;
-    cfg.hints.client_hint_bytes =
-        std::max<std::uint64_t>(std::uint64_t(kb * 1024.0), 64);
-    const auto r = core::run_experiment_on(records, cfg);
+  for (double kb : kbs) {
+    const auto& r = results[next++];
     const double ms = r.metrics.mean_response_ms();
     t2.add_row({fmt(kb, 0), fmt(ms, 0), fmt(proxy_ms / ms, 2),
                 fmt(double(r.metrics.false_negatives) /

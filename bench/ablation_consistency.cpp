@@ -11,6 +11,7 @@
 #include "bench_util.h"
 #include "cache/consistency_sim.h"
 #include "common/table.h"
+#include "core/sweep.h"
 #include "trace/generator.h"
 
 using namespace bh;
@@ -47,12 +48,23 @@ int main(int argc, char** argv) {
     rows.push_back({"lease 1 day", c});
   }
 
+  // Each policy replays the shared trace independently; run them on the
+  // sweep pool (--jobs).
+  std::vector<cache::ConsistencyStats> stats(rows.size());
+  {
+    core::ThreadPool pool(args.jobs);
+    pool.parallel_for(rows.size(), [&](std::size_t i) {
+      cache::ConsistencySimulator sim(rows[i].cfg);
+      for (const auto& r : records) sim.step(r);
+      stats[i] = sim.stats();
+    });
+  }
+
   TextTable t({"policy", "apparent hit", "true hit", "stale served/req",
                "validations/req", "useless validations", "good discards"});
-  for (const Row& row : rows) {
-    cache::ConsistencySimulator sim(row.cfg);
-    for (const auto& r : records) sim.step(r);
-    const auto& s = sim.stats();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const auto& s = stats[i];
     t.add_row({row.label, fmt(s.apparent_hit_ratio(), 3),
                fmt(s.true_hit_ratio(), 3), fmt(s.stale_ratio(), 4),
                fmt(s.requests ? double(s.validations) / s.requests : 0, 3),

@@ -4,13 +4,16 @@
 // slow down misses — the query round trip is paid whether or not a neighbour
 // has the object — and limit sharing to a modest group of nearby caches,
 // whereas hint caches "query virtually all of the nodes at once" for the
-// price of a memory lookup. This bench puts numbers on both effects.
+// price of a memory lookup. This bench puts numbers on both effects. The
+// 3x3 grid shares one generated trace and runs through the parallel sweep
+// (--jobs).
 #include <cstdio>
 #include <iostream>
 
 #include "bench_util.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "core/sweep.h"
 #include "trace/generator.h"
 
 using namespace bh;
@@ -25,27 +28,35 @@ int main(int argc, char** argv) {
   const auto records = trace::TraceGenerator(workload).generate_all();
 
   const char* models[] = {"rousskov-max", "rousskov-min", "testbed"};
+  const core::SystemKind systems[] = {core::SystemKind::kHierarchy,
+                                      core::SystemKind::kIcp,
+                                      core::SystemKind::kHints};
 
+  std::vector<core::ExperimentConfig> configs;
+  for (const char* model : models) {
+    for (core::SystemKind system : systems) {
+      core::ExperimentConfig cfg;
+      cfg.workload = workload;
+      cfg.cost_model = model;
+      cfg.system = system;
+      configs.push_back(cfg);
+    }
+  }
+  const auto results = core::run_sweep_on(records, configs, args.sweep());
+
+  auto remote_share = [](const core::Metrics& m) {
+    return m.requests == 0
+               ? 0.0
+               : double(m.hits_remote_l2 + m.hits_remote_l3) /
+                     double(m.requests);
+  };
   TextTable t({"costs", "Hierarchy (ms)", "ICP (ms)", "Hints (ms)",
                "ICP remote-hit share", "hints remote-hit share"});
+  std::size_t next = 0;
   for (const char* model : models) {
-    core::ExperimentConfig cfg;
-    cfg.workload = workload;
-    cfg.cost_model = model;
-
-    cfg.system = core::SystemKind::kHierarchy;
-    const auto hier = core::run_experiment_on(records, cfg);
-    cfg.system = core::SystemKind::kIcp;
-    const auto icp = core::run_experiment_on(records, cfg);
-    cfg.system = core::SystemKind::kHints;
-    const auto hints = core::run_experiment_on(records, cfg);
-
-    auto remote_share = [](const core::Metrics& m) {
-      return m.requests == 0
-                 ? 0.0
-                 : double(m.hits_remote_l2 + m.hits_remote_l3) /
-                       double(m.requests);
-    };
+    const auto& hier = results[next++];
+    const auto& icp = results[next++];
+    const auto& hints = results[next++];
     t.add_row({model, fmt(hier.metrics.mean_response_ms(), 0),
                fmt(icp.metrics.mean_response_ms(), 0),
                fmt(hints.metrics.mean_response_ms(), 0),
@@ -54,12 +65,9 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
 
-  // Query overhead bookkeeping for one representative run.
-  core::ExperimentConfig cfg;
-  cfg.workload = workload;
-  cfg.cost_model = "rousskov-min";
-  cfg.system = core::SystemKind::kIcp;
-  const auto icp = core::run_experiment_on(records, cfg);
+  // Query overhead bookkeeping for one representative run (rousskov-min ICP,
+  // already in the grid).
+  const auto& icp = results[4];
   std::printf("\nICP sent %llu queries for %llu positive replies "
               "(%.1f queries per remote hit); every one of its L1 misses "
               "paid the sibling round trip before touching the hierarchy\n",

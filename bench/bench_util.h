@@ -3,6 +3,9 @@
 //   --scale=<f>   down-scale factor for the Table 4 workloads (default varies
 //                 per bench so the full suite finishes in minutes)
 //   --trace=<t>   dec | berkeley | prodigy (where applicable)
+//   --jobs=<n>    worker threads for the experiment sweep (0 = one per
+//                 hardware thread, the default; 1 = serial). Results are
+//                 bit-identical for every value — jobs only run concurrently.
 // Capacities and hint sizes printed with paper-scale labels are applied
 // scaled by the same factor, so shapes are preserved.
 #pragma once
@@ -13,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sweep.h"
 #include "trace/workload.h"
 
 namespace bh::benchutil {
@@ -20,6 +24,7 @@ namespace bh::benchutil {
 struct Args {
   double scale;
   std::string trace = "dec";
+  int jobs = 0;  // 0 = hardware concurrency
 
   explicit Args(double default_scale) : scale(default_scale) {}
 
@@ -34,8 +39,15 @@ struct Args {
         }
       } else if (a.rfind("--trace=", 0) == 0) {
         trace = a.substr(8);
+      } else if (a.rfind("--jobs=", 0) == 0) {
+        jobs = std::atoi(a.c_str() + 7);
+        if (jobs < 0) {
+          std::fprintf(stderr, "bad --jobs\n");
+          std::exit(2);
+        }
       } else if (a == "--help" || a == "-h") {
-        std::printf("options: --scale=<f> --trace=dec|berkeley|prodigy\n");
+        std::printf("options: --scale=<f> --trace=dec|berkeley|prodigy "
+                    "--jobs=<n>\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown option: %s\n", a.c_str());
@@ -43,6 +55,8 @@ struct Args {
       }
     }
   }
+
+  core::SweepOptions sweep() const { return core::SweepOptions{jobs}; }
 };
 
 inline void print_header(const char* what, double scale) {

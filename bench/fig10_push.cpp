@@ -2,12 +2,15 @@
 // options — no push (data hierarchy), no push (hint hierarchy), update push,
 // push-1, push-half, push-all, and the ideal-push upper bound — in the
 // space-constrained configuration, under all three cost parameterizations.
+// The 21-experiment grid shares one generated trace and runs through the
+// parallel sweep (--jobs).
 #include <cstdio>
 #include <iostream>
 
 #include "bench_util.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "core/sweep.h"
 #include "trace/generator.h"
 
 using namespace bh;
@@ -39,24 +42,32 @@ int main(int argc, char** argv) {
       {"Push-ideal", false, core::PushPolicy::kIdeal},
   };
 
-  TextTable t({"algorithm", "Max (ms)", "Min (ms)", "Testbed (ms)"});
-  double hints_base[3] = {}, hier_base[3] = {};
-  std::vector<std::vector<double>> cells;
+  std::vector<core::ExperimentConfig> configs;
   for (const Algo& algo : algos) {
-    std::vector<std::string> row{algo.label};
-    std::vector<double> vals;
-    for (int mi = 0; mi < 3; ++mi) {
+    for (const char* model : models) {
       core::ExperimentConfig cfg;
       cfg.workload = workload;
-      cfg.cost_model = models[mi];
+      cfg.cost_model = model;
       // Space-constrained per Section 4.2: 5 GB per L1.
       cfg.baseline_node_capacity = std::uint64_t(5.0 * args.scale * double(1_GB));
       cfg.hints.l1_capacity = std::uint64_t(5.0 * args.scale * double(1_GB));
       cfg.system = algo.hierarchy ? core::SystemKind::kHierarchy
                                   : core::SystemKind::kHints;
       cfg.hints.push = algo.push;
-      const auto r = core::run_experiment_on(records, cfg);
-      const double ms = r.metrics.mean_response_ms();
+      configs.push_back(cfg);
+    }
+  }
+  const auto results = core::run_sweep_on(records, configs, args.sweep());
+
+  TextTable t({"algorithm", "Max (ms)", "Min (ms)", "Testbed (ms)"});
+  double hints_base[3] = {}, hier_base[3] = {};
+  std::vector<std::vector<double>> cells;
+  std::size_t next = 0;
+  for (const Algo& algo : algos) {
+    std::vector<std::string> row{algo.label};
+    std::vector<double> vals;
+    for (int mi = 0; mi < 3; ++mi) {
+      const double ms = results[next++].metrics.mean_response_ms();
       if (algo.hierarchy) hier_base[mi] = ms;
       if (!algo.hierarchy && algo.push == core::PushPolicy::kNone) {
         hints_base[mi] = ms;

@@ -8,6 +8,7 @@
 #include "bench_util.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "core/sweep.h"
 #include "trace/generator.h"
 
 using namespace bh;
@@ -32,8 +33,7 @@ int main(int argc, char** argv) {
       {"Push-all", core::PushPolicy::kPushAll},
   };
 
-  TextTable t({"algorithm", "efficiency", "pushed KB/s", "demand KB/s",
-               "push/demand", "copies pushed", "copies used"});
+  std::vector<core::ExperimentConfig> configs;
   for (const Algo& algo : algos) {
     core::ExperimentConfig cfg;
     cfg.workload = workload;
@@ -41,7 +41,15 @@ int main(int argc, char** argv) {
     cfg.system = core::SystemKind::kHints;
     cfg.hints.l1_capacity = std::uint64_t(5.0 * args.scale * double(1_GB));
     cfg.hints.push = algo.push;
-    const auto r = core::run_experiment_on(records, cfg);
+    configs.push_back(cfg);
+  }
+  const auto results = core::run_sweep_on(records, configs, args.sweep());
+
+  TextTable t({"algorithm", "efficiency", "pushed KB/s", "demand KB/s",
+               "push/demand", "copies pushed", "copies used"});
+  for (std::size_t a = 0; a < std::size(algos); ++a) {
+    const Algo& algo = algos[a];
+    const auto& r = results[a];
     const double secs = std::max(r.recorded_seconds, 1.0);
     // Report paper-scale bandwidth (the request rate scales with the trace).
     const double unscale = 1.0 / args.scale;

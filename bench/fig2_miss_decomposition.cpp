@@ -1,6 +1,8 @@
 // Figure 2: request miss rates and byte miss rates of a single shared cache
 // as capacity varies, decomposed into compulsory / capacity / communication /
-// error / uncachable, for all three traces.
+// error / uncachable, for all three traces. Each (trace, capacity) cell is an
+// independent replay, so the whole grid runs on the sweep pool (--jobs) over
+// per-trace shared records.
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -8,6 +10,7 @@
 #include "bench_util.h"
 #include "cache/miss_class.h"
 #include "common/table.h"
+#include "core/sweep.h"
 #include "trace/generator.h"
 
 using namespace bh;
@@ -61,17 +64,39 @@ int main(int argc, char** argv) {
 
   // Paper x-axis: 0..35 GB of cache for the unscaled traces.
   const double sizes_gb[] = {0.5, 1, 2, 4, 8, 16, 32};
+  const char* names[] = {"dec", "berkeley", "prodigy"};
+  constexpr std::size_t kTraces = 3;
+  const std::size_t points = std::size(sizes_gb) + 1;  // + "inf"
+  const double warmup = 2 * 86400.0;
 
-  for (const char* name : {"dec", "berkeley", "prodigy"}) {
-    const auto params = trace::workload_by_name(name).scaled(args.scale);
-    const auto records = trace::TraceGenerator(params).generate_all();
-    const double warmup = 2 * 86400.0;
+  core::ThreadPool pool(args.jobs);
 
-    std::printf("--- %s ---\n", name);
+  // Generate the traces concurrently, then decompose every cell.
+  std::vector<std::vector<trace::Record>> records(kTraces);
+  pool.parallel_for(kTraces, [&](std::size_t i) {
+    const auto params = trace::workload_by_name(names[i]).scaled(args.scale);
+    records[i] = trace::TraceGenerator(params).generate_all();
+  });
+
+  std::vector<Decomposition> cells(kTraces * points);
+  pool.parallel_for(cells.size(), [&](std::size_t i) {
+    const std::size_t trace = i / points, point = i % points;
+    const std::uint64_t cap =
+        point < std::size(sizes_gb)
+            ? static_cast<std::uint64_t>(sizes_gb[point] * args.scale *
+                                         double(1_GB))
+            : kUnlimitedBytes;
+    cells[i] = decompose(records[trace], cap, warmup);
+  });
+
+  for (std::size_t ti = 0; ti < kTraces; ++ti) {
+    std::printf("--- %s ---\n", names[ti]);
     TextTable t({"cache (paper-GB)", "total miss", "compulsory", "capacity",
                  "communication", "error", "uncachable", "byte miss"});
-    auto add = [&](const char* label, std::uint64_t cap) {
-      const auto d = decompose(records, cap, warmup);
+    for (std::size_t point = 0; point < points; ++point) {
+      const auto& d = cells[ti * points + point];
+      const std::string label =
+          point < std::size(sizes_gb) ? fmt(sizes_gb[point], 1) : "inf";
       t.add_row({label, fmt(d.total_miss, 3),
                  fmt(d.ratio[int(cache::AccessClass::kCompulsoryMiss)], 3),
                  fmt(d.ratio[int(cache::AccessClass::kCapacityMiss)], 3),
@@ -79,12 +104,7 @@ int main(int argc, char** argv) {
                  fmt(d.ratio[int(cache::AccessClass::kErrorMiss)], 3),
                  fmt(d.ratio[int(cache::AccessClass::kUncachableMiss)], 3),
                  fmt(d.total_byte_miss, 3)});
-    };
-    for (double gb : sizes_gb) {
-      const auto cap = static_cast<std::uint64_t>(gb * args.scale * double(1_GB));
-      add(fmt(gb, 1).c_str(), cap);
     }
-    add("inf", kUnlimitedBytes);
     t.print(std::cout);
     std::printf("\n");
   }

@@ -1,13 +1,15 @@
 // Figure 3: overall per-read and per-byte hit rate within infinite L1 caches
 // (256 clients), L2 caches (2048 clients), and the L3 cache (all clients),
 // for the three traces. As sharing increases, so does the achievable hit
-// rate.
+// rate. The three trace runs are independent and go through the parallel
+// sweep (--jobs).
 #include <cstdio>
 #include <iostream>
 
 #include "bench_util.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "core/sweep.h"
 
 using namespace bh;
 
@@ -16,20 +18,26 @@ int main(int argc, char** argv) {
   args.parse(argc, argv);
   benchutil::print_header("Figure 3: hit rate vs sharing level", args.scale);
 
-  TextTable t({"trace", "L1 hit", "L2 hit", "L3 hit", "L1 byte", "L2 byte",
-               "L3 byte"});
-  for (const char* name : {"dec", "berkeley", "prodigy"}) {
+  const char* names[] = {"dec", "berkeley", "prodigy"};
+  std::vector<core::SweepJob> jobs;
+  for (const char* name : names) {
     core::ExperimentConfig cfg;
     cfg.workload = trace::workload_by_name(name).scaled(args.scale);
     cfg.cost_model = "rousskov-min";
     cfg.system = core::SystemKind::kHierarchy;
-    const auto r = core::run_experiment(cfg);
-    const auto& c = r.levels;
+    jobs.push_back(core::SweepJob{cfg, nullptr});  // each job generates
+  }
+  const auto results = core::run_sweep(jobs, args.sweep());
+
+  TextTable t({"trace", "L1 hit", "L2 hit", "L3 hit", "L1 byte", "L2 byte",
+               "L3 byte"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& c = results[i].levels;
     if (c.requests == 0) continue;
     // Bars are cumulative: the hit rate of a cache shared by that many
     // clients includes everything below it.
     double hit = 0, byte = 0;
-    std::vector<std::string> row{name};
+    std::vector<std::string> row{names[i]};
     std::vector<std::string> byte_cells;
     for (int level = 1; level <= 3; ++level) {
       hit += double(c.hits[level]) / double(c.requests);

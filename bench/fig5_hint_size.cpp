@@ -1,11 +1,14 @@
 // Figure 5: global hit rate as a function of the per-proxy hint cache size
 // (DEC trace; 16-byte 4-way-associative entries, size in MB on the x-axis).
+// Each point is an independent experiment; the whole curve runs through the
+// parallel sweep (--jobs).
 #include <cstdio>
 #include <iostream>
 
 #include "bench_util.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "core/sweep.h"
 
 using namespace bh;
 
@@ -17,27 +20,34 @@ int main(int argc, char** argv) {
 
   const double sizes_mb[] = {0.05, 0.1, 0.5, 1, 5, 10, 50, 100};
 
-  TextTable t({"hint cache (paper-MB)", "hit ratio", "remote hits/req",
-               "false negatives/req"});
-  auto run = [&](const char* label, std::uint64_t bytes) {
+  std::vector<std::string> labels;
+  std::vector<core::SweepJob> jobs;
+  auto add = [&](const std::string& label, std::uint64_t bytes) {
     core::ExperimentConfig cfg;
     cfg.workload = trace::workload_by_name(args.trace).scaled(args.scale);
     cfg.cost_model = "rousskov-min";
     cfg.system = core::SystemKind::kHints;
     cfg.hints.hint_bytes = bytes;
-    const auto r = core::run_experiment(cfg);
-    const auto& m = r.metrics;
-    t.add_row({label, fmt(m.hit_ratio(), 3),
-               fmt(double(m.hits_remote_l2 + m.hits_remote_l3) /
-                       double(m.requests), 3),
-               fmt(double(m.false_negatives) / double(m.requests), 3)});
+    labels.push_back(label);
+    jobs.push_back(core::SweepJob{cfg, nullptr});  // each job generates
   };
   for (double mb : sizes_mb) {
     const auto bytes =
         static_cast<std::uint64_t>(mb * args.scale * double(1_MB));
-    run(fmt(mb, 2).c_str(), std::max<std::uint64_t>(bytes, 64));
+    add(fmt(mb, 2), std::max<std::uint64_t>(bytes, 64));
   }
-  run("inf", kUnlimitedBytes);
+  add("inf", kUnlimitedBytes);
+  const auto results = core::run_sweep(jobs, args.sweep());
+
+  TextTable t({"hint cache (paper-MB)", "hit ratio", "remote hits/req",
+               "false negatives/req"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& m = results[i].metrics;
+    t.add_row({labels[i], fmt(m.hit_ratio(), 3),
+               fmt(double(m.hits_remote_l2 + m.hits_remote_l3) /
+                       double(m.requests), 3),
+               fmt(double(m.false_negatives) / double(m.requests), 3)});
+  }
   t.print(std::cout);
 
   std::printf("\npaper shape: tiny hint caches add little reach beyond the "

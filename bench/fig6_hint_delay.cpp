@@ -1,13 +1,15 @@
 // Figure 6: global hit rate as a function of hint propagation delay (DEC
 // trace). The x-axis is the end-to-end delay until every hint cache learns of
 // a change; the four-hop leaf-to-leaf metadata path makes the per-hop delay a
-// quarter of it.
+// quarter of it. Each delay point is an independent experiment run through
+// the parallel sweep (--jobs).
 #include <cstdio>
 #include <iostream>
 
 #include "bench_util.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "core/sweep.h"
 
 using namespace bh;
 
@@ -19,17 +21,22 @@ int main(int argc, char** argv) {
 
   const double delays_min[] = {0, 0.5, 1, 5, 10, 60, 240, 1000};
 
-  TextTable t({"delay (minutes)", "hit ratio", "false pos/req",
-               "false neg/req"});
+  std::vector<core::SweepJob> jobs;
   for (double minutes : delays_min) {
     core::ExperimentConfig cfg;
     cfg.workload = trace::workload_by_name(args.trace).scaled(args.scale);
     cfg.cost_model = "rousskov-min";
     cfg.system = core::SystemKind::kHints;
     cfg.hints.hint_hop_delay = minutes * 60.0 / 4.0;
-    const auto r = core::run_experiment(cfg);
-    const auto& m = r.metrics;
-    t.add_row({fmt(minutes, 1), fmt(m.hit_ratio(), 3),
+    jobs.push_back(core::SweepJob{cfg, nullptr});  // each job generates
+  }
+  const auto results = core::run_sweep(jobs, args.sweep());
+
+  TextTable t({"delay (minutes)", "hit ratio", "false pos/req",
+               "false neg/req"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& m = results[i].metrics;
+    t.add_row({fmt(delays_min[i], 1), fmt(m.hit_ratio(), 3),
                fmt(double(m.false_positives) / double(m.requests), 4),
                fmt(double(m.false_negatives) / double(m.requests), 4)});
   }

@@ -5,6 +5,9 @@
 // space-constrained configuration (5 GB per hierarchy node; hint system L1s
 // get 4.5 GB of data + 500 MB of hints, i.e. strictly less total space).
 // Also prints Table 6 (hierarchy/hints response-time ratios).
+//
+// All 54 experiments are independent, so each trace is generated once and
+// the whole grid runs through the parallel sweep (--jobs).
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -12,6 +15,7 @@
 #include "bench_util.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "core/sweep.h"
 #include "trace/generator.h"
 
 using namespace bh;
@@ -25,9 +29,50 @@ int main(int argc, char** argv) {
   const char* traces[] = {"dec", "berkeley", "prodigy"};
   const char* models[] = {"rousskov-max", "rousskov-min", "testbed"};
   const char* model_label[] = {"Max", "Min", "Testbed"};
+  const core::SystemKind systems[] = {core::SystemKind::kHierarchy,
+                                      core::SystemKind::kDirectory,
+                                      core::SystemKind::kHints};
+
+  // Generate the three traces once, in parallel, then fan the experiment
+  // grid out over them.
+  std::vector<trace::WorkloadParams> workloads;
+  for (const char* tr : traces) {
+    workloads.push_back(trace::workload_by_name(tr).scaled(args.scale));
+  }
+  std::vector<std::vector<trace::Record>> records(workloads.size());
+  {
+    core::ThreadPool pool(args.jobs);
+    pool.parallel_for(workloads.size(), [&](std::size_t i) {
+      records[i] = trace::TraceGenerator(workloads[i]).generate_all();
+    });
+  }
+
+  std::vector<core::SweepJob> jobs;
+  for (bool constrained : {false, true}) {
+    for (std::size_t ti = 0; ti < workloads.size(); ++ti) {
+      for (const char* model : models) {
+        for (core::SystemKind system : systems) {
+          core::ExperimentConfig cfg;
+          cfg.workload = workloads[ti];
+          cfg.cost_model = model;
+          cfg.system = system;
+          if (constrained) {
+            cfg.baseline_node_capacity =
+                std::uint64_t(5.0 * args.scale * double(1_GB));
+            cfg.hints.l1_capacity =
+                std::uint64_t(4.5 * args.scale * double(1_GB));
+            cfg.hints.hint_bytes =
+                std::uint64_t(0.5 * args.scale * double(1_GB));
+          }
+          jobs.push_back(core::SweepJob{cfg, &records[ti]});
+        }
+      }
+    }
+  }
+  const auto results = core::run_sweep(jobs, args.sweep());
 
   std::map<std::string, double> table6;  // "trace/model" -> ratio (infinite)
-
+  std::size_t next = 0;
   for (bool constrained : {false, true}) {
     std::printf("--- (%c) %s ---\n", constrained ? 'b' : 'a',
                 constrained ? "space constrained (paper: 5 GB/node)"
@@ -35,28 +80,10 @@ int main(int argc, char** argv) {
     TextTable t({"trace", "costs", "Hierarchy (ms)", "Directory (ms)",
                  "Hints (ms)", "speedup hier/hints"});
     for (const char* tr : traces) {
-      const auto workload = trace::workload_by_name(tr).scaled(args.scale);
-      const auto records = trace::TraceGenerator(workload).generate_all();
       for (int mi = 0; mi < 3; ++mi) {
-        core::ExperimentConfig cfg;
-        cfg.workload = workload;
-        cfg.cost_model = models[mi];
-        if (constrained) {
-          cfg.baseline_node_capacity =
-              std::uint64_t(5.0 * args.scale * double(1_GB));
-          cfg.hints.l1_capacity =
-              std::uint64_t(4.5 * args.scale * double(1_GB));
-          cfg.hints.hint_bytes =
-              std::uint64_t(0.5 * args.scale * double(1_GB));
-        }
-
-        cfg.system = core::SystemKind::kHierarchy;
-        const auto hier = core::run_experiment_on(records, cfg);
-        cfg.system = core::SystemKind::kDirectory;
-        const auto dir = core::run_experiment_on(records, cfg);
-        cfg.system = core::SystemKind::kHints;
-        const auto hints = core::run_experiment_on(records, cfg);
-
+        const auto& hier = results[next++];
+        const auto& dir = results[next++];
+        const auto& hints = results[next++];
         const double ratio = hier.metrics.mean_response_ms() /
                              hints.metrics.mean_response_ms();
         if (!constrained) {

@@ -1,0 +1,117 @@
+// Microbenchmarks for the discrete-event engine's hot path.
+//
+// The experiment driver calls run_until once per trace record and the cache
+// systems schedule metadata/push events with ~24-48-byte captures; these
+// suites measure exactly those patterns. The seed implementation
+// (std::function inside a std::priority_queue of fat events) paid a heap
+// allocation per scheduled event plus fat-element sift costs; the reworked
+// queue (POD heap over a callback slab, small-buffer callbacks) must beat it
+// on every suite here. Results land in BENCH_core.json (see micro_util.h).
+#include <cstdint>
+#include <vector>
+
+#include "micro_util.h"
+#include "sim/event_queue.h"
+
+using namespace bh;
+
+namespace {
+
+// The tightest loop: one event scheduled and drained per step (the
+// run_until-per-record pattern of the experiment driver).
+void BM_ScheduleDrain1(benchmark::State& state) {
+  sim::EventQueue q;
+  double t = 0;
+  for (auto _ : state) {
+    t += 1.0;
+    q.schedule_at(t, [](SimTime) {});
+    q.run_until(t);
+  }
+}
+BENCHMARK(BM_ScheduleDrain1);
+
+// Metadata-hierarchy-shaped captures: this + three scalars (~24 bytes), the
+// exact shape EventCallback must keep inline.
+void BM_ScheduleDrainCapture24(benchmark::State& state) {
+  sim::EventQueue q;
+  double t = 0;
+  std::uint64_t sink = 0;
+  std::uint32_t a = 1, b = 2;
+  std::uint64_t c = 3;
+  for (auto _ : state) {
+    t += 1.0;
+    q.schedule_at(t, [&sink, a, b, c](SimTime) { sink += a + b + c; });
+    q.run_until(t);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ScheduleDrainCapture24);
+
+// Queueing-station-shaped captures: 48 bytes, the inline-buffer boundary.
+void BM_ScheduleDrainCapture48(benchmark::State& state) {
+  sim::EventQueue q;
+  double t = 0;
+  std::uint64_t sink = 0;
+  struct Fat {
+    std::uint64_t v[5];
+  } fat{{1, 2, 3, 4, 5}};
+  for (auto _ : state) {
+    t += 1.0;
+    q.schedule_at(t, [&sink, fat](SimTime) { sink += fat.v[0] + fat.v[4]; });
+    q.run_until(t);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ScheduleDrainCapture48);
+
+// Deep-backlog pattern: schedule a batch of out-of-order events, then drain.
+// Dominated by heap sift cost, i.e. by how fat a heap element is.
+void BM_ScheduleBatchDrain(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  sim::EventQueue q;
+  std::uint64_t seed = 1;
+  std::uint64_t sink = 0;
+  double base = 0;
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < batch; ++i) {
+      seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+      const double when = base + double(seed >> 40);
+      q.schedule_at(when, [&sink](SimTime) { ++sink; });
+    }
+    base += double(1ULL << 24);
+    q.run_until(base);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ScheduleBatchDrain)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Cascade: each event schedules the next (hint-propagation chains).
+void BM_CascadeChain(benchmark::State& state) {
+  sim::EventQueue q;
+  std::uint64_t count = 0;
+  for (auto _ : state) {
+    struct Chain {
+      sim::EventQueue& q;
+      std::uint64_t& count;
+      int remaining;
+      void operator()(SimTime) {
+        ++count;
+        if (remaining > 0) {
+          q.schedule_after(0.5, Chain{q, count, remaining - 1});
+        }
+      }
+    };
+    q.schedule_after(0.1, Chain{q, count, 63});
+    q.run_all();
+  }
+  benchmark::DoNotOptimize(count);
+  state.SetItemsProcessed(std::int64_t(count));
+}
+BENCHMARK(BM_CascadeChain);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bh::benchutil::micro_main(argc, argv, "eventqueue");
+}

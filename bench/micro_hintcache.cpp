@@ -1,7 +1,9 @@
 // Microbenchmarks for the prototype data structures. The paper (Section
 // 3.2.1) measured a 4.3us in-memory hint lookup on a 200 MHz UltraSPARC-2;
 // on modern hardware the same structure should be tens of nanoseconds.
-#include <benchmark/benchmark.h>
+// Results are also merged into BENCH_core.json (see micro_util.h) so the
+// perf trajectory is tracked across PRs.
+#include "micro_util.h"
 
 #include "cache/lru_cache.h"
 #include "common/md5.h"
@@ -113,6 +115,31 @@ void BM_WireEncodeDecodeBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_WireEncodeDecodeBatch);
 
+// LRU mixed workload over a finite cache: the steady-state pattern of the
+// space-constrained runs (hit-promote, insert-evict, occasional erase).
+void BM_LruCacheMixed(benchmark::State& state) {
+  cache::LruCache c(1000 * 10240);
+  Rng rng(7);
+  for (std::uint64_t i = 1; i <= 1000; ++i) c.insert(ObjectId{i}, 10240, 1, false);
+  for (auto _ : state) {
+    const std::uint64_t k = rng.next_below(2000) + 1;
+    switch (rng.next_below(8)) {
+      case 0:
+        c.insert(ObjectId{k}, 10240, 1, false);
+        break;
+      case 1:
+        c.erase(ObjectId{k});
+        break;
+      default:
+        benchmark::DoNotOptimize(c.find(ObjectId{k}));
+        break;
+    }
+  }
+}
+BENCHMARK(BM_LruCacheMixed);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return bh::benchutil::micro_main(argc, argv, "hintcache");
+}

@@ -1,0 +1,169 @@
+// Shared driver for the microbenchmark binaries.
+//
+// Runs the registered google-benchmark suites with the normal console output
+// AND records every run into a machine-readable JSON file (default
+// BENCH_core.json, override with --json=<path>) so the perf trajectory of
+// the simulation core can be tracked across PRs. The file holds one object
+// per suite; a binary rewrites only its own suite and preserves the others,
+// so `micro_eventqueue && micro_hintcache` accumulate into one file.
+//
+//   {
+//     "schema": "bench-core-v1",
+//     "suites": {
+//       "eventqueue": {
+//         "benchmarks": [
+//           {"name": "...", "iterations": N,
+//            "real_ns_per_op": X, "cpu_ns_per_op": Y}, ...
+//         ]
+//       }, ...
+//     }
+//   }
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bh::benchutil {
+
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    std::int64_t iterations = 0;
+    double real_ns = 0;
+    double cpu_ns = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.iterations = run.iterations;
+      // GetAdjusted*Time reports per-iteration time in the run's time unit;
+      // normalize everything to nanoseconds.
+      const double to_ns =
+          benchmark::GetTimeUnitMultiplier(run.time_unit) / 1e9;
+      row.real_ns = run.GetAdjustedRealTime() / to_ns * 1.0;
+      row.cpu_ns = run.GetAdjustedCPUTime() / to_ns * 1.0;
+      rows_.push_back(row);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+// Parses the "suites" object of an existing BENCH_core.json into raw
+// name -> json-text chunks by brace counting. The format is entirely our
+// own (no braces inside strings), so a structural scan is sufficient.
+inline std::map<std::string, std::string> load_suites(
+    const std::string& path) {
+  std::map<std::string, std::string> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string s = ss.str();
+  std::size_t pos = s.find("\"suites\"");
+  if (pos == std::string::npos) return out;
+  pos = s.find('{', pos);
+  if (pos == std::string::npos) return out;
+  std::size_t i = pos + 1;
+  while (i < s.size()) {
+    while (i < s.size() && (std::isspace(static_cast<unsigned char>(s[i])) ||
+                            s[i] == ',')) {
+      ++i;
+    }
+    if (i >= s.size() || s[i] != '"') break;
+    const std::size_t name_end = s.find('"', i + 1);
+    if (name_end == std::string::npos) break;
+    const std::string name = s.substr(i + 1, name_end - i - 1);
+    const std::size_t body = s.find('{', name_end);
+    if (body == std::string::npos) break;
+    int depth = 0;
+    std::size_t j = body;
+    for (; j < s.size(); ++j) {
+      if (s[j] == '{') ++depth;
+      if (s[j] == '}' && --depth == 0) break;
+    }
+    if (j >= s.size()) break;
+    out[name] = s.substr(body, j - body + 1);
+    i = j + 1;
+  }
+  return out;
+}
+
+inline void write_suites(const std::string& path,
+                         const std::map<std::string, std::string>& suites) {
+  std::ofstream outf(path, std::ios::trunc);
+  outf << "{\n  \"schema\": \"bench-core-v1\",\n  \"suites\": {\n";
+  bool first = true;
+  for (const auto& [name, body] : suites) {
+    if (!first) outf << ",\n";
+    first = false;
+    outf << "    \"" << name << "\": " << body;
+  }
+  outf << "\n  }\n}\n";
+}
+
+inline std::string suite_json(const std::vector<JsonCollectingReporter::Row>& rows) {
+  std::ostringstream os;
+  os << "{\"benchmarks\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) os << ", ";
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\": \"%s\", \"iterations\": %lld, "
+                  "\"real_ns_per_op\": %.3f, \"cpu_ns_per_op\": %.3f}",
+                  rows[i].name.c_str(),
+                  static_cast<long long>(rows[i].iterations), rows[i].real_ns,
+                  rows[i].cpu_ns);
+    os << buf;
+  }
+  os << "]}";
+  return os.str();
+}
+
+// Entry point shared by the micro bench binaries: runs the suites, prints
+// the usual console table, and merges the results into the JSON file.
+inline int micro_main(int argc, char** argv, const char* suite) {
+  std::string json_path = "BENCH_core.json";
+  std::vector<char*> passthrough{argv, argv + argc};
+  for (auto it = passthrough.begin(); it != passthrough.end();) {
+    const std::string a = *it;
+    if (a.rfind("--json=", 0) == 0) {
+      json_path = a.substr(7);
+      it = passthrough.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  auto suites = load_suites(json_path);
+  suites[suite] = suite_json(reporter.rows());
+  write_suites(json_path, suites);
+  std::printf("\n[%s] %zu results merged into %s\n", suite,
+              reporter.rows().size(), json_path.c_str());
+  return 0;
+}
+
+}  // namespace bh::benchutil

@@ -5,29 +5,69 @@ namespace bh::cache {
 LruCache::LruCache(std::uint64_t capacity_bytes)
     : capacity_bytes_(capacity_bytes) {}
 
+std::uint32_t LruCache::alloc_node() {
+  if (!free_.empty()) {
+    const std::uint32_t i = free_.back();
+    free_.pop_back();
+    return i;
+  }
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void LruCache::link_front(std::uint32_t i) {
+  Node& n = slab_[i];
+  n.prev = kNil;
+  n.next = head_;
+  if (head_ != kNil) slab_[head_].prev = i;
+  head_ = i;
+  if (tail_ == kNil) tail_ = i;
+}
+
+void LruCache::unlink(std::uint32_t i) {
+  Node& n = slab_[i];
+  if (n.prev != kNil) {
+    slab_[n.prev].next = n.next;
+  } else {
+    head_ = n.next;
+  }
+  if (n.next != kNil) {
+    slab_[n.next].prev = n.prev;
+  } else {
+    tail_ = n.prev;
+  }
+}
+
+void LruCache::move_to_front(std::uint32_t i) {
+  if (head_ == i) return;
+  unlink(i);
+  link_front(i);
+}
+
 LruCache::Entry* LruCache::find(ObjectId id) {
   auto it = index_.find(id);
   if (it == index_.end()) return nullptr;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return &*it->second;
+  move_to_front(it->second);
+  return &slab_[it->second].entry;
 }
 
 const LruCache::Entry* LruCache::peek(ObjectId id) const {
   auto it = index_.find(id);
-  return it == index_.end() ? nullptr : &*it->second;
+  return it == index_.end() ? nullptr : &slab_[it->second].entry;
 }
 
 LruCache::Entry* LruCache::peek_mut(ObjectId id) {
   auto it = index_.find(id);
-  return it == index_.end() ? nullptr : &*it->second;
+  return it == index_.end() ? nullptr : &slab_[it->second].entry;
 }
 
 bool LruCache::insert(ObjectId id, std::uint64_t size, Version version,
                       bool pushed, const EvictFn& on_evict) {
   if (!unlimited() && size > capacity_bytes_) return false;
 
-  if (auto it = index_.find(id); it != index_.end()) {
-    Entry& e = *it->second;
+  const auto [it, inserted] = index_.try_emplace(id, kNil);
+  if (!inserted) {
+    Entry& e = slab_[it->second].entry;
     used_bytes_ -= e.size;
     e.size = size;
     e.version = version;
@@ -38,14 +78,19 @@ bool LruCache::insert(ObjectId id, std::uint64_t size, Version version,
       e.used_since_push = false;
     }
     used_bytes_ += size;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    move_to_front(it->second);
     evict_to_fit(0, on_evict);
     return true;
   }
 
   evict_to_fit(size, on_evict);
-  lru_.push_front(Entry{id, size, version, pushed, false});
-  index_.emplace(id, lru_.begin());
+  const std::uint32_t i = alloc_node();
+  slab_[i].entry = Entry{id, size, version, pushed, false};
+  link_front(i);
+  // evict_to_fit may have rehashed nothing (it only erases), so `it` is still
+  // valid; the slab slot is assigned after eviction so the new entry can
+  // never evict itself.
+  it->second = i;
   used_bytes_ += size;
   return true;
 }
@@ -53,8 +98,10 @@ bool LruCache::insert(ObjectId id, std::uint64_t size, Version version,
 bool LruCache::erase(ObjectId id) {
   auto it = index_.find(id);
   if (it == index_.end()) return false;
-  used_bytes_ -= it->second->size;
-  lru_.erase(it->second);
+  const std::uint32_t i = it->second;
+  used_bytes_ -= slab_[i].entry.size;
+  unlink(i);
+  free_.push_back(i);
   index_.erase(it);
   return true;
 }
@@ -62,16 +109,27 @@ bool LruCache::erase(ObjectId id) {
 void LruCache::age(ObjectId id) {
   auto it = index_.find(id);
   if (it == index_.end()) return;
-  lru_.splice(lru_.end(), lru_, it->second);
+  const std::uint32_t i = it->second;
+  if (tail_ == i) return;
+  unlink(i);
+  // Link at the tail: least recently used, evicted first.
+  Node& n = slab_[i];
+  n.next = kNil;
+  n.prev = tail_;
+  if (tail_ != kNil) slab_[tail_].next = i;
+  tail_ = i;
+  if (head_ == kNil) head_ = i;
 }
 
 void LruCache::evict_to_fit(std::uint64_t incoming, const EvictFn& on_evict) {
   if (unlimited()) return;
-  while (!lru_.empty() && used_bytes_ + incoming > capacity_bytes_) {
-    const Entry victim = lru_.back();
+  while (tail_ != kNil && used_bytes_ + incoming > capacity_bytes_) {
+    const std::uint32_t victim_slot = tail_;
+    const Entry victim = slab_[victim_slot].entry;
     used_bytes_ -= victim.size;
     index_.erase(victim.id);
-    lru_.pop_back();
+    unlink(victim_slot);
+    free_.push_back(victim_slot);
     if (on_evict) on_evict(victim);
   }
 }

@@ -6,12 +6,19 @@
 // configurations never evict. Entries carry the object version for strong
 // consistency and a "pushed" tag so push-caching efficiency (Figure 11a) can
 // be accounted.
+//
+// Hot-path layout: entries live in a slab (vector of nodes threaded into an
+// intrusive doubly-linked recency list by index) instead of a std::list, so
+// insert/erase recycle slab slots rather than allocating list nodes, and
+// find/insert each do exactly one hash lookup. Entry pointers returned by
+// find/peek are invalidated by the next insert (the slab may grow); callers
+// use them immediately, never across mutations.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 
@@ -66,16 +73,33 @@ class LruCache {
   // Iterates entries from most- to least-recently used.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const Entry& e : lru_) fn(e);
+    for (std::uint32_t i = head_; i != kNil; i = slab_[i].next) {
+      fn(slab_[i].entry);
+    }
   }
 
  private:
+  static constexpr std::uint32_t kNil = static_cast<std::uint32_t>(-1);
+
+  struct Node {
+    Entry entry;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+
+  std::uint32_t alloc_node();
+  void link_front(std::uint32_t i);
+  void unlink(std::uint32_t i);
+  void move_to_front(std::uint32_t i);
   void evict_to_fit(std::uint64_t incoming, const EvictFn& on_evict);
 
   std::uint64_t capacity_bytes_;
   std::uint64_t used_bytes_ = 0;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
+  std::vector<Node> slab_;
+  std::vector<std::uint32_t> free_;  // recycled slab slots
+  std::uint32_t head_ = kNil;        // most recently used
+  std::uint32_t tail_ = kNil;        // least recently used
+  std::unordered_map<ObjectId, std::uint32_t> index_;
 };
 
 }  // namespace bh::cache

@@ -1,0 +1,130 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bh::core {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = int(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  queues_.resize(std::size_t(threads));
+  workers_.reserve(std::size_t(threads));
+  for (int w = 0; w < threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(std::size_t(w)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+// Pops from the worker's own deque back (LIFO: warm caches), else steals
+// from the front of the fullest other deque (FIFO: takes the work the owner
+// would reach last). Caller holds mu_.
+bool ThreadPool::try_pop(std::size_t worker, std::size_t& index) {
+  std::deque<std::size_t>& own = queues_[worker];
+  if (!own.empty()) {
+    index = own.back();
+    own.pop_back();
+    return true;
+  }
+  std::size_t victim = queues_.size();
+  std::size_t victim_size = 0;
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    if (q != worker && queues_[q].size() > victim_size) {
+      victim = q;
+      victim_size = queues_[q].size();
+    }
+  }
+  if (victim == queues_.size()) return false;
+  index = queues_[victim].front();
+  queues_[victim].pop_front();
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    std::size_t index;
+    if (active_ && try_pop(worker, index)) {
+      const std::function<void(std::size_t)>* body = batch_.body;
+      lk.unlock();
+      std::exception_ptr err;
+      try {
+        (*body)(index);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lk.lock();
+      if (err && !batch_.error) batch_.error = err;
+      if (++batch_.done == batch_.n) {
+        active_ = false;
+        done_cv_.notify_all();
+      }
+      continue;
+    }
+    if (stop_) return;
+    work_cv_.wait(lk);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  batch_ = Batch{n, &body, 0, nullptr};
+  for (std::size_t i = 0; i < n; ++i) {
+    queues_[i % queues_.size()].push_back(i);
+  }
+  active_ = true;
+  work_cv_.notify_all();
+  done_cv_.wait(lk, [this] { return !active_; });
+  if (batch_.error) std::rethrow_exception(batch_.error);
+}
+
+std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
+                                        const SweepOptions& opts) {
+  std::vector<ExperimentResult> results(jobs.size());
+  const auto run_one = [&](std::size_t i) {
+    const SweepJob& job = jobs[i];
+    results[i] = job.records != nullptr
+                     ? run_experiment_on(*job.records, job.config)
+                     : run_experiment(job.config);
+  };
+  int threads = opts.jobs;
+  if (threads <= 0) {
+    threads = int(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  threads = int(std::min<std::size_t>(std::size_t(threads), jobs.size()));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
+    return results;
+  }
+  ThreadPool pool(threads);
+  pool.parallel_for(jobs.size(), run_one);
+  return results;
+}
+
+std::vector<ExperimentResult> run_sweep_on(
+    const std::vector<trace::Record>& records,
+    const std::vector<ExperimentConfig>& configs, const SweepOptions& opts) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(configs.size());
+  for (const ExperimentConfig& cfg : configs) {
+    jobs.push_back(SweepJob{cfg, &records});
+  }
+  return run_sweep(jobs, opts);
+}
+
+}  // namespace bh::core

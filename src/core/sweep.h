@@ -1,0 +1,104 @@
+// Parallel experiment sweep runner.
+//
+// Every table/figure bench replays the same workload through many independent
+// (architecture × cost model × capacity) configurations; the runs share no
+// mutable state — each builds its own topology, cost model, event queue, and
+// cache system, and every stochastic component draws from an explicitly
+// seeded per-run Rng — so the sweep is embarrassingly parallel. This module
+// provides:
+//
+//   - ThreadPool: a small work-stealing pool (per-worker deques, idle workers
+//     steal from the busiest victim) usable for any index-parallel loop;
+//   - run_sweep(): executes a batch of experiment jobs across the pool with
+//     deterministic result ordering (results[i] always corresponds to
+//     jobs[i], regardless of scheduling) and bit-identical metrics for any
+//     job count, including the serial jobs<=1 path.
+//
+// Shared traces are passed by pointer and never mutated; jobs without a
+// shared trace regenerate theirs from the job's own workload seed, keeping
+// RNG state strictly job-private.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "trace/record.h"
+
+namespace bh::core {
+
+// Work-stealing pool for independent index jobs. Construction spawns the
+// workers; parallel_for blocks until every index has run. Reusable across
+// calls. Exceptions thrown by the body are captured and the first one is
+// rethrown on the calling thread after the loop drains.
+class ThreadPool {
+ public:
+  // threads <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Runs body(i) for every i in [0, n). Indices are dealt round-robin to the
+  // worker deques up front; idle workers steal, so stragglers rebalance.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  int thread_count() const { return int(workers_.size()); }
+
+ private:
+  struct Batch {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t done = 0;
+    std::exception_ptr error;
+  };
+
+  bool try_pop(std::size_t worker, std::size_t& index);
+  void worker_loop(std::size_t worker);
+  void run_one(std::size_t index);
+
+  std::vector<std::thread> workers_;
+  std::vector<std::deque<std::size_t>> queues_;  // guarded by mu_
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a batch
+  std::condition_variable done_cv_;  // parallel_for waits for completion
+  Batch batch_;                      // guarded by mu_
+  bool active_ = false;              // a batch is in flight
+  bool stop_ = false;
+};
+
+// One experiment to run: a configuration plus an optional shared,
+// pre-generated trace. When `records` is null the job generates its own trace
+// from config.workload (deterministic from the workload seed). When it is
+// non-null the records must come from config.workload so the topology
+// matches, exactly as with run_experiment_on.
+struct SweepJob {
+  ExperimentConfig config;
+  const std::vector<trace::Record>* records = nullptr;
+};
+
+struct SweepOptions {
+  // Number of worker threads; <= 0 selects the hardware concurrency, 1 runs
+  // serially on the calling thread. Results are identical for every value.
+  int jobs = 0;
+};
+
+// Runs every job and returns results in job order.
+std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
+                                        const SweepOptions& opts = {});
+
+// Convenience: sweeps many configurations over one shared immutable trace.
+std::vector<ExperimentResult> run_sweep_on(
+    const std::vector<trace::Record>& records,
+    const std::vector<ExperimentConfig>& configs,
+    const SweepOptions& opts = {});
+
+}  // namespace bh::core

@@ -1,0 +1,118 @@
+// Small-buffer-optimized, move-only callback for the event queue.
+//
+// The simulator schedules millions of short-lived events per run; wrapping
+// each in std::function costs a heap allocation whenever the capture spills
+// past libstdc++'s 16-byte inline buffer — which every metadata-propagation
+// and queueing-station lambda does. EventCallback widens the inline buffer to
+// 48 bytes (every callback in the tree fits) and falls back to the heap only
+// for larger captures, so the steady-state schedule/run cycle allocates
+// nothing.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/types.h"
+
+namespace bh::sim {
+
+class EventCallback {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventCallback() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, EventCallback> &&
+             std::is_invocable_v<std::decay_t<F>&, SimTime>)
+  EventCallback(F&& f) {  // NOLINT: implicit by design, mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      inline_ = true;
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      inline_ = false;
+    }
+    invoke_ = [](void* p, SimTime now) { (*static_cast<Fn*>(p))(now); };
+    manage_ = fits_inline<Fn> ? &manage_inline<Fn> : &manage_heap<Fn>;
+  }
+
+  EventCallback(EventCallback&& other) noexcept { move_from(other); }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { reset(); }
+
+  void operator()(SimTime now) { invoke_(target(), now); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  enum class Op { kMove, kDestroy };
+  using Invoke = void (*)(void*, SimTime);
+  using Manage = void (*)(Op, EventCallback* self, EventCallback* to);
+
+  template <typename Fn>
+  static constexpr bool fits_inline =
+      sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  // kMove constructs into `to` and destroys the source; kDestroy only
+  // destroys. The source's pointers are cleared by the caller.
+  template <typename Fn>
+  static void manage_inline(Op op, EventCallback* self, EventCallback* to) {
+    Fn* fn = std::launder(reinterpret_cast<Fn*>(self->buf_));
+    if (op == Op::kMove) {
+      ::new (static_cast<void*>(to->buf_)) Fn(std::move(*fn));
+    }
+    fn->~Fn();
+  }
+
+  template <typename Fn>
+  static void manage_heap(Op op, EventCallback* self, EventCallback* to) {
+    if (op == Op::kMove) {
+      to->heap_ = self->heap_;
+    } else {
+      delete static_cast<Fn*>(self->heap_);
+    }
+  }
+
+  void* target() { return inline_ ? static_cast<void*>(buf_) : heap_; }
+
+  void move_from(EventCallback& other) {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    inline_ = other.inline_;
+    if (manage_ != nullptr) other.manage_(Op::kMove, &other, this);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void reset() {
+    if (manage_ != nullptr) manage_(Op::kDestroy, this, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  union {
+    alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+    void* heap_;
+  };
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+  bool inline_ = false;
+};
+
+}  // namespace bh::sim

@@ -1,35 +1,51 @@
 #include "sim/event_queue.h"
 
-#include <limits>
+#include <algorithm>
 #include <utility>
 
 namespace bh::sim {
 
 void EventQueue::schedule_at(SimTime when, Callback cb) {
   if (when < now_) when = now_;
-  heap_.push(Event{when, next_seq_++, std::move(cb)});
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    slots_[slot] = std::move(cb);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(cb));
+  }
+  heap_.push_back(Entry{when, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+void EventQueue::dispatch_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  const Entry ev = heap_.back();
+  heap_.pop_back();
+  now_ = ev.when;
+  // Move the callback out before running it (moving empties the slot): the
+  // callback may schedule new events, which can recycle this very slot.
+  Callback cb = std::move(slots_[ev.slot]);
+  free_.push_back(ev.slot);
+  cb(now_);
 }
 
 void EventQueue::run_until(SimTime horizon) {
-  while (!heap_.empty() && heap_.top().when <= horizon) {
-    // priority_queue::top() is const; move out via const_cast, which is safe
-    // because the element is popped immediately and never compared again.
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
-    now_ = ev.when;
-    ev.cb(now_);
-  }
+  while (!heap_.empty() && heap_.front().when <= horizon) dispatch_top();
   if (horizon > now_) now_ = horizon;
 }
 
 void EventQueue::run_all() {
   // Unlike run_until, does not advance now() past the final event.
-  while (!heap_.empty()) {
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
-    now_ = ev.when;
-    ev.cb(now_);
-  }
+  while (!heap_.empty()) dispatch_top();
+}
+
+void EventQueue::reserve(std::size_t pending_events) {
+  heap_.reserve(pending_events);
+  slots_.reserve(pending_events);
+  free_.reserve(pending_events);
 }
 
 }  // namespace bh::sim

@@ -4,20 +4,26 @@
 // cache systems schedule background work (hint-update propagation, pushed
 // data arrivals) as future events. Ties are broken by insertion sequence so
 // runs are fully deterministic.
+//
+// Hot-path layout: the priority heap holds 24-byte POD entries (time, tie
+// sequence, slot index) so sift operations are branchy comparisons over
+// trivially-copyable data, while the callbacks live in a slab of recycled
+// slots — a callback is moved exactly twice (into its slot on schedule, out
+// on dispatch) and small captures never touch the heap (see
+// event_callback.h).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.h"
+#include "sim/event_callback.h"
 
 namespace bh::sim {
 
 class EventQueue {
  public:
-  using Callback = std::function<void(SimTime now)>;
+  using Callback = EventCallback;
 
   // Schedules `cb` at absolute simulated time `when` (seconds). Events
   // scheduled in the past run at the current frontier, never before it.
@@ -35,24 +41,31 @@ class EventQueue {
   // Runs everything currently queued (and anything it schedules).
   void run_all();
 
+  // Pre-sizes the heap and callback slab for an expected number of
+  // simultaneously pending events.
+  void reserve(std::size_t pending_events);
+
   SimTime now() const { return now_; }
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
 
  private:
-  struct Event {
+  struct Entry {
     SimTime when;
-    std::uint64_t seq;
-    Callback cb;
+    std::uint64_t seq;  // breaks time ties by insertion order
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Pops the earliest entry off the heap, releases its slot, and runs it.
+  void dispatch_top();
+
+  std::vector<Entry> heap_;           // binary min-heap via std::push/pop_heap
+  std::vector<Callback> slots_;       // callback slab, indexed by Entry::slot
+  std::vector<std::uint32_t> free_;   // recycled slab slots
   std::uint64_t next_seq_ = 0;
   SimTime now_ = 0.0;
 };

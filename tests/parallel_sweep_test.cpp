@@ -1,0 +1,223 @@
+// Tests for the parallel sweep runner: ThreadPool scheduling semantics and
+// the determinism guarantee — a sweep's results are byte-identical for every
+// jobs count, including the serial path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/sweep.h"
+#include "trace/generator.h"
+#include "trace/workload.h"
+
+namespace bh::core {
+namespace {
+
+// --- ThreadPool ---
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(round, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 45u);  // 0 + 1 + ... + 9
+}
+
+TEST(ThreadPoolTest, ZeroAndOneIndexBatches) {
+  ThreadPool pool(2);
+  int ran = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPoolTest, ManyMoreIndicesThanThreads) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::set<std::size_t> seen;
+  pool.parallel_for(5000, [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(i);
+  });
+  EXPECT_EQ(seen.size(), 5000u);
+}
+
+TEST(ThreadPoolTest, ExceptionIsRethrownAndPoolSurvives) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   ran.fetch_add(1);
+                                   if (i == 37) {
+                                     throw std::runtime_error("job 37 failed");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The failing batch still drained (no deadlock), and the pool remains
+  // usable for the next batch.
+  std::atomic<int> after{0};
+  pool.parallel_for(50, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 50);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsHardwareConcurrency) {
+  ThreadPool pool;
+  const unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(pool.thread_count(), int(hw == 0 ? 1 : hw));
+}
+
+// --- Sweep determinism ---
+
+// A deliberately tiny workload so the full request path (topology, cost
+// model, event queue, hint system) runs in milliseconds.
+trace::WorkloadParams tiny_workload() {
+  return trace::workload_by_name("dec").scaled(1.0 / 4096.0);
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.system_name, b.system_name);
+  // Metrics: every counter and every accumulated double must match exactly
+  // (not approximately) — the runs execute the same instruction stream.
+  EXPECT_EQ(a.metrics.requests, b.metrics.requests);
+  EXPECT_EQ(a.metrics.total_latency_ms, b.metrics.total_latency_ms);
+  EXPECT_EQ(a.metrics.hits_l1, b.metrics.hits_l1);
+  EXPECT_EQ(a.metrics.hits_remote_l2, b.metrics.hits_remote_l2);
+  EXPECT_EQ(a.metrics.hits_remote_l3, b.metrics.hits_remote_l3);
+  EXPECT_EQ(a.metrics.hits_l2, b.metrics.hits_l2);
+  EXPECT_EQ(a.metrics.hits_l3, b.metrics.hits_l3);
+  EXPECT_EQ(a.metrics.server_fetches, b.metrics.server_fetches);
+  EXPECT_EQ(a.metrics.false_positives, b.metrics.false_positives);
+  EXPECT_EQ(a.metrics.false_negatives, b.metrics.false_negatives);
+  EXPECT_EQ(a.metrics.pushed_hits, b.metrics.pushed_hits);
+  EXPECT_EQ(a.metrics.bytes_requested, b.metrics.bytes_requested);
+  EXPECT_EQ(a.metrics.hit_bytes, b.metrics.hit_bytes);
+  EXPECT_EQ(a.metrics.latency.count(), b.metrics.latency.count());
+  EXPECT_EQ(a.metrics.latency.mean(), b.metrics.latency.mean());
+  EXPECT_EQ(a.metrics.latency.max(), b.metrics.latency.max());
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.metrics.latency.quantile(q), b.metrics.latency.quantile(q));
+  }
+  EXPECT_EQ(a.trace_seconds, b.trace_seconds);
+  EXPECT_EQ(a.recorded_seconds, b.recorded_seconds);
+  EXPECT_EQ(a.root_updates, b.root_updates);
+  EXPECT_EQ(a.leaf_updates, b.leaf_updates);
+  EXPECT_EQ(a.meta_messages, b.meta_messages);
+  EXPECT_EQ(a.push.copies_pushed, b.push.copies_pushed);
+  EXPECT_EQ(a.push.bytes_pushed, b.push.bytes_pushed);
+  EXPECT_EQ(a.push.copies_used, b.push.copies_used);
+  EXPECT_EQ(a.push.bytes_used, b.push.bytes_used);
+  EXPECT_EQ(a.push.pushes_rate_limited, b.push.pushes_rate_limited);
+  EXPECT_EQ(a.demand_bytes, b.demand_bytes);
+  EXPECT_EQ(a.directory_updates, b.directory_updates);
+  EXPECT_EQ(a.icp_queries, b.icp_queries);
+  EXPECT_EQ(a.icp_hits, b.icp_hits);
+  for (int l = 0; l < 4; ++l) {
+    EXPECT_EQ(a.levels.hits[l], b.levels.hits[l]);
+    EXPECT_EQ(a.levels.hit_bytes[l], b.levels.hit_bytes[l]);
+  }
+  EXPECT_EQ(a.levels.requests, b.levels.requests);
+  EXPECT_EQ(a.levels.bytes, b.levels.bytes);
+}
+
+std::vector<ExperimentConfig> mixed_configs(
+    const trace::WorkloadParams& workload) {
+  std::vector<ExperimentConfig> configs;
+  for (SystemKind kind : {SystemKind::kHierarchy, SystemKind::kDirectory,
+                          SystemKind::kHints, SystemKind::kIcp}) {
+    ExperimentConfig cfg;
+    cfg.workload = workload;
+    cfg.system = kind;
+    configs.push_back(cfg);
+  }
+  // A push-enabled hint run exercises the push/rng paths too.
+  ExperimentConfig push_cfg;
+  push_cfg.workload = workload;
+  push_cfg.system = SystemKind::kHints;
+  push_cfg.hints.push = PushPolicy::kPushHalf;
+  configs.push_back(push_cfg);
+  return configs;
+}
+
+TEST(ParallelSweepTest, Jobs4MatchesSerialRunsOnSharedTrace) {
+  const auto workload = tiny_workload();
+  const auto records = trace::TraceGenerator(workload).generate_all();
+  ASSERT_FALSE(records.empty());
+  const auto configs = mixed_configs(workload);
+
+  // Ground truth: plain serial run_experiment_on, no sweep machinery.
+  std::vector<ExperimentResult> serial;
+  for (const auto& cfg : configs) {
+    serial.push_back(run_experiment_on(records, cfg));
+  }
+
+  const auto jobs1 = run_sweep_on(records, configs, SweepOptions{1});
+  const auto jobs4 = run_sweep_on(records, configs, SweepOptions{4});
+  ASSERT_EQ(jobs1.size(), serial.size());
+  ASSERT_EQ(jobs4.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "config " << i);
+    expect_identical(jobs1[i], serial[i]);
+    expect_identical(jobs4[i], serial[i]);
+  }
+}
+
+TEST(ParallelSweepTest, GeneratePerJobMatchesRunExperiment) {
+  // Jobs without a shared trace regenerate their own; results must match
+  // run_experiment exactly and stay independent of the jobs count.
+  std::vector<SweepJob> jobs;
+  for (double scale : {1.0 / 4096.0, 1.0 / 2048.0}) {
+    SweepJob job;
+    job.config.workload = trace::workload_by_name("dec").scaled(scale);
+    jobs.push_back(job);
+  }
+  std::vector<ExperimentResult> serial;
+  for (const auto& job : jobs) serial.push_back(run_experiment(job.config));
+
+  const auto parallel = run_sweep(jobs, SweepOptions{4});
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "job " << i);
+    expect_identical(parallel[i], serial[i]);
+  }
+}
+
+TEST(ParallelSweepTest, ResultOrderFollowsJobOrderNotCompletionOrder) {
+  // Jobs of very different sizes finish out of order under parallel
+  // scheduling; results must still land at their job's index.
+  const auto big = trace::workload_by_name("dec").scaled(1.0 / 1024.0);
+  const auto small = trace::workload_by_name("dec").scaled(1.0 / 8192.0);
+  std::vector<SweepJob> jobs;
+  for (const auto& w : {big, small, big, small}) {
+    SweepJob job;
+    job.config.workload = w;
+    jobs.push_back(job);
+  }
+  const auto results = run_sweep(jobs, SweepOptions{4});
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].metrics.requests, results[2].metrics.requests);
+  EXPECT_EQ(results[1].metrics.requests, results[3].metrics.requests);
+  EXPECT_GT(results[0].metrics.requests, results[1].metrics.requests);
+}
+
+}  // namespace
+}  // namespace bh::core

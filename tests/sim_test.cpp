@@ -1,6 +1,8 @@
 // Tests for the discrete-event engine.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -75,6 +77,112 @@ TEST(EventQueueTest, RunUntilAdvancesNowWithoutEvents) {
   EventQueue q;
   q.run_until(9.0);
   EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueueTest, DuringDrainEventOutsideHorizonStaysPending) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule_at(1.0, [&](SimTime now) {
+    times.push_back(now);
+    // Lands past the horizon: must NOT run in this drain.
+    q.schedule_after(5.0, [&](SimTime t2) { times.push_back(t2); });
+  });
+  q.run_until(2.0);
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  q.run_until(10.0);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[1], 6.0);
+}
+
+TEST(EventQueueTest, TiesDuringDrainRunAfterEqualTimePending) {
+  // An event scheduled during the drain at a timestamp equal to a pending
+  // event runs after it (later insertion sequence).
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(1.0, [&](SimTime) {
+    order.push_back(1);
+    q.schedule_at(2.0, [&](SimTime) { order.push_back(3); });
+  });
+  q.schedule_at(2.0, [&](SimTime) { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, LargeCapturesFallBackToHeap) {
+  // Captures beyond EventCallback's inline buffer (48 bytes) go through the
+  // heap path; the payload must survive the moves into and out of the slab.
+  EventQueue q;
+  struct Big {
+    std::uint64_t v[16];
+  } big{};
+  for (std::uint64_t i = 0; i < 16; ++i) big.v[i] = i + 1;
+  std::uint64_t sum = 0;
+  q.schedule_at(1.0, [&sum, big](SimTime) {
+    for (std::uint64_t x : big.v) sum += x;
+  });
+  q.run_all();
+  EXPECT_EQ(sum, 136u);
+}
+
+TEST(EventQueueTest, MoveOnlyCallbacksAreSupported) {
+  // std::function requires copyability; EventCallback does not.
+  EventQueue q;
+  auto payload = std::make_unique<int>(42);
+  int seen = 0;
+  q.schedule_at(1.0,
+                [&seen, p = std::move(payload)](SimTime) { seen = *p; });
+  q.run_all();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueueTest, PendingCallbacksDestroyedWithQueue) {
+  // Undelivered events must release their captures when the queue dies —
+  // both inline and heap-allocated ones.
+  auto token = std::make_shared<int>(7);
+  struct Big {
+    std::uint64_t pad[16] = {};
+  };
+  {
+    EventQueue q;
+    q.schedule_at(1.0, [keep = token](SimTime) {});
+    q.schedule_at(2.0, [keep = token, big = Big{}](SimTime) {});
+    EXPECT_EQ(token.use_count(), 3);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueueTest, SlotRecyclingKeepsCallbacksIntact) {
+  // A self-rescheduling chain interleaved with fresh events exercises slot
+  // reuse: each dispatch frees a slot that the next schedule may recycle.
+  EventQueue q;
+  std::vector<int> values;
+  for (int i = 0; i < 100; ++i) {
+    q.schedule_at(double(i), [&values, i](SimTime) {
+      values.push_back(i);
+    });
+  }
+  q.run_until(49.0);
+  for (int i = 100; i < 200; ++i) {
+    q.schedule_at(double(i), [&values, i](SimTime) {
+      values.push_back(i);
+    });
+  }
+  q.run_all();
+  ASSERT_EQ(values.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(values[i], i);
+}
+
+TEST(EventQueueTest, ReserveDoesNotDisturbPendingEvents) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(1.0, [&](SimTime) { ++ran; });
+  q.reserve(10000);
+  q.schedule_at(2.0, [&](SimTime) { ++ran; });
+  EXPECT_EQ(q.pending(), 2u);
+  q.run_all();
+  EXPECT_EQ(ran, 2);
 }
 
 TEST(EventQueueTest, CascadedSchedulingIsStable) {
