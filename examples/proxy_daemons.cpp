@@ -4,9 +4,13 @@
 // prototype).
 //
 // Demonstrates: demand misses filling caches, hint batches propagating over
-// the wire, direct cache-to-cache transfers, the false-positive error path
-// after an invalidation, and the per-daemon statistics a deployment would
-// export.
+// the wire — around a *cyclic* neighbour ring, which the hop-bounded,
+// deduplicated forwarding keeps storm-free — direct cache-to-cache
+// transfers, the false-positive error path after an invalidation, and the
+// failure model: when a daemon dies mid-run, its neighbours' probes fail
+// within their tight per-call deadline, the dead peer is quarantined after a
+// few consecutive failures, and the cluster degrades to origin-direct
+// service instead of stalling.
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -18,25 +22,55 @@
 
 using namespace bh;
 
+namespace {
+
+void print_stats(const std::vector<std::unique_ptr<proxy::ProxyServer>>& ps) {
+  std::printf("%-9s %9s %10s %12s %12s %10s %12s %8s %9s %8s\n", "daemon",
+              "requests", "local", "cache2cache", "origin", "false+",
+              "upd sent", "peerfail", "quarskip", "reprobe");
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const auto s = ps[i]->stats();
+    std::printf(
+        "proxy-%-3zu %9llu %10llu %12llu %12llu %10llu %12llu %8llu %9llu "
+        "%8llu\n",
+        i, (unsigned long long)s.requests, (unsigned long long)s.local_hits,
+        (unsigned long long)s.sibling_hits,
+        (unsigned long long)s.origin_fetches,
+        (unsigned long long)s.false_positives,
+        (unsigned long long)s.updates_sent,
+        (unsigned long long)s.peer_failures,
+        (unsigned long long)s.quarantine_skips,
+        (unsigned long long)s.reprobes);
+  }
+}
+
+}  // namespace
+
 int main() {
   proxy::OriginServer origin;
 
-  // A star topology: proxies 1..3 exchange hints with proxy 0 (a tree, so
-  // the re-advertising flood cannot loop).
+  // A ring topology: each proxy exchanges hints with its successor. The
+  // graph is cyclic — exactly the shape that used to circulate updates
+  // forever; the seen-set and hop bound keep it quiescent now.
   std::vector<std::unique_ptr<proxy::ProxyServer>> proxies;
   for (int i = 0; i < 4; ++i) {
     proxy::ProxyConfig cfg;
     cfg.name = "proxy-" + std::to_string(i);
     cfg.origin_port = origin.port();
     cfg.capacity_bytes = 8u << 20;
+    // Failure budget: tight data-path probes, short quarantine so the demo's
+    // outage phase shows degradation and the stats stay legible.
+    cfg.peer_deadline_seconds = 0.25;
+    cfg.quarantine_threshold = 2;
+    cfg.quarantine_seconds = 10.0;
     proxies.push_back(std::make_unique<proxy::ProxyServer>(cfg));
   }
-  for (int i = 1; i < 4; ++i) {
-    proxies[0]->add_hint_neighbor(proxies[std::size_t(i)]->port());
-    proxies[std::size_t(i)]->add_hint_neighbor(proxies[0]->port());
+  for (int i = 0; i < 4; ++i) {
+    proxies[std::size_t(i)]->add_hint_neighbor(
+        proxies[std::size_t((i + 1) % 4)]->port());
   }
 
-  std::printf("origin on 127.0.0.1:%u; proxies on", origin.port());
+  std::printf("origin on 127.0.0.1:%u; proxies (hint ring) on", origin.port());
   for (const auto& p : proxies) std::printf(" %u", p->port());
   std::printf("\n\n");
 
@@ -45,9 +79,9 @@ int main() {
   Rng rng(2718);
   ZipfSampler zipf(120, 0.9);
   int served = 0;
-  for (int burst = 0; burst < 25; ++burst) {
-    for (int r = 0; r < 20; ++r) {
-      const auto& p = proxies[rng.next_below(proxies.size())];
+  auto drive_burst = [&](int requests, std::size_t alive) {
+    for (int r = 0; r < requests; ++r) {
+      const auto& p = proxies[rng.next_below(alive)];
       const ObjectId obj{0x1000 + zipf.sample(rng)};
       proxy::HttpRequest req;
       req.method = "GET";
@@ -57,8 +91,14 @@ int main() {
         ++served;
       }
     }
-    for (auto& p : proxies) p->flush_hints();
-    for (auto& p : proxies) p->flush_hints();  // relay hop via the hub
+  };
+  for (int burst = 0; burst < 25; ++burst) {
+    drive_burst(20, proxies.size());
+    // Relay around the ring: a hint needs up to three flush rounds to reach
+    // the far side, and the loop-control keeps the cycle from storming.
+    for (int round = 0; round < 3; ++round) {
+      for (auto& p : proxies) p->flush_hints();
+    }
   }
 
   // Force one false positive: invalidate a popular object behind the
@@ -71,26 +111,37 @@ int main() {
   req.target = proxy::object_path(popular, 1000);
   proxy::http_call(proxies[1]->port(), req);
 
-  std::printf("%-9s %9s %10s %12s %12s %10s %12s\n", "daemon", "requests",
-              "local", "cache2cache", "origin", "false+", "upd sent");
-  std::uint64_t origin_total = 0;
-  for (std::size_t i = 0; i < proxies.size(); ++i) {
-    const auto& p = proxies[i];
-    const auto s = p->stats();
-    origin_total += s.origin_fetches;
-    std::printf("proxy-%-3zu %9llu %10llu %12llu %12llu %10llu %12llu\n",
-                i, (unsigned long long)s.requests,
-                (unsigned long long)s.local_hits,
-                (unsigned long long)s.sibling_hits,
-                (unsigned long long)s.origin_fetches,
-                (unsigned long long)s.false_positives,
-                (unsigned long long)s.updates_sent);
+  std::printf("-- healthy cluster --\n");
+  print_stats(proxies);
+
+  // Outage: proxy-3 dies mid-run. Its neighbours' hinted probes fail within
+  // the 0.25 s per-call deadline (never the generic socket timeout), two
+  // consecutive failures quarantine it, and from then on requests hinted at
+  // the corpse degrade straight to the origin.
+  proxies[3]->stop();
+  std::printf("\nproxy-3 killed; serving 200 more requests through 0..2\n\n");
+  for (int burst = 0; burst < 10; ++burst) {
+    drive_burst(20, 3);
+    for (auto& p : proxies) {
+      if (p != proxies[3]) p->flush_hints();
+    }
   }
-  std::printf("\nserved %d requests; the origin saw only %llu fetches "
-              "(%llu server-side) — every other byte came from a cache, "
-              "located by a local 16-byte hint and moved with one direct "
-              "transfer\n",
-              served, (unsigned long long)origin_total,
-              (unsigned long long)origin.requests_served());
+
+  std::printf("-- degraded cluster (proxy-3 dead) --\n");
+  print_stats(proxies);
+
+  std::uint64_t origin_total = 0, quarantines = 0;
+  for (const auto& p : proxies) {
+    origin_total += p->stats().origin_fetches;
+    quarantines += p->stats().quarantines;
+  }
+  std::printf(
+      "\nserved %d requests; the origin saw only %llu fetches (%llu "
+      "server-side). after the kill, %llu quarantine(s) kept dead-peer "
+      "probes off the data path — every request still completed, just "
+      "origin-direct\n",
+      served, (unsigned long long)origin_total,
+      (unsigned long long)origin.requests_served(),
+      (unsigned long long)quarantines);
   return 0;
 }

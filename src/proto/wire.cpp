@@ -5,6 +5,8 @@
 #include <cstring>
 #include <string>
 
+#include "common/hash.h"
+
 namespace bh::proto {
 namespace {
 
@@ -58,6 +60,19 @@ std::optional<std::vector<HintUpdate>> decode_body(
     out.push_back(u);
   }
   return out;
+}
+
+std::uint64_t update_key(const HintUpdate& update) {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(update.action));
+  h = mix64(h ^ update.object.value);
+  return mix64(h ^ update.location.value);
+}
+
+std::uint64_t complement_key(const HintUpdate& update) {
+  HintUpdate other = update;
+  other.action = update.action == Action::kInform ? Action::kInvalidate
+                                                  : Action::kInform;
+  return update_key(other);
 }
 
 std::vector<std::uint8_t> encode_post(std::span<const HintUpdate> updates) {

@@ -42,6 +42,16 @@ std::vector<std::uint8_t> encode_body(std::span<const HintUpdate> updates);
 std::optional<std::vector<HintUpdate>> decode_body(
     std::span<const std::uint8_t> body);
 
+// Stable 64-bit key over an update's content (action, object, location) —
+// what the daemon's bounded seen-set dedups re-advertisements by, so the
+// same update circulating a cyclic neighbor graph is forwarded once.
+std::uint64_t update_key(const HintUpdate& update);
+
+// Key of the complementary action (inform <-> invalidate) for the same
+// (object, location) pair. When an update arrives, retiring its complement
+// from the seen-set keeps alternating insert/evict sequences propagating.
+std::uint64_t complement_key(const HintUpdate& update);
+
 // Wraps a body in the POST framing the prototype uses.
 std::vector<std::uint8_t> encode_post(std::span<const HintUpdate> updates);
 

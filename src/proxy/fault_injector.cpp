@@ -1,0 +1,65 @@
+#include "proxy/fault_injector.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace bh::proxy {
+namespace {
+
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+}  // namespace
+
+void FaultInjector::add_rule(FaultRule rule) {
+  std::lock_guard lock(mu_);
+  rules_.push_back(rule);
+}
+
+void FaultInjector::clear() {
+  std::lock_guard lock(mu_);
+  rules_.clear();
+}
+
+std::uint64_t FaultInjector::injections() const {
+  std::lock_guard lock(mu_);
+  return injections_;
+}
+
+std::optional<FaultKind> FaultInjector::apply(FaultOp op, std::uint16_t port) {
+  double total_delay = 0.0;
+  std::optional<FaultKind> failure;
+  {
+    std::lock_guard lock(mu_);
+    for (FaultRule& rule : rules_) {
+      if (rule.op != op) continue;
+      if (rule.port != 0 && rule.port != port) continue;
+      if (rule.max_injections == 0) continue;
+      if (rule.probability < 1.0 && !rng_.bernoulli(rule.probability)) continue;
+      if (rule.max_injections > 0) --rule.max_injections;
+      ++injections_;
+      if (rule.kind == FaultKind::kDelay) {
+        total_delay += rule.delay_seconds;
+        continue;  // a delay composes with a later failure rule
+      }
+      failure = rule.kind;
+      break;
+    }
+  }
+  // Sleep outside the lock so a delay rule cannot stall other threads'
+  // injection decisions.
+  if (total_delay > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(total_delay));
+  }
+  return failure;
+}
+
+void FaultInjector::install(FaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+FaultInjector* FaultInjector::installed() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+}  // namespace bh::proxy

@@ -1,0 +1,86 @@
+// Deterministic fault injection for the proxy daemon's socket layer.
+//
+// Cooperative-caching deployments live or die on their failure paths, and
+// those paths are unreachable from ordinary tests: a refused connect, a
+// peer that resets mid-stream, a reply truncated after one byte, a link
+// that is merely slow. The injector makes each of them drivable on demand.
+// Tests install one process-global injector; every *outbound* socket
+// operation (connect / send / recv toward a known destination port)
+// consults it and acts on the first matching rule. Accepted (server-side)
+// streams are never touched, so a daemon under test misbehaves only in the
+// direction the rule names.
+//
+// Rules are matched deterministically: a seeded Rng drives per-candidate
+// probability coins, and `max_injections` bounds how often a rule fires, so
+// a test can say "the first two probes to port P die, the third succeeds"
+// and get exactly that on every run.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace bh::proxy {
+
+// Which socket operation is about to run.
+enum class FaultOp { kConnect, kSend, kRecv };
+
+enum class FaultKind {
+  kConnectRefused,  // connect() fails as if nothing listens on the port
+  kReset,           // the operation fails as if the peer sent RST
+  kShortRead,       // recv delivers at most one byte, then the stream dies
+  kDelay,           // sleep `delay_seconds`, then proceed normally
+};
+
+struct FaultRule {
+  FaultOp op = FaultOp::kConnect;
+  FaultKind kind = FaultKind::kConnectRefused;
+  std::uint16_t port = 0;      // destination port to match; 0 = any
+  double probability = 1.0;    // chance the rule fires per matching op
+  int max_injections = -1;     // total times the rule may fire; -1 = no cap
+  double delay_seconds = 0.0;  // kDelay only
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 1) : rng_(seed) {}
+
+  void add_rule(FaultRule rule);
+  void clear();
+
+  // Total faults injected (delays included).
+  std::uint64_t injections() const;
+
+  // Consulted by the socket layer before each outbound operation. Sleeps
+  // for every matching kDelay rule, then returns the first matching failure
+  // kind, or nullopt to let the operation proceed. Thread-safe.
+  std::optional<FaultKind> apply(FaultOp op, std::uint16_t port);
+
+  // Installs the process-global injector the socket layer consults; nullptr
+  // uninstalls. The injector must outlive its installation.
+  static void install(FaultInjector* injector);
+  static FaultInjector* installed();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FaultRule> rules_;  // max_injections counts down in place
+  Rng rng_;
+  std::uint64_t injections_ = 0;
+};
+
+// RAII installation for tests: installs on construction, uninstalls on
+// destruction so one test's faults can never leak into the next.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultInjector& injector) {
+    FaultInjector::install(&injector);
+  }
+  ~ScopedFaultInjection() { FaultInjector::install(nullptr); }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace bh::proxy

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <thread>
 
 namespace bh::proxy {
 namespace {
@@ -179,11 +180,50 @@ std::optional<HttpResponse> parse_response(std::string_view raw) {
   return resp;
 }
 
-std::optional<std::string> read_http_message(TcpStream& stream) {
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<std::uint16_t> parse_port(std::string_view text) {
+  const auto value = parse_u64(text);
+  if (!value || *value == 0 || *value > 0xFFFF) return std::nullopt;
+  return static_cast<std::uint16_t>(*value);
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_until(Clock::time_point deadline) {
+  return std::chrono::duration<double>(deadline - Clock::now()).count();
+}
+
+// Reads one message; when `deadline` is non-null the stream timeout is
+// re-armed to the remaining budget before every read, so the sum of waits
+// is bounded by the budget rather than by (reads x timeout).
+std::optional<std::string> read_message_impl(TcpStream& stream,
+                                             const Clock::time_point* deadline) {
+  auto bounded_read = [&](std::size_t max) -> std::optional<std::string> {
+    if (deadline) {
+      const double remaining = seconds_until(*deadline);
+      if (remaining <= 0 || !stream.set_timeout(remaining)) {
+        return std::nullopt;
+      }
+    }
+    return stream.read_some(max);
+  };
+
   std::string buf;
   std::size_t headers_end = std::string::npos;
   while (headers_end == std::string::npos) {
-    auto chunk = stream.read_some(8192);
+    auto chunk = bounded_read(8192);
     if (!chunk) return std::nullopt;
     if (chunk->empty()) return std::nullopt;  // EOF before headers done
     buf += *chunk;
@@ -206,7 +246,7 @@ std::optional<std::string> read_http_message(TcpStream& stream) {
   }
   const std::size_t total = headers_end + 4 + expected;
   while (buf.size() < total) {
-    auto chunk = stream.read_some(65536);
+    auto chunk = bounded_read(65536);
     if (!chunk || chunk->empty()) return std::nullopt;
     buf += *chunk;
   }
@@ -214,15 +254,66 @@ std::optional<std::string> read_http_message(TcpStream& stream) {
   return buf;
 }
 
+}  // namespace
+
+std::optional<std::string> read_http_message(TcpStream& stream) {
+  return read_message_impl(stream, nullptr);
+}
+
+std::optional<std::string> read_http_message(TcpStream& stream,
+                                             Clock::time_point deadline) {
+  return read_message_impl(stream, &deadline);
+}
+
+double backoff_delay(int attempt, const CallOptions& opts, Rng& rng) {
+  double cap = opts.backoff_base_seconds;
+  for (int i = 0; i < attempt && cap < opts.backoff_max_seconds; ++i) {
+    cap *= 2;
+  }
+  cap = std::min(cap, opts.backoff_max_seconds);
+  // Uniform in (0, cap]: full jitter avoids synchronized retry bursts, and
+  // a strictly positive floor keeps the schedule an actual delay.
+  return cap * (1.0 - rng.next_double());
+}
+
 std::optional<HttpResponse> http_call(std::uint16_t port,
                                       const HttpRequest& request) {
-  auto stream = TcpStream::connect(port);
-  if (!stream) return std::nullopt;
-  if (!stream->write_all(serialize(request))) return std::nullopt;
-  stream->shutdown_write();
-  auto raw = read_http_message(*stream);
-  if (!raw) return std::nullopt;
-  return parse_response(*raw);
+  return http_call(port, request, CallOptions{});
+}
+
+std::optional<HttpResponse> http_call(std::uint16_t port,
+                                      const HttpRequest& request,
+                                      const CallOptions& opts,
+                                      int* attempts_used) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(opts.deadline_seconds));
+  Rng rng(opts.backoff_seed);
+  const std::string wire = serialize(request);
+  int attempts = 0;
+  std::optional<HttpResponse> result;
+  for (int attempt = 0; attempt < opts.max_attempts; ++attempt) {
+    const double remaining = seconds_until(deadline);
+    if (remaining <= 0) break;
+    ++attempts;
+    auto stream = TcpStream::connect(port, remaining);
+    if (stream && stream->write_all(wire)) {
+      stream->shutdown_write();
+      if (auto raw = read_http_message(*stream, deadline)) {
+        result = parse_response(*raw);
+        if (result) break;
+      }
+    }
+    if (attempt + 1 < opts.max_attempts) {
+      const double delay =
+          std::min(backoff_delay(attempt, opts, rng), seconds_until(deadline));
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      }
+    }
+  }
+  if (attempts_used) *attempts_used = attempts;
+  return result;
 }
 
 }  // namespace bh::proxy

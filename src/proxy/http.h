@@ -2,14 +2,25 @@
 // headers, Content-Length framing, connection-per-request. It is exactly
 // what the prototype era's Squid spoke between caches, and all the daemon
 // needs.
+//
+// Client calls carry an explicit failure budget (CallOptions): a total
+// per-call deadline that covers connect, send, and the whole read, plus an
+// optional bounded retry with jittered exponential backoff. The paper's
+// "do not slow down misses" principle maps onto this layer as: data-path
+// probes are single-shot with a tight deadline (a dead peer costs one
+// bounded round trip, never a search), while soft-state metadata traffic
+// may retry within its own budget.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "proxy/socket.h"
 
 namespace bh::proxy {
@@ -46,11 +57,47 @@ std::string serialize(const HttpResponse& r);
 std::optional<HttpRequest> parse_request(std::string_view raw);
 std::optional<HttpResponse> parse_response(std::string_view raw);
 
+// Checked numeric parses for header and body fields: the whole string must
+// be a decimal number in range, else nullopt (never a silent zero).
+std::optional<std::uint64_t> parse_u64(std::string_view text);
+std::optional<std::uint16_t> parse_port(std::string_view text);
+
 // Reads one complete message (headers + Content-Length body) from a stream.
 std::optional<std::string> read_http_message(TcpStream& stream);
+// Same, but re-arms the stream timeout before every read so the total wait
+// can never exceed `deadline` — a trickling peer cannot stretch the call.
+std::optional<std::string> read_http_message(
+    TcpStream& stream, std::chrono::steady_clock::time_point deadline);
 
-// One-shot client exchange: connect, send, read full reply.
+// Failure budget for one client call.
+struct CallOptions {
+  // Total wall-clock budget across every attempt, including backoff sleeps.
+  double deadline_seconds = kDefaultTimeoutSeconds;
+  // 1 = single-shot (the data-path contract); >1 enables bounded retry.
+  int max_attempts = 1;
+  // Jittered exponential backoff between attempts: attempt k sleeps a
+  // uniform draw from (0, min(base * 2^k, max)].
+  double backoff_base_seconds = 0.02;
+  double backoff_max_seconds = 0.5;
+  // Seeds the jitter stream; calls with the same seed back off identically.
+  std::uint64_t backoff_seed = 0;
+};
+
+// The backoff schedule, exposed for tests: uniform in (0, cap] where
+// cap = min(base * 2^attempt, max); attempt counts from 0.
+double backoff_delay(int attempt, const CallOptions& opts, Rng& rng);
+
+// One-shot client exchange: connect, send, read full reply — all within the
+// default budget.
 std::optional<HttpResponse> http_call(std::uint16_t port,
                                       const HttpRequest& request);
+
+// Client exchange under an explicit failure budget. If `attempts_used` is
+// non-null it receives the number of attempts made (>= 1 whenever the
+// deadline admitted at least one).
+std::optional<HttpResponse> http_call(std::uint16_t port,
+                                      const HttpRequest& request,
+                                      const CallOptions& opts,
+                                      int* attempts_used = nullptr);
 
 }  // namespace bh::proxy

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <charconv>
 #include <cstdio>
-#include <cstdlib>
 #include <stdexcept>
 #include <vector>
 
@@ -107,14 +106,13 @@ void OriginServer::serve() {
 HttpResponse OriginServer::handle(const HttpRequest& req) {
   HttpResponse resp;
   if (req.method == "POST" && req.path() == "/register") {
-    const auto port = static_cast<std::uint16_t>(
-        std::strtoul(req.body.c_str(), nullptr, 10));
-    if (port == 0) {
+    const auto port = parse_port(req.body);
+    if (!port) {
       resp.status = 400;
       resp.reason = "Bad Port";
       return resp;
     }
-    register_cache(port);
+    register_cache(*port);
     resp.body = "registered";
     return resp;
   }
@@ -126,8 +124,8 @@ HttpResponse OriginServer::handle(const HttpRequest& req) {
   }
   std::size_t size = 1024;
   if (auto s = req.query_param("size")) {
-    size = static_cast<std::size_t>(std::strtoull(s->c_str(), nullptr, 10));
-    size = std::min<std::size_t>(size, 4u << 20);
+    // A malformed size falls back to the default instead of parsing as 0.
+    size = std::min<std::size_t>(parse_u64(*s).value_or(size), 4u << 20);
   }
   const Version version = version_of(*id);
   resp.body = origin_body(*id, version, size);

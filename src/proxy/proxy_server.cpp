@@ -1,9 +1,10 @@
 #include "proxy/proxy_server.h"
 
 #include <algorithm>
-#include <cstdlib>
+#include <map>
 #include <stdexcept>
 
+#include "common/hash.h"
 #include "proxy/origin_server.h"
 
 namespace bh::proxy {
@@ -15,11 +16,17 @@ ProxyServer::ProxyServer(ProxyConfig cfg)
   port_ = listener_->port();
   accept_thread_ = std::thread([this] { serve(); });
   if (cfg_.register_with_origin) {
+    // Registration is the consistency anchor — worth the bounded retry.
     HttpRequest reg;
     reg.method = "POST";
     reg.target = "/register";
     reg.body = std::to_string(port_);
-    http_call(cfg_.origin_port, reg);
+    int attempts = 0;
+    http_call(cfg_.origin_port, reg, metadata_call_options(), &attempts);
+    if (attempts > 1) {
+      std::lock_guard lock(mu_);
+      stats_.metadata_retries += static_cast<std::uint64_t>(attempts - 1);
+    }
   }
 }
 
@@ -29,6 +36,9 @@ void ProxyServer::stop() {
   if (stopping_.exchange(true)) return;
   listener_->shut_down();
   if (accept_thread_.joinable()) accept_thread_.join();
+  // In-flight handlers observe stopping_ before starting any new outbound
+  // call, so the wait below is bounded by one already-running call's
+  // deadline, not by (calls x socket timeout).
   std::unique_lock lock(workers_mu_);
   workers_cv_.wait(lock, [this] { return active_workers_ == 0; });
 }
@@ -36,6 +46,16 @@ void ProxyServer::stop() {
 ProxyStats ProxyServer::stats() const {
   std::lock_guard lock(mu_);
   return stats_;
+}
+
+CallOptions ProxyServer::metadata_call_options() {
+  CallOptions opts;
+  opts.deadline_seconds = cfg_.metadata_deadline_seconds;
+  opts.max_attempts = cfg_.metadata_max_attempts;
+  // Distinct jitter stream per call so neighbours never back off in lockstep.
+  opts.backoff_seed = mix64((std::uint64_t{port_} << 32) ^
+                            call_seq_.fetch_add(1, std::memory_order_relaxed));
+  return opts;
 }
 
 void ProxyServer::serve() {
@@ -129,13 +149,12 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
       resp.body = std::move(*body);
       resp.headers.emplace_back("X-Cache", "HIT");
       resp.headers.emplace_back("X-Served-By", cfg_.name);
-      if (cache_only && cfg_.push_on_peer_fetch) {
+      if (cache_only && cfg_.push_on_peer_fetch && !stopping_.load()) {
         // A cousin just fetched from us: seed our other neighbours too
         // (hierarchical push on miss, supplier-driven, Figure 9).
         std::uint16_t requester = 0;
         if (auto r = req.header("X-Requester-Port")) {
-          requester = static_cast<std::uint16_t>(
-              std::strtoul(std::string(*r).c_str(), nullptr, 10));
+          requester = parse_port(*r).value_or(0);
         }
         const std::string body_copy = resp.body;
         lock.unlock();
@@ -156,37 +175,69 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
     hint = hints_->lookup(*id);
   }
 
-  // 3. Direct cache-to-cache transfer from the hinted peer.
-  if (hint) {
-    HttpRequest peer_req;
-    peer_req.method = "GET";
-    peer_req.target = req.target;
-    peer_req.headers.emplace_back("X-No-Forward", "1");
-    peer_req.headers.emplace_back("X-Requester-Port", std::to_string(port_));
+  // 3. Direct cache-to-cache transfer from the hinted peer: single-shot with
+  // a tight dedicated deadline — a dead peer costs one bounded round trip,
+  // never a full socket timeout, and a quarantined peer costs nothing.
+  if (hint && !stopping_.load()) {
     const auto peer_port = static_cast<std::uint16_t>(hint->value);
-    auto peer_resp = http_call(peer_port, peer_req);
-    if (peer_resp && peer_resp->status == 200) {
+    bool usable;
+    {
       std::lock_guard lock(mu_);
-      ++stats_.sibling_hits;
-      store_locked(*id, peer_resp->body);
-      resp.body = std::move(peer_resp->body);
-      resp.headers.emplace_back("X-Cache", "SIBLING");
-      resp.headers.emplace_back("X-Served-By", cfg_.name);
-      return resp;
+      usable = peer_usable_locked(peer_port);
+      if (!usable) ++stats_.quarantine_skips;
     }
-    // False positive: drop the hint and fall through to the origin — no
-    // further searching (do not slow down misses).
-    std::lock_guard lock(mu_);
-    ++stats_.false_positives;
-    hints_->erase(*id);
+    if (usable) {
+      HttpRequest peer_req;
+      peer_req.method = "GET";
+      peer_req.target = req.target;
+      peer_req.headers.emplace_back("X-No-Forward", "1");
+      peer_req.headers.emplace_back("X-Requester-Port", std::to_string(port_));
+      CallOptions probe;
+      probe.deadline_seconds = cfg_.peer_deadline_seconds;
+      auto peer_resp = http_call(peer_port, peer_req, probe);
+      if (peer_resp && peer_resp->status == 200) {
+        std::lock_guard lock(mu_);
+        record_peer_success_locked(peer_port);
+        ++stats_.sibling_hits;
+        store_locked(*id, peer_resp->body);
+        resp.body = std::move(peer_resp->body);
+        resp.headers.emplace_back("X-Cache", "SIBLING");
+        resp.headers.emplace_back("X-Served-By", cfg_.name);
+        return resp;
+      }
+      std::lock_guard lock(mu_);
+      if (peer_resp) {
+        // The peer answered but no longer holds the object: a false
+        // positive, priced at one error round trip. The peer is healthy.
+        ++stats_.false_positives;
+        record_peer_success_locked(peer_port);
+        hints_->erase(*id);
+      } else {
+        // Transport failure: counts toward quarantine. Keep the hint — the
+        // peer likely still holds the object when it rejoins.
+        ++stats_.peer_failures;
+        record_peer_failure_locked(peer_port);
+      }
+    }
+    // Failed or quarantined: fall through to the origin — no further
+    // searching (do not slow down misses).
   }
 
   // 4. Origin server.
+  if (stopping_.load()) {
+    resp.status = 503;
+    resp.reason = "Shutting Down";
+    return resp;
+  }
   HttpRequest origin_req;
   origin_req.method = "GET";
   origin_req.target = req.target;
-  auto origin_resp = http_call(cfg_.origin_port, origin_req);
+  CallOptions origin_opts;
+  origin_opts.deadline_seconds = cfg_.origin_deadline_seconds;
+  auto origin_resp = http_call(cfg_.origin_port, origin_req, origin_opts);
   if (!origin_resp || origin_resp->status != 200) {
+    std::lock_guard lock(mu_);
+    ++stats_.origin_failures;
     resp.status = 502;
     resp.reason = "Bad Gateway";
     return resp;
@@ -217,7 +268,13 @@ HttpResponse ProxyServer::handle_updates(const HttpRequest& req) {
   }
   MachineId from{0};
   if (auto f = req.header("X-From")) {
-    from = MachineId{std::strtoull(std::string(*f).c_str(), nullptr, 10)};
+    if (auto port = parse_port(*f)) from = MachineId{*port};
+  }
+  int hops = 0;
+  if (auto h = req.header("X-Hop")) {
+    if (auto parsed = parse_u64(*h)) {
+      hops = static_cast<int>(std::min<std::uint64_t>(*parsed, 1024));
+    }
   }
 
   std::lock_guard lock(mu_);
@@ -244,8 +301,21 @@ HttpResponse ProxyServer::handle_updates(const HttpRequest& req) {
         }
       }
     }
-    // Re-advertise to the other neighbours next flush.
-    pending_.push_back({u, from});
+    // Re-advertise to the other neighbours next flush — at most once per
+    // distinct update (the seen-set kills cycles), never for updates about
+    // ourselves, and never past the hop bound.
+    const bool fresh = note_seen_locked(u);
+    if (!fresh) {
+      ++stats_.updates_deduped;
+      continue;
+    }
+    if (u.location == self()) continue;
+    const int next_hops = hops + 1;
+    if (next_hops >= cfg_.max_hint_hops) {
+      ++stats_.updates_hop_capped;
+      continue;
+    }
+    pending_.push_back({u, from, next_hops});
   }
   resp.body = "ok";
   return resp;
@@ -283,21 +353,32 @@ void ProxyServer::push_to_neighbors(ObjectId id, const std::string& body,
     neighbors = cfg_.hint_neighbors;
   }
   for (const std::uint16_t nb : neighbors) {
+    if (stopping_.load()) break;
     if (nb == skip_port) continue;
+    {
+      std::lock_guard lock(mu_);
+      if (!peer_usable_locked(nb)) continue;  // pushes are best-effort
+    }
     HttpRequest put;
     put.method = "PUT";
     put.target = object_path(id, body.size());
     put.body = body;
-    const auto sent = http_call(nb, put);
+    CallOptions opts;
+    opts.deadline_seconds = cfg_.metadata_deadline_seconds;
+    const auto sent = http_call(nb, put, opts);
     std::lock_guard lock(mu_);
     if (sent && sent->status == 200) {
+      record_peer_success_locked(nb);
       ++stats_.pushes_sent;
       stats_.push_bytes_sent += body.size();
+    } else {
+      record_peer_failure_locked(nb);
     }
   }
 }
 
 void ProxyServer::flush_hints() {
+  if (stopping_.load()) return;
   std::vector<PendingUpdate> pending;
   std::vector<std::uint16_t> neighbors;
   {
@@ -308,28 +389,48 @@ void ProxyServer::flush_hints() {
   if (pending.empty()) return;
 
   for (const std::uint16_t nb : neighbors) {
-    std::vector<proto::HintUpdate> batch;
+    if (stopping_.load()) break;
+    {
+      std::lock_guard lock(mu_);
+      // Quarantined neighbours are skipped outright; hint traffic is soft
+      // state, so the dropped batch only costs hit rate, never correctness.
+      if (!peer_usable_locked(nb)) continue;
+    }
+    // One POST per relay depth, so the receiver can hop-bound exactly what
+    // it relays. In practice a batch spans one or two depths.
+    std::map<int, std::vector<proto::HintUpdate>> batches;
     for (const PendingUpdate& p : pending) {
       if (p.exclude.value == nb) continue;
+      auto& batch = batches[p.hops];
       if (std::find(batch.begin(), batch.end(), p.update) != batch.end()) {
         continue;
       }
       batch.push_back(p.update);
     }
-    if (batch.empty()) continue;
-    const auto body = proto::encode_body(batch);
-    HttpRequest req;
-    req.method = "POST";
-    req.target = "/updates";
-    req.headers.emplace_back("X-From", std::to_string(port_));
-    req.body.assign(reinterpret_cast<const char*>(body.data()), body.size());
-    const auto sent = http_call(nb, req);
-    std::lock_guard lock(mu_);
-    if (sent && sent->status == 200) {
-      stats_.updates_sent += batch.size();
-      stats_.update_bytes_sent += body.size();
+    for (const auto& [batch_hops, batch] : batches) {
+      const auto body = proto::encode_body(batch);
+      HttpRequest req;
+      req.method = "POST";
+      req.target = "/updates";
+      req.headers.emplace_back("X-From", std::to_string(port_));
+      req.headers.emplace_back("X-Hop", std::to_string(batch_hops));
+      req.body.assign(reinterpret_cast<const char*>(body.data()), body.size());
+      int attempts = 0;
+      const auto sent = http_call(nb, req, metadata_call_options(), &attempts);
+      std::lock_guard lock(mu_);
+      if (attempts > 1) {
+        stats_.metadata_retries += static_cast<std::uint64_t>(attempts - 1);
+      }
+      if (sent && sent->status == 200) {
+        record_peer_success_locked(nb);
+        stats_.updates_sent += batch.size();
+        stats_.update_bytes_sent += body.size();
+      } else {
+        // Failed sends are dropped: hint traffic is soft state.
+        record_peer_failure_locked(nb);
+        break;  // the neighbour is down; later batches would fail the same
+      }
     }
-    // Failed sends are dropped: hint traffic is soft state.
   }
 }
 
@@ -343,6 +444,64 @@ void ProxyServer::invalidate(ObjectId id) {
     queue_update_locked(proto::Action::kInvalidate, id, self(), MachineId{0});
   }
   hints_->erase(id);
+}
+
+// ---------------------------------------------------------------------------
+// neighbour health (callers hold mu_)
+// ---------------------------------------------------------------------------
+
+bool ProxyServer::peer_usable_locked(std::uint16_t port) {
+  auto it = health_.find(port);
+  if (it == health_.end() || !it->second.quarantined) return true;
+  const auto now = std::chrono::steady_clock::now();
+  if (now < it->second.retry_at) return false;
+  // Admit exactly one re-probe per window: push the window forward so
+  // concurrent requests keep degrading to the origin meanwhile.
+  it->second.retry_at =
+      now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(cfg_.quarantine_seconds));
+  ++stats_.reprobes;
+  return true;
+}
+
+void ProxyServer::record_peer_success_locked(std::uint16_t port) {
+  health_.erase(port);
+}
+
+void ProxyServer::record_peer_failure_locked(std::uint16_t port) {
+  auto& h = health_[port];
+  ++h.consecutive_failures;
+  if (!h.quarantined && h.consecutive_failures < cfg_.quarantine_threshold) {
+    return;
+  }
+  if (!h.quarantined) {
+    h.quarantined = true;
+    ++stats_.quarantines;
+  }
+  h.retry_at = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(cfg_.quarantine_seconds));
+}
+
+// ---------------------------------------------------------------------------
+// seen-set (callers hold mu_)
+// ---------------------------------------------------------------------------
+
+bool ProxyServer::note_seen_locked(const proto::HintUpdate& update) {
+  if (cfg_.seen_updates_capacity == 0) return true;  // dedup disabled
+  // An arriving action retires its complement: insert-evict-insert cycles
+  // keep propagating instead of being swallowed as duplicates.
+  seen_updates_.erase(proto::complement_key(update));
+  const std::uint64_t key = proto::update_key(update);
+  if (!seen_updates_.insert(key).second) return false;
+  seen_order_.push_back(key);
+  // FIFO bound. A retired complement may leave a stale deque slot; popping
+  // it is a harmless no-op (slightly early forgetting, never a leak).
+  while (seen_order_.size() > cfg_.seen_updates_capacity) {
+    seen_updates_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -365,8 +524,10 @@ void ProxyServer::store_locked(ObjectId id, std::string body) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return;
   }
+  // An object that can never fit must not evict anything: serving it is
+  // fine, wiping the whole cache for it is not.
+  if (body.size() > cfg_.capacity_bytes) return;
   evict_to_fit_locked(body.size());
-  if (body.size() > cfg_.capacity_bytes) return;  // too big to cache
   lru_.push_front(id);
   used_bytes_ += body.size();
   objects_.emplace(id, CachedObject{std::move(body), lru_.begin()});
@@ -374,6 +535,7 @@ void ProxyServer::store_locked(ObjectId id, std::string body) {
 }
 
 void ProxyServer::evict_to_fit_locked(std::size_t incoming) {
+  if (incoming > cfg_.capacity_bytes) return;  // hopeless; evict nothing
   while (!lru_.empty() && used_bytes_ + incoming > cfg_.capacity_bytes) {
     const ObjectId victim = lru_.back();
     auto it = objects_.find(victim);
@@ -387,7 +549,11 @@ void ProxyServer::evict_to_fit_locked(std::size_t incoming) {
 
 void ProxyServer::queue_update_locked(proto::Action action, ObjectId id,
                                       MachineId loc, MachineId exclude) {
-  pending_.push_back({proto::HintUpdate{action, id, loc}, exclude});
+  const proto::HintUpdate update{action, id, loc};
+  // Mark our own updates seen so an echo from a cyclic neighbour graph is
+  // dropped instead of relayed forever.
+  note_seen_locked(update);
+  pending_.push_back({update, exclude, 0});
 }
 
 }  // namespace bh::proxy

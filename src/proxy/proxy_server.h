@@ -8,16 +8,29 @@
 // false positive costs one error round trip, exactly the simulated
 // behaviour); otherwise the daemon fetches from the origin. Hint updates
 // (inform on insert, invalidate on eviction) accumulate and are POSTed in
-// the prototype's 20-byte-per-update batches to the configured neighbours —
-// loop-free when the neighbour graph is a tree.
+// the prototype's 20-byte-per-update batches to the configured neighbours.
+//
+// Failure model (the paper's "do not slow down misses", extended to failed
+// peers): every outbound call has its own deadline — data-path peer probes
+// are single-shot and tight, origin fetches get their own budget, and
+// metadata POSTs (/updates, /register) retry a bounded number of times with
+// jittered exponential backoff inside a total budget. A neighbour that
+// fails `quarantine_threshold` consecutive calls is quarantined: its hints
+// are kept but not probed, so requests degrade to origin-direct service at
+// full speed, and one re-probe per `quarantine_seconds` window lets a
+// recovered peer rejoin. Hint re-advertisement is hop-bounded and
+// deduplicated through a bounded seen-set, so update storms cannot occur in
+// cyclic neighbour graphs.
 //
 // Peer responses advertise "X-Cache: HIT | SIBLING | MISS" so callers (and
 // the tests) can observe exactly which path served them.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <list>
 #include <mutex>
@@ -25,6 +38,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
@@ -55,6 +69,32 @@ struct ProxyConfig {
   // Subscribe to the origin's server-driven invalidation (DELETE callbacks
   // on modify) — the paper's strong-consistency assumption, end-to-end.
   bool register_with_origin = false;
+
+  // --- failure budget ---
+  // Data-path peer probe: single-shot by design (a hint error costs one
+  // bounded round trip, never a search), so its deadline is tight.
+  double peer_deadline_seconds = 0.5;
+  // Data-path origin fetch: single-shot with its own budget.
+  double origin_deadline_seconds = 5.0;
+  // Metadata (/updates, /register, PUT push): total budget per call,
+  // covering every retry attempt and backoff sleep.
+  double metadata_deadline_seconds = 1.0;
+  int metadata_max_attempts = 3;
+
+  // --- neighbour health ---
+  // Consecutive call failures before a neighbour is quarantined.
+  int quarantine_threshold = 3;
+  // While quarantined, at most one re-probe is admitted per this window;
+  // everything else degrades to origin-direct service immediately.
+  double quarantine_seconds = 5.0;
+
+  // --- hint-forwarding loop control ---
+  // A received update is re-advertised at most this many hops from its
+  // origin; 1 means "apply locally, never relay".
+  int max_hint_hops = 8;
+  // Bounded FIFO of recently seen update keys used to drop duplicate
+  // re-advertisements in cyclic topologies.
+  std::size_t seen_updates_capacity = 4096;
 };
 
 struct ProxyStats {
@@ -71,6 +111,16 @@ struct ProxyStats {
   std::uint64_t pushes_sent = 0;
   std::uint64_t pushes_received = 0;
   std::uint64_t push_bytes_sent = 0;
+
+  // Failure-path counters.
+  std::uint64_t peer_failures = 0;      // probe died (refused/reset/timeout)
+  std::uint64_t origin_failures = 0;    // origin fetch died or non-200
+  std::uint64_t quarantines = 0;        // transitions into quarantine
+  std::uint64_t quarantine_skips = 0;   // probes skipped: origin-direct path
+  std::uint64_t reprobes = 0;           // probes admitted to a quarantined peer
+  std::uint64_t metadata_retries = 0;   // extra attempts beyond the first
+  std::uint64_t updates_deduped = 0;    // relays dropped by the seen-set
+  std::uint64_t updates_hop_capped = 0; // relays dropped by the hop bound
 };
 
 class ProxyServer {
@@ -107,6 +157,12 @@ class ProxyServer {
     std::list<ObjectId>::iterator lru_it;
   };
 
+  struct NeighborHealth {
+    int consecutive_failures = 0;
+    bool quarantined = false;
+    std::chrono::steady_clock::time_point retry_at{};
+  };
+
   void serve();
   void handle_connection(TcpStream stream);
   HttpResponse handle(const HttpRequest& req);
@@ -123,11 +179,26 @@ class ProxyServer {
   void queue_update_locked(proto::Action action, ObjectId id, MachineId loc,
                            MachineId exclude);
 
+  // Neighbour health; callers hold mu_. `peer_usable_locked` is false only
+  // for a quarantined peer whose re-probe window has not elapsed; when the
+  // window has elapsed it admits the call as the window's single re-probe.
+  bool peer_usable_locked(std::uint16_t port);
+  void record_peer_success_locked(std::uint16_t port);
+  void record_peer_failure_locked(std::uint16_t port);
+
+  // Seen-set; callers hold mu_. Returns true when the key was not already
+  // present (the update is fresh and may be relayed). Also retires the
+  // complementary action's key so insert/evict alternation keeps flowing.
+  bool note_seen_locked(const proto::HintUpdate& update);
+
+  CallOptions metadata_call_options();
+
   ProxyConfig cfg_;
   std::optional<TcpListener> listener_;
   std::uint16_t port_ = 0;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> call_seq_{0};  // de-syncs backoff jitter streams
 
   // Connection handlers run in their own threads; stop() waits for them.
   std::mutex workers_mu_;
@@ -142,8 +213,12 @@ class ProxyServer {
   struct PendingUpdate {
     proto::HintUpdate update;
     MachineId exclude;
+    int hops = 0;  // relays this update has already undergone
   };
   std::vector<PendingUpdate> pending_;
+  std::unordered_map<std::uint16_t, NeighborHealth> health_;
+  std::unordered_set<std::uint64_t> seen_updates_;
+  std::deque<std::uint64_t> seen_order_;  // FIFO eviction for the seen-set
   ProxyStats stats_;
 };
 

@@ -2,9 +2,14 @@
 //
 // The prototype is a modified Squid: real processes exchanging HTTP over
 // TCP. This wrapper keeps the daemon code free of raw file descriptors and
-// gives every operation a timeout so a wedged peer can never hang a test.
-// Only loopback is supported on purpose — the daemon is a demonstration and
-// test vehicle, not an internet-facing server.
+// gives every operation a deadline so a wedged peer can never hang a test:
+// connect uses a non-blocking connect + poll bounded by the caller's
+// timeout, and reads/writes inherit SO_RCVTIMEO/SO_SNDTIMEO. Outbound
+// streams remember their destination port and consult the process-global
+// FaultInjector (if installed) before every operation, so tests can drive
+// connect-refused, mid-stream reset, short-read, and slow-link behaviour
+// deterministically. Only loopback is supported on purpose — the daemon is
+// a demonstration and test vehicle, not an internet-facing server.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +18,9 @@
 #include <string_view>
 
 namespace bh::proxy {
+
+// Default per-operation timeout when the caller does not budget one.
+inline constexpr double kDefaultTimeoutSeconds = 5.0;
 
 // Owning file descriptor.
 class Fd {
@@ -35,11 +43,18 @@ class Fd {
 
 class TcpStream {
  public:
-  // Connects to 127.0.0.1:port; nullopt on failure.
-  static std::optional<TcpStream> connect(std::uint16_t port,
-                                          double timeout_seconds = 5.0);
+  // Connects to 127.0.0.1:port within `timeout_seconds`; nullopt on refusal,
+  // timeout, or injected fault. The same budget becomes the stream's initial
+  // read/write timeout.
+  static std::optional<TcpStream> connect(
+      std::uint16_t port, double timeout_seconds = kDefaultTimeoutSeconds);
 
-  explicit TcpStream(Fd fd, double timeout_seconds = 5.0);
+  // Wraps an already-connected fd. `peer_port` is the destination port for
+  // outbound streams (0 for accepted streams — those bypass fault injection).
+  explicit TcpStream(Fd fd, std::uint16_t peer_port = 0);
+
+  // Re-arms both the read and write timeout; false if setsockopt fails.
+  bool set_timeout(double seconds);
 
   // Writes the whole buffer; false on error.
   bool write_all(std::string_view data);
@@ -52,8 +67,14 @@ class TcpStream {
 
   void shutdown_write();
 
+  std::uint16_t peer_port() const { return peer_port_; }
+
  private:
   Fd fd_;
+  std::uint16_t peer_port_ = 0;
+  // Set after an injected short read: the stream delivered partial data and
+  // now behaves as reset.
+  bool poisoned_ = false;
 };
 
 class TcpListener {

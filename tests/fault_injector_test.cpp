@@ -1,0 +1,204 @@
+// Unit tests for the failure-budget plumbing underneath the proxy daemon:
+// FaultInjector rule matching and determinism, the jittered exponential
+// backoff schedule, retrying http_call with a total deadline, the
+// non-blocking connect path, and the checked numeric parses.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "proxy/fault_injector.h"
+#include "proxy/http.h"
+#include "proxy/origin_server.h"
+#include "proxy/socket.h"
+
+namespace bh::proxy {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+TEST(FaultInjectorTest, RuleMatchesOpAndPort) {
+  FaultInjector injector(1);
+  injector.add_rule(
+      {FaultOp::kConnect, FaultKind::kConnectRefused, 1234, 1.0, -1, 0.0});
+  // Wrong op, wrong port: no injection.
+  EXPECT_EQ(injector.apply(FaultOp::kRecv, 1234), std::nullopt);
+  EXPECT_EQ(injector.apply(FaultOp::kConnect, 999), std::nullopt);
+  // Exact match fires.
+  EXPECT_EQ(injector.apply(FaultOp::kConnect, 1234),
+            FaultKind::kConnectRefused);
+  EXPECT_EQ(injector.injections(), 1u);
+}
+
+TEST(FaultInjectorTest, WildcardPortAndInjectionCap) {
+  FaultInjector injector(1);
+  injector.add_rule({FaultOp::kRecv, FaultKind::kReset, 0, 1.0, /*max=*/2, 0.0});
+  EXPECT_EQ(injector.apply(FaultOp::kRecv, 10), FaultKind::kReset);
+  EXPECT_EQ(injector.apply(FaultOp::kRecv, 20), FaultKind::kReset);
+  // The budget is spent: the rule goes inert.
+  EXPECT_EQ(injector.apply(FaultOp::kRecv, 10), std::nullopt);
+  EXPECT_EQ(injector.injections(), 2u);
+}
+
+TEST(FaultInjectorTest, ProbabilisticRulesAreSeedDeterministic) {
+  auto sequence = [](std::uint64_t seed) {
+    FaultInjector injector(seed);
+    injector.add_rule({FaultOp::kSend, FaultKind::kReset, 0, 0.5, -1, 0.0});
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(injector.apply(FaultOp::kSend, 1).has_value());
+    }
+    return fired;
+  };
+  EXPECT_EQ(sequence(42), sequence(42));
+  EXPECT_NE(sequence(42), sequence(43));
+  // A 0.5 coin over 64 draws fires somewhere strictly between never and
+  // always.
+  const auto s = sequence(42);
+  const auto hits = std::count(s.begin(), s.end(), true);
+  EXPECT_GT(hits, 0);
+  EXPECT_LT(hits, 64);
+}
+
+TEST(BackoffTest, DelayIsJitteredBoundedAndGrows) {
+  CallOptions opts;
+  opts.backoff_base_seconds = 0.01;
+  opts.backoff_max_seconds = 0.08;
+  Rng rng(11);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const double cap =
+        std::min(opts.backoff_base_seconds * double(1 << attempt),
+                 opts.backoff_max_seconds);
+    for (int i = 0; i < 32; ++i) {
+      const double d = backoff_delay(attempt, opts, rng);
+      EXPECT_GT(d, 0.0);
+      EXPECT_LE(d, cap);
+    }
+  }
+  // Deterministic under the seed.
+  Rng r1(5), r2(5);
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    EXPECT_EQ(backoff_delay(attempt, opts, r1),
+              backoff_delay(attempt, opts, r2));
+  }
+}
+
+TEST(CheckedParseTest, RejectsMalformedNumbers) {
+  EXPECT_EQ(parse_u64("12345"), 12345u);
+  EXPECT_EQ(parse_u64(""), std::nullopt);
+  EXPECT_EQ(parse_u64("12x"), std::nullopt);
+  EXPECT_EQ(parse_u64("x12"), std::nullopt);
+  EXPECT_EQ(parse_u64("-1"), std::nullopt);
+  EXPECT_EQ(parse_u64("99999999999999999999999"), std::nullopt);  // overflow
+  EXPECT_EQ(parse_port("8080"), 8080);
+  EXPECT_EQ(parse_port("0"), std::nullopt);       // never a valid peer
+  EXPECT_EQ(parse_port("65536"), std::nullopt);   // out of range
+  EXPECT_EQ(parse_port("80 "), std::nullopt);     // trailing junk
+}
+
+TEST(HttpCallTest, RetriesThroughTransientConnectFailures) {
+  OriginServer origin;
+  FaultInjector injector(3);
+  // The first two connects are refused; the third goes through.
+  injector.add_rule({FaultOp::kConnect, FaultKind::kConnectRefused,
+                     origin.port(), 1.0, /*max=*/2, 0.0});
+  ScopedFaultInjection active(injector);
+
+  HttpRequest req;
+  req.method = "GET";
+  req.target = object_path(ObjectId{5}, 64);
+  CallOptions opts;
+  opts.max_attempts = 3;
+  opts.deadline_seconds = 2.0;
+  opts.backoff_base_seconds = 0.005;
+  opts.backoff_max_seconds = 0.02;
+  int attempts = 0;
+  auto resp = http_call(origin.port(), req, opts, &attempts);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(HttpCallTest, SingleShotDoesNotRetry) {
+  OriginServer origin;
+  FaultInjector injector(3);
+  injector.add_rule({FaultOp::kConnect, FaultKind::kConnectRefused,
+                     origin.port(), 1.0, /*max=*/1, 0.0});
+  ScopedFaultInjection active(injector);
+
+  HttpRequest req;
+  req.method = "GET";
+  req.target = object_path(ObjectId{6}, 64);
+  int attempts = 0;
+  auto resp = http_call(origin.port(), req, CallOptions{}, &attempts);
+  EXPECT_FALSE(resp.has_value());  // the data-path contract: one shot, done
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(HttpCallTest, DeadlineBoundsSilentPeer) {
+  // A listener whose backlog accepts the connection but which never reads
+  // or replies: without per-call deadlines this held the caller for the
+  // full socket timeout.
+  auto blackhole = TcpListener::bind_ephemeral();
+  ASSERT_TRUE(blackhole.has_value());
+
+  HttpRequest req;
+  req.method = "GET";
+  req.target = "/obj/0000000000000001";
+  CallOptions opts;
+  opts.deadline_seconds = 0.3;
+  const auto start = std::chrono::steady_clock::now();
+  auto resp = http_call(blackhole->port(), req, opts);
+  const double elapsed = seconds_since(start);
+  EXPECT_FALSE(resp.has_value());
+  EXPECT_LT(elapsed, 2 * opts.deadline_seconds);
+}
+
+TEST(HttpCallTest, DeadlineCoversEveryRetryAttempt) {
+  auto blackhole = TcpListener::bind_ephemeral();
+  ASSERT_TRUE(blackhole.has_value());
+
+  HttpRequest req;
+  req.method = "GET";
+  req.target = "/obj/0000000000000001";
+  CallOptions opts;
+  opts.deadline_seconds = 0.4;
+  opts.max_attempts = 10;  // the budget, not the attempt count, must govern
+  opts.backoff_base_seconds = 0.01;
+  const auto start = std::chrono::steady_clock::now();
+  int attempts = 0;
+  auto resp = http_call(blackhole->port(), req, opts, &attempts);
+  const double elapsed = seconds_since(start);
+  EXPECT_FALSE(resp.has_value());
+  EXPECT_LT(elapsed, 2 * opts.deadline_seconds);
+  EXPECT_GE(attempts, 1);
+  EXPECT_LT(attempts, 10);
+}
+
+TEST(TcpStreamTest, ConnectToClosedPortFailsFast) {
+  // Grab an ephemeral port and close it again: nothing listens there.
+  std::uint16_t dead_port;
+  {
+    auto listener = TcpListener::bind_ephemeral();
+    ASSERT_TRUE(listener.has_value());
+    dead_port = listener->port();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  auto stream = TcpStream::connect(dead_port, /*timeout_seconds=*/1.0);
+  EXPECT_FALSE(stream.has_value());
+  EXPECT_LT(seconds_since(start), 1.0);  // refused, not timed out
+}
+
+TEST(TcpStreamTest, SetTimeoutReportsFailure) {
+  // An invalid fd cannot take a timeout; the failure must be visible, not
+  // swallowed.
+  TcpStream bogus{Fd(-1)};
+  EXPECT_FALSE(bogus.set_timeout(1.0));
+}
+
+}  // namespace
+}  // namespace bh::proxy

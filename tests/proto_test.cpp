@@ -75,6 +75,32 @@ TEST(WireTest, EmptyBatch) {
   EXPECT_TRUE(out->empty());
 }
 
+TEST(WireTest, UpdateKeySeparatesEveryField) {
+  const HintUpdate base{Action::kInform, ObjectId{1}, MachineId{2}};
+  HintUpdate other_action = base;
+  other_action.action = Action::kInvalidate;
+  HintUpdate other_object = base;
+  other_object.object = ObjectId{3};
+  HintUpdate other_location = base;
+  other_location.location = MachineId{4};
+
+  EXPECT_EQ(update_key(base), update_key(base));
+  EXPECT_NE(update_key(base), update_key(other_action));
+  EXPECT_NE(update_key(base), update_key(other_object));
+  EXPECT_NE(update_key(base), update_key(other_location));
+}
+
+TEST(WireTest, ComplementKeyFlipsOnlyTheAction) {
+  const HintUpdate inform{Action::kInform, ObjectId{9}, MachineId{7}};
+  HintUpdate invalidate = inform;
+  invalidate.action = Action::kInvalidate;
+  // The complement of an inform is the matching invalidate, and the mapping
+  // is an involution.
+  EXPECT_EQ(complement_key(inform), update_key(invalidate));
+  EXPECT_EQ(complement_key(invalidate), update_key(inform));
+  EXPECT_NE(complement_key(inform), update_key(inform));
+}
+
 // --- transports ---
 
 TEST(TransportTest, LoopbackDeliversInOrder) {

@@ -1,11 +1,18 @@
 // End-to-end tests of the proxy daemon layer over real loopback TCP: HTTP
 // parsing, the origin server, cache-to-cache transfers driven by hints, the
-// false-positive error path, eviction advertisements, and batch exchange.
+// false-positive error path, eviction advertisements, batch exchange, and —
+// driven by the deterministic FaultInjector — every failure path: dead and
+// resetting peers, a downed origin, oversized objects, cyclic hint
+// topologies, and quarantine/rejoin.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <span>
 #include <string>
 #include <thread>
 
+#include "proto/wire.h"
+#include "proxy/fault_injector.h"
 #include "proxy/http.h"
 #include "proxy/origin_server.h"
 #include "proxy/proxy_server.h"
@@ -380,6 +387,300 @@ TEST(ProxyServerTest, MalformedBatchIsRejected) {
   auto resp = http_call(proxy.port(), req);
   ASSERT_TRUE(resp.has_value());
   EXPECT_EQ(resp->status, 400);
+}
+
+// --- failure paths (driven by the FaultInjector) ---
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Hands `proxy` a hint claiming `id` lives at `location` — the wire-level
+// way to point a daemon at an arbitrary (possibly dead) peer.
+void seed_hint(std::uint16_t proxy_port, ObjectId id, std::uint16_t location) {
+  const proto::HintUpdate update{proto::Action::kInform, id,
+                                 MachineId{location}};
+  const auto body = proto::encode_body(std::span(&update, 1));
+  HttpRequest post;
+  post.method = "POST";
+  post.target = "/updates";
+  post.headers.emplace_back("X-From", std::to_string(location));
+  post.body.assign(reinterpret_cast<const char*>(body.data()), body.size());
+  auto resp = http_call(proxy_port, post);
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_EQ(resp->status, 200);
+}
+
+TEST(FaultPathTest, DeadPeerProbeIsDeadlineBounded) {
+  // A peer that accepted the connection and then died: the listener's
+  // backlog completes the handshake but nothing ever answers. The probe
+  // must cost its tight dedicated deadline, not the generic socket timeout.
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  cfg.peer_deadline_seconds = 0.5;
+  ProxyServer proxy(cfg);
+
+  auto blackhole = TcpListener::bind_ephemeral();
+  ASSERT_TRUE(blackhole.has_value());  // never accept()ed: a silent peer
+
+  FaultInjector injector(7);
+  // A slow link on top of the dead peer: the injector delays the connect,
+  // and the absolute deadline must still hold.
+  injector.add_rule({FaultOp::kConnect, FaultKind::kDelay, blackhole->port(),
+                     1.0, -1, 0.05});
+  ScopedFaultInjection active(injector);
+
+  const ObjectId id{71};
+  seed_hint(proxy.port(), id, blackhole->port());
+
+  const auto start = std::chrono::steady_clock::now();
+  auto r = fetch(proxy.port(), id, 64);
+  const double elapsed = seconds_since(start);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.cache, "MISS");  // answered from the origin
+  EXPECT_EQ(r.body, origin_body(id, 1, 64));
+  EXPECT_LT(elapsed, 2 * cfg.peer_deadline_seconds);
+  EXPECT_GE(injector.injections(), 1u);
+  const auto s = proxy.stats();
+  EXPECT_EQ(s.peer_failures, 1u);
+  EXPECT_EQ(s.origin_fetches, 1u);
+}
+
+TEST(FaultPathTest, MidStreamResetFallsBackToOrigin) {
+  OriginServer origin;
+  ProxyConfig ca;
+  ca.name = "a";
+  ca.origin_port = origin.port();
+  ProxyServer a(ca);
+  ProxyConfig cb;
+  cb.name = "b";
+  cb.origin_port = origin.port();
+  cb.hint_neighbors = {a.port()};
+  ProxyServer b(cb);
+
+  const ObjectId x{72}, y{73};
+  fetch(b.port(), x, 64);
+  fetch(b.port(), y, 64);
+  b.flush_hints();  // a hints both objects at b
+
+  FaultInjector injector(7);
+  injector.add_rule(
+      {FaultOp::kRecv, FaultKind::kReset, b.port(), 1.0, /*max=*/1, 0.0});
+  ScopedFaultInjection active(injector);
+
+  // The probe reaches b but the reply dies mid-stream: one bounded error,
+  // then the origin serves the request.
+  auto r = fetch(a.port(), x, 64);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.cache, "MISS");
+  EXPECT_EQ(r.body, origin_body(x, 1, 64));
+  EXPECT_EQ(a.stats().peer_failures, 1u);
+
+  // One reset is far below the quarantine threshold: the next probe (the
+  // injection budget is spent) is a normal cache-to-cache transfer.
+  EXPECT_EQ(fetch(a.port(), y, 64).cache, "SIBLING");
+  EXPECT_EQ(a.stats().quarantines, 0u);
+}
+
+TEST(FaultPathTest, ShortReadFallsBackToOrigin) {
+  OriginServer origin;
+  ProxyConfig ca;
+  ca.name = "a";
+  ca.origin_port = origin.port();
+  ProxyServer a(ca);
+  ProxyConfig cb;
+  cb.name = "b";
+  cb.origin_port = origin.port();
+  cb.hint_neighbors = {a.port()};
+  ProxyServer b(cb);
+
+  const ObjectId id{74};
+  fetch(b.port(), id, 256);
+  b.flush_hints();
+
+  FaultInjector injector(7);
+  injector.add_rule(
+      {FaultOp::kRecv, FaultKind::kShortRead, b.port(), 1.0, /*max=*/1, 0.0});
+  ScopedFaultInjection active(injector);
+
+  // The truncated reply must never surface: the client still gets the full
+  // correct bytes, just from the origin.
+  auto r = fetch(a.port(), id, 256);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.cache, "MISS");
+  EXPECT_EQ(r.body, origin_body(id, 1, 256));
+  EXPECT_EQ(a.stats().peer_failures, 1u);
+}
+
+TEST(FaultPathTest, OriginDownYields502WithoutCrash) {
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  cfg.origin_deadline_seconds = 1.0;
+  ProxyServer proxy(cfg);
+
+  const ObjectId cached{75}, uncached{76};
+  fetch(proxy.port(), cached, 64);  // in cache before the outage
+  origin.stop();
+
+  const auto start = std::chrono::steady_clock::now();
+  auto r = fetch(proxy.port(), uncached, 64);
+  EXPECT_EQ(r.status, 502);
+  EXPECT_LT(seconds_since(start), 2 * cfg.origin_deadline_seconds);
+  EXPECT_EQ(proxy.stats().origin_failures, 1u);
+
+  // The daemon keeps serving what it has.
+  EXPECT_EQ(fetch(proxy.port(), cached, 64).cache, "HIT");
+}
+
+TEST(FaultPathTest, OversizedObjectLeavesCacheUntouched) {
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  cfg.capacity_bytes = 150;
+  ProxyServer proxy(cfg);
+
+  const ObjectId small{77}, huge{78};
+  EXPECT_EQ(fetch(proxy.port(), small, 100).cache, "MISS");
+  // The oversized object is served fine but must not wipe the cache on the
+  // way through.
+  auto big = fetch(proxy.port(), huge, 1000);
+  EXPECT_EQ(big.status, 200);
+  EXPECT_EQ(big.body.size(), 1000u);
+  EXPECT_EQ(fetch(proxy.port(), small, 100).cache, "HIT");
+  // And it was genuinely not cached.
+  EXPECT_EQ(fetch(proxy.port(), huge, 1000).cache, "MISS");
+}
+
+TEST(FaultPathTest, CyclicTopologyReachesQuiescence) {
+  // Directed 3-ring a -> b -> c -> a: before hop bounding and the seen-set,
+  // an update circulated this cycle forever (each node excluded only the
+  // immediate sender). Now the total updates_sent must go quiescent.
+  OriginServer origin;
+  ProxyConfig base;
+  base.origin_port = origin.port();
+  ProxyConfig ca = base;
+  ca.name = "a";
+  ProxyServer a(ca);
+  ProxyConfig cb = base;
+  cb.name = "b";
+  ProxyServer b(cb);
+  ProxyConfig cc = base;
+  cc.name = "c";
+  ProxyServer c(cc);
+  a.add_hint_neighbor(b.port());
+  b.add_hint_neighbor(c.port());
+  c.add_hint_neighbor(a.port());
+
+  const ObjectId id{79};
+  fetch(a.port(), id, 64);
+
+  auto total_sent = [&] {
+    return a.stats().updates_sent + b.stats().updates_sent +
+           c.stats().updates_sent;
+  };
+  std::uint64_t after_round3 = 0;
+  for (int round = 0; round < 6; ++round) {
+    a.flush_hints();
+    b.flush_hints();
+    c.flush_hints();
+    if (round == 2) after_round3 = total_sent();
+  }
+  // Quiescent: three further full rounds moved nothing.
+  EXPECT_EQ(total_sent(), after_round3);
+  // The inform travelled each ring edge at most once.
+  EXPECT_LE(after_round3, 3u);
+  // ... and actually propagated: both b and c can locate a's copy.
+  EXPECT_EQ(fetch(b.port(), id, 64).cache, "SIBLING");
+  EXPECT_EQ(fetch(c.port(), id, 64).cache, "SIBLING");
+}
+
+TEST(FaultPathTest, HopBoundCapsRelay) {
+  OriginServer origin;
+  ProxyConfig base;
+  base.origin_port = origin.port();
+  ProxyConfig ca = base;
+  ca.name = "a";
+  ProxyServer a(ca);
+  ProxyConfig cc = base;
+  cc.name = "c";
+  ProxyServer c(cc);
+  ProxyConfig cb = base;
+  cb.name = "b";
+  cb.max_hint_hops = 1;  // apply locally, never relay
+  cb.hint_neighbors = {c.port()};
+  ProxyServer b(cb);
+  a.add_hint_neighbor(b.port());
+
+  const ObjectId id{80};
+  fetch(a.port(), id, 64);
+  a.flush_hints();
+  b.flush_hints();
+
+  EXPECT_GE(b.stats().updates_hop_capped, 1u);
+  // b itself learned the hint...
+  EXPECT_EQ(fetch(b.port(), id, 64).cache, "SIBLING");
+  // ... but c never did: its fetch goes straight to the origin.
+  EXPECT_EQ(fetch(c.port(), id, 64).cache, "MISS");
+  EXPECT_EQ(c.stats().updates_received, 0u);
+}
+
+TEST(FaultPathTest, QuarantineDegradesThenReprobeRejoins) {
+  OriginServer origin;
+  ProxyConfig ca;
+  ca.name = "a";
+  ca.origin_port = origin.port();
+  ca.peer_deadline_seconds = 0.3;
+  ca.quarantine_threshold = 2;
+  ca.quarantine_seconds = 0.3;
+  ProxyServer a(ca);
+  ProxyConfig cb;
+  cb.name = "b";
+  cb.origin_port = origin.port();
+  cb.hint_neighbors = {a.port()};
+  ProxyServer b(cb);
+
+  const ObjectId o1{81}, o2{82}, o3{83}, o4{84};
+  for (const ObjectId o : {o1, o2, o3, o4}) fetch(b.port(), o, 64);
+  b.flush_hints();  // a hints all four objects at b
+
+  FaultInjector injector(7);
+  // b "dies": its next two connections are refused, then it "recovers".
+  injector.add_rule({FaultOp::kConnect, FaultKind::kConnectRefused, b.port(),
+                     1.0, /*max=*/2, 0.0});
+  ScopedFaultInjection active(injector);
+
+  // Two consecutive failures cross the threshold: b is quarantined.
+  EXPECT_EQ(fetch(a.port(), o1, 64).cache, "MISS");
+  EXPECT_EQ(fetch(a.port(), o2, 64).cache, "MISS");
+  {
+    const auto s = a.stats();
+    EXPECT_EQ(s.peer_failures, 2u);
+    EXPECT_EQ(s.quarantines, 1u);
+  }
+
+  // Inside the window the hinted probe is skipped outright: origin-direct
+  // degradation at full speed.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(fetch(a.port(), o3, 64).cache, "MISS");
+  EXPECT_LT(seconds_since(start), ca.peer_deadline_seconds);
+  EXPECT_EQ(a.stats().quarantine_skips, 1u);
+
+  // After the window one re-probe is admitted; b is healthy again (the
+  // injection budget is spent), so it serves and rejoins.
+  std::this_thread::sleep_for(std::chrono::milliseconds(350));
+  EXPECT_EQ(fetch(a.port(), o4, 64).cache, "SIBLING");
+  {
+    const auto s = a.stats();
+    EXPECT_EQ(s.reprobes, 1u);
+    EXPECT_EQ(s.sibling_hits, 1u);
+  }
+  // Fully rejoined: no quarantine bookkeeping left for the next probe.
+  fetch(b.port(), ObjectId{85}, 64);
+  b.flush_hints();
+  EXPECT_EQ(fetch(a.port(), ObjectId{85}, 64).cache, "SIBLING");
 }
 
 TEST(ProxyServerTest, ConcurrentFetchesFromBothSides) {
