@@ -6,6 +6,9 @@
 //   --jobs=<n>    worker threads for the experiment sweep (0 = one per
 //                 hardware thread, the default; 1 = serial). Results are
 //                 bit-identical for every value — jobs only run concurrently.
+//   --json=<p>    merge the bench's merged registry snapshot into the
+//                 bench-core-v2 suite file at <p> (see obs/bench_store.h);
+//                 off by default.
 // Capacities and hint sizes printed with paper-scale labels are applied
 // scaled by the same factor, so shapes are preserved.
 #pragma once
@@ -17,6 +20,8 @@
 #include <vector>
 
 #include "core/sweep.h"
+#include "obs/bench_store.h"
+#include "obs/export.h"
 #include "trace/workload.h"
 
 namespace bh::benchutil {
@@ -25,6 +30,7 @@ struct Args {
   double scale;
   std::string trace = "dec";
   int jobs = 0;  // 0 = hardware concurrency
+  std::string json_path;  // empty = no JSON emission
 
   explicit Args(double default_scale) : scale(default_scale) {}
 
@@ -45,9 +51,11 @@ struct Args {
           std::fprintf(stderr, "bad --jobs\n");
           std::exit(2);
         }
+      } else if (a.rfind("--json=", 0) == 0) {
+        json_path = a.substr(7);
       } else if (a == "--help" || a == "-h") {
         std::printf("options: --scale=<f> --trace=dec|berkeley|prodigy "
-                    "--jobs=<n>\n");
+                    "--jobs=<n> --json=<path>\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown option: %s\n", a.c_str());
@@ -57,6 +65,18 @@ struct Args {
   }
 
   core::SweepOptions sweep() const { return core::SweepOptions{jobs}; }
+
+  // Merges `snap` into the suite file as `{"metrics": {...}}` under `suite`.
+  // No-op unless --json was given. The snapshot is a deterministic merge of
+  // the per-run registries, so the emitted bytes are --jobs-independent.
+  void emit_metrics(const char* suite, const obs::MetricsSnapshot& snap) const {
+    if (json_path.empty()) return;
+    auto suites = obs::load_suites(json_path);
+    suites[suite] = "{\"metrics\": " + obs::to_json(snap) + "}";
+    obs::write_suites(json_path, suites);
+    std::printf("[%s] registry snapshot merged into %s\n", suite,
+                json_path.c_str());
+  }
 };
 
 inline void print_header(const char* what, double scale) {

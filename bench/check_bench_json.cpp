@@ -1,0 +1,91 @@
+// Validates a BENCH_core.json produced by the bench binaries: the schema
+// tag must be bench-core-v2, every suite named on the command line must be
+// present, and each suite's "metrics" object (when present) must parse back
+// into a registry snapshot and re-serialize to the identical bytes. CI runs
+// this after the smoke benches so a serializer regression fails the job
+// instead of silently corrupting the perf history.
+//
+//   check_bench_json <file> [<required-suite>...]
+#include <cstdio>
+#include <string>
+
+#include "obs/bench_store.h"
+#include "obs/export.h"
+
+namespace {
+
+// Extracts the value of `"metrics": {...}` from a suite's JSON text, or an
+// empty string when the key is absent. Same structural contract as
+// obs::load_suites: our writers keep braces out of strings.
+std::string metrics_chunk(const std::string& suite_body) {
+  const std::size_t key = suite_body.find("\"metrics\"");
+  if (key == std::string::npos) return {};
+  const std::size_t open = suite_body.find('{', key);
+  if (open == std::string::npos) return {};
+  int depth = 0;
+  for (std::size_t i = open; i < suite_body.size(); ++i) {
+    if (suite_body[i] == '{') ++depth;
+    if (suite_body[i] == '}' && --depth == 0) {
+      return suite_body.substr(open, i - open + 1);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: check_bench_json <file> [<suite>...]\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+
+  const auto schema = bh::obs::load_schema(path);
+  if (!schema) {
+    std::fprintf(stderr, "%s: missing or unreadable schema tag\n",
+                 path.c_str());
+    return 1;
+  }
+  if (*schema != bh::obs::kBenchSchemaV2) {
+    std::fprintf(stderr, "%s: schema is \"%s\", want \"%s\"\n", path.c_str(),
+                 schema->c_str(), bh::obs::kBenchSchemaV2);
+    return 1;
+  }
+
+  const auto suites = bh::obs::load_suites(path);
+  if (suites.empty()) {
+    std::fprintf(stderr, "%s: no suites\n", path.c_str());
+    return 1;
+  }
+  for (int i = 2; i < argc; ++i) {
+    if (suites.find(argv[i]) == suites.end()) {
+      std::fprintf(stderr, "%s: required suite \"%s\" missing\n", path.c_str(),
+                   argv[i]);
+      return 1;
+    }
+  }
+
+  int checked = 0;
+  for (const auto& [name, body] : suites) {
+    const std::string chunk = metrics_chunk(body);
+    if (chunk.empty()) continue;  // v1 suite carried over: benchmarks only
+    const auto snap = bh::obs::parse_snapshot(chunk);
+    if (!snap) {
+      std::fprintf(stderr, "%s: suite \"%s\": metrics do not parse\n",
+                   path.c_str(), name.c_str());
+      return 1;
+    }
+    if (bh::obs::to_json(*snap) != chunk) {
+      std::fprintf(stderr,
+                   "%s: suite \"%s\": metrics do not round-trip byte-exactly\n",
+                   path.c_str(), name.c_str());
+      return 1;
+    }
+    ++checked;
+  }
+
+  std::printf("%s: ok (%zu suites, %d metrics blocks round-tripped)\n",
+              path.c_str(), suites.size(), checked);
+  return 0;
+}

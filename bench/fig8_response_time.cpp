@@ -70,6 +70,8 @@ int main(int argc, char** argv) {
     }
   }
   const auto results = core::run_sweep(jobs, args.sweep());
+  args.emit_metrics("fig8_response_time",
+                    core::merge_result_snapshots(results));
 
   std::map<std::string, double> table6;  // "trace/model" -> ratio (infinite)
   std::size_t next = 0;

@@ -3,34 +3,34 @@
 // Runs the registered google-benchmark suites with the normal console output
 // AND records every run into a machine-readable JSON file (default
 // BENCH_core.json, override with --json=<path>) so the perf trajectory of
-// the simulation core can be tracked across PRs. The file holds one object
-// per suite; a binary rewrites only its own suite and preserves the others,
-// so `micro_eventqueue && micro_hintcache` accumulate into one file.
+// the simulation core can be tracked across PRs. The file layout and schema
+// tag (`bench-core-v2`) live in obs/bench_store.h: one object per suite, and
+// a binary rewrites only its own suite while preserving the others, so
+// `micro_eventqueue && micro_hintcache` accumulate into one file.
 //
-//   {
-//     "schema": "bench-core-v1",
-//     "suites": {
-//       "eventqueue": {
-//         "benchmarks": [
-//           {"name": "...", "iterations": N,
-//            "real_ns_per_op": X, "cpu_ns_per_op": Y}, ...
-//         ]
-//       }, ...
-//     }
-//   }
+// v2 adds a per-suite "metrics" object — an obs::MetricsRegistry snapshot of
+// the run (row counts plus per-benchmark timings as gauges) rendered by
+// obs::to_json — next to the v1 "benchmarks" rows, which are preserved
+// unchanged.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include <cctype>
 #include <cstdio>
-#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/bench_store.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
 namespace bh::benchutil {
+
+// The suite store lives in the obs layer now; keep the old call-site names.
+using obs::load_suites;
+using obs::write_suites;
 
 class JsonCollectingReporter : public benchmark::ConsoleReporter {
  public:
@@ -64,60 +64,25 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
   std::vector<Row> rows_;
 };
 
-// Parses the "suites" object of an existing BENCH_core.json into raw
-// name -> json-text chunks by brace counting. The format is entirely our
-// own (no braces inside strings), so a structural scan is sufficient.
-inline std::map<std::string, std::string> load_suites(
-    const std::string& path) {
-  std::map<std::string, std::string> out;
-  std::ifstream in(path);
-  if (!in) return out;
-  std::stringstream ss;
-  ss << in.rdbuf();
-  const std::string s = ss.str();
-  std::size_t pos = s.find("\"suites\"");
-  if (pos == std::string::npos) return out;
-  pos = s.find('{', pos);
-  if (pos == std::string::npos) return out;
-  std::size_t i = pos + 1;
-  while (i < s.size()) {
-    while (i < s.size() && (std::isspace(static_cast<unsigned char>(s[i])) ||
-                            s[i] == ',')) {
-      ++i;
-    }
-    if (i >= s.size() || s[i] != '"') break;
-    const std::size_t name_end = s.find('"', i + 1);
-    if (name_end == std::string::npos) break;
-    const std::string name = s.substr(i + 1, name_end - i - 1);
-    const std::size_t body = s.find('{', name_end);
-    if (body == std::string::npos) break;
-    int depth = 0;
-    std::size_t j = body;
-    for (; j < s.size(); ++j) {
-      if (s[j] == '{') ++depth;
-      if (s[j] == '}' && --depth == 0) break;
-    }
-    if (j >= s.size()) break;
-    out[name] = s.substr(body, j - body + 1);
-    i = j + 1;
+// Registry view of a reporter's rows: the run's shape as `bh.bench.*`
+// metrics, one gauge pair + iteration counter per benchmark.
+inline obs::MetricsSnapshot rows_snapshot(
+    const std::vector<JsonCollectingReporter::Row>& rows) {
+  obs::MetricsRegistry reg;
+  reg.counter("bh.bench.benchmarks").set(rows.size());
+  for (const auto& row : rows) {
+    const std::string base = "bh.bench." + row.name;
+    reg.counter(base + ".iterations")
+        .set(static_cast<std::uint64_t>(row.iterations));
+    reg.gauge(base + ".real_ns_per_op").set(row.real_ns);
+    reg.gauge(base + ".cpu_ns_per_op").set(row.cpu_ns);
   }
-  return out;
+  return reg.snapshot();
 }
 
-inline void write_suites(const std::string& path,
-                         const std::map<std::string, std::string>& suites) {
-  std::ofstream outf(path, std::ios::trunc);
-  outf << "{\n  \"schema\": \"bench-core-v1\",\n  \"suites\": {\n";
-  bool first = true;
-  for (const auto& [name, body] : suites) {
-    if (!first) outf << ",\n";
-    first = false;
-    outf << "    \"" << name << "\": " << body;
-  }
-  outf << "\n  }\n}\n";
-}
-
-inline std::string suite_json(const std::vector<JsonCollectingReporter::Row>& rows) {
+inline std::string suite_json(
+    const std::vector<JsonCollectingReporter::Row>& rows,
+    const obs::MetricsSnapshot& metrics) {
   std::ostringstream os;
   os << "{\"benchmarks\": [";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -131,7 +96,7 @@ inline std::string suite_json(const std::vector<JsonCollectingReporter::Row>& ro
                   rows[i].cpu_ns);
     os << buf;
   }
-  os << "]}";
+  os << "], \"metrics\": " << obs::to_json(metrics) << "}";
   return os.str();
 }
 
@@ -159,7 +124,7 @@ inline int micro_main(int argc, char** argv, const char* suite) {
   benchmark::Shutdown();
 
   auto suites = load_suites(json_path);
-  suites[suite] = suite_json(reporter.rows());
+  suites[suite] = suite_json(reporter.rows(), rows_snapshot(reporter.rows()));
   write_suites(json_path, suites);
   std::printf("\n[%s] %zu results merged into %s\n", suite,
               reporter.rows().size(), json_path.c_str());

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   cfg.cost_model = "rousskov-min";
   cfg.system = core::SystemKind::kHints;
   const auto r = core::run_experiment(cfg);
+  args.emit_metrics("table5_update_load", r.snapshot);
 
   // The request rate scales with the workload; report paper-scale rates by
   // dividing out the factor.

@@ -13,6 +13,7 @@
 // service instead of stalling.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -113,6 +114,28 @@ int main() {
 
   std::printf("-- healthy cluster --\n");
   print_stats(proxies);
+
+  // Every daemon also serves its registry at GET /metrics (Prometheus text;
+  // ?format=json for the structured rendering) — scrape proxy-0 the way a
+  // monitoring agent would: `curl http://localhost:<port>/metrics`.
+  proxy::HttpRequest scrape;
+  scrape.method = "GET";
+  scrape.target = "/metrics";
+  if (auto resp = proxy::http_call(proxies[0]->port(), scrape);
+      resp && resp->status == 200) {
+    std::printf("\n-- GET /metrics on proxy-0 (excerpt) --\n");
+    int lines = 0;
+    for (std::size_t pos = 0; pos < resp->body.size() && lines < 8;) {
+      const std::size_t eol = resp->body.find('\n', pos);
+      const std::string line = resp->body.substr(pos, eol - pos);
+      if (line.rfind("# TYPE", 0) != 0) {
+        std::printf("  %s\n", line.c_str());
+        ++lines;
+      }
+      if (eol == std::string::npos) break;
+      pos = eol + 1;
+    }
+  }
 
   // Outage: proxy-3 dies mid-run. Its neighbours' hinted probes fail within
   // the 0.25 s per-call deadline (never the generic socket timeout), two

@@ -37,6 +37,9 @@ class CentralDirectorySystem final : public core::CacheSystem {
   // Updates received by the central directory (Table 5).
   std::uint64_t directory_updates() const { return directory_updates_; }
   void set_recording(bool on) override { recording_ = on; }
+  void export_metrics(obs::MetricsRegistry& reg) const override {
+    reg.counter("bh.directory.updates").set(directory_updates_);
+  }
 
  private:
   void on_insert(NodeIndex node, ObjectId id);

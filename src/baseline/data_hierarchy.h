@@ -44,6 +44,15 @@ class DataHierarchySystem final : public core::CacheSystem {
   };
   const LevelCounters& level_counters() const { return counters_; }
   void set_recording(bool on) override { recording_ = on; }
+  void export_metrics(obs::MetricsRegistry& reg) const override {
+    for (int l = 1; l <= 3; ++l) {
+      const std::string prefix = "bh.hierarchy.l" + std::to_string(l);
+      reg.counter(prefix + "_hits").set(counters_.hits[l]);
+      reg.counter(prefix + "_hit_bytes").set(counters_.hit_bytes[l]);
+    }
+    reg.counter("bh.hierarchy.requests").set(counters_.requests);
+    reg.counter("bh.hierarchy.bytes").set(counters_.bytes);
+  }
 
  private:
   net::HierarchyTopology topo_;

@@ -37,6 +37,10 @@ class IcpHierarchySystem final : public core::CacheSystem {
   // ICP query messages sent (each L1 miss queries every sibling).
   std::uint64_t icp_queries() const { return icp_queries_; }
   std::uint64_t icp_hits() const { return icp_hits_; }
+  void export_metrics(obs::MetricsRegistry& reg) const override {
+    reg.counter("bh.icp.queries").set(icp_queries_);
+    reg.counter("bh.icp.hits").set(icp_hits_);
+  }
 
  private:
   net::HierarchyTopology topo_;

@@ -111,4 +111,15 @@ void ConsistencySimulator::step(const trace::Record& r) {
   }
 }
 
+void export_stats(const ConsistencyStats& stats, obs::MetricsRegistry& reg) {
+  reg.counter("bh.consistency.requests").set(stats.requests);
+  reg.counter("bh.consistency.true_hits").set(stats.true_hits);
+  reg.counter("bh.consistency.stale_hits").set(stats.stale_hits);
+  reg.counter("bh.consistency.validations").set(stats.validations);
+  reg.counter("bh.consistency.useless_validations")
+      .set(stats.useless_validations);
+  reg.counter("bh.consistency.good_discards").set(stats.good_discards);
+  reg.counter("bh.consistency.fetches").set(stats.fetches);
+}
+
 }  // namespace bh::cache

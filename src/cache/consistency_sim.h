@@ -25,6 +25,7 @@
 
 #include "cache/lru_cache.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "trace/record.h"
 
 namespace bh::cache {
@@ -64,6 +65,9 @@ struct ConsistencyStats {
     return requests ? double(stale_hits) / double(requests) : 0;
   }
 };
+
+// Publishes the counters into a registry under `bh.consistency.*`.
+void export_stats(const ConsistencyStats& stats, obs::MetricsRegistry& reg);
 
 class ConsistencySimulator {
  public:

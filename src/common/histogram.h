@@ -6,8 +6,10 @@
 // bounded relative error.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace bh {
@@ -31,17 +33,29 @@ class LatencyHistogram {
   }
 
   std::uint64_t count() const { return total_; }
+  double sum() const { return sum_; }
   double mean() const { return total_ ? sum_ / double(total_) : 0.0; }
   double max() const { return total_ ? max_ : 0.0; }
 
+  // Bucket geometry, exposed so snapshots can serialize and rebuild the
+  // histogram exactly (see restore()). log_growth() is the serialization
+  // form: a printed double round-trips bit-exactly, where exp/log pairs
+  // would not.
+  double min_value() const { return min_value_; }
+  double growth() const { return std::exp(log_growth_); }
+  double log_growth() const { return log_growth_; }
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
   // Value at quantile q in [0, 1] (upper bucket bound; <= 5% high by
-  // construction). 0 when empty.
+  // construction). 0 when empty. q = 0 returns the smallest recorded
+  // bucket's bound (at least one sample is always counted), not the
+  // histogram's floor.
   double quantile(double q) const {
     if (total_ == 0) return 0.0;
     if (q < 0) q = 0;
     if (q > 1) q = 1;
-    const auto want =
-        static_cast<std::uint64_t>(std::ceil(q * double(total_)));
+    const auto want = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(q * double(total_))));
     std::uint64_t seen = 0;
     for (std::size_t b = 0; b < counts_.size(); ++b) {
       seen += counts_[b];
@@ -57,11 +71,28 @@ class LatencyHistogram {
     for (std::size_t b = 0; b < other.counts_.size(); ++b) {
       counts_[b] += other.counts_[b];
     }
+    // An empty `other` must be a strict no-op on every statistic: its max_
+    // (and sum_) are meaningless zeros that would otherwise leak in.
     if (other.total_ > 0) {
       max_ = total_ ? std::max(max_, other.max_) : other.max_;
+      total_ += other.total_;
+      sum_ += other.sum_;
     }
-    total_ += other.total_;
-    sum_ += other.sum_;
+  }
+
+  // Rebuilds a histogram from serialized state (the exact inverse of reading
+  // min_value()/log_growth()/bucket_counts()/count()/sum()/max()).
+  static LatencyHistogram restore(double min_value, double log_growth,
+                                  std::vector<std::uint64_t> counts,
+                                  std::uint64_t total, double sum,
+                                  double max) {
+    LatencyHistogram h(min_value, 2.0);  // resolution overwritten below
+    h.log_growth_ = log_growth;
+    if (!counts.empty()) h.counts_ = std::move(counts);
+    h.total_ = total;
+    h.sum_ = sum;
+    h.max_ = max;
+    return h;
   }
 
  private:

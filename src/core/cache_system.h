@@ -14,6 +14,7 @@
 
 #include "common/histogram.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "trace/record.h"
 
 namespace bh::core {
@@ -52,6 +53,11 @@ class CacheSystem {
   // Starts/stops accumulation of system-internal statistics (the driver
   // flips this to true at the end of the warmup window).
   virtual void set_recording(bool on) { (void)on; }
+
+  // Publishes system-internal statistics into the per-run registry under
+  // `bh.<subsystem>.*` names. The experiment driver calls this once at the
+  // end of a run; architectures with no extras keep the no-op default.
+  virtual void export_metrics(obs::MetricsRegistry& reg) const { (void)reg; }
 
   virtual std::string name() const = 0;
 };
@@ -113,6 +119,25 @@ struct Metrics {
     return bytes_requested == 0
                ? 0.0
                : static_cast<double>(hit_bytes) / static_cast<double>(bytes_requested);
+  }
+
+  // Publishes every counter plus the response-time distribution into a
+  // registry under `bh.core.*`.
+  void export_to(obs::MetricsRegistry& reg) const {
+    reg.counter("bh.core.requests").set(requests);
+    reg.counter("bh.core.hits_l1").set(hits_l1);
+    reg.counter("bh.core.hits_remote_l2").set(hits_remote_l2);
+    reg.counter("bh.core.hits_remote_l3").set(hits_remote_l3);
+    reg.counter("bh.core.hits_l2").set(hits_l2);
+    reg.counter("bh.core.hits_l3").set(hits_l3);
+    reg.counter("bh.core.server_fetches").set(server_fetches);
+    reg.counter("bh.core.false_positives").set(false_positives);
+    reg.counter("bh.core.false_negatives").set(false_negatives);
+    reg.counter("bh.core.pushed_hits").set(pushed_hits);
+    reg.counter("bh.core.bytes_requested").set(bytes_requested);
+    reg.counter("bh.core.hit_bytes").set(hit_bytes);
+    reg.gauge("bh.core.total_latency_ms").set(total_latency_ms);
+    reg.histogram("bh.core.response_ms").merge(latency);
   }
 };
 

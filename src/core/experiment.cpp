@@ -34,45 +34,29 @@ ExperimentResult run_with_feed(const ExperimentConfig& cfg,
   sim::EventQueue queue;
 
   std::unique_ptr<CacheSystem> system;
-  baseline::DataHierarchySystem* hierarchy = nullptr;
-  baseline::CentralDirectorySystem* directory = nullptr;
-  baseline::IcpHierarchySystem* icp = nullptr;
-  HintSystem* hints = nullptr;
   switch (cfg.system) {
-    case SystemKind::kHierarchy: {
-      auto s = std::make_unique<baseline::DataHierarchySystem>(
+    case SystemKind::kHierarchy:
+      system = std::make_unique<baseline::DataHierarchySystem>(
           topo, *cost,
           baseline::DataHierarchyConfig{cfg.baseline_node_capacity,
                                         cfg.baseline_node_capacity,
                                         cfg.baseline_node_capacity});
-      hierarchy = s.get();
-      system = std::move(s);
       break;
-    }
-    case SystemKind::kDirectory: {
-      auto s = std::make_unique<baseline::CentralDirectorySystem>(
+    case SystemKind::kDirectory:
+      system = std::make_unique<baseline::CentralDirectorySystem>(
           topo, *cost,
           baseline::CentralDirectoryConfig{cfg.baseline_node_capacity});
-      directory = s.get();
-      system = std::move(s);
       break;
-    }
-    case SystemKind::kHints: {
-      auto s = std::make_unique<HintSystem>(topo, *cost, cfg.hints, queue);
-      hints = s.get();
-      system = std::move(s);
+    case SystemKind::kHints:
+      system = std::make_unique<HintSystem>(topo, *cost, cfg.hints, queue);
       break;
-    }
-    case SystemKind::kIcp: {
-      auto s = std::make_unique<baseline::IcpHierarchySystem>(
+    case SystemKind::kIcp:
+      system = std::make_unique<baseline::IcpHierarchySystem>(
           topo, *cost,
           baseline::IcpConfig{cfg.baseline_node_capacity,
                               cfg.baseline_node_capacity,
                               cfg.baseline_node_capacity});
-      icp = s.get();
-      system = std::move(s);
       break;
-    }
   }
 
   const double warmup_seconds = cfg.warmup_days * 86400.0;
@@ -104,23 +88,42 @@ ExperimentResult run_with_feed(const ExperimentConfig& cfg,
   result.recorded_seconds =
       result.trace_seconds > warmup_seconds ? result.trace_seconds - warmup_seconds : 0;
 
-  if (hints != nullptr) {
-    result.root_updates = hints->metadata().root_updates();
-    result.leaf_updates = hints->metadata().leaf_updates();
-    result.meta_messages = hints->metadata().total_messages();
-    result.push = hints->push_stats();
-    result.demand_bytes = hints->demand_bytes();
+  // The per-run registry is the authoritative statistics surface: the
+  // driver's request metrics, the run clock, and whatever the architecture
+  // publishes all land in one snapshot, and every `ExperimentResult` field
+  // below (quantiles included) is read back from it.
+  obs::MetricsRegistry reg;
+  result.metrics.export_to(reg);
+  reg.gauge("bh.core.trace_seconds").set(result.trace_seconds);
+  reg.gauge("bh.core.recorded_seconds").set(result.recorded_seconds);
+  system->export_metrics(reg);
+  result.snapshot = reg.snapshot();
+
+  const obs::MetricsSnapshot& snap = result.snapshot;
+  if (const LatencyHistogram* h = snap.histogram("bh.core.response_ms")) {
+    result.response_p50_ms = h->quantile(0.5);
+    result.response_p90_ms = h->quantile(0.9);
+    result.response_p99_ms = h->quantile(0.99);
   }
-  if (directory != nullptr) {
-    result.directory_updates = directory->directory_updates();
+  result.root_updates = snap.counter("bh.hints.root_updates");
+  result.leaf_updates = snap.counter("bh.hints.leaf_updates");
+  result.meta_messages = snap.counter("bh.hints.meta_messages");
+  result.demand_bytes = snap.counter("bh.hints.demand_bytes");
+  result.push.copies_pushed = snap.counter("bh.push.copies_pushed");
+  result.push.bytes_pushed = snap.counter("bh.push.bytes_pushed");
+  result.push.copies_used = snap.counter("bh.push.copies_used");
+  result.push.bytes_used = snap.counter("bh.push.bytes_used");
+  result.push.pushes_rate_limited = snap.counter("bh.push.rate_limited");
+  result.directory_updates = snap.counter("bh.directory.updates");
+  result.icp_queries = snap.counter("bh.icp.queries");
+  result.icp_hits = snap.counter("bh.icp.hits");
+  for (int l = 1; l <= 3; ++l) {
+    const std::string prefix = "bh.hierarchy.l" + std::to_string(l);
+    result.levels.hits[l] = snap.counter(prefix + "_hits");
+    result.levels.hit_bytes[l] = snap.counter(prefix + "_hit_bytes");
   }
-  if (icp != nullptr) {
-    result.icp_queries = icp->icp_queries();
-    result.icp_hits = icp->icp_hits();
-  }
-  if (hierarchy != nullptr) {
-    result.levels = hierarchy->level_counters();
-  }
+  result.levels.requests = snap.counter("bh.hierarchy.requests");
+  result.levels.bytes = snap.counter("bh.hierarchy.bytes");
   return result;
 }
 

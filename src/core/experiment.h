@@ -12,6 +12,7 @@
 #include "baseline/data_hierarchy.h"
 #include "core/cache_system.h"
 #include "core/hint_system.h"
+#include "obs/metrics.h"
 #include "trace/record.h"
 #include "trace/workload.h"
 
@@ -45,6 +46,19 @@ struct ExperimentResult {
   double trace_seconds = 0;
   double recorded_seconds = 0;
 
+  // The full per-run registry snapshot (`bh.core.*` request metrics plus the
+  // architecture's `bh.hints.*` / `bh.directory.*` / `bh.icp.*` /
+  // `bh.hierarchy.*` extras). Every legacy field below is populated from
+  // this snapshot by the driver; new consumers should read the snapshot
+  // directly (obs/export.h serializes it).
+  obs::MetricsSnapshot snapshot;
+
+  // Response-time quantiles (ms) from the registry's `bh.core.response_ms`
+  // histogram — the distribution the paper's mean-only figures hide.
+  double response_p50_ms = 0;
+  double response_p90_ms = 0;
+  double response_p99_ms = 0;
+
   // Hint-system extras.
   std::uint64_t root_updates = 0;
   std::uint64_t leaf_updates = 0;
@@ -62,14 +76,16 @@ struct ExperimentResult {
   // Hierarchy extras (Figure 3).
   baseline::DataHierarchySystem::LevelCounters levels;
 
-  // Updates per second over the whole trace (Table 5 reports trace-wide
-  // averages).
-  double root_update_rate() const {
-    return trace_seconds > 0 ? static_cast<double>(root_updates) / trace_seconds : 0;
+  // Events per second over the whole trace (Table 5 reports trace-wide
+  // averages). The duration comes from the registry snapshot
+  // (`bh.core.trace_seconds`), falling back to the legacy field for results
+  // assembled by hand.
+  double rate(std::uint64_t n) const {
+    const double seconds = snapshot.gauge("bh.core.trace_seconds", trace_seconds);
+    return seconds > 0 ? static_cast<double>(n) / seconds : 0;
   }
-  double leaf_update_rate() const {
-    return trace_seconds > 0 ? static_cast<double>(leaf_updates) / trace_seconds : 0;
-  }
+  double root_update_rate() const { return rate(root_updates); }
+  double leaf_update_rate() const { return rate(leaf_updates); }
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg);

@@ -65,6 +65,18 @@ std::string HintSystem::name() const {
 
 void HintSystem::set_recording(bool on) { recording_ = on; }
 
+void HintSystem::export_metrics(obs::MetricsRegistry& reg) const {
+  reg.counter("bh.hints.root_updates").set(meta_.root_updates());
+  reg.counter("bh.hints.leaf_updates").set(meta_.leaf_updates());
+  reg.counter("bh.hints.meta_messages").set(meta_.total_messages());
+  reg.counter("bh.hints.demand_bytes").set(demand_bytes_);
+  reg.counter("bh.push.copies_pushed").set(push_stats_.copies_pushed);
+  reg.counter("bh.push.bytes_pushed").set(push_stats_.bytes_pushed);
+  reg.counter("bh.push.copies_used").set(push_stats_.copies_used);
+  reg.counter("bh.push.bytes_used").set(push_stats_.bytes_used);
+  reg.counter("bh.push.rate_limited").set(push_stats_.pushes_rate_limited);
+}
+
 Millis HintSystem::hint_lookup_cost() const {
   if (cfg_.hint_memory_bytes == kUnlimitedBytes ||
       cfg_.hint_bytes == kUnlimitedBytes ||

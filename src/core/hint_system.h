@@ -100,6 +100,7 @@ class HintSystem final : public CacheSystem {
   RequestOutcome handle_request(const trace::Record& r) override;
   void handle_modify(const trace::Record& r) override;
   void set_recording(bool on) override;
+  void export_metrics(obs::MetricsRegistry& reg) const override;
   std::string name() const override;
 
   hints::MetadataHierarchy& metadata() { return meta_; }

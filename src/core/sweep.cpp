@@ -116,6 +116,13 @@ std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
   return results;
 }
 
+obs::MetricsSnapshot merge_result_snapshots(
+    const std::vector<ExperimentResult>& results) {
+  obs::MetricsSnapshot merged;
+  for (const ExperimentResult& r : results) merged.merge(r.snapshot);
+  return merged;
+}
+
 std::vector<ExperimentResult> run_sweep_on(
     const std::vector<trace::Record>& records,
     const std::vector<ExperimentConfig>& configs, const SweepOptions& opts) {

@@ -95,6 +95,14 @@ struct SweepOptions {
 std::vector<ExperimentResult> run_sweep(const std::vector<SweepJob>& jobs,
                                         const SweepOptions& opts = {});
 
+// Merges every result's per-run registry snapshot into one aggregate, in
+// job-index order. Because run_sweep collects results by index (never by
+// completion order), the merged snapshot — counters, gauges, and histogram
+// buckets alike — is bit-identical for every `jobs` value, extending the
+// sweep's determinism guarantee to the observability layer.
+obs::MetricsSnapshot merge_result_snapshots(
+    const std::vector<ExperimentResult>& results);
+
 // Convenience: sweeps many configurations over one shared immutable trace.
 std::vector<ExperimentResult> run_sweep_on(
     const std::vector<trace::Record>& records,

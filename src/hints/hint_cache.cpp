@@ -135,4 +135,11 @@ std::unique_ptr<HintStore> make_hint_store(std::uint64_t capacity_bytes) {
   return std::make_unique<AssociativeHintCache>(capacity_bytes);
 }
 
+void export_stats(const HintCacheStats& stats, obs::MetricsRegistry& reg) {
+  reg.counter("bh.hintcache.lookups").set(stats.lookups);
+  reg.counter("bh.hintcache.hits").set(stats.hits);
+  reg.counter("bh.hintcache.inserts").set(stats.inserts);
+  reg.counter("bh.hintcache.conflict_evictions").set(stats.conflict_evictions);
+}
+
 }  // namespace bh::hints

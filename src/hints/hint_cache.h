@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "hints/hint_record.h"
+#include "obs/metrics.h"
 
 namespace bh::hints {
 
@@ -46,6 +47,9 @@ struct HintCacheStats {
   std::uint64_t inserts = 0;
   std::uint64_t conflict_evictions = 0;  // valid records displaced by inserts
 };
+
+// Publishes the counters into a registry under `bh.hintcache.*`.
+void export_stats(const HintCacheStats& stats, obs::MetricsRegistry& reg);
 
 class AssociativeHintCache final : public HintStore {
  public:

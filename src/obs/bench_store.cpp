@@ -1,0 +1,79 @@
+#include "obs/bench_store.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace bh::obs {
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+std::map<std::string, std::string> load_suites(const std::string& path) {
+  std::map<std::string, std::string> out;
+  const std::string s = read_file(path);
+  std::size_t pos = s.find("\"suites\"");
+  if (pos == std::string::npos) return out;
+  pos = s.find('{', pos);
+  if (pos == std::string::npos) return out;
+  std::size_t i = pos + 1;
+  while (i < s.size()) {
+    while (i < s.size() && (std::isspace(static_cast<unsigned char>(s[i])) ||
+                            s[i] == ',')) {
+      ++i;
+    }
+    if (i >= s.size() || s[i] != '"') break;
+    const std::size_t name_end = s.find('"', i + 1);
+    if (name_end == std::string::npos) break;
+    const std::string name = s.substr(i + 1, name_end - i - 1);
+    const std::size_t body = s.find('{', name_end);
+    if (body == std::string::npos) break;
+    int depth = 0;
+    std::size_t j = body;
+    for (; j < s.size(); ++j) {
+      if (s[j] == '{') ++depth;
+      if (s[j] == '}' && --depth == 0) break;
+    }
+    if (j >= s.size()) break;
+    out[name] = s.substr(body, j - body + 1);
+    i = j + 1;
+  }
+  return out;
+}
+
+void write_suites(const std::string& path,
+                  const std::map<std::string, std::string>& suites) {
+  std::ofstream outf(path, std::ios::trunc);
+  outf << "{\n  \"schema\": \"" << kBenchSchemaV2 << "\",\n  \"suites\": {\n";
+  bool first = true;
+  for (const auto& [name, body] : suites) {
+    if (!first) outf << ",\n";
+    first = false;
+    outf << "    \"" << name << "\": " << body;
+  }
+  outf << "\n  }\n}\n";
+}
+
+std::optional<std::string> load_schema(const std::string& path) {
+  const std::string s = read_file(path);
+  std::size_t pos = s.find("\"schema\"");
+  if (pos == std::string::npos) return std::nullopt;
+  pos = s.find(':', pos);
+  if (pos == std::string::npos) return std::nullopt;
+  const std::size_t open = s.find('"', pos);
+  if (open == std::string::npos) return std::nullopt;
+  const std::size_t close = s.find('"', open + 1);
+  if (close == std::string::npos) return std::nullopt;
+  return s.substr(open + 1, close - open - 1);
+}
+
+}  // namespace bh::obs

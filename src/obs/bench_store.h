@@ -1,0 +1,44 @@
+// The BENCH_core.json suite store, shared by the microbench driver
+// (bench/micro_util.h), the figure benches (bench/bench_util.h), the schema
+// checker (bench/check_bench_json.cpp), and the tests.
+//
+//   {
+//     "schema": "bench-core-v2",
+//     "suites": {
+//       "<suite>": {
+//         "benchmarks": [ {"name": ..., "iterations": N,
+//                          "real_ns_per_op": X, "cpu_ns_per_op": Y}, ... ],
+//         "metrics": { <obs::to_json snapshot> }
+//       }, ...
+//     }
+//   }
+//
+// v2 adds the per-suite "metrics" registry snapshot next to v1's
+// "benchmarks" rows. Readers are backwards compatible: load_suites() is a
+// structural brace scan over the "suites" object (our format keeps braces
+// out of strings), so v1 files on disk keep parsing and a v2 writer
+// preserves their suites while bumping the schema tag.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace bh::obs {
+
+inline constexpr const char* kBenchSchemaV1 = "bench-core-v1";
+inline constexpr const char* kBenchSchemaV2 = "bench-core-v2";
+
+// Raw suite-name -> json-object-text chunks. Empty map when the file is
+// missing or has no suites.
+std::map<std::string, std::string> load_suites(const std::string& path);
+
+// Rewrites the whole file (always with the v2 schema tag), preserving the
+// given suites verbatim.
+void write_suites(const std::string& path,
+                  const std::map<std::string, std::string>& suites);
+
+// The file's "schema" string, if the file exists and declares one.
+std::optional<std::string> load_schema(const std::string& path);
+
+}  // namespace bh::obs

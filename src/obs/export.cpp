@@ -1,0 +1,243 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace bh::obs {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+namespace {
+
+std::string histogram_json(const LatencyHistogram& h) {
+  std::ostringstream os;
+  os << "{\"count\": " << h.count() << ", \"sum\": " << format_double(h.sum())
+     << ", \"max\": " << format_double(h.max())
+     << ", \"mean\": " << format_double(h.mean())
+     << ", \"p50\": " << format_double(h.quantile(0.5))
+     << ", \"p90\": " << format_double(h.quantile(0.9))
+     << ", \"p99\": " << format_double(h.quantile(0.99))
+     << ", \"min_value\": " << format_double(h.min_value())
+     << ", \"log_growth\": " << format_double(h.log_growth())
+     << ", \"buckets\": [";
+  const auto& buckets = h.bucket_counts();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << buckets[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << v;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << name
+       << "\": " << format_double(v);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    os << (first ? "\n" : ",\n") << "    \"" << name
+       << "\": " << histogram_json(h);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}";
+  return os.str();
+}
+
+std::string to_text(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  for (const auto& [name, v] : snap.counters) {
+    const std::string n = sanitize(name);
+    os << "# TYPE " << n << " counter\n" << n << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string n = sanitize(name);
+    os << "# TYPE " << n << " gauge\n" << n << " " << format_double(v) << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = sanitize(name);
+    os << "# TYPE " << n << " summary\n";
+    constexpr std::pair<const char*, double> kQuantiles[] = {
+        {"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}};
+    for (const auto& [label, q] : kQuantiles) {
+      os << n << "{quantile=\"" << label << "\"} " << format_double(h.quantile(q))
+         << "\n";
+    }
+    os << n << "_sum " << format_double(h.sum()) << "\n";
+    os << n << "_count " << h.count() << "\n";
+    os << n << "_max " << format_double(h.max()) << "\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// parser (strict subset of JSON: exactly what to_json emits)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Cursor {
+  std::string_view s;
+  std::size_t i = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (i < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    ok = false;
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return i < s.size() && s[i] == c;
+  }
+  std::string string() {
+    skip_ws();
+    std::string out;
+    if (i >= s.size() || s[i] != '"') {
+      ok = false;
+      return out;
+    }
+    ++i;
+    while (i < s.size() && s[i] != '"') out.push_back(s[i++]);
+    if (i >= s.size()) {
+      ok = false;
+      return out;
+    }
+    ++i;  // closing quote
+    return out;
+  }
+  double number() {
+    skip_ws();
+    const char* begin = s.data() + i;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) {
+      ok = false;
+      return 0;
+    }
+    i += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+};
+
+std::optional<LatencyHistogram> parse_histogram(Cursor& c) {
+  if (!c.eat('{')) return std::nullopt;
+  std::uint64_t count = 0;
+  double sum = 0, max = 0, min_value = 0.001, log_growth = 0;
+  std::vector<std::uint64_t> buckets;
+  bool first = true;
+  while (!c.peek('}')) {
+    if (!first && !c.eat(',')) return std::nullopt;
+    first = false;
+    const std::string key = c.string();
+    if (!c.eat(':')) return std::nullopt;
+    if (key == "buckets") {
+      if (!c.eat('[')) return std::nullopt;
+      while (!c.peek(']')) {
+        if (!buckets.empty() && !c.eat(',')) return std::nullopt;
+        buckets.push_back(static_cast<std::uint64_t>(c.number()));
+        if (!c.ok) return std::nullopt;
+      }
+      c.eat(']');
+    } else {
+      const double v = c.number();
+      if (!c.ok) return std::nullopt;
+      if (key == "count") {
+        count = static_cast<std::uint64_t>(v);
+      } else if (key == "sum") {
+        sum = v;
+      } else if (key == "max") {
+        max = v;
+      } else if (key == "min_value") {
+        min_value = v;
+      } else if (key == "log_growth") {
+        log_growth = v;
+      }
+      // mean/p50/p90/p99 are derived; ignore.
+    }
+  }
+  if (!c.eat('}') || !c.ok) return std::nullopt;
+  return LatencyHistogram::restore(min_value, log_growth, std::move(buckets),
+                                   count, sum, max);
+}
+
+}  // namespace
+
+std::optional<MetricsSnapshot> parse_snapshot(std::string_view json) {
+  Cursor c{json};
+  MetricsSnapshot snap;
+  if (!c.eat('{')) return std::nullopt;
+  bool first_section = true;
+  while (!c.peek('}')) {
+    if (!first_section && !c.eat(',')) return std::nullopt;
+    first_section = false;
+    const std::string section = c.string();
+    if (!c.eat(':') || !c.eat('{')) return std::nullopt;
+    bool first = true;
+    while (!c.peek('}')) {
+      if (!first && !c.eat(',')) return std::nullopt;
+      first = false;
+      const std::string name = c.string();
+      if (!c.eat(':')) return std::nullopt;
+      if (section == "counters") {
+        snap.counters[name] = static_cast<std::uint64_t>(c.number());
+      } else if (section == "gauges") {
+        snap.gauges[name] = c.number();
+      } else if (section == "histograms") {
+        auto h = parse_histogram(c);
+        if (!h) return std::nullopt;
+        snap.histograms.emplace(name, std::move(*h));
+      } else {
+        return std::nullopt;
+      }
+      if (!c.ok) return std::nullopt;
+    }
+    c.eat('}');
+  }
+  if (!c.eat('}') || !c.ok) return std::nullopt;
+  return snap;
+}
+
+}  // namespace bh::obs

@@ -1,0 +1,48 @@
+// Snapshot exporters: structured JSON and a Prometheus-style text format.
+//
+// Both renderings are deterministic functions of the snapshot (names are
+// sorted, doubles printed with %.17g so they round-trip bit-exactly), which
+// is what lets the sweep tests compare merged registries as strings and the
+// bench JSON stay diffable across runs.
+//
+// JSON shape:
+//   {
+//     "counters": {"bh.core.requests": 123, ...},
+//     "gauges": {"bh.core.trace_seconds": 86400, ...},
+//     "histograms": {
+//       "bh.core.response_ms": {
+//         "count": N, "sum": S, "max": M, "mean": ...,
+//         "p50": ..., "p90": ..., "p99": ...,
+//         "min_value": ..., "log_growth": ..., "buckets": [...]
+//       }
+//     }
+//   }
+// mean/p50/p90/p99 are derived conveniences; parse_snapshot() rebuilds the
+// histogram from the raw fields, so serialize(parse(serialize(x))) ==
+// serialize(x) byte for byte.
+//
+// Text shape (Prometheus exposition style; '.' in names becomes '_'):
+//   bh_core_requests 123
+//   bh_core_response_ms{quantile="0.5"} 0.1
+//   bh_core_response_ms_count 10
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace bh::obs {
+
+std::string to_json(const MetricsSnapshot& snap);
+std::string to_text(const MetricsSnapshot& snap);
+
+// Parses the output of to_json (a strict subset of JSON: string keys without
+// escapes, numbers, arrays of integers). nullopt on malformed input.
+std::optional<MetricsSnapshot> parse_snapshot(std::string_view json);
+
+// Prints a double so that reading it back yields the identical bits.
+std::string format_double(double v);
+
+}  // namespace bh::obs

@@ -1,16 +1,47 @@
 #include "proxy/proxy_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <stdexcept>
 
 #include "common/hash.h"
+#include "obs/export.h"
 #include "proxy/origin_server.h"
 
 namespace bh::proxy {
 
+ProxyServer::Counters ProxyServer::make_counters(obs::MetricsRegistry& reg) {
+  return Counters{
+      reg.counter("bh.proxy.requests"),
+      reg.counter("bh.proxy.local_hits"),
+      reg.counter("bh.proxy.sibling_hits"),
+      reg.counter("bh.proxy.origin_fetches"),
+      reg.counter("bh.proxy.false_positives"),
+      reg.counter("bh.proxy.peer_serves"),
+      reg.counter("bh.proxy.peer_rejects"),
+      reg.counter("bh.proxy.updates_sent"),
+      reg.counter("bh.proxy.updates_received"),
+      reg.counter("bh.proxy.update_bytes_sent"),
+      reg.counter("bh.proxy.pushes_sent"),
+      reg.counter("bh.proxy.pushes_received"),
+      reg.counter("bh.proxy.push_bytes_sent"),
+      reg.counter("bh.proxy.peer_failures"),
+      reg.counter("bh.proxy.origin_failures"),
+      reg.counter("bh.proxy.quarantines"),
+      reg.counter("bh.proxy.quarantine_skips"),
+      reg.counter("bh.proxy.reprobes"),
+      reg.counter("bh.proxy.metadata_retries"),
+      reg.counter("bh.proxy.updates_deduped"),
+      reg.counter("bh.proxy.updates_hop_capped"),
+  };
+}
+
 ProxyServer::ProxyServer(ProxyConfig cfg)
-    : cfg_(std::move(cfg)), hints_(hints::make_hint_store(cfg_.hint_bytes)) {
+    : cfg_(std::move(cfg)),
+      hints_(hints::make_hint_store(cfg_.hint_bytes)),
+      c_(make_counters(registry_)),
+      request_ms_(registry_.histogram("bh.proxy.request_ms")) {
   listener_ = TcpListener::bind_ephemeral();
   if (!listener_) throw std::runtime_error("proxy: cannot bind");
   port_ = listener_->port();
@@ -24,8 +55,7 @@ ProxyServer::ProxyServer(ProxyConfig cfg)
     int attempts = 0;
     http_call(cfg_.origin_port, reg, metadata_call_options(), &attempts);
     if (attempts > 1) {
-      std::lock_guard lock(mu_);
-      stats_.metadata_retries += static_cast<std::uint64_t>(attempts - 1);
+      c_.metadata_retries.inc(static_cast<std::uint64_t>(attempts - 1));
     }
   }
 }
@@ -44,8 +74,49 @@ void ProxyServer::stop() {
 }
 
 ProxyStats ProxyServer::stats() const {
-  std::lock_guard lock(mu_);
-  return stats_;
+  // Counters are atomics; no lock needed. Each field is individually
+  // coherent (the view is not a cross-counter atomic cut, same as before:
+  // the old struct copy could also race with in-flight handlers).
+  ProxyStats s;
+  s.requests = c_.requests.value();
+  s.local_hits = c_.local_hits.value();
+  s.sibling_hits = c_.sibling_hits.value();
+  s.origin_fetches = c_.origin_fetches.value();
+  s.false_positives = c_.false_positives.value();
+  s.peer_serves = c_.peer_serves.value();
+  s.peer_rejects = c_.peer_rejects.value();
+  s.updates_sent = c_.updates_sent.value();
+  s.updates_received = c_.updates_received.value();
+  s.update_bytes_sent = c_.update_bytes_sent.value();
+  s.pushes_sent = c_.pushes_sent.value();
+  s.pushes_received = c_.pushes_received.value();
+  s.push_bytes_sent = c_.push_bytes_sent.value();
+  s.peer_failures = c_.peer_failures.value();
+  s.origin_failures = c_.origin_failures.value();
+  s.quarantines = c_.quarantines.value();
+  s.quarantine_skips = c_.quarantine_skips.value();
+  s.reprobes = c_.reprobes.value();
+  s.metadata_retries = c_.metadata_retries.value();
+  s.updates_deduped = c_.updates_deduped.value();
+  s.updates_hop_capped = c_.updates_hop_capped.value();
+  return s;
+}
+
+obs::MetricsSnapshot ProxyServer::metrics_snapshot() const {
+  {
+    // Occupancy gauges are sampled at scrape time under the cache lock; the
+    // atomic counters and the histogram need no lock.
+    std::lock_guard lock(mu_);
+    registry_.gauge("bh.proxy.cache_bytes")
+        .set(static_cast<double>(used_bytes_));
+    registry_.gauge("bh.proxy.cache_objects")
+        .set(static_cast<double>(objects_.size()));
+    registry_.gauge("bh.proxy.hint_entries")
+        .set(static_cast<double>(hints_->entry_count()));
+    registry_.gauge("bh.proxy.pending_updates")
+        .set(static_cast<double>(pending_.size()));
+  }
+  return registry_.snapshot();
 }
 
 CallOptions ProxyServer::metadata_call_options() {
@@ -113,7 +184,19 @@ HttpResponse ProxyServer::handle(const HttpRequest& req) {
     return resp;
   }
   if (req.method == "GET") {
-    return handle_get(req);
+    if (req.path() == "/metrics") {
+      return handle_metrics(req);
+    }
+    if (req.header("X-No-Forward")) {
+      return handle_get(req);  // peer probe: not a client request, untimed
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    HttpResponse resp = handle_get(req);
+    request_ms_.record(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    return resp;
   }
   HttpResponse resp;
   resp.status = 404;
@@ -139,12 +222,12 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
   std::optional<MachineId> hint;
   {
     std::unique_lock lock(mu_);
-    if (!cache_only) ++stats_.requests;
+    if (!cache_only) c_.requests.inc();
     if (auto body = lookup_locked(*id)) {
       if (cache_only) {
-        ++stats_.peer_serves;
+        c_.peer_serves.inc();
       } else {
-        ++stats_.local_hits;
+        c_.local_hits.inc();
       }
       resp.body = std::move(*body);
       resp.headers.emplace_back("X-Cache", "HIT");
@@ -165,7 +248,7 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
     if (cache_only) {
       // A peer probed us on a hint we no longer honour: the error reply that
       // prices a false positive.
-      ++stats_.peer_rejects;
+      c_.peer_rejects.inc();
       resp.status = 404;
       resp.reason = "Not Cached";
       resp.headers.emplace_back("X-Served-By", cfg_.name);
@@ -184,8 +267,8 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
     {
       std::lock_guard lock(mu_);
       usable = peer_usable_locked(peer_port);
-      if (!usable) ++stats_.quarantine_skips;
     }
+    if (!usable) c_.quarantine_skips.inc();
     if (usable) {
       HttpRequest peer_req;
       peer_req.method = "GET";
@@ -198,7 +281,7 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
       if (peer_resp && peer_resp->status == 200) {
         std::lock_guard lock(mu_);
         record_peer_success_locked(peer_port);
-        ++stats_.sibling_hits;
+        c_.sibling_hits.inc();
         store_locked(*id, peer_resp->body);
         resp.body = std::move(peer_resp->body);
         resp.headers.emplace_back("X-Cache", "SIBLING");
@@ -209,13 +292,13 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
       if (peer_resp) {
         // The peer answered but no longer holds the object: a false
         // positive, priced at one error round trip. The peer is healthy.
-        ++stats_.false_positives;
+        c_.false_positives.inc();
         record_peer_success_locked(peer_port);
         hints_->erase(*id);
       } else {
         // Transport failure: counts toward quarantine. Keep the hint — the
         // peer likely still holds the object when it rejoins.
-        ++stats_.peer_failures;
+        c_.peer_failures.inc();
         record_peer_failure_locked(peer_port);
       }
     }
@@ -236,15 +319,14 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
   origin_opts.deadline_seconds = cfg_.origin_deadline_seconds;
   auto origin_resp = http_call(cfg_.origin_port, origin_req, origin_opts);
   if (!origin_resp || origin_resp->status != 200) {
-    std::lock_guard lock(mu_);
-    ++stats_.origin_failures;
+    c_.origin_failures.inc();
     resp.status = 502;
     resp.reason = "Bad Gateway";
     return resp;
   }
+  c_.origin_fetches.inc();
   {
     std::lock_guard lock(mu_);
-    ++stats_.origin_fetches;
     store_locked(*id, origin_resp->body);
   }
   resp.body = std::move(origin_resp->body);
@@ -279,7 +361,7 @@ HttpResponse ProxyServer::handle_updates(const HttpRequest& req) {
 
   std::lock_guard lock(mu_);
   for (const proto::HintUpdate& u : *updates) {
-    ++stats_.updates_received;
+    c_.updates_received.inc();
     if (u.location != self()) {
       switch (u.action) {
         case proto::Action::kInform: {
@@ -306,13 +388,13 @@ HttpResponse ProxyServer::handle_updates(const HttpRequest& req) {
     // ourselves, and never past the hop bound.
     const bool fresh = note_seen_locked(u);
     if (!fresh) {
-      ++stats_.updates_deduped;
+      c_.updates_deduped.inc();
       continue;
     }
     if (u.location == self()) continue;
     const int next_hops = hops + 1;
     if (next_hops >= cfg_.max_hint_hops) {
-      ++stats_.updates_hop_capped;
+      c_.updates_hop_capped.inc();
       continue;
     }
     pending_.push_back({u, from, next_hops});
@@ -335,13 +417,26 @@ HttpResponse ProxyServer::handle_push(const HttpRequest& req) {
     return resp;
   }
   std::lock_guard lock(mu_);
-  ++stats_.pushes_received;
+  c_.pushes_received.inc();
   // A push never displaces an existing copy's recency semantics: if we
   // already cache the object, keep ours.
   if (objects_.find(*id) == objects_.end()) {
     store_locked(*id, req.body);
   }
   resp.body = "ok";
+  return resp;
+}
+
+HttpResponse ProxyServer::handle_metrics(const HttpRequest& req) {
+  const obs::MetricsSnapshot snap = metrics_snapshot();
+  HttpResponse resp;
+  if (req.query_param("format").value_or("") == "json") {
+    resp.body = obs::to_json(snap);
+    resp.headers.emplace_back("Content-Type", "application/json");
+  } else {
+    resp.body = obs::to_text(snap);
+    resp.headers.emplace_back("Content-Type", "text/plain; version=0.0.4");
+  }
   return resp;
 }
 
@@ -369,8 +464,8 @@ void ProxyServer::push_to_neighbors(ObjectId id, const std::string& body,
     std::lock_guard lock(mu_);
     if (sent && sent->status == 200) {
       record_peer_success_locked(nb);
-      ++stats_.pushes_sent;
-      stats_.push_bytes_sent += body.size();
+      c_.pushes_sent.inc();
+      c_.push_bytes_sent.inc(body.size());
     } else {
       record_peer_failure_locked(nb);
     }
@@ -419,12 +514,12 @@ void ProxyServer::flush_hints() {
       const auto sent = http_call(nb, req, metadata_call_options(), &attempts);
       std::lock_guard lock(mu_);
       if (attempts > 1) {
-        stats_.metadata_retries += static_cast<std::uint64_t>(attempts - 1);
+        c_.metadata_retries.inc(static_cast<std::uint64_t>(attempts - 1));
       }
       if (sent && sent->status == 200) {
         record_peer_success_locked(nb);
-        stats_.updates_sent += batch.size();
-        stats_.update_bytes_sent += body.size();
+        c_.updates_sent.inc(batch.size());
+        c_.update_bytes_sent.inc(body.size());
       } else {
         // Failed sends are dropped: hint traffic is soft state.
         record_peer_failure_locked(nb);
@@ -460,7 +555,7 @@ bool ProxyServer::peer_usable_locked(std::uint16_t port) {
   it->second.retry_at =
       now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                 std::chrono::duration<double>(cfg_.quarantine_seconds));
-  ++stats_.reprobes;
+  c_.reprobes.inc();
   return true;
 }
 
@@ -476,7 +571,7 @@ void ProxyServer::record_peer_failure_locked(std::uint16_t port) {
   }
   if (!h.quarantined) {
     h.quarantined = true;
-    ++stats_.quarantines;
+    c_.quarantines.inc();
   }
   h.retry_at = std::chrono::steady_clock::now() +
                std::chrono::duration_cast<std::chrono::steady_clock::duration>(

@@ -43,6 +43,7 @@
 
 #include "common/types.h"
 #include "hints/hint_cache.h"
+#include "obs/metrics.h"
 #include "proto/wire.h"
 #include "proxy/http.h"
 #include "proxy/socket.h"
@@ -97,6 +98,12 @@ struct ProxyConfig {
   std::size_t seen_updates_capacity = 4096;
 };
 
+// Point-in-time view of the daemon's counters. The counters themselves live
+// in the daemon's MetricsRegistry under `bh.proxy.*` (atomic, incremented
+// without taking the cache lock); this struct is assembled on demand by
+// `stats()` for call sites that want plain numbers, and the full registry —
+// counters, scrape-time gauges, and the request-latency histogram — is
+// served over HTTP by `GET /metrics`.
 struct ProxyStats {
   std::uint64_t requests = 0;
   std::uint64_t local_hits = 0;
@@ -147,7 +154,13 @@ class ProxyServer {
   // advertise the non-presence.
   void invalidate(ObjectId id);
 
+  // Lock-free snapshot of the hot-path counters (reads the registry atomics).
   ProxyStats stats() const;
+
+  // Full registry snapshot as served by `GET /metrics`: the `bh.proxy.*`
+  // counters plus scrape-time occupancy gauges (cache bytes/objects, hint
+  // entries, pending updates) and the request-latency histogram.
+  obs::MetricsSnapshot metrics_snapshot() const;
 
   void stop();
 
@@ -163,12 +176,40 @@ class ProxyServer {
     std::chrono::steady_clock::time_point retry_at{};
   };
 
+  // The registry-backed counters, bound once at construction so the hot
+  // paths touch only the atomics (the registry map is never re-probed).
+  struct Counters {
+    obs::Counter& requests;
+    obs::Counter& local_hits;
+    obs::Counter& sibling_hits;
+    obs::Counter& origin_fetches;
+    obs::Counter& false_positives;
+    obs::Counter& peer_serves;
+    obs::Counter& peer_rejects;
+    obs::Counter& updates_sent;
+    obs::Counter& updates_received;
+    obs::Counter& update_bytes_sent;
+    obs::Counter& pushes_sent;
+    obs::Counter& pushes_received;
+    obs::Counter& push_bytes_sent;
+    obs::Counter& peer_failures;
+    obs::Counter& origin_failures;
+    obs::Counter& quarantines;
+    obs::Counter& quarantine_skips;
+    obs::Counter& reprobes;
+    obs::Counter& metadata_retries;
+    obs::Counter& updates_deduped;
+    obs::Counter& updates_hop_capped;
+  };
+  static Counters make_counters(obs::MetricsRegistry& reg);
+
   void serve();
   void handle_connection(TcpStream stream);
   HttpResponse handle(const HttpRequest& req);
   HttpResponse handle_get(const HttpRequest& req);
   HttpResponse handle_updates(const HttpRequest& req);
   HttpResponse handle_push(const HttpRequest& req);
+  HttpResponse handle_metrics(const HttpRequest& req);
   void push_to_neighbors(ObjectId id, const std::string& body,
                          std::uint16_t skip_port);
 
@@ -219,7 +260,12 @@ class ProxyServer {
   std::unordered_map<std::uint16_t, NeighborHealth> health_;
   std::unordered_set<std::uint64_t> seen_updates_;
   std::deque<std::uint64_t> seen_order_;  // FIFO eviction for the seen-set
-  ProxyStats stats_;
+
+  // Declared after mu_ et al. but before c_/request_ms_, which bind into it.
+  // Mutable so const scrapes can refresh the occupancy gauges.
+  mutable obs::MetricsRegistry registry_;
+  Counters c_;
+  obs::Histogram& request_ms_;  // client GET service time, milliseconds
 };
 
 }  // namespace bh::proxy

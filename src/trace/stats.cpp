@@ -41,4 +41,18 @@ TraceStats compute_stats(const std::vector<Record>& records) {
   return s;
 }
 
+void export_stats(const TraceStats& stats, obs::MetricsRegistry& reg) {
+  reg.counter("bh.trace.requests").set(stats.requests);
+  reg.counter("bh.trace.modifies").set(stats.modifies);
+  reg.counter("bh.trace.distinct_objects").set(stats.distinct_objects);
+  reg.counter("bh.trace.distinct_clients").set(stats.distinct_clients);
+  reg.counter("bh.trace.total_bytes").set(stats.total_bytes);
+  reg.counter("bh.trace.uncachable_requests").set(stats.uncachable_requests);
+  reg.counter("bh.trace.error_requests").set(stats.error_requests);
+  reg.gauge("bh.trace.duration_days").set(stats.duration_days);
+  reg.gauge("bh.trace.mean_object_size").set(stats.mean_object_size);
+  reg.gauge("bh.trace.first_reference_fraction")
+      .set(stats.first_reference_fraction);
+}
+
 }  // namespace bh::trace

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "trace/record.h"
 
 namespace bh::trace {
@@ -25,5 +26,8 @@ struct TraceStats {
 };
 
 TraceStats compute_stats(const std::vector<Record>& records);
+
+// Publishes the summary into a registry under `bh.trace.*`.
+void export_stats(const TraceStats& stats, obs::MetricsRegistry& reg);
 
 }  // namespace bh::trace

@@ -78,5 +78,49 @@ TEST(HistogramTest, QuantileClampsArguments) {
   EXPECT_GT(h.quantile(2.0), 0.0);
 }
 
+TEST(HistogramTest, MergeEmptyIsANoOp) {
+  LatencyHistogram a, empty;
+  for (double v : {1.0, 2.0, 4.0}) a.record(v);
+  const std::uint64_t count = a.count();
+  const double mean = a.mean();
+  const double max = a.max();
+  const double p50 = a.quantile(0.5);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), count);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_DOUBLE_EQ(a.max(), max);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), p50);
+}
+
+TEST(HistogramTest, MergeEmptyIntoEmptyStaysEmpty) {
+  LatencyHistogram a, empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileZeroIsTheSmallestObservation) {
+  LatencyHistogram h;
+  for (double v : {10.0, 100.0, 1000.0}) h.record(v);
+  // q=0 lands in the first non-empty bucket — near 10, nowhere near the
+  // histogram floor (min_value) it used to report.
+  EXPECT_NEAR(h.quantile(0.0), 10.0, 10.0 * 0.06);
+  EXPECT_LE(h.quantile(0.0), h.quantile(0.5));
+}
+
+TEST(HistogramTest, SingleSampleQuantilesAgree) {
+  LatencyHistogram h;
+  h.record(42.0);
+  // Every quantile of a one-sample distribution is that sample's bucket.
+  const double bucket = h.quantile(1.0);
+  EXPECT_NEAR(bucket, 42.0, 42.0 * 0.06);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), bucket);
+  }
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+}
+
 }  // namespace
 }  // namespace bh

@@ -1,0 +1,261 @@
+// Tests for the observability layer: registry semantics, snapshot merging,
+// the JSON/text exporters (golden output + byte-exact round trip), the
+// bench-core suite store's v1 back-compat, and thread safety of concurrent
+// scrapes (this binary also runs under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/bench_store.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace bh::obs {
+namespace {
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("bh.test.a");
+  a.inc(3);
+  // Interleave creations; the original reference must stay valid and the
+  // same name must resolve to the same metric.
+  for (int i = 0; i < 100; ++i) reg.counter("bh.test.pad" + std::to_string(i));
+  EXPECT_EQ(&a, &reg.counter("bh.test.a"));
+  a.inc();
+  EXPECT_EQ(reg.snapshot().counter("bh.test.a"), 4u);
+}
+
+TEST(MetricsRegistryTest, SnapshotCarriesAllThreeKinds) {
+  MetricsRegistry reg;
+  reg.counter("bh.test.c").inc(7);
+  reg.gauge("bh.test.g").set(2.25);
+  reg.histogram("bh.test.h").record(5.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("bh.test.c"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauge("bh.test.g"), 2.25);
+  ASSERT_NE(snap.histogram("bh.test.h"), nullptr);
+  EXPECT_EQ(snap.histogram("bh.test.h")->count(), 1u);
+  EXPECT_EQ(snap.counter("bh.test.absent", 42), 42u);
+  EXPECT_DOUBLE_EQ(snap.gauge("bh.test.absent", 1.5), 1.5);
+  EXPECT_EQ(snap.histogram("bh.test.absent"), nullptr);
+}
+
+TEST(MetricsSnapshotTest, MergeAddsCountersKeepsMaxGaugesMergesHistograms) {
+  MetricsRegistry a, b;
+  a.counter("c.shared").inc(2);
+  a.counter("c.only_a").inc(1);
+  a.gauge("g.shared").set(3.0);
+  a.histogram("h").record(1.0);
+  b.counter("c.shared").inc(5);
+  b.counter("c.only_b").inc(9);
+  b.gauge("g.shared").set(7.0);
+  b.gauge("g.only_b").set(0.5);
+  b.histogram("h").record(2.0);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.counter("c.shared"), 7u);
+  EXPECT_EQ(merged.counter("c.only_a"), 1u);
+  EXPECT_EQ(merged.counter("c.only_b"), 9u);
+  EXPECT_DOUBLE_EQ(merged.gauge("g.shared"), 7.0);
+  EXPECT_DOUBLE_EQ(merged.gauge("g.only_b"), 0.5);
+  ASSERT_NE(merged.histogram("h"), nullptr);
+  EXPECT_EQ(merged.histogram("h")->count(), 2u);
+  EXPECT_DOUBLE_EQ(merged.histogram("h")->max(), 2.0);
+}
+
+TEST(MetricsSnapshotTest, MergeIsOrderInsensitiveForTheseSemantics) {
+  MetricsRegistry a, b;
+  a.counter("c").inc(2);
+  a.gauge("g").set(9.0);
+  a.histogram("h").record(1.0);
+  b.counter("c").inc(3);
+  b.gauge("g").set(4.0);
+  b.histogram("h").record(8.0);
+  MetricsSnapshot ab = a.snapshot();
+  ab.merge(b.snapshot());
+  MetricsSnapshot ba = b.snapshot();
+  ba.merge(a.snapshot());
+  EXPECT_EQ(to_json(ab), to_json(ba));
+}
+
+TEST(MetricsExportTest, GoldenJson) {
+  MetricsRegistry reg;
+  reg.counter("bh.test.b").inc(2);
+  reg.counter("bh.test.a").inc();
+  reg.gauge("bh.test.g").set(1.5);
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"bh.test.a\": 1,\n"
+      "    \"bh.test.b\": 2\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"bh.test.g\": 1.5\n"
+      "  },\n"
+      "  \"histograms\": {}\n"
+      "}";
+  EXPECT_EQ(to_json(reg.snapshot()), expected);
+}
+
+TEST(MetricsExportTest, GoldenText) {
+  MetricsRegistry reg;
+  reg.counter("bh.test.a").inc();
+  reg.gauge("bh.test.g").set(1.5);
+  const std::string expected =
+      "# TYPE bh_test_a counter\n"
+      "bh_test_a 1\n"
+      "# TYPE bh_test_g gauge\n"
+      "bh_test_g 1.5\n";
+  EXPECT_EQ(to_text(reg.snapshot()), expected);
+}
+
+TEST(MetricsExportTest, TextRendersHistogramSummary) {
+  MetricsRegistry reg;
+  for (int i = 1; i <= 100; ++i) {
+    reg.histogram("bh.test.lat_ms").record(double(i));
+  }
+  const std::string text = to_text(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE bh_test_lat_ms summary"), std::string::npos);
+  EXPECT_NE(text.find("bh_test_lat_ms{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("bh_test_lat_ms{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("bh_test_lat_ms_count 100"), std::string::npos);
+  EXPECT_NE(text.find("bh_test_lat_ms_max 100"), std::string::npos);
+}
+
+TEST(MetricsExportTest, JsonRoundTripsByteExactly) {
+  MetricsRegistry reg;
+  Rng rng(7);
+  reg.counter("bh.test.requests").inc(123456789);
+  reg.gauge("bh.test.seconds").set(86400.125);
+  reg.gauge("bh.test.awkward").set(0.1 + 0.2);  // not exactly 0.3
+  for (int i = 0; i < 5000; ++i) {
+    reg.histogram("bh.test.lat_ms").record(rng.lognormal(3.0, 1.5));
+  }
+  const std::string first = to_json(reg.snapshot());
+  const auto parsed = parse_snapshot(first);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(to_json(*parsed), first);
+  // And once more through the parser, for good measure.
+  const auto reparsed = parse_snapshot(to_json(*parsed));
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(to_json(*reparsed), first);
+}
+
+TEST(MetricsExportTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(parse_snapshot("").has_value());
+  EXPECT_FALSE(parse_snapshot("{").has_value());
+  EXPECT_FALSE(parse_snapshot("{\"bogus\": {\"a\": 1}}").has_value());
+  EXPECT_FALSE(parse_snapshot("{\"counters\": {\"a\": }}").has_value());
+}
+
+TEST(MetricsExportTest, EmptySnapshotRoundTrips) {
+  const MetricsSnapshot empty;
+  const auto parsed = parse_snapshot(to_json(empty));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+  EXPECT_EQ(to_json(*parsed), to_json(empty));
+}
+
+class BenchStoreTest : public ::testing::Test {
+ protected:
+  std::string path_ = testing::TempDir() + "metrics_test_bench.json";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(BenchStoreTest, WriteThenLoadRoundTrips) {
+  std::map<std::string, std::string> suites;
+  suites["alpha"] = "{\"benchmarks\": [{\"name\": \"x\", \"iterations\": 1}]}";
+  suites["beta"] = "{\"metrics\": {\n  \"counters\": {},\n  \"gauges\": {},\n"
+                   "  \"histograms\": {}\n}}";
+  write_suites(path_, suites);
+  EXPECT_EQ(load_schema(path_).value_or(""), kBenchSchemaV2);
+  EXPECT_EQ(load_suites(path_), suites);
+}
+
+TEST_F(BenchStoreTest, V1FilesStillParseAndUpgradeToV2) {
+  // A file exactly as the old (v1) writer produced it.
+  {
+    std::ofstream f(path_);
+    f << "{\n  \"schema\": \"bench-core-v1\",\n  \"suites\": {\n"
+      << "    \"eventqueue\": {\"benchmarks\": [{\"name\": \"BM_Push\", "
+      << "\"iterations\": 10, \"real_ns_per_op\": 5.000, "
+      << "\"cpu_ns_per_op\": 4.000}]}\n  }\n}\n";
+  }
+  EXPECT_EQ(load_schema(path_).value_or(""), kBenchSchemaV1);
+  auto suites = load_suites(path_);
+  ASSERT_EQ(suites.size(), 1u);
+  ASSERT_TRUE(suites.count("eventqueue"));
+  EXPECT_NE(suites["eventqueue"].find("BM_Push"), std::string::npos);
+
+  // A v2 writer merging a new suite preserves the v1 suite verbatim and
+  // bumps the schema tag.
+  const std::string v1_chunk = suites["eventqueue"];
+  suites["hintcache"] = "{\"benchmarks\": []}";
+  write_suites(path_, suites);
+  EXPECT_EQ(load_schema(path_).value_or(""), kBenchSchemaV2);
+  auto reloaded = load_suites(path_);
+  ASSERT_EQ(reloaded.size(), 2u);
+  EXPECT_EQ(reloaded["eventqueue"], v1_chunk);
+}
+
+TEST_F(BenchStoreTest, MissingFileLoadsEmpty) {
+  EXPECT_TRUE(load_suites(path_).empty());
+  EXPECT_FALSE(load_schema(path_).has_value());
+}
+
+// Writers hammer all three metric kinds while scrapers snapshot and render
+// concurrently; TSan (CI's thread-sanitizer job runs this binary) verifies
+// the registry's locking discipline, and the final counts verify no lost
+// updates.
+TEST(MetricsConcurrencyTest, ConcurrentScrapesSeeConsistentData) {
+  MetricsRegistry reg;
+  constexpr int kWriters = 4;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 2);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&reg, w] {
+      Counter& c = reg.counter("bh.test.shared");
+      Gauge& g = reg.gauge("bh.test.level");
+      Histogram& h = reg.histogram("bh.test.lat_ms");
+      for (int i = 0; i < kIncrements; ++i) {
+        c.inc();
+        g.add(1.0);
+        if (i % 16 == 0) h.record(double(w + 1));
+        // Creation races too: distinct names force map inserts.
+        if (i % 4096 == 0) {
+          reg.counter("bh.test.w" + std::to_string(w)).inc();
+        }
+      }
+    });
+  }
+  for (int s = 0; s < 2; ++s) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 50; ++i) {
+        const MetricsSnapshot snap = reg.snapshot();
+        // Rendering must not race with writers either.
+        const std::string json = to_json(snap);
+        EXPECT_FALSE(json.empty());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const MetricsSnapshot final_snap = reg.snapshot();
+  EXPECT_EQ(final_snap.counter("bh.test.shared"),
+            std::uint64_t(kWriters) * kIncrements);
+  EXPECT_DOUBLE_EQ(final_snap.gauge("bh.test.level"),
+                   double(kWriters) * kIncrements);
+  ASSERT_NE(final_snap.histogram("bh.test.lat_ms"), nullptr);
+  EXPECT_EQ(final_snap.histogram("bh.test.lat_ms")->count(),
+            std::uint64_t(kWriters) * (kIncrements / 16));
+}
+
+}  // namespace
+}  // namespace bh::obs

@@ -13,6 +13,7 @@
 
 #include "core/experiment.h"
 #include "core/sweep.h"
+#include "obs/export.h"
 #include "trace/generator.h"
 #include "trace/workload.h"
 
@@ -137,6 +138,12 @@ void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
   }
   EXPECT_EQ(a.levels.requests, b.levels.requests);
   EXPECT_EQ(a.levels.bytes, b.levels.bytes);
+  // The per-run registry snapshot (the authoritative metrics surface) must
+  // also be byte-identical once rendered.
+  EXPECT_EQ(obs::to_json(a.snapshot), obs::to_json(b.snapshot));
+  EXPECT_EQ(a.response_p50_ms, b.response_p50_ms);
+  EXPECT_EQ(a.response_p90_ms, b.response_p90_ms);
+  EXPECT_EQ(a.response_p99_ms, b.response_p99_ms);
 }
 
 std::vector<ExperimentConfig> mixed_configs(
@@ -199,6 +206,28 @@ TEST(ParallelSweepTest, GeneratePerJobMatchesRunExperiment) {
     SCOPED_TRACE(testing::Message() << "job " << i);
     expect_identical(parallel[i], serial[i]);
   }
+}
+
+TEST(ParallelSweepTest, MergedSnapshotIsJobsCountInvariant) {
+  // The sweep-level merged registry (what the fig benches emit with --json)
+  // must serialize to the same bytes no matter how many workers ran.
+  const auto workload = tiny_workload();
+  const auto records = trace::TraceGenerator(workload).generate_all();
+  const auto configs = mixed_configs(workload);
+
+  const auto jobs1 = run_sweep_on(records, configs, SweepOptions{1});
+  const auto jobs4 = run_sweep_on(records, configs, SweepOptions{4});
+  const std::string merged1 = obs::to_json(merge_result_snapshots(jobs1));
+  const std::string merged4 = obs::to_json(merge_result_snapshots(jobs4));
+  EXPECT_FALSE(merged1.empty());
+  EXPECT_EQ(merged1, merged4);
+
+  // The merge adds counters across runs: total requests in the merged
+  // snapshot equals the sum over individual runs.
+  std::uint64_t total_requests = 0;
+  for (const auto& r : jobs1) total_requests += r.metrics.requests;
+  const auto merged = merge_result_snapshots(jobs1);
+  EXPECT_EQ(merged.counter("bh.core.requests"), total_requests);
 }
 
 TEST(ParallelSweepTest, ResultOrderFollowsJobOrderNotCompletionOrder) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/export.h"
 #include "proto/wire.h"
 #include "proxy/fault_injector.h"
 #include "proxy/http.h"
@@ -707,6 +708,123 @@ TEST(ProxyServerTest, ConcurrentFetchesFromBothSides) {
   std::thread t2([&] { EXPECT_EQ(fetch(a.port(), y, 64).cache, "SIBLING"); });
   t1.join();
   t2.join();
+}
+
+// --- GET /metrics ---
+
+std::optional<HttpResponse> scrape(std::uint16_t port,
+                                   const std::string& target = "/metrics") {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = target;
+  return http_call(port, req);
+}
+
+TEST(ProxyMetricsTest, TextScrapeCarriesEveryProxyCounter) {
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  ProxyServer proxy(cfg);
+
+  const ObjectId id{11};
+  fetch(proxy.port(), id, 100);  // MISS
+  fetch(proxy.port(), id, 100);  // HIT
+
+  auto resp = scrape(proxy.port());
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->header("Content-Type").value_or(""),
+            "text/plain; version=0.0.4");
+  // Every field of the former ProxyStats struct appears, '.' -> '_'.
+  for (const char* name :
+       {"requests", "local_hits", "sibling_hits", "origin_fetches",
+        "false_positives", "peer_serves", "peer_rejects", "updates_sent",
+        "updates_received", "update_bytes_sent", "pushes_sent",
+        "pushes_received", "push_bytes_sent", "peer_failures",
+        "origin_failures", "quarantines", "quarantine_skips", "reprobes",
+        "metadata_retries", "updates_deduped", "updates_hop_capped"}) {
+    EXPECT_NE(resp->body.find(std::string("bh_proxy_") + name),
+              std::string::npos)
+        << "missing counter: " << name;
+  }
+  EXPECT_NE(resp->body.find("bh_proxy_requests 2"), std::string::npos);
+  EXPECT_NE(resp->body.find("bh_proxy_local_hits 1"), std::string::npos);
+  EXPECT_NE(resp->body.find("bh_proxy_origin_fetches 1"), std::string::npos);
+  // Scrape-time gauges and the latency summary ride along.
+  EXPECT_NE(resp->body.find("bh_proxy_cache_objects 1"), std::string::npos);
+  EXPECT_NE(resp->body.find("bh_proxy_request_ms_count 2"), std::string::npos);
+}
+
+TEST(ProxyMetricsTest, JsonScrapeParsesAndMatchesStats) {
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  ProxyServer proxy(cfg);
+
+  const ObjectId id{12};
+  fetch(proxy.port(), id, 80);
+  fetch(proxy.port(), id, 80);
+  fetch(proxy.port(), ObjectId{13}, 80);
+
+  auto resp = scrape(proxy.port(), "/metrics?format=json");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->header("Content-Type").value_or(""), "application/json");
+  const auto snap = obs::parse_snapshot(resp->body);
+  ASSERT_TRUE(snap.has_value());
+
+  const ProxyStats s = proxy.stats();
+  EXPECT_EQ(snap->counter("bh.proxy.requests"), s.requests);
+  EXPECT_EQ(snap->counter("bh.proxy.local_hits"), s.local_hits);
+  EXPECT_EQ(snap->counter("bh.proxy.origin_fetches"), s.origin_fetches);
+  EXPECT_EQ(snap->counter("bh.proxy.requests"), 3u);
+  EXPECT_DOUBLE_EQ(snap->gauge("bh.proxy.cache_objects"), 2.0);
+  ASSERT_NE(snap->histogram("bh.proxy.request_ms"), nullptr);
+  EXPECT_EQ(snap->histogram("bh.proxy.request_ms")->count(), 3u);
+}
+
+TEST(ProxyMetricsTest, ConcurrentScrapesDuringTraffic) {
+  // Scrapers hammer /metrics (both renderings) while fetchers drive the data
+  // path; the registry's atomics and the scrape-time gauge refresh must not
+  // race (ASan/TSan builds of this binary check that) and every scrape must
+  // return a complete document.
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  ProxyServer proxy(cfg);
+
+  constexpr int kFetches = 40;
+  std::thread traffic([&] {
+    for (int i = 0; i < kFetches; ++i) {
+      fetch(proxy.port(), ObjectId{std::uint64_t(100 + i)}, 64);
+    }
+  });
+  std::thread text_scraper([&] {
+    for (int i = 0; i < 20; ++i) {
+      auto r = scrape(proxy.port());
+      ASSERT_TRUE(r.has_value());
+      EXPECT_EQ(r->status, 200);
+      EXPECT_NE(r->body.find("bh_proxy_requests"), std::string::npos);
+    }
+  });
+  std::thread json_scraper([&] {
+    for (int i = 0; i < 20; ++i) {
+      auto r = scrape(proxy.port(), "/metrics?format=json");
+      ASSERT_TRUE(r.has_value());
+      ASSERT_TRUE(obs::parse_snapshot(r->body).has_value());
+    }
+  });
+  traffic.join();
+  text_scraper.join();
+  json_scraper.join();
+
+  auto final_scrape = scrape(proxy.port(), "/metrics?format=json");
+  ASSERT_TRUE(final_scrape.has_value());
+  const auto snap = obs::parse_snapshot(final_scrape->body);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->counter("bh.proxy.requests"), std::uint64_t(kFetches));
+  EXPECT_EQ(snap->counter("bh.proxy.origin_fetches"),
+            std::uint64_t(kFetches));
 }
 
 }  // namespace

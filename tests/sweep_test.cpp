@@ -115,6 +115,37 @@ TEST_P(SystemSweep, SourceAccountingCloses) {
   EXPECT_GE(m.latency.quantile(1.0), m.mean_response_ms() * 0.95 - 1);
 }
 
+TEST_P(SystemSweep, RegistrySnapshotAgreesWithLegacyFields) {
+  // Every architecture populates its run registry, and the public result
+  // fields (the paper's numbers plus the new tail quantiles) are exactly the
+  // registry's view of the run.
+  core::ExperimentConfig cfg;
+  cfg.workload = trace::dec_workload().scaled(1.0 / 512.0);
+  cfg.cost_model = "rousskov-min";
+  cfg.system = GetParam();
+  const auto r = core::run_experiment(cfg);
+  const auto& snap = r.snapshot;
+  ASSERT_FALSE(snap.empty());
+  EXPECT_EQ(snap.counter("bh.core.requests"), r.metrics.requests);
+  EXPECT_EQ(snap.counter("bh.core.server_fetches"), r.metrics.server_fetches);
+  EXPECT_EQ(snap.counter("bh.core.hit_bytes"), r.metrics.hit_bytes);
+  EXPECT_DOUBLE_EQ(snap.gauge("bh.core.trace_seconds"), r.trace_seconds);
+
+  const auto* hist = snap.histogram("bh.core.response_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), r.metrics.requests);
+  EXPECT_DOUBLE_EQ(r.response_p50_ms, hist->quantile(0.5));
+  EXPECT_DOUBLE_EQ(r.response_p90_ms, hist->quantile(0.9));
+  EXPECT_DOUBLE_EQ(r.response_p99_ms, hist->quantile(0.99));
+  EXPECT_LE(r.response_p50_ms, r.response_p90_ms);
+  EXPECT_LE(r.response_p90_ms, r.response_p99_ms);
+  // The figure means are untouched by the refactor: still computed from the
+  // same accumulators the registry was populated from.
+  EXPECT_DOUBLE_EQ(r.metrics.mean_response_ms(),
+                   snap.gauge("bh.core.total_latency_ms") /
+                       double(snap.counter("bh.core.requests")));
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Systems, SystemSweep,
     ::testing::Values(core::SystemKind::kHierarchy,
