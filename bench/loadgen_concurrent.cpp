@@ -1,0 +1,212 @@
+// Concurrent loadgen comparing the proxy's two in-memory data paths:
+//
+//   single_mutex — the pre-PR arrangement: one global std::mutex serializing
+//                  every cache find/insert and hint lookup (what the old
+//                  ProxyServer::mu_ did to every handler thread).
+//   sharded      — the current arrangement: cache::ShardedLruCache (8 lock
+//                  stripes) plus a StripedHintStore (8 stripes).
+//
+// Each client thread runs the same request mix (90% GET with a fetch+store
+// on miss, 10% PUT) over a shared working set, at 1/2/4/8 threads. The
+// throughput gauges and the sharded/single-mutex speedup ratios land in
+// BENCH_core.json under the "loadgen" suite, next to the raw machine shape
+// (bh.loadgen.cores) — the speedup is meaningless without knowing how many
+// cores the run actually had.
+//
+// Usage: loadgen_concurrent [--json=<path>] [--ops=<per-thread-op-count>]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/lru_cache.h"
+#include "cache/sharded_lru.h"
+#include "common/rng.h"
+#include "hints/hint_cache.h"
+#include "obs/bench_store.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+using namespace bh;
+
+namespace {
+
+constexpr std::uint64_t kCacheBytes = 8ull << 20;
+constexpr std::uint64_t kHintBytes = 1ull << 20;
+constexpr std::size_t kPartitions = 8;
+constexpr std::uint64_t kWorkingSet = 16384;
+constexpr std::size_t kBodyBytes = 256;
+
+std::string body_of(std::uint64_t id) {
+  return std::string(kBodyBytes, static_cast<char>('a' + id % 26));
+}
+
+// The in-memory portion of a proxy GET/PUT against the old global-mutex
+// data path. The lock spans the whole operation, exactly as ProxyServer's
+// single mu_ used to.
+class MutexPath {
+ public:
+  MutexPath()
+      : lru_(kCacheBytes), hints_(hints::make_hint_store(kHintBytes)) {}
+
+  void get(ObjectId id) {
+    std::lock_guard lock(mu_);
+    if (lru_.find(id) != nullptr) {
+      // A hit hands the handler a copy of the body to serve (both the old
+      // and new proxy copy it out; the sharded find() below does the same).
+      std::string body = bodies_.at(id);
+      volatile char c = body[0];
+      (void)c;
+      return;
+    }
+    hints_->lookup(id);  // miss path consults the hint cache...
+    put_locked(id);      // ...then stores the fetched body
+  }
+
+  void put(ObjectId id) {
+    std::lock_guard lock(mu_);
+    put_locked(id);
+  }
+
+ private:
+  void put_locked(ObjectId id) {
+    lru_.insert(id, kBodyBytes, 1, false, [this](const cache::LruCache::Entry& e) {
+      bodies_.erase(e.id);
+    });
+    bodies_[id] = body_of(id.value);
+  }
+
+  std::mutex mu_;
+  cache::LruCache lru_;
+  std::unordered_map<ObjectId, std::string> bodies_;
+  std::unique_ptr<hints::HintStore> hints_;
+};
+
+// The same operation mix against the striped structures the proxy mounts now.
+class ShardedPath {
+ public:
+  ShardedPath()
+      : cache_(kCacheBytes, kPartitions),
+        hints_(hints::make_striped_hint_store(kHintBytes, kPartitions)) {}
+
+  void get(ObjectId id) {
+    if (const auto body = cache_.find(id)) {
+      volatile char c = (*body)[0];
+      (void)c;
+      return;
+    }
+    hints_->lookup(id);
+    cache_.insert(id, body_of(id.value));
+  }
+
+  void put(ObjectId id) { cache_.insert(id, body_of(id.value)); }
+
+ private:
+  cache::ShardedLruCache cache_;
+  std::unique_ptr<hints::HintStore> hints_;
+};
+
+template <typename Path>
+double run_once_ops_per_sec(int threads, std::uint64_t ops_per_thread) {
+  Path path;
+  // Warm the structures so the measured phase is the steady-state mix.
+  Rng warm(7);
+  for (std::uint64_t i = 0; i < kWorkingSet / 2; ++i) {
+    path.put(ObjectId{warm.next_below(kWorkingSet) + 1});
+  }
+
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(threads));
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&path, t, ops_per_thread] {
+      Rng rng(100 + static_cast<std::uint64_t>(t));
+      for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+        const ObjectId id{rng.next_below(kWorkingSet) + 1};
+        if (rng.bernoulli(0.9)) {
+          path.get(id);
+        } else {
+          path.put(id);
+        }
+      }
+    });
+  }
+  for (std::thread& th : clients) th.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return static_cast<double>(ops_per_thread) * threads / elapsed.count();
+}
+
+// Median of five trials: a single short trial is mostly scheduler noise, and
+// taking the max would structurally favor the global-mutex path (its lucky
+// runs are the ones with no futex convoys; its typical runs have them). The
+// median is each path's representative steady-state behavior.
+template <typename Path>
+double run_ops_per_sec(int threads, std::uint64_t ops_per_thread) {
+  std::vector<double> trials;
+  trials.reserve(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    trials.push_back(run_once_ops_per_sec<Path>(threads, ops_per_thread));
+  }
+  std::sort(trials.begin(), trials.end());
+  return trials[trials.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_core.json";
+  std::uint64_t ops_per_thread = 200000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--json=", 0) == 0) {
+      json_path = a.substr(7);
+    } else if (a.rfind("--ops=", 0) == 0) {
+      ops_per_thread = std::strtoull(a.c_str() + 6, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return 1;
+    }
+  }
+
+  obs::MetricsRegistry reg;
+  const unsigned cores = std::thread::hardware_concurrency();
+  reg.gauge("bh.loadgen.cores").set(static_cast<double>(cores));
+  reg.gauge("bh.loadgen.ops_per_thread")
+      .set(static_cast<double>(ops_per_thread));
+
+  std::printf("loadgen: %u core(s) detected, %llu ops/thread\n", cores,
+              static_cast<unsigned long long>(ops_per_thread));
+  std::printf("%8s %20s %20s %10s\n", "threads", "single_mutex ops/s",
+              "sharded ops/s", "speedup");
+  for (const int threads : {1, 2, 4, 8}) {
+    const double mutex_ops = run_ops_per_sec<MutexPath>(threads, ops_per_thread);
+    const double sharded_ops =
+        run_ops_per_sec<ShardedPath>(threads, ops_per_thread);
+    const double speedup = sharded_ops / mutex_ops;
+    const std::string t = "t" + std::to_string(threads);
+    reg.gauge("bh.loadgen.single_mutex." + t + ".ops_per_sec").set(mutex_ops);
+    reg.gauge("bh.loadgen.sharded." + t + ".ops_per_sec").set(sharded_ops);
+    reg.gauge("bh.loadgen.speedup." + t).set(speedup);
+    std::printf("%8d %20.0f %20.0f %9.2fx\n", threads, mutex_ops, sharded_ops,
+                speedup);
+  }
+
+  std::ostringstream suite;
+  suite << "{\"benchmarks\": [], \"metrics\": " << obs::to_json(reg.snapshot())
+        << "}";
+  auto suites = obs::load_suites(json_path);
+  suites["loadgen"] = suite.str();
+  obs::write_suites(json_path, suites);
+  std::printf("\n[loadgen] results merged into %s\n", json_path.c_str());
+  return 0;
+}

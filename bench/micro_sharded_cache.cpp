@@ -1,0 +1,115 @@
+// Microbenchmarks for the lock-striped sharded object cache: single-thread
+// overhead vs the plain LruCache path, and contended throughput at 1..8
+// threads against the old single-global-mutex arrangement. Results merge
+// into BENCH_core.json (suite "shardedcache", see micro_util.h).
+#include "micro_util.h"
+
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "cache/lru_cache.h"
+#include "cache/sharded_lru.h"
+#include "common/rng.h"
+
+using namespace bh;
+
+namespace {
+
+constexpr std::uint64_t kWarmIds = 50000;
+constexpr std::size_t kBodyBytes = 64;
+
+cache::ShardedLruCache& sharded_cache() {
+  static auto* c = [] {
+    auto* p = new cache::ShardedLruCache(64_MB, 8);
+    for (std::uint64_t i = 1; i <= kWarmIds; ++i) {
+      p->insert(ObjectId{i}, std::string(kBodyBytes, 'x'));
+    }
+    return p;
+  }();
+  return *c;
+}
+
+// The pre-striping arrangement: one mutex over the whole object map — what
+// every handler of the old proxy serialized on.
+struct GlobalMutexCache {
+  std::mutex mu;
+  cache::LruCache lru{64_MB};
+  std::unordered_map<ObjectId, std::string> bodies;
+
+  bool find(ObjectId id, std::string* out) {
+    std::lock_guard lock(mu);
+    if (lru.find(id) == nullptr) return false;
+    *out = bodies.at(id);
+    return true;
+  }
+};
+
+GlobalMutexCache& mutex_cache() {
+  static auto* c = [] {
+    auto* p = new GlobalMutexCache();
+    for (std::uint64_t i = 1; i <= kWarmIds; ++i) {
+      p->lru.insert(ObjectId{i}, kBodyBytes, 1, false);
+      p->bodies[ObjectId{i}] = std::string(kBodyBytes, 'x');
+    }
+    return p;
+  }();
+  return *c;
+}
+
+void BM_ShardedFindHit(benchmark::State& state) {
+  auto& c = sharded_cache();
+  Rng rng(1 + static_cast<std::uint64_t>(state.thread_index()));
+  std::uint64_t found = 0;
+  for (auto _ : state) {
+    const ObjectId id{rng.next_below(kWarmIds) + 1};
+    found += c.find(id).has_value();
+  }
+  benchmark::DoNotOptimize(found);
+}
+BENCHMARK(BM_ShardedFindHit)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_GlobalMutexFindHit(benchmark::State& state) {
+  auto& c = mutex_cache();
+  Rng rng(1 + static_cast<std::uint64_t>(state.thread_index()));
+  std::string out;
+  std::uint64_t found = 0;
+  for (auto _ : state) {
+    const ObjectId id{rng.next_below(kWarmIds) + 1};
+    found += c.find(id, &out);
+  }
+  benchmark::DoNotOptimize(found);
+}
+BENCHMARK(BM_GlobalMutexFindHit)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_ShardedInsertEvictChurn(benchmark::State& state) {
+  // A dedicated small cache so inserts constantly evict (the worst case for
+  // the per-shard accounting updates).
+  static auto* c = new cache::ShardedLruCache(1_MB, 8);
+  Rng rng(99 + static_cast<std::uint64_t>(state.thread_index()));
+  for (auto _ : state) {
+    const ObjectId id{rng.next_u64() | 1};
+    c->insert(id, std::string(512, 'y'));
+  }
+}
+BENCHMARK(BM_ShardedInsertEvictChurn)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_ShardedErasePresent(benchmark::State& state) {
+  auto& c = sharded_cache();
+  Rng rng(7);
+  for (auto _ : state) {
+    const ObjectId id{rng.next_below(kWarmIds) + 1};
+    c.erase(id);
+    state.PauseTiming();
+    c.insert(id, std::string(kBodyBytes, 'x'));
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ShardedErasePresent);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bh::benchutil::micro_main(argc, argv, "shardedcache");
+}

@@ -12,6 +12,7 @@
 // few consecutive failures, and the cluster degrades to origin-direct
 // service instead of stalling.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,7 +48,23 @@ void print_stats(const std::vector<std::unique_ptr<proxy::ProxyServer>>& ps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Data-path concurrency knobs: --shards=N sets both the cache shard and
+  // hint stripe count, --workers=N sizes each daemon's handler pool.
+  std::size_t shards = 8;
+  std::size_t workers = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--shards=", 0) == 0) {
+      shards = std::strtoull(a.c_str() + 9, nullptr, 10);
+    } else if (a.rfind("--workers=", 0) == 0) {
+      workers = std::strtoull(a.c_str() + 10, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--shards=N] [--workers=N]\n", argv[0]);
+      return 1;
+    }
+  }
+
   proxy::OriginServer origin;
 
   // A ring topology: each proxy exchanges hints with its successor. The
@@ -59,6 +76,9 @@ int main() {
     cfg.name = "proxy-" + std::to_string(i);
     cfg.origin_port = origin.port();
     cfg.capacity_bytes = 8u << 20;
+    cfg.cache_shards = shards;
+    cfg.hint_stripes = shards;
+    cfg.workers = workers;
     // Failure budget: tight data-path probes, short quarantine so the demo's
     // outage phase shows degradation and the stats stay legible.
     cfg.peer_deadline_seconds = 0.25;

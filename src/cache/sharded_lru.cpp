@@ -1,0 +1,101 @@
+#include "cache/sharded_lru.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace bh::cache {
+
+namespace {
+
+// Splits `capacity` across `n` shards: every shard gets the same base, the
+// first `capacity % n` shards get one extra byte, so the budgets sum back to
+// exactly the configured capacity. Unlimited stays unlimited everywhere.
+std::uint64_t shard_capacity(std::uint64_t capacity, std::size_t n,
+                             std::size_t shard) {
+  if (capacity == kUnlimitedBytes) return kUnlimitedBytes;
+  return capacity / n + (shard < capacity % n ? 1 : 0);
+}
+
+}  // namespace
+
+ShardedLruCache::ShardedLruCache(std::uint64_t capacity_bytes,
+                                 std::size_t num_shards)
+    : capacity_bytes_(capacity_bytes) {
+  const std::size_t n = std::max<std::size_t>(1, num_shards);
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    shards_.push_back(std::make_unique<Shard>(shard_capacity(capacity_bytes, n, s)));
+  }
+}
+
+std::size_t ShardedLruCache::shard_of(ObjectId id) const {
+  return static_cast<std::size_t>(mix64(id.value) % shards_.size());
+}
+
+std::optional<std::string> ShardedLruCache::find(ObjectId id) {
+  Shard& s = *shards_[shard_of(id)];
+  std::lock_guard lock(s.mu);
+  if (s.lru.find(id) == nullptr) return std::nullopt;
+  return s.bodies.at(id);
+}
+
+bool ShardedLruCache::contains(ObjectId id) const {
+  const Shard& s = *shards_[shard_of(id)];
+  std::lock_guard lock(s.mu);
+  return s.lru.contains(id);
+}
+
+ShardedLruCache::InsertOutcome ShardedLruCache::insert(
+    ObjectId id, std::string body, Version version, bool pushed,
+    bool replace_existing, const EvictFn& on_evict) {
+  Shard& s = *shards_[shard_of(id)];
+  std::lock_guard lock(s.mu);
+  const bool existed = s.lru.contains(id);
+  if (existed && !replace_existing) return InsertOutcome::kKept;
+
+  const std::uint64_t bytes_before = s.lru.used_bytes();
+  const std::size_t objects_before = s.lru.object_count();
+  const bool stored = s.lru.insert(
+      id, body.size(), version, pushed, [&](const LruCache::Entry& victim) {
+        s.bodies.erase(victim.id);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        if (on_evict) on_evict(victim);
+      });
+  if (!stored) return InsertOutcome::kRejected;
+  s.bodies[id] = std::move(body);
+
+  const std::uint64_t bytes_after = s.lru.used_bytes();
+  total_bytes_.fetch_add(bytes_after - bytes_before,
+                         std::memory_order_relaxed);
+  total_objects_.fetch_add(s.lru.object_count() - objects_before,
+                           std::memory_order_relaxed);
+  return existed ? InsertOutcome::kReplaced : InsertOutcome::kInserted;
+}
+
+bool ShardedLruCache::erase(ObjectId id) {
+  Shard& s = *shards_[shard_of(id)];
+  std::lock_guard lock(s.mu);
+  const std::uint64_t bytes_before = s.lru.used_bytes();
+  if (!s.lru.erase(id)) return false;
+  s.bodies.erase(id);
+  total_bytes_.fetch_sub(bytes_before - s.lru.used_bytes(),
+                         std::memory_order_relaxed);
+  total_objects_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t ShardedLruCache::shard_used_bytes(std::size_t shard) const {
+  const Shard& s = *shards_[shard];
+  std::lock_guard lock(s.mu);
+  return s.lru.used_bytes();
+}
+
+std::size_t ShardedLruCache::shard_object_count(std::size_t shard) const {
+  const Shard& s = *shards_[shard];
+  std::lock_guard lock(s.mu);
+  return s.lru.object_count();
+}
+
+}  // namespace bh::cache

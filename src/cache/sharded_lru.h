@@ -1,0 +1,109 @@
+// Lock-striped sharded object cache for the live proxy data path.
+//
+// N independent shards, each an ordinary cache::LruCache (recency + byte
+// accounting) plus a body map, guarded by its own mutex. Hit/miss counting
+// is the caller's job (the proxy counts at request level), so the read path
+// costs one shard lock and no global atomics. The shard for an
+// object is chosen by mix64(id), so uniformly-hashed object ids spread
+// evenly and two requests for different objects almost never contend on the
+// same lock — the memcached-style striping that lets the proxy serve as many
+// concurrent local hits as the hardware has cores.
+//
+// Capacity is split evenly across shards and enforced per shard (a shard
+// evicts only its own LRU tail). Global accounting — total bytes, object
+// count, eviction counter — is kept in relaxed atomics updated
+// under the owning shard's lock, so scrape paths read totals without
+// stopping the world. Consequence of per-shard budgets: an object larger
+// than capacity/num_shards is rejected outright (same contract as LruCache's
+// "never purge the cache for a hopeless object", just at shard granularity).
+//
+// Thread-safety: every public method is safe to call concurrently. Eviction
+// callbacks run while the owning shard's lock is held; callers must not
+// re-enter the cache from the callback. Lock order note for the proxy: shard
+// lock may be taken before the update-queue lock, never the reverse.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/lru_cache.h"
+#include "common/types.h"
+
+namespace bh::cache {
+
+class ShardedLruCache {
+ public:
+  // Invoked (under the shard lock) for each entry evicted to make space.
+  using EvictFn = std::function<void(const LruCache::Entry&)>;
+
+  enum class InsertOutcome {
+    kInserted,  // new entry stored
+    kReplaced,  // existing entry's body refreshed (recency promoted)
+    kKept,      // existing entry kept untouched (replace_existing = false)
+    kRejected,  // larger than the shard budget; nothing evicted
+  };
+
+  ShardedLruCache(std::uint64_t capacity_bytes, std::size_t num_shards);
+
+  // Returns a copy of the body and refreshes recency, or nullopt.
+  std::optional<std::string> find(ObjectId id);
+
+  // Presence test without touching recency.
+  bool contains(ObjectId id) const;
+
+  // Inserts or (when replace_existing) refreshes; evicts LRU entries of the
+  // same shard as needed. `on_evict` fires under the shard lock for each
+  // victim, never for the inserted/replaced id itself.
+  InsertOutcome insert(ObjectId id, std::string body, Version version = 1,
+                       bool pushed = false, bool replace_existing = true,
+                       const EvictFn& on_evict = {});
+
+  // Removes an entry (consistency invalidation). Returns true if present.
+  bool erase(ObjectId id);
+
+  // Global accounting: lock-free relaxed reads of atomics maintained under
+  // the shard locks.
+  std::uint64_t used_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  std::size_t object_count() const {
+    return total_objects_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  // Per-shard occupancy for observability gauges (takes that shard's lock).
+  std::uint64_t shard_used_bytes(std::size_t shard) const;
+  std::size_t shard_object_count(std::size_t shard) const;
+
+  std::size_t shard_of(ObjectId id) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    LruCache lru;
+    std::unordered_map<ObjectId, std::string> bodies;
+
+    explicit Shard(std::uint64_t capacity) : lru(capacity) {}
+  };
+
+  std::uint64_t capacity_bytes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> total_bytes_{0};
+  std::atomic<std::size_t> total_objects_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace bh::cache

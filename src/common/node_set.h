@@ -43,6 +43,17 @@ class NodeSet {
 
   void clear() { words_.clear(); }
 
+  // Smallest member, or kInvalidNode if the set is empty.
+  NodeIndex first() const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      if (words_[wi] != 0) {
+        return static_cast<NodeIndex>(
+            wi * 64 + static_cast<std::size_t>(__builtin_ctzll(words_[wi])));
+      }
+    }
+    return kInvalidNode;
+  }
+
   // Invokes fn(NodeIndex) for each member in increasing order.
   template <typename Fn>
   void for_each(Fn&& fn) const {

@@ -88,28 +88,70 @@ bool AssociativeHintCache::erase(ObjectId id) {
 
 std::size_t AssociativeHintCache::entry_count() const { return valid_; }
 
+namespace {
+
+// On-disk image header. The record array alone is not enough to restore the
+// cache: per-slot recency (`last_touch_`) decides conflict-eviction victims,
+// so an image without it would make post-restore evictions pick arbitrary
+// records. The header pins magic, layout version, record size, and
+// associativity so a load can reject any image written by a different
+// layout instead of silently misreading it.
+struct HintImageHeader {
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t record_bytes = 0;
+  std::uint64_t records = 0;  // total slots; a whole number of sets
+  std::uint32_t ways = 0;
+  std::uint32_t tick = 0;  // recency clock at save time
+};
+
+// "bh.hints" as a little-endian u64.
+constexpr std::uint64_t kHintImageMagic = 0x73746e69682e6862ULL;
+constexpr std::uint32_t kHintImageVersion = 1;
+
+}  // namespace
+
 void AssociativeHintCache::save(const std::string& path) const {
   std::ofstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("hint cache: cannot open for write: " + path);
-  const std::uint64_t n = records_.size();
-  f.write(reinterpret_cast<const char*>(&n), sizeof n);
+  HintImageHeader h;
+  h.magic = kHintImageMagic;
+  h.version = kHintImageVersion;
+  h.record_bytes = sizeof(HintRecord);
+  h.records = records_.size();
+  h.ways = kWays;
+  h.tick = tick_;
+  f.write(reinterpret_cast<const char*>(&h), sizeof h);
   f.write(reinterpret_cast<const char*>(records_.data()),
-          static_cast<std::streamsize>(n * sizeof(HintRecord)));
+          static_cast<std::streamsize>(records_.size() * sizeof(HintRecord)));
+  f.write(reinterpret_cast<const char*>(last_touch_.data()),
+          static_cast<std::streamsize>(last_touch_.size() *
+                                       sizeof(std::uint32_t)));
   if (!f) throw std::runtime_error("hint cache: write failed: " + path);
 }
 
 AssociativeHintCache AssociativeHintCache::load(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("hint cache: cannot open for read: " + path);
-  std::uint64_t n = 0;
-  f.read(reinterpret_cast<char*>(&n), sizeof n);
-  if (!f || n == 0 || n % kWays != 0) {
+  HintImageHeader h;
+  f.read(reinterpret_cast<char*>(&h), sizeof h);
+  if (!f || h.magic != kHintImageMagic) {
+    throw std::runtime_error("hint cache: not a hint image: " + path);
+  }
+  if (h.version != kHintImageVersion || h.record_bytes != sizeof(HintRecord) ||
+      h.ways != kWays) {
+    throw std::runtime_error("hint cache: image layout mismatch: " + path);
+  }
+  if (h.records == 0 || h.records % kWays != 0) {
     throw std::runtime_error("hint cache: corrupt image: " + path);
   }
-  AssociativeHintCache cache(n * sizeof(HintRecord));
+  AssociativeHintCache cache(h.records * sizeof(HintRecord));
   f.read(reinterpret_cast<char*>(cache.records_.data()),
-         static_cast<std::streamsize>(n * sizeof(HintRecord)));
+         static_cast<std::streamsize>(h.records * sizeof(HintRecord)));
+  f.read(reinterpret_cast<char*>(cache.last_touch_.data()),
+         static_cast<std::streamsize>(h.records * sizeof(std::uint32_t)));
   if (!f) throw std::runtime_error("hint cache: truncated image: " + path);
+  cache.tick_ = h.tick;
   cache.valid_ = static_cast<std::size_t>(
       std::count_if(cache.records_.begin(), cache.records_.end(),
                     [](const HintRecord& r) { return r.key != kInvalidHintKey; }));
@@ -128,11 +170,64 @@ void UnboundedHintStore::insert(ObjectId id, MachineId loc) {
 
 bool UnboundedHintStore::erase(ObjectId id) { return map_.erase(id.value) > 0; }
 
+StripedHintStore::StripedHintStore(std::uint64_t capacity_bytes,
+                                   std::size_t stripes)
+    : stripes_(std::max<std::size_t>(1, stripes)) {
+  const std::size_t n = stripes_.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    // Unlimited stays unlimited per stripe; finite capacity splits evenly
+    // (the associative sub-stores round down to whole sets themselves).
+    const std::uint64_t sub =
+        capacity_bytes == kUnlimitedBytes ? kUnlimitedBytes : capacity_bytes / n;
+    stripes_[s].store = make_hint_store(sub);
+  }
+}
+
+StripedHintStore::Stripe& StripedHintStore::stripe_of(ObjectId id) {
+  return stripes_[static_cast<std::size_t>(mix64(id.value) % stripes_.size())];
+}
+
+const StripedHintStore::Stripe& StripedHintStore::stripe_of(ObjectId id) const {
+  return stripes_[static_cast<std::size_t>(mix64(id.value) % stripes_.size())];
+}
+
+std::optional<MachineId> StripedHintStore::lookup(ObjectId id) {
+  Stripe& s = stripe_of(id);
+  std::lock_guard lock(s.mu);
+  return s.store->lookup(id);
+}
+
+void StripedHintStore::insert(ObjectId id, MachineId loc) {
+  Stripe& s = stripe_of(id);
+  std::lock_guard lock(s.mu);
+  s.store->insert(id, loc);
+}
+
+bool StripedHintStore::erase(ObjectId id) {
+  Stripe& s = stripe_of(id);
+  std::lock_guard lock(s.mu);
+  return s.store->erase(id);
+}
+
+std::size_t StripedHintStore::entry_count() const {
+  std::size_t total = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard lock(s.mu);
+    total += s.store->entry_count();
+  }
+  return total;
+}
+
 std::unique_ptr<HintStore> make_hint_store(std::uint64_t capacity_bytes) {
   if (capacity_bytes == kUnlimitedBytes) {
     return std::make_unique<UnboundedHintStore>();
   }
   return std::make_unique<AssociativeHintCache>(capacity_bytes);
+}
+
+std::unique_ptr<HintStore> make_striped_hint_store(std::uint64_t capacity_bytes,
+                                                   std::size_t stripes) {
+  return std::make_unique<StripedHintStore>(capacity_bytes, stripes);
 }
 
 void export_stats(const HintCacheStats& stats, obs::MetricsRegistry& reg) {

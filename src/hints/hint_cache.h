@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -98,7 +99,41 @@ class UnboundedHintStore final : public HintStore {
   std::unordered_map<std::uint64_t, std::uint64_t> map_;
 };
 
+// Lock-striped thread-safe front over N sub-stores: the stripe for an object
+// is chosen by mix64(id), each stripe owns its own mutex and a sub-store of
+// capacity/stripes bytes, so concurrent proxy handlers looking up hints for
+// different objects almost never contend. Plain HintStores (including the
+// associative cache) are single-threaded by contract; this is the concurrent
+// variant the live proxy data path mounts in front of them.
+class StripedHintStore final : public HintStore {
+ public:
+  StripedHintStore(std::uint64_t capacity_bytes, std::size_t stripes);
+
+  std::optional<MachineId> lookup(ObjectId id) override;
+  void insert(ObjectId id, MachineId loc) override;
+  bool erase(ObjectId id) override;
+  std::size_t entry_count() const override;
+
+  std::size_t stripe_count() const { return stripes_.size(); }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unique_ptr<HintStore> store;
+  };
+
+  Stripe& stripe_of(ObjectId id);
+  const Stripe& stripe_of(ObjectId id) const;
+
+  std::vector<Stripe> stripes_;
+};
+
 // Factory honouring kUnlimitedBytes.
 std::unique_ptr<HintStore> make_hint_store(std::uint64_t capacity_bytes);
+
+// Thread-safe striped variant for concurrent callers; `stripes` is clamped
+// to at least 1.
+std::unique_ptr<HintStore> make_striped_hint_store(std::uint64_t capacity_bytes,
+                                                   std::size_t stripes);
 
 }  // namespace bh::hints

@@ -76,8 +76,8 @@ void MetadataHierarchy::invalidate_object(ObjectId id) {
 NodeIndex MetadataHierarchy::l2_representative(const InternalEntry& e,
                                                std::uint32_t l2) const {
   (void)l2;
-  if (e.child_mask == 0) return kInvalidNode;
-  const int slot = __builtin_ctzll(e.child_mask);
+  const NodeIndex slot = e.children.first();
+  if (slot == kInvalidNode) return kInvalidNode;
   if (static_cast<std::size_t>(slot) < e.reps.size()) return e.reps[slot];
   return kInvalidNode;
 }
@@ -86,8 +86,8 @@ void MetadataHierarchy::l2_child_inform(std::uint32_t l2, NodeIndex leaf,
                                         ObjectId id) {
   InternalEntry& e = l2_state_[l2][id];
   const std::uint32_t slot = leaf % topo_.l1_per_l2();
-  const bool was_empty = e.child_mask == 0;
-  e.child_mask |= 1ULL << slot;
+  const bool was_empty = e.children.empty();
+  e.children.insert(slot);
   if (e.reps.empty()) e.reps.assign(topo_.l1_per_l2(), kInvalidNode);
   e.reps[slot] = leaf;
   if (!was_empty) return;  // second copy in the subtree: not distributed
@@ -97,7 +97,7 @@ void MetadataHierarchy::l2_child_inform(std::uint32_t l2, NodeIndex leaf,
   const std::uint32_t end = std::min(base + topo_.l1_per_l2(), topo_.num_l1());
   for (std::uint32_t c = base; c < end; ++c) {
     if (c == leaf) continue;
-    if (e.child_mask & (1ULL << (c % topo_.l1_per_l2()))) continue;
+    if (e.children.contains(c % topo_.l1_per_l2())) continue;
     send(1, [this, c, leaf, id](SimTime) { leaf_learn(c, leaf, id); });
   }
 
@@ -112,7 +112,7 @@ void MetadataHierarchy::l2_parent_inform(std::uint32_t l2, NodeIndex loc,
   InternalEntry& e = l2_state_[l2][id];
   if (e.external != kInvalidNode) return;  // equally distant; keep the old one
   e.external = loc;
-  if (e.child_mask != 0) return;  // children already have a nearer copy
+  if (!e.children.empty()) return;  // children already have a nearer copy
   const std::uint32_t base = l2 * topo_.l1_per_l2();
   const std::uint32_t end = std::min(base + topo_.l1_per_l2(), topo_.num_l1());
   for (std::uint32_t c = base; c < end; ++c) {
@@ -126,12 +126,13 @@ void MetadataHierarchy::l2_child_remove(std::uint32_t l2, NodeIndex leaf,
   if (it == l2_state_[l2].end()) return;  // stale remove (object invalidated)
   InternalEntry& e = it->second;
   const std::uint32_t slot = leaf % topo_.l1_per_l2();
-  if (!(e.child_mask & (1ULL << slot))) return;
-  e.child_mask &= ~(1ULL << slot);
+  if (!e.children.contains(slot)) return;
+  e.children.erase(slot);
   if (!e.reps.empty()) e.reps[slot] = kInvalidNode;
 
   // Advertise the non-presence with the next best location, if any.
-  const NodeIndex next = e.child_mask != 0 ? l2_representative(e, l2) : e.external;
+  const NodeIndex next =
+      !e.children.empty() ? l2_representative(e, l2) : e.external;
   const std::uint32_t base = l2 * topo_.l1_per_l2();
   const std::uint32_t end = std::min(base + topo_.l1_per_l2(), topo_.num_l1());
   for (std::uint32_t c = base; c < end; ++c) {
@@ -142,7 +143,7 @@ void MetadataHierarchy::l2_child_remove(std::uint32_t l2, NodeIndex leaf,
     });
   }
 
-  if (e.child_mask == 0) {
+  if (e.children.empty()) {
     send(1, [this, l2, leaf, id](SimTime) { root_child_remove(l2, leaf, id); });
     if (e.empty()) l2_state_[l2].erase(it);
   }
@@ -163,15 +164,15 @@ void MetadataHierarchy::root_child_inform(std::uint32_t l2, NodeIndex loc,
                                           ObjectId id) {
   ++root_updates_;
   InternalEntry& e = root_state_[id];
-  const bool was_empty = e.child_mask == 0;
-  e.child_mask |= 1ULL << l2;
+  const bool was_empty = e.children.empty();
+  e.children.insert(l2);
   if (e.reps.empty()) e.reps.assign(topo_.num_l2(), kInvalidNode);
   e.reps[l2] = loc;
   if (!was_empty) return;
 
   for (std::uint32_t g = 0; g < topo_.num_l2(); ++g) {
     if (g == l2) continue;
-    if (e.child_mask & (1ULL << g)) continue;
+    if (e.children.contains(g)) continue;
     send(1, [this, g, loc, id](SimTime) { l2_parent_inform(g, loc, id); });
   }
 }
@@ -182,19 +183,18 @@ void MetadataHierarchy::root_child_remove(std::uint32_t l2, NodeIndex gone,
   auto it = root_state_.find(id);
   if (it == root_state_.end()) return;
   InternalEntry& e = it->second;
-  e.child_mask &= ~(1ULL << l2);
+  e.children.erase(l2);
   if (!e.reps.empty()) e.reps[l2] = kInvalidNode;
 
   NodeIndex next = kInvalidNode;
-  if (e.child_mask != 0) {
-    const int slot = __builtin_ctzll(e.child_mask);
+  if (const NodeIndex slot = e.children.first(); slot != kInvalidNode) {
     next = e.reps[static_cast<std::size_t>(slot)];
   }
 
   // Groups without local copies may hold hints pointing at the vanished
   // leaf; send them the correction.
   for (std::uint32_t g = 0; g < topo_.num_l2(); ++g) {
-    if (e.child_mask & (1ULL << g)) continue;
+    if (e.children.contains(g)) continue;
     send(1, [this, g, gone, next, id](SimTime) {
       // The group's external pointer and its leaves' hints are corrected.
       auto git = l2_state_[g].find(id);

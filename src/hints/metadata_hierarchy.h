@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/node_set.h"
 #include "common/types.h"
 #include "hints/hint_cache.h"
 #include "net/topology.h"
@@ -86,13 +87,17 @@ class MetadataHierarchy {
 
  private:
   struct InternalEntry {
-    std::uint64_t child_mask = 0;
+    // Child slots whose subtrees hold copies. A dynamic bitset, not a
+    // uint64_t mask: topologies routinely have more than 64 leaves per L2
+    // group or more than 64 groups, and `1ULL << slot` past bit 63 is UB
+    // that silently aliased distinct children.
+    NodeSet children;
     // One representative leaf holding a copy, per child subtree.
     std::vector<NodeIndex> reps;
     // Nearest copy known outside this subtree (learned from the parent).
     NodeIndex external = kInvalidNode;
 
-    bool empty() const { return child_mask == 0 && external == kInvalidNode; }
+    bool empty() const { return children.empty() && external == kInvalidNode; }
   };
   using InternalState = std::unordered_map<ObjectId, InternalEntry>;
 

@@ -75,6 +75,12 @@ std::uint64_t complement_key(const HintUpdate& update) {
   return update_key(other);
 }
 
+std::uint64_t pair_key(const HintUpdate& update) {
+  HintUpdate canonical = update;
+  canonical.action = Action::kInform;
+  return update_key(canonical);
+}
+
 std::vector<std::uint8_t> encode_post(std::span<const HintUpdate> updates) {
   const std::vector<std::uint8_t> body = encode_body(updates);
   std::string header(kRequestLine);

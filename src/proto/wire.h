@@ -52,6 +52,12 @@ std::uint64_t update_key(const HintUpdate& update);
 // from the seen-set keeps alternating insert/evict sequences propagating.
 std::uint64_t complement_key(const HintUpdate& update);
 
+// Action-blind key: identical for an update and its complement (it is the
+// inform-form update_key of the pair). The batching flusher coalesces on it —
+// an inform followed by the matching invalidate still queued retires both,
+// since the pair is a net no-op for every receiver.
+std::uint64_t pair_key(const HintUpdate& update);
+
 // Wraps a body in the POST framing the prototype uses.
 std::vector<std::uint8_t> encode_post(std::span<const HintUpdate> updates);
 

@@ -10,6 +10,27 @@
 #include "proxy/origin_server.h"
 
 namespace bh::proxy {
+namespace {
+
+// Striping floors: every cache shard keeps at least 1 MB and every hint
+// stripe at least 64 KB of budget, so tiny test-sized capacities degenerate
+// to a single partition and behave exactly like the unsharded structures
+// (per-shard eviction on a 150-byte cache split 8 ways would be nonsense).
+constexpr std::uint64_t kMinCacheShardBytes = 1ULL << 20;
+constexpr std::uint64_t kMinHintStripeBytes = 64ULL << 10;
+
+std::size_t effective_partitions(std::uint64_t capacity_bytes,
+                                 std::size_t requested,
+                                 std::uint64_t min_bytes) {
+  if (requested <= 1) return 1;
+  if (capacity_bytes == kUnlimitedBytes) return requested;
+  const std::uint64_t by_budget =
+      std::max<std::uint64_t>(1, capacity_bytes / min_bytes);
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(requested, by_budget));
+}
+
+}  // namespace
 
 ProxyServer::Counters ProxyServer::make_counters(obs::MetricsRegistry& reg) {
   return Counters{
@@ -23,6 +44,8 @@ ProxyServer::Counters ProxyServer::make_counters(obs::MetricsRegistry& reg) {
       reg.counter("bh.proxy.updates_sent"),
       reg.counter("bh.proxy.updates_received"),
       reg.counter("bh.proxy.update_bytes_sent"),
+      reg.counter("bh.proxy.updates_coalesced"),
+      reg.counter("bh.proxy.flushes"),
       reg.counter("bh.proxy.pushes_sent"),
       reg.counter("bh.proxy.pushes_received"),
       reg.counter("bh.proxy.push_bytes_sent"),
@@ -39,13 +62,27 @@ ProxyServer::Counters ProxyServer::make_counters(obs::MetricsRegistry& reg) {
 
 ProxyServer::ProxyServer(ProxyConfig cfg)
     : cfg_(std::move(cfg)),
-      hints_(hints::make_hint_store(cfg_.hint_bytes)),
+      cache_(cfg_.capacity_bytes,
+             effective_partitions(cfg_.capacity_bytes, cfg_.cache_shards,
+                                  kMinCacheShardBytes)),
+      hints_(hints::make_striped_hint_store(
+          cfg_.hint_bytes,
+          effective_partitions(cfg_.hint_bytes, cfg_.hint_stripes,
+                               kMinHintStripeBytes))),
+      neighbors_(cfg_.hint_neighbors),
       c_(make_counters(registry_)),
-      request_ms_(registry_.histogram("bh.proxy.request_ms")) {
+      request_ms_(registry_.histogram("bh.proxy.request_ms")),
+      flush_batch_(registry_.histogram("bh.proxy.flush_batch")) {
   listener_ = TcpListener::bind_ephemeral();
   if (!listener_) throw std::runtime_error("proxy: cannot bind");
   port_ = listener_->port();
+  const std::size_t workers = std::max<std::size_t>(1, cfg_.workers);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
   accept_thread_ = std::thread([this] { serve(); });
+  flusher_thread_ = std::thread([this] { flusher_loop(); });
   if (cfg_.register_with_origin) {
     // Registration is the consistency anchor — worth the bounded retry.
     HttpRequest reg;
@@ -64,13 +101,27 @@ ProxyServer::~ProxyServer() { stop(); }
 
 void ProxyServer::stop() {
   if (stopping_.exchange(true)) return;
+  // The lock-then-notify pairs below close the classic missed-wakeup window:
+  // a thread that checked its predicate before stopping_ flipped is either
+  // already waiting (the notify lands) or still holds the mutex (it will
+  // re-check after we release it).
+  {
+    std::lock_guard lock(pool_mu_);
+  }
+  accept_cv_.notify_all();
   listener_->shut_down();
   if (accept_thread_.joinable()) accept_thread_.join();
-  // In-flight handlers observe stopping_ before starting any new outbound
-  // call, so the wait below is bounded by one already-running call's
-  // deadline, not by (calls x socket timeout).
-  std::unique_lock lock(workers_mu_);
-  workers_cv_.wait(lock, [this] { return active_workers_ == 0; });
+  // serve() has set accept_done_; workers drain the queued connections
+  // (each bounded by the per-call deadlines) and exit.
+  pool_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  {
+    std::lock_guard lock(queue_mu_);
+  }
+  queue_cv_.notify_all();
+  if (flusher_thread_.joinable()) flusher_thread_.join();
 }
 
 ProxyStats ProxyServer::stats() const {
@@ -88,6 +139,8 @@ ProxyStats ProxyServer::stats() const {
   s.updates_sent = c_.updates_sent.value();
   s.updates_received = c_.updates_received.value();
   s.update_bytes_sent = c_.update_bytes_sent.value();
+  s.updates_coalesced = c_.updates_coalesced.value();
+  s.flushes = c_.flushes.value();
   s.pushes_sent = c_.pushes_sent.value();
   s.pushes_received = c_.pushes_received.value();
   s.push_bytes_sent = c_.push_bytes_sent.value();
@@ -103,18 +156,31 @@ ProxyStats ProxyServer::stats() const {
 }
 
 obs::MetricsSnapshot ProxyServer::metrics_snapshot() const {
+  // Occupancy gauges are sampled at scrape time. The sharded cache and the
+  // striped hint front maintain their own totals, so no daemon-wide lock
+  // exists to take — only the queue and pool mutexes for their depths.
+  registry_.gauge("bh.proxy.cache_bytes")
+      .set(static_cast<double>(cache_.used_bytes()));
+  registry_.gauge("bh.proxy.cache_objects")
+      .set(static_cast<double>(cache_.object_count()));
+  for (std::size_t s = 0; s < cache_.shard_count(); ++s) {
+    const std::string prefix = "bh.proxy.shard." + std::to_string(s);
+    registry_.gauge(prefix + ".bytes")
+        .set(static_cast<double>(cache_.shard_used_bytes(s)));
+    registry_.gauge(prefix + ".objects")
+        .set(static_cast<double>(cache_.shard_object_count(s)));
+  }
+  registry_.gauge("bh.proxy.hint_entries")
+      .set(static_cast<double>(hints_->entry_count()));
   {
-    // Occupancy gauges are sampled at scrape time under the cache lock; the
-    // atomic counters and the histogram need no lock.
-    std::lock_guard lock(mu_);
-    registry_.gauge("bh.proxy.cache_bytes")
-        .set(static_cast<double>(used_bytes_));
-    registry_.gauge("bh.proxy.cache_objects")
-        .set(static_cast<double>(objects_.size()));
-    registry_.gauge("bh.proxy.hint_entries")
-        .set(static_cast<double>(hints_->entry_count()));
+    std::lock_guard lock(queue_mu_);
     registry_.gauge("bh.proxy.pending_updates")
         .set(static_cast<double>(pending_.size()));
+  }
+  {
+    std::lock_guard lock(pool_mu_);
+    registry_.gauge("bh.proxy.queue_depth")
+        .set(static_cast<double>(conns_.size()));
   }
   return registry_.snapshot();
 }
@@ -129,23 +195,44 @@ CallOptions ProxyServer::metadata_call_options() {
   return opts;
 }
 
+// ---------------------------------------------------------------------------
+// connection intake: accept loop + worker pool
+// ---------------------------------------------------------------------------
+
 void ProxyServer::serve() {
   while (!stopping_.load()) {
     auto stream = listener_->accept();
     if (!stream) break;
-    {
-      std::lock_guard lock(workers_mu_);
-      ++active_workers_;
-    }
-    // Connection handlers must run concurrently with the accept loop: a
-    // request can trigger a nested fetch from a peer daemon which may, at
-    // the same time, be fetching from us.
-    std::thread([this, s = std::move(*stream)]() mutable {
-      handle_connection(std::move(s));
-      std::lock_guard lock(workers_mu_);
-      --active_workers_;
-      workers_cv_.notify_all();
-    }).detach();
+    std::unique_lock lock(pool_mu_);
+    // Bounded handoff queue: when every worker is busy and the queue is
+    // full, the accept loop itself blocks, and further backpressure is the
+    // kernel listen backlog — clients queue instead of spawning unbounded
+    // handler threads.
+    accept_cv_.wait(lock, [this] {
+      return stopping_.load() || conns_.size() < cfg_.accept_queue_capacity;
+    });
+    if (stopping_.load()) break;
+    conns_.push_back(std::move(*stream));
+    lock.unlock();
+    pool_cv_.notify_one();
+  }
+  {
+    std::lock_guard lock(pool_mu_);
+    accept_done_ = true;
+  }
+  pool_cv_.notify_all();
+}
+
+void ProxyServer::worker_loop() {
+  for (;;) {
+    std::unique_lock lock(pool_mu_);
+    pool_cv_.wait(lock, [this] { return !conns_.empty() || accept_done_; });
+    if (conns_.empty()) return;  // accept loop exited and the queue drained
+    TcpStream stream = std::move(conns_.front());
+    conns_.pop_front();
+    lock.unlock();
+    accept_cv_.notify_one();
+    handle_connection(std::move(stream));
   }
 }
 
@@ -205,7 +292,9 @@ HttpResponse ProxyServer::handle(const HttpRequest& req) {
 }
 
 // ---------------------------------------------------------------------------
-// data path
+// data path (no daemon-wide lock: the cache shards and hint stripes are the
+// only locks a local hit touches, and two hits on different objects almost
+// always touch different ones)
 // ---------------------------------------------------------------------------
 
 HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
@@ -217,57 +306,48 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
     return resp;
   }
   const bool cache_only = req.header("X-No-Forward").has_value();
+  if (!cache_only) c_.requests.inc();
 
-  // 1. Local cache.
-  std::optional<MachineId> hint;
-  {
-    std::unique_lock lock(mu_);
-    if (!cache_only) c_.requests.inc();
-    if (auto body = lookup_locked(*id)) {
-      if (cache_only) {
-        c_.peer_serves.inc();
-      } else {
-        c_.local_hits.inc();
-      }
-      resp.body = std::move(*body);
-      resp.headers.emplace_back("X-Cache", "HIT");
-      resp.headers.emplace_back("X-Served-By", cfg_.name);
-      if (cache_only && cfg_.push_on_peer_fetch && !stopping_.load()) {
-        // A cousin just fetched from us: seed our other neighbours too
-        // (hierarchical push on miss, supplier-driven, Figure 9).
-        std::uint16_t requester = 0;
-        if (auto r = req.header("X-Requester-Port")) {
-          requester = parse_port(*r).value_or(0);
-        }
-        const std::string body_copy = resp.body;
-        lock.unlock();
-        push_to_neighbors(*id, body_copy, requester);
-      }
-      return resp;
-    }
+  // 1. Local cache (one shard lock).
+  if (auto body = cache_.find(*id)) {
     if (cache_only) {
-      // A peer probed us on a hint we no longer honour: the error reply that
-      // prices a false positive.
-      c_.peer_rejects.inc();
-      resp.status = 404;
-      resp.reason = "Not Cached";
-      resp.headers.emplace_back("X-Served-By", cfg_.name);
-      return resp;
+      c_.peer_serves.inc();
+    } else {
+      c_.local_hits.inc();
     }
-    // 2. The local hint cache (a memory lookup).
-    hint = hints_->lookup(*id);
+    resp.body = std::move(*body);
+    resp.headers.emplace_back("X-Cache", "HIT");
+    resp.headers.emplace_back("X-Served-By", cfg_.name);
+    if (cache_only && cfg_.push_on_peer_fetch && !stopping_.load()) {
+      // A cousin just fetched from us: seed our other neighbours too
+      // (hierarchical push on miss, supplier-driven, Figure 9).
+      std::uint16_t requester = 0;
+      if (auto r = req.header("X-Requester-Port")) {
+        requester = parse_port(*r).value_or(0);
+      }
+      push_to_neighbors(*id, resp.body, requester);
+    }
+    return resp;
   }
+  if (cache_only) {
+    // A peer probed us on a hint we no longer honour: the error reply that
+    // prices a false positive.
+    c_.peer_rejects.inc();
+    resp.status = 404;
+    resp.reason = "Not Cached";
+    resp.headers.emplace_back("X-Served-By", cfg_.name);
+    return resp;
+  }
+
+  // 2. The local hint cache (a memory lookup; one stripe lock).
+  const std::optional<MachineId> hint = hints_->lookup(*id);
 
   // 3. Direct cache-to-cache transfer from the hinted peer: single-shot with
   // a tight dedicated deadline — a dead peer costs one bounded round trip,
   // never a full socket timeout, and a quarantined peer costs nothing.
   if (hint && !stopping_.load()) {
     const auto peer_port = static_cast<std::uint16_t>(hint->value);
-    bool usable;
-    {
-      std::lock_guard lock(mu_);
-      usable = peer_usable_locked(peer_port);
-    }
+    const bool usable = peer_usable(peer_port);
     if (!usable) c_.quarantine_skips.inc();
     if (usable) {
       HttpRequest peer_req;
@@ -279,27 +359,26 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
       probe.deadline_seconds = cfg_.peer_deadline_seconds;
       auto peer_resp = http_call(peer_port, peer_req, probe);
       if (peer_resp && peer_resp->status == 200) {
-        std::lock_guard lock(mu_);
-        record_peer_success_locked(peer_port);
+        record_peer_success(peer_port);
         c_.sibling_hits.inc();
-        store_locked(*id, peer_resp->body);
+        store(*id, peer_resp->body, /*replace_existing=*/true,
+              /*pushed=*/false);
         resp.body = std::move(peer_resp->body);
         resp.headers.emplace_back("X-Cache", "SIBLING");
         resp.headers.emplace_back("X-Served-By", cfg_.name);
         return resp;
       }
-      std::lock_guard lock(mu_);
       if (peer_resp) {
         // The peer answered but no longer holds the object: a false
         // positive, priced at one error round trip. The peer is healthy.
         c_.false_positives.inc();
-        record_peer_success_locked(peer_port);
+        record_peer_success(peer_port);
         hints_->erase(*id);
       } else {
         // Transport failure: counts toward quarantine. Keep the hint — the
         // peer likely still holds the object when it rejoins.
         c_.peer_failures.inc();
-        record_peer_failure_locked(peer_port);
+        record_peer_failure(peer_port);
       }
     }
     // Failed or quarantined: fall through to the origin — no further
@@ -325,14 +404,28 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
     return resp;
   }
   c_.origin_fetches.inc();
-  {
-    std::lock_guard lock(mu_);
-    store_locked(*id, origin_resp->body);
-  }
+  store(*id, origin_resp->body, /*replace_existing=*/true, /*pushed=*/false);
   resp.body = std::move(origin_resp->body);
   resp.headers.emplace_back("X-Cache", "MISS");
   resp.headers.emplace_back("X-Served-By", cfg_.name);
   return resp;
+}
+
+void ProxyServer::store(ObjectId id, std::string body, bool replace_existing,
+                        bool pushed) {
+  // The eviction callback runs under the shard lock and takes the queue
+  // lock — the one sanctioned nesting (shard before queue, never reverse).
+  const auto outcome = cache_.insert(
+      id, std::move(body), /*version=*/1, pushed, replace_existing,
+      [this](const cache::LruCache::Entry& victim) {
+        std::lock_guard lock(queue_mu_);
+        queue_update_locked(proto::Action::kInvalidate, victim.id, self(),
+                            MachineId{0});
+      });
+  if (outcome == cache::ShardedLruCache::InsertOutcome::kInserted) {
+    std::lock_guard lock(queue_mu_);
+    queue_update_locked(proto::Action::kInform, id, self(), MachineId{0});
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -359,10 +452,10 @@ HttpResponse ProxyServer::handle_updates(const HttpRequest& req) {
     }
   }
 
-  std::lock_guard lock(mu_);
   for (const proto::HintUpdate& u : *updates) {
     c_.updates_received.inc();
     if (u.location != self()) {
+      // Applying the hint touches only the striped store (thread-safe).
       switch (u.action) {
         case proto::Action::kInform: {
           const auto cur = hints_->lookup(u.object);
@@ -386,6 +479,7 @@ HttpResponse ProxyServer::handle_updates(const HttpRequest& req) {
     // Re-advertise to the other neighbours next flush — at most once per
     // distinct update (the seen-set kills cycles), never for updates about
     // ourselves, and never past the hop bound.
+    std::lock_guard lock(queue_mu_);
     const bool fresh = note_seen_locked(u);
     if (!fresh) {
       c_.updates_deduped.inc();
@@ -397,15 +491,20 @@ HttpResponse ProxyServer::handle_updates(const HttpRequest& req) {
       c_.updates_hop_capped.inc();
       continue;
     }
-    pending_.push_back({u, from, next_hops});
+    enqueue_pending_locked({u, from, next_hops});
   }
   resp.body = "ok";
   return resp;
 }
 
 void ProxyServer::add_hint_neighbor(std::uint16_t port) {
-  std::lock_guard lock(mu_);
-  cfg_.hint_neighbors.push_back(port);
+  std::lock_guard lock(peers_mu_);
+  neighbors_.push_back(port);
+}
+
+std::vector<std::uint16_t> ProxyServer::neighbor_ports() const {
+  std::lock_guard lock(peers_mu_);
+  return neighbors_;
 }
 
 HttpResponse ProxyServer::handle_push(const HttpRequest& req) {
@@ -416,13 +515,10 @@ HttpResponse ProxyServer::handle_push(const HttpRequest& req) {
     resp.reason = "Not Found";
     return resp;
   }
-  std::lock_guard lock(mu_);
   c_.pushes_received.inc();
   // A push never displaces an existing copy's recency semantics: if we
-  // already cache the object, keep ours.
-  if (objects_.find(*id) == objects_.end()) {
-    store_locked(*id, req.body);
-  }
+  // already cache the object, keep ours (replace_existing = false).
+  store(*id, req.body, /*replace_existing=*/false, /*pushed=*/true);
   resp.body = "ok";
   return resp;
 }
@@ -442,18 +538,11 @@ HttpResponse ProxyServer::handle_metrics(const HttpRequest& req) {
 
 void ProxyServer::push_to_neighbors(ObjectId id, const std::string& body,
                                     std::uint16_t skip_port) {
-  std::vector<std::uint16_t> neighbors;
-  {
-    std::lock_guard lock(mu_);
-    neighbors = cfg_.hint_neighbors;
-  }
+  const std::vector<std::uint16_t> neighbors = neighbor_ports();
   for (const std::uint16_t nb : neighbors) {
     if (stopping_.load()) break;
     if (nb == skip_port) continue;
-    {
-      std::lock_guard lock(mu_);
-      if (!peer_usable_locked(nb)) continue;  // pushes are best-effort
-    }
+    if (!peer_usable(nb)) continue;  // pushes are best-effort
     HttpRequest put;
     put.method = "PUT";
     put.target = object_path(id, body.size());
@@ -461,36 +550,128 @@ void ProxyServer::push_to_neighbors(ObjectId id, const std::string& body,
     CallOptions opts;
     opts.deadline_seconds = cfg_.metadata_deadline_seconds;
     const auto sent = http_call(nb, put, opts);
-    std::lock_guard lock(mu_);
     if (sent && sent->status == 200) {
-      record_peer_success_locked(nb);
+      record_peer_success(nb);
       c_.pushes_sent.inc();
       c_.push_bytes_sent.inc(body.size());
     } else {
-      record_peer_failure_locked(nb);
+      record_peer_failure(nb);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// outbound batching: coalescing + the flusher thread
+// ---------------------------------------------------------------------------
+
+std::size_t ProxyServer::coalesce(std::vector<PendingUpdate>& pending) {
+  // A queued inform whose matching invalidate is also still queued (or the
+  // reverse) is a net no-op for every receiver: whatever hint state a
+  // receiver had for that (object, location) pair, applying both updates
+  // returns it there. Only pairs with identical relay provenance (exclude
+  // and hop count) may retire each other — otherwise one receiver set could
+  // be skipped for half of the pair. Updates for the same pair alternate
+  // inform/invalidate in queue order (an insert can only follow an eviction
+  // and vice versa), so greedy matching against the most recent open entry
+  // is exact.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> open;
+  std::vector<char> dead(pending.size(), 0);
+  std::size_t retired = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    auto& stack = open[proto::pair_key(pending[i].update)];
+    bool matched = false;
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      const PendingUpdate& o = pending[*it];
+      if (o.update.action != pending[i].update.action &&
+          o.exclude.value == pending[i].exclude.value &&
+          o.hops == pending[i].hops) {
+        dead[*it] = 1;
+        dead[i] = 1;
+        retired += 2;
+        stack.erase(std::next(it).base());
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) stack.push_back(i);
+  }
+  if (retired == 0) return 0;
+  std::vector<PendingUpdate> kept;
+  kept.reserve(pending.size() - retired);
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (!dead[i]) kept.push_back(std::move(pending[i]));
+  }
+  pending.swap(kept);
+  return retired;
+}
+
+void ProxyServer::enqueue_pending_locked(PendingUpdate update) {
+  if (pending_.empty()) {
+    oldest_pending_ = std::chrono::steady_clock::now();
+  }
+  pending_.push_back(std::move(update));
+  // Wake the flusher when a trigger could now be armed. Size: at the
+  // threshold exactly (later pushes would be redundant wakeups). Age: on the
+  // first pending update, to start the wait_until clock.
+  if ((cfg_.flush_max_pending > 0 &&
+       pending_.size() == cfg_.flush_max_pending) ||
+      (cfg_.flush_interval_seconds > 0 && pending_.size() == 1)) {
+    queue_cv_.notify_one();
+  }
+}
+
+void ProxyServer::flusher_loop() {
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(cfg_.flush_interval_seconds));
+  std::unique_lock lock(queue_mu_);
+  while (!stopping_.load()) {
+    const bool size_due = cfg_.flush_max_pending > 0 &&
+                          pending_.size() >= cfg_.flush_max_pending;
+    const bool age_armed =
+        !pending_.empty() && cfg_.flush_interval_seconds > 0;
+    const bool age_due =
+        age_armed && std::chrono::steady_clock::now() >=
+                         oldest_pending_ + interval;
+    if (size_due || age_due) {
+      lock.unlock();
+      flush_hints();  // takes flush_send_mu_ then queue_mu_ internally
+      lock.lock();
+      continue;
+    }
+    if (age_armed) {
+      queue_cv_.wait_until(lock, oldest_pending_ + interval);
+    } else {
+      queue_cv_.wait(lock);
     }
   }
 }
 
 void ProxyServer::flush_hints() {
   if (stopping_.load()) return;
+  // Serialize whole drains so two flushes (manual + flusher) cannot swap
+  // batches A then B but send B before A, reordering an inform/invalidate
+  // pair on the wire. Order: flush_send_mu_ before queue_mu_; no path takes
+  // them the other way around.
+  std::lock_guard send_lock(flush_send_mu_);
   std::vector<PendingUpdate> pending;
-  std::vector<std::uint16_t> neighbors;
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(queue_mu_);
     pending.swap(pending_);
-    neighbors = cfg_.hint_neighbors;
   }
   if (pending.empty()) return;
+  const std::size_t retired = coalesce(pending);
+  if (retired > 0) c_.updates_coalesced.inc(retired);
+  if (pending.empty()) return;
+  c_.flushes.inc();
+  flush_batch_.record(static_cast<double>(pending.size()));
 
+  const std::vector<std::uint16_t> neighbors = neighbor_ports();
   for (const std::uint16_t nb : neighbors) {
     if (stopping_.load()) break;
-    {
-      std::lock_guard lock(mu_);
-      // Quarantined neighbours are skipped outright; hint traffic is soft
-      // state, so the dropped batch only costs hit rate, never correctness.
-      if (!peer_usable_locked(nb)) continue;
-    }
+    // Quarantined neighbours are skipped outright; hint traffic is soft
+    // state, so the dropped batch only costs hit rate, never correctness.
+    if (!peer_usable(nb)) continue;
     // One POST per relay depth, so the receiver can hop-bound exactly what
     // it relays. In practice a batch spans one or two depths.
     std::map<int, std::vector<proto::HintUpdate>> batches;
@@ -512,17 +693,16 @@ void ProxyServer::flush_hints() {
       req.body.assign(reinterpret_cast<const char*>(body.data()), body.size());
       int attempts = 0;
       const auto sent = http_call(nb, req, metadata_call_options(), &attempts);
-      std::lock_guard lock(mu_);
       if (attempts > 1) {
         c_.metadata_retries.inc(static_cast<std::uint64_t>(attempts - 1));
       }
       if (sent && sent->status == 200) {
-        record_peer_success_locked(nb);
+        record_peer_success(nb);
         c_.updates_sent.inc(batch.size());
         c_.update_bytes_sent.inc(body.size());
       } else {
         // Failed sends are dropped: hint traffic is soft state.
-        record_peer_failure_locked(nb);
+        record_peer_failure(nb);
         break;  // the neighbour is down; later batches would fail the same
       }
     }
@@ -530,22 +710,19 @@ void ProxyServer::flush_hints() {
 }
 
 void ProxyServer::invalidate(ObjectId id) {
-  std::lock_guard lock(mu_);
-  auto it = objects_.find(id);
-  if (it != objects_.end()) {
-    used_bytes_ -= it->second.body.size();
-    lru_.erase(it->second.lru_it);
-    objects_.erase(it);
+  if (cache_.erase(id)) {
+    std::lock_guard lock(queue_mu_);
     queue_update_locked(proto::Action::kInvalidate, id, self(), MachineId{0});
   }
   hints_->erase(id);
 }
 
 // ---------------------------------------------------------------------------
-// neighbour health (callers hold mu_)
+// neighbour health (peers_mu_ taken internally)
 // ---------------------------------------------------------------------------
 
-bool ProxyServer::peer_usable_locked(std::uint16_t port) {
+bool ProxyServer::peer_usable(std::uint16_t port) {
+  std::lock_guard lock(peers_mu_);
   auto it = health_.find(port);
   if (it == health_.end() || !it->second.quarantined) return true;
   const auto now = std::chrono::steady_clock::now();
@@ -559,11 +736,13 @@ bool ProxyServer::peer_usable_locked(std::uint16_t port) {
   return true;
 }
 
-void ProxyServer::record_peer_success_locked(std::uint16_t port) {
+void ProxyServer::record_peer_success(std::uint16_t port) {
+  std::lock_guard lock(peers_mu_);
   health_.erase(port);
 }
 
-void ProxyServer::record_peer_failure_locked(std::uint16_t port) {
+void ProxyServer::record_peer_failure(std::uint16_t port) {
+  std::lock_guard lock(peers_mu_);
   auto& h = health_[port];
   ++h.consecutive_failures;
   if (!h.quarantined && h.consecutive_failures < cfg_.quarantine_threshold) {
@@ -579,7 +758,7 @@ void ProxyServer::record_peer_failure_locked(std::uint16_t port) {
 }
 
 // ---------------------------------------------------------------------------
-// seen-set (callers hold mu_)
+// seen-set + update queue (callers hold queue_mu_)
 // ---------------------------------------------------------------------------
 
 bool ProxyServer::note_seen_locked(const proto::HintUpdate& update) {
@@ -599,56 +778,13 @@ bool ProxyServer::note_seen_locked(const proto::HintUpdate& update) {
   return true;
 }
 
-// ---------------------------------------------------------------------------
-// local store (callers hold mu_)
-// ---------------------------------------------------------------------------
-
-std::optional<std::string> ProxyServer::lookup_locked(ObjectId id) {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) return std::nullopt;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-  return it->second.body;
-}
-
-void ProxyServer::store_locked(ObjectId id, std::string body) {
-  auto it = objects_.find(id);
-  if (it != objects_.end()) {
-    used_bytes_ -= it->second.body.size();
-    it->second.body = std::move(body);
-    used_bytes_ += it->second.body.size();
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    return;
-  }
-  // An object that can never fit must not evict anything: serving it is
-  // fine, wiping the whole cache for it is not.
-  if (body.size() > cfg_.capacity_bytes) return;
-  evict_to_fit_locked(body.size());
-  lru_.push_front(id);
-  used_bytes_ += body.size();
-  objects_.emplace(id, CachedObject{std::move(body), lru_.begin()});
-  queue_update_locked(proto::Action::kInform, id, self(), MachineId{0});
-}
-
-void ProxyServer::evict_to_fit_locked(std::size_t incoming) {
-  if (incoming > cfg_.capacity_bytes) return;  // hopeless; evict nothing
-  while (!lru_.empty() && used_bytes_ + incoming > cfg_.capacity_bytes) {
-    const ObjectId victim = lru_.back();
-    auto it = objects_.find(victim);
-    used_bytes_ -= it->second.body.size();
-    objects_.erase(it);
-    lru_.pop_back();
-    queue_update_locked(proto::Action::kInvalidate, victim, self(),
-                        MachineId{0});
-  }
-}
-
 void ProxyServer::queue_update_locked(proto::Action action, ObjectId id,
                                       MachineId loc, MachineId exclude) {
   const proto::HintUpdate update{action, id, loc};
   // Mark our own updates seen so an echo from a cyclic neighbour graph is
   // dropped instead of relayed forever.
   note_seen_locked(update);
-  pending_.push_back({update, exclude, 0});
+  enqueue_pending_locked({update, exclude, 0});
 }
 
 }  // namespace bh::proxy

@@ -10,6 +10,26 @@
 // (inform on insert, invalidate on eviction) accumulate and are POSTed in
 // the prototype's 20-byte-per-update batches to the configured neighbours.
 //
+// Threading model (the paper makes the *local* cache operation the common
+// case; this layer makes it scale to many cores):
+//   - the object cache is a ShardedLruCache — N lock-striped shards chosen
+//     by mix64(id) — and the hint cache sits behind an equally striped
+//     front, so concurrent handlers touching different objects take
+//     different locks;
+//   - connection handling runs on a fixed pool of `workers` threads fed by
+//     a bounded accept queue (when it fills, the accept loop blocks and
+//     backpressure falls back to the kernel listen backlog); stop() joins
+//     the pool, so in-flight handlers never outlive the daemon;
+//   - the remaining shared state is guarded per concern: neighbour
+//     list/health under one mutex, the outbound update queue + relay
+//     seen-set under another. Lock order: a cache-shard lock may be taken
+//     before the queue lock (eviction callbacks queue invalidations);
+//     every other pair of locks is never nested.
+//   - outbound hint batching runs on a dedicated flusher thread with size-
+//     and age-based triggers; queued inform/invalidate pairs for the same
+//     (object, location) retire each other before the batch is built
+//     (proto::pair_key), since the pair is a net no-op for every receiver.
+//
 // Failure model (the paper's "do not slow down misses", extended to failed
 // peers): every outbound call has its own deadline — data-path peer probes
 // are single-shot and tight, origin fetches get their own budget, and
@@ -32,7 +52,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -41,6 +61,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cache/sharded_lru.h"
 #include "common/types.h"
 #include "hints/hint_cache.h"
 #include "obs/metrics.h"
@@ -71,6 +92,26 @@ struct ProxyConfig {
   // on modify) — the paper's strong-consistency assumption, end-to-end.
   bool register_with_origin = false;
 
+  // --- data-path concurrency ---
+  // Lock stripes for the object cache and the hint front. The effective
+  // count is capped so every shard keeps a meaningful byte budget (tiny test
+  // caches degenerate to one shard and behave exactly like a single LRU).
+  std::size_t cache_shards = 8;
+  std::size_t hint_stripes = 8;
+  // Fixed connection-handler pool size (also the concurrent-request bound).
+  std::size_t workers = 8;
+  // Accepted-but-unclaimed connections the daemon buffers; when full, the
+  // accept loop blocks and further backpressure is the kernel backlog.
+  std::size_t accept_queue_capacity = 128;
+
+  // --- outbound hint batching ---
+  // The flusher thread sends as soon as this many updates are pending...
+  std::size_t flush_max_pending = 1024;
+  // ...or once the oldest pending update has waited this long. 0 disables
+  // the age trigger (tests and examples drive flush_hints() explicitly; a
+  // deployment would set the prototype's randomized 0-60 s period).
+  double flush_interval_seconds = 0.0;
+
   // --- failure budget ---
   // Data-path peer probe: single-shot by design (a hint error costs one
   // bounded round trip, never a search), so its deadline is tight.
@@ -100,7 +141,7 @@ struct ProxyConfig {
 
 // Point-in-time view of the daemon's counters. The counters themselves live
 // in the daemon's MetricsRegistry under `bh.proxy.*` (atomic, incremented
-// without taking the cache lock); this struct is assembled on demand by
+// without taking any lock); this struct is assembled on demand by
 // `stats()` for call sites that want plain numbers, and the full registry —
 // counters, scrape-time gauges, and the request-latency histogram — is
 // served over HTTP by `GET /metrics`.
@@ -115,6 +156,8 @@ struct ProxyStats {
   std::uint64_t updates_sent = 0;
   std::uint64_t updates_received = 0;
   std::uint64_t update_bytes_sent = 0;
+  std::uint64_t updates_coalesced = 0;  // retired pre-send as net no-op pairs
+  std::uint64_t flushes = 0;            // non-empty batch drains
   std::uint64_t pushes_sent = 0;
   std::uint64_t pushes_received = 0;
   std::uint64_t push_bytes_sent = 0;
@@ -141,9 +184,10 @@ class ProxyServer {
   std::uint16_t port() const { return port_; }
   MachineId self() const { return MachineId{port_}; }
 
-  // Sends the pending hint-update batch to every neighbour now. (Tests and
-  // examples drive batching explicitly for determinism; a deployment would
-  // call this from a randomized 0-60 s timer as the prototype does.)
+  // Drains and sends the pending hint-update batch to every neighbour now,
+  // synchronously. Tests and examples drive batching explicitly for
+  // determinism; the flusher thread calls the same path on its size/age
+  // triggers.
   void flush_hints();
 
   // Adds a hint-exchange neighbour after construction — ports are ephemeral,
@@ -158,18 +202,16 @@ class ProxyServer {
   ProxyStats stats() const;
 
   // Full registry snapshot as served by `GET /metrics`: the `bh.proxy.*`
-  // counters plus scrape-time occupancy gauges (cache bytes/objects, hint
-  // entries, pending updates) and the request-latency histogram.
+  // counters plus scrape-time gauges (cache bytes/objects — total and per
+  // shard — hint entries, update-queue depth) and the request-latency and
+  // flush-batch-size histograms.
   obs::MetricsSnapshot metrics_snapshot() const;
+
+  std::size_t cache_shard_count() const { return cache_.shard_count(); }
 
   void stop();
 
  private:
-  struct CachedObject {
-    std::string body;
-    std::list<ObjectId>::iterator lru_it;
-  };
-
   struct NeighborHealth {
     int consecutive_failures = 0;
     bool quarantined = false;
@@ -189,6 +231,8 @@ class ProxyServer {
     obs::Counter& updates_sent;
     obs::Counter& updates_received;
     obs::Counter& update_bytes_sent;
+    obs::Counter& updates_coalesced;
+    obs::Counter& flushes;
     obs::Counter& pushes_sent;
     obs::Counter& pushes_received;
     obs::Counter& push_bytes_sent;
@@ -204,6 +248,8 @@ class ProxyServer {
   static Counters make_counters(obs::MetricsRegistry& reg);
 
   void serve();
+  void worker_loop();
+  void flusher_loop();
   void handle_connection(TcpStream stream);
   HttpResponse handle(const HttpRequest& req);
   HttpResponse handle_get(const HttpRequest& req);
@@ -213,59 +259,78 @@ class ProxyServer {
   void push_to_neighbors(ObjectId id, const std::string& body,
                          std::uint16_t skip_port);
 
-  // Cache maintenance; callers hold mu_.
-  void store_locked(ObjectId id, std::string body);
-  std::optional<std::string> lookup_locked(ObjectId id);
-  void evict_to_fit_locked(std::size_t incoming);
+  // Stores a fetched/pushed body in the sharded cache, queueing the inform
+  // for a new entry and invalidations for every eviction. Safe to call with
+  // no locks held; takes the shard lock, then (from the eviction callback
+  // and for the inform) the queue lock — the one sanctioned nesting.
+  void store(ObjectId id, std::string body, bool replace_existing,
+             bool pushed);
+
+  // Update queue + seen-set, guarded by queue_mu_.
   void queue_update_locked(proto::Action action, ObjectId id, MachineId loc,
                            MachineId exclude);
-
-  // Neighbour health; callers hold mu_. `peer_usable_locked` is false only
-  // for a quarantined peer whose re-probe window has not elapsed; when the
-  // window has elapsed it admits the call as the window's single re-probe.
-  bool peer_usable_locked(std::uint16_t port);
-  void record_peer_success_locked(std::uint16_t port);
-  void record_peer_failure_locked(std::uint16_t port);
-
-  // Seen-set; callers hold mu_. Returns true when the key was not already
-  // present (the update is fresh and may be relayed). Also retires the
-  // complementary action's key so insert/evict alternation keeps flowing.
   bool note_seen_locked(const proto::HintUpdate& update);
+
+  // Neighbour list + health, guarded by peers_mu_ internally.
+  std::vector<std::uint16_t> neighbor_ports() const;
+  bool peer_usable(std::uint16_t port);
+  void record_peer_success(std::uint16_t port);
+  void record_peer_failure(std::uint16_t port);
 
   CallOptions metadata_call_options();
 
-  ProxyConfig cfg_;
-  std::optional<TcpListener> listener_;
-  std::uint16_t port_ = 0;
-  std::thread accept_thread_;
-  std::atomic<bool> stopping_{false};
-  std::atomic<std::uint64_t> call_seq_{0};  // de-syncs backoff jitter streams
-
-  // Connection handlers run in their own threads; stop() waits for them.
-  std::mutex workers_mu_;
-  std::condition_variable workers_cv_;
-  std::size_t active_workers_ = 0;
-
-  mutable std::mutex mu_;
-  std::unordered_map<ObjectId, CachedObject> objects_;
-  std::list<ObjectId> lru_;  // front = most recent
-  std::uint64_t used_bytes_ = 0;
-  std::unique_ptr<hints::HintStore> hints_;
   struct PendingUpdate {
     proto::HintUpdate update;
     MachineId exclude;
     int hops = 0;  // relays this update has already undergone
   };
-  std::vector<PendingUpdate> pending_;
+  // Retires queued inform/invalidate pairs for the same (object, location)
+  // with matching relay provenance; returns how many entries were removed.
+  static std::size_t coalesce(std::vector<PendingUpdate>& pending);
+
+  // Appends to pending_ and wakes the flusher when a trigger arms.
+  void enqueue_pending_locked(PendingUpdate update);
+
+  ProxyConfig cfg_;
+  std::optional<TcpListener> listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> call_seq_{0};  // de-syncs backoff jitter streams
+
+  // --- connection intake: bounded queue + fixed worker pool ---
+  mutable std::mutex pool_mu_;  // const scrapes sample the queue depth
+  std::condition_variable pool_cv_;    // workers wait for connections
+  std::condition_variable accept_cv_;  // accept loop waits for queue space
+  std::deque<TcpStream> conns_;
+  bool accept_done_ = false;  // accept loop exited; workers drain then stop
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  // --- data path: internally lock-striped, no daemon-wide lock ---
+  cache::ShardedLruCache cache_;
+  std::unique_ptr<hints::HintStore> hints_;  // striped front: thread-safe
+
+  // --- neighbours: list + health ---
+  mutable std::mutex peers_mu_;
+  std::vector<std::uint16_t> neighbors_;
   std::unordered_map<std::uint16_t, NeighborHealth> health_;
+
+  // --- outbound update queue + relay seen-set + flusher ---
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;  // wakes the flusher thread
+  std::vector<PendingUpdate> pending_;
+  std::chrono::steady_clock::time_point oldest_pending_{};
   std::unordered_set<std::uint64_t> seen_updates_;
   std::deque<std::uint64_t> seen_order_;  // FIFO eviction for the seen-set
+  std::mutex flush_send_mu_;  // serializes whole drains (manual + flusher)
+  std::thread flusher_thread_;
 
-  // Declared after mu_ et al. but before c_/request_ms_, which bind into it.
+  // Declared before c_/request_ms_/flush_batch_, which bind into it.
   // Mutable so const scrapes can refresh the occupancy gauges.
   mutable obs::MetricsRegistry registry_;
   Counters c_;
-  obs::Histogram& request_ms_;  // client GET service time, milliseconds
+  obs::Histogram& request_ms_;   // client GET service time, milliseconds
+  obs::Histogram& flush_batch_;  // updates per non-empty flush, post-coalesce
 };
 
 }  // namespace bh::proxy

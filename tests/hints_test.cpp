@@ -131,6 +131,66 @@ TEST(HintCacheTest, LoadRejectsGarbage) {
   EXPECT_THROW(AssociativeHintCache::load(path), std::runtime_error);
 }
 
+// Regression: the old image format dumped only the record array, losing the
+// per-slot recency that picks conflict-eviction victims. After a restore,
+// the first insert into a full set must evict the true least-recently-used
+// record, not whichever slot the scan happens to reach first.
+TEST(HintCacheTest, SaveLoadPreservesEvictionRecency) {
+  const std::string path = ::testing::TempDir() + "/bh_hints_recency.img";
+  AssociativeHintCache c(64);  // exactly one 4-way set
+  ASSERT_EQ(c.capacity_entries(), 4u);
+  // Fill the set in order a, b, c, d, then touch a — b is now the LRU.
+  for (std::uint64_t k = 1; k <= 4; ++k) c.insert(obj(k), loc(k * 10));
+  ASSERT_TRUE(c.lookup(obj(1)).has_value());
+
+  c.save(path);
+  AssociativeHintCache back = AssociativeHintCache::load(path);
+
+  back.insert(obj(5), loc(50));  // full set: must displace b (= obj 2)
+  EXPECT_FALSE(back.lookup(obj(2)).has_value()) << "true LRU survived";
+  for (std::uint64_t k : {1u, 3u, 4u, 5u}) {
+    EXPECT_TRUE(back.lookup(obj(k)).has_value()) << "lost obj " << k;
+  }
+}
+
+TEST(HintCacheTest, LoadRejectsTruncatedImage) {
+  const std::string full = ::testing::TempDir() + "/bh_hints_full.img";
+  const std::string cut = ::testing::TempDir() + "/bh_hints_cut.img";
+  AssociativeHintCache c(4096);
+  for (std::uint64_t k = 1; k <= 20; ++k) c.insert(obj(k), loc(k));
+  c.save(full);
+
+  std::ifstream in(full, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_GT(bytes.size(), 64u);
+  {
+    std::ofstream out(cut, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(AssociativeHintCache::load(cut), std::runtime_error);
+}
+
+TEST(HintCacheTest, LoadRejectsVersionMismatch) {
+  const std::string path = ::testing::TempDir() + "/bh_hints_version.img";
+  AssociativeHintCache c(4096);
+  c.insert(obj(1), loc(2));
+  c.save(path);
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[8] = 99;  // the version field follows the 8-byte magic
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(AssociativeHintCache::load(path), std::runtime_error);
+}
+
 TEST(UnboundedHintStoreTest, Basics) {
   UnboundedHintStore s;
   EXPECT_EQ(s.lookup(obj(1)), std::nullopt);

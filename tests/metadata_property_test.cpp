@@ -123,6 +123,71 @@ TEST(MetadataPropertyTest, EvictionLeavesNoDanglingPointerToTheEvictee) {
   }
 }
 
+// Regression for the old uint64_t child mask: with more than 64 leaves per
+// L2 group or more than 64 groups, `1ULL << slot` past bit 63 was UB that
+// (on x86) aliased slot k onto slot k % 64 — a holder at slot 65 made the
+// hierarchy believe slot 1 held a copy, so slot-1 leaves were never told
+// about it. The NodeSet-backed entries must keep every slot distinct.
+TEST(MetadataPropertyTest, WideTopologiesKeepChildSlotsDistinct) {
+  // 70 leaves per group (slots past 64 within an L2) and 66 groups (slots
+  // past 64 at the root).
+  const net::HierarchyTopology topo(4620, 70, 1);
+  sim::EventQueue queue;
+  MetadataHierarchy meta(topo, {}, queue);
+
+  // L2-level aliasing: the first copy lands at slot 65 of group 0. Every
+  // other leaf of the group must learn of it — under aliasing the leaf at
+  // slot 1 was skipped as a supposed holder.
+  meta.inform(65, obj(1));
+  const auto near_slot1 = meta.find_nearest(1, obj(1));
+  ASSERT_TRUE(near_slot1.has_value()) << "slot-1 leaf never told of the copy";
+  EXPECT_EQ(*near_slot1, 65u);
+
+  // Removing a same-group second copy at slot 1 must not wipe knowledge of
+  // the slot-65 holder (aliased, both lived in bit 1).
+  meta.inform(1, obj(1));
+  meta.invalidate(1, obj(1));
+  const auto near_after = meta.find_nearest(2, obj(1));
+  ASSERT_TRUE(near_after.has_value());
+  EXPECT_EQ(*near_after, 65u);
+
+  // Root-level aliasing: the first copy of a fresh object lands in group 65
+  // (leaf 65*70+3). Group 1's leaves must learn of it — under aliasing
+  // group 1 was skipped as a supposed holder group.
+  meta.inform(65 * 70 + 3, obj(2));
+  const auto near_group1 = meta.find_nearest(70, obj(2));
+  ASSERT_TRUE(near_group1.has_value()) << "group-1 leaf never told of the copy";
+  EXPECT_EQ(*near_group1, 65u * 70 + 3);
+}
+
+// The insert-only oracle property, re-run on the wide topology so randomized
+// traffic crosses the 64-slot boundary in both dimensions.
+TEST(MetadataPropertyTest, WideTopologyHintsAlwaysNameRealHolders) {
+  const net::HierarchyTopology topo(4620, 70, 1);
+  sim::EventQueue queue;
+  MetadataHierarchy meta(topo, {}, queue);
+  Oracle oracle;
+  Rng rng(909);
+
+  for (int step = 0; step < 3000; ++step) {
+    const std::uint64_t o = rng.next_below(60);
+    const auto n = NodeIndex(rng.next_below(4620));
+    meta.inform(n, obj(o));
+    oracle.holders[o].insert(n);
+
+    if (step % 100 != 0) continue;
+    for (NodeIndex leaf = 0; leaf < 4620; leaf += 301) {
+      for (std::uint64_t q = 0; q < 60; q += 11) {
+        const auto near = meta.find_nearest(leaf, obj(q));
+        if (!near) continue;
+        ASSERT_NE(*near, leaf) << "hint points at the asking node";
+        ASSERT_TRUE(oracle.holds(q, *near))
+            << "hint names node " << *near << " which never held object " << q;
+      }
+    }
+  }
+}
+
 // Delayed propagation: messages in flight are allowed to create stale hints
 // (priced as false positives at request time), but the system must converge
 // once the queue drains, and draining must terminate.

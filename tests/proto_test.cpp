@@ -101,6 +101,22 @@ TEST(WireTest, ComplementKeyFlipsOnlyTheAction) {
   EXPECT_NE(complement_key(inform), update_key(inform));
 }
 
+TEST(WireTest, PairKeyIsActionBlind) {
+  const HintUpdate inform{Action::kInform, ObjectId{9}, MachineId{7}};
+  HintUpdate invalidate = inform;
+  invalidate.action = Action::kInvalidate;
+  // An update and its complement share the pair key (the coalescing
+  // identity), which is the inform-form update key.
+  EXPECT_EQ(pair_key(inform), pair_key(invalidate));
+  EXPECT_EQ(pair_key(inform), update_key(inform));
+  HintUpdate other_object = inform;
+  other_object.object = ObjectId{10};
+  EXPECT_NE(pair_key(inform), pair_key(other_object));
+  HintUpdate other_location = inform;
+  other_location.location = MachineId{8};
+  EXPECT_NE(pair_key(inform), pair_key(other_location));
+}
+
 // --- transports ---
 
 TEST(TransportTest, LoopbackDeliversInOrder) {

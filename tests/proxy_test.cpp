@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <memory>
 #include <span>
 #include <string>
 #include <thread>
@@ -684,6 +685,116 @@ TEST(FaultPathTest, QuarantineDegradesThenReprobeRejoins) {
   EXPECT_EQ(fetch(a.port(), ObjectId{85}, 64).cache, "SIBLING");
 }
 
+TEST(FaultPathTest, StopJoinsInFlightHandlers) {
+  // Regression: handlers used to run on detached threads, so destroying the
+  // daemon while a slow request was in flight let the handler dereference
+  // freed members (caught under ASan). The worker pool joins in stop().
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  auto proxy = std::make_unique<ProxyServer>(cfg);
+  const std::uint16_t port = proxy->port();
+
+  FaultInjector injector(9);
+  // Slow the origin connect so the fetch is reliably mid-flight when the
+  // daemon is destroyed.
+  injector.add_rule(
+      {FaultOp::kConnect, FaultKind::kDelay, origin.port(), 1.0, -1, 0.3});
+  ScopedFaultInjection active(injector);
+
+  std::thread client([port] { fetch(port, ObjectId{81}, 64); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  proxy.reset();  // ~ProxyServer → stop(): must join the in-flight handler
+  client.join();
+}
+
+TEST(ProxyServerTest, FlusherSendsOnSizeTrigger) {
+  OriginServer origin;
+  ProxyConfig ca;
+  ca.name = "a";
+  ca.origin_port = origin.port();
+  ProxyServer a(ca);
+  ProxyConfig cb;
+  cb.name = "b";
+  cb.origin_port = origin.port();
+  cb.hint_neighbors = {a.port()};
+  cb.flush_max_pending = 2;  // the second queued inform arms the flusher
+  ProxyServer b(cb);
+
+  const ObjectId first{91}, second{92};
+  fetch(b.port(), first, 64);
+  fetch(b.port(), second, 64);
+
+  // No manual flush_hints(): the flusher thread must drain the batch.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (a.stats().updates_received < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(a.stats().updates_received, 2u);
+  EXPECT_GE(b.stats().flushes, 1u);
+  EXPECT_EQ(fetch(a.port(), first, 64).cache, "SIBLING");
+}
+
+TEST(ProxyServerTest, FlusherSendsOnAgeTrigger) {
+  OriginServer origin;
+  ProxyConfig ca;
+  ca.name = "a";
+  ca.origin_port = origin.port();
+  ProxyServer a(ca);
+  ProxyConfig cb;
+  cb.name = "b";
+  cb.origin_port = origin.port();
+  cb.hint_neighbors = {a.port()};
+  cb.flush_interval_seconds = 0.05;  // one pending update flushes by age
+  ProxyServer b(cb);
+
+  const ObjectId id{93};
+  fetch(b.port(), id, 64);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (a.stats().updates_received < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(a.stats().updates_received, 1u);
+  EXPECT_EQ(fetch(a.port(), id, 64).cache, "SIBLING");
+}
+
+TEST(ProxyServerTest, CoalescingRetiresInformInvalidatePairs) {
+  OriginServer origin;
+  ProxyConfig ca;
+  ca.name = "a";
+  ca.origin_port = origin.port();
+  ProxyServer a(ca);
+  ProxyConfig cb;
+  cb.name = "b";
+  cb.origin_port = origin.port();
+  cb.hint_neighbors = {a.port()};
+  cb.capacity_bytes = 150;  // tiny: the second object evicts the first
+  ProxyServer b(cb);
+
+  const ObjectId first{94}, second{95};
+  fetch(b.port(), first, 100);
+  fetch(b.port(), second, 100);  // evicts `first`
+  // Queued: inform(first), inform(second), invalidate(first). The flush must
+  // retire the inform/invalidate pair for `first` and send only one update.
+  b.flush_hints();
+
+  const auto sb = b.stats();
+  EXPECT_EQ(sb.updates_coalesced, 2u);
+  EXPECT_EQ(sb.updates_sent, 1u);
+  EXPECT_EQ(a.stats().updates_received, 1u);
+
+  // Behaviour matches the uncoalesced exchange: no stale hint for `first`,
+  // and the hint for `second` works.
+  EXPECT_EQ(fetch(a.port(), first, 100).cache, "MISS");
+  EXPECT_EQ(a.stats().false_positives, 0u);
+  EXPECT_EQ(fetch(a.port(), second, 100).cache, "SIBLING");
+}
+
 TEST(ProxyServerTest, ConcurrentFetchesFromBothSides) {
   // a and b each serve a request that fetches from the *other* proxy; with
   // single-threaded daemons this would deadlock.
@@ -739,7 +850,8 @@ TEST(ProxyMetricsTest, TextScrapeCarriesEveryProxyCounter) {
   for (const char* name :
        {"requests", "local_hits", "sibling_hits", "origin_fetches",
         "false_positives", "peer_serves", "peer_rejects", "updates_sent",
-        "updates_received", "update_bytes_sent", "pushes_sent",
+        "updates_received", "update_bytes_sent", "updates_coalesced",
+        "flushes", "pushes_sent",
         "pushes_received", "push_bytes_sent", "peer_failures",
         "origin_failures", "quarantines", "quarantine_skips", "reprobes",
         "metadata_retries", "updates_deduped", "updates_hop_capped"}) {
