@@ -13,8 +13,18 @@
 // (bh.loadgen.cores) — the speedup is meaningless without knowing how many
 // cores the run actually had.
 //
+// --keepalive switches to the network mode: a real OriginServer plus a
+// reactor-mounted ProxyServer, with N client threads fetching one pre-warmed
+// object (a pure local HIT, so connection setup dominates the exchange).
+// The per_request baseline opens a fresh TCP connection per call (the old
+// thread-per-request contract); the keepalive path holds one persistent
+// ClientConnection per thread. Results land in the "loadgen_net" suite.
+//
 // Usage: loadgen_concurrent [--json=<path>] [--ops=<per-thread-op-count>]
+//                           [--keepalive] [--clients=<n>]
+//                           [--require-speedup=<x>]
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -35,6 +46,9 @@
 #include "obs/bench_store.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "proxy/http.h"
+#include "proxy/origin_server.h"
+#include "proxy/proxy_server.h"
 
 using namespace bh;
 
@@ -161,21 +175,191 @@ double run_ops_per_sec(int threads, std::uint64_t ops_per_thread) {
   return trials[trials.size() / 2];
 }
 
+// --- network mode ---
+
+constexpr std::size_t kNetObjectBytes = 512;
+const ObjectId kNetObject{99};
+
+proxy::HttpRequest net_request() {
+  proxy::HttpRequest req;
+  req.method = "GET";
+  req.target = proxy::object_path(kNetObject, kNetObjectBytes);
+  return req;
+}
+
+// Requests/sec for `clients` threads each issuing `ops` GETs of the warmed
+// object, one fresh TCP connection per request (connect, exchange, close —
+// what every request paid before the reactor's keep-alive path existed).
+double run_per_request(std::uint16_t proxy_port, int clients,
+                       std::uint64_t ops) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  std::atomic<std::uint64_t> failures{0};
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([proxy_port, ops, &failures] {
+      const proxy::HttpRequest req = net_request();
+      for (std::uint64_t i = 0; i < ops; ++i) {
+        const auto resp = proxy::http_call(proxy_port, req);
+        if (!resp || resp->status != 200) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "[loadgen_net] %llu per-request failures\n",
+                 static_cast<unsigned long long>(failures.load()));
+  }
+  return static_cast<double>(ops) * clients / elapsed.count();
+}
+
+// Same request stream over one persistent ClientConnection per thread,
+// reopened only if the server stops agreeing to keep-alive.
+double run_keepalive(std::uint16_t proxy_port, int clients,
+                     std::uint64_t ops) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([proxy_port, ops, &failures, &reconnects] {
+      const proxy::HttpRequest req = net_request();
+      std::optional<proxy::ClientConnection> conn;
+      for (std::uint64_t i = 0; i < ops; ++i) {
+        if (!conn) {
+          conn = proxy::ClientConnection::open(proxy_port, 2.0);
+          if (!conn) {
+            failures.fetch_add(1);
+            continue;
+          }
+          reconnects.fetch_add(1);
+        }
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(5);
+        const auto resp = conn->exchange(req, deadline, /*keep_alive=*/true);
+        if (!resp || resp->status != 200) failures.fetch_add(1);
+        if (!conn->reusable()) conn.reset();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "[loadgen_net] %llu keep-alive failures\n",
+                 static_cast<unsigned long long>(failures.load()));
+  }
+  // One connect per thread is the expected shape; more means the server
+  // dropped agreed-upon keep-alive connections mid-run.
+  if (reconnects.load() > static_cast<std::uint64_t>(clients)) {
+    std::fprintf(stderr, "[loadgen_net] %llu reconnects for %d clients\n",
+                 static_cast<unsigned long long>(reconnects.load()), clients);
+  }
+  return static_cast<double>(ops) * clients / elapsed.count();
+}
+
+template <typename Fn>
+double median_of_three(Fn&& fn) {
+  std::vector<double> trials;
+  trials.reserve(3);
+  for (int trial = 0; trial < 3; ++trial) trials.push_back(fn());
+  std::sort(trials.begin(), trials.end());
+  return trials[1];
+}
+
+int run_net_mode(const std::string& json_path, int clients, std::uint64_t ops,
+                 double require_speedup) {
+  proxy::OriginServer origin;
+  proxy::ProxyConfig cfg;
+  cfg.name = "loadgen";
+  cfg.origin_port = origin.port();
+  cfg.workers = static_cast<std::size_t>(std::max(clients, 2));
+  proxy::ProxyServer proxy_server(cfg);
+
+  // Warm the one object: first fetch is the only origin round trip; every
+  // measured request below is a local HIT, so the TCP setup cost is the
+  // difference under test rather than cache behavior.
+  const auto warmed = proxy::http_call(proxy_server.port(), net_request());
+  if (!warmed || warmed->status != 200) {
+    std::fprintf(stderr, "[loadgen_net] warm fetch failed\n");
+    return 1;
+  }
+
+  std::printf("loadgen_net: %d client(s), %llu requests/client, %zu-byte body\n",
+              clients, static_cast<unsigned long long>(ops), kNetObjectBytes);
+  const double per_req = median_of_three([&] {
+    return run_per_request(proxy_server.port(), clients, ops);
+  });
+  const double keepalive = median_of_three([&] {
+    return run_keepalive(proxy_server.port(), clients, ops);
+  });
+  const double speedup = keepalive / per_req;
+  std::printf("%16s %20s %10s\n", "per_request r/s", "keepalive r/s",
+              "speedup");
+  std::printf("%16.0f %20.0f %9.2fx\n", per_req, keepalive, speedup);
+
+  obs::MetricsRegistry reg;
+  reg.gauge("bh.loadgen_net.clients").set(static_cast<double>(clients));
+  reg.gauge("bh.loadgen_net.requests_per_client")
+      .set(static_cast<double>(ops));
+  reg.gauge("bh.loadgen_net.per_request.requests_per_sec").set(per_req);
+  reg.gauge("bh.loadgen_net.keepalive.requests_per_sec").set(keepalive);
+  reg.gauge("bh.loadgen_net.speedup").set(speedup);
+
+  std::ostringstream suite;
+  suite << "{\"benchmarks\": [], \"metrics\": " << obs::to_json(reg.snapshot())
+        << "}";
+  auto suites = obs::load_suites(json_path);
+  suites["loadgen_net"] = suite.str();
+  obs::write_suites(json_path, suites);
+  std::printf("\n[loadgen_net] results merged into %s\n", json_path.c_str());
+
+  if (require_speedup > 0.0 && speedup < require_speedup) {
+    std::fprintf(stderr,
+                 "[loadgen_net] keep-alive speedup %.2fx below required %.2fx\n",
+                 speedup, require_speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_core.json";
   std::uint64_t ops_per_thread = 200000;
+  bool ops_given = false;
+  bool net_mode = false;
+  int clients = 8;
+  double require_speedup = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--json=", 0) == 0) {
       json_path = a.substr(7);
     } else if (a.rfind("--ops=", 0) == 0) {
       ops_per_thread = std::strtoull(a.c_str() + 6, nullptr, 10);
+      ops_given = true;
+    } else if (a == "--keepalive") {
+      net_mode = true;
+    } else if (a.rfind("--clients=", 0) == 0) {
+      clients = std::atoi(a.c_str() + 10);
+    } else if (a.rfind("--require-speedup=", 0) == 0) {
+      require_speedup = std::strtod(a.c_str() + 18, nullptr);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
       return 1;
     }
+  }
+
+  if (net_mode) {
+    // Real sockets are ~1000x slower per op than the in-memory paths; a
+    // modest default also keeps the per-request baseline from exhausting
+    // ephemeral ports with TIME_WAIT entries.
+    return run_net_mode(json_path, clients, ops_given ? ops_per_thread : 400,
+                        require_speedup);
   }
 
   obs::MetricsRegistry reg;

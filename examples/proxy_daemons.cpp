@@ -50,17 +50,22 @@ void print_stats(const std::vector<std::unique_ptr<proxy::ProxyServer>>& ps) {
 
 int main(int argc, char** argv) {
   // Data-path concurrency knobs: --shards=N sets both the cache shard and
-  // hint stripe count, --workers=N sizes each daemon's handler pool.
+  // hint stripe count, --workers=N sizes each daemon's handler pool,
+  // --backlog=N caps each listener's accept backlog (0 = SOMAXCONN).
   std::size_t shards = 8;
   std::size_t workers = 8;
+  int backlog = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--shards=", 0) == 0) {
       shards = std::strtoull(a.c_str() + 9, nullptr, 10);
     } else if (a.rfind("--workers=", 0) == 0) {
       workers = std::strtoull(a.c_str() + 10, nullptr, 10);
+    } else if (a.rfind("--backlog=", 0) == 0) {
+      backlog = std::atoi(a.c_str() + 10);
     } else {
-      std::fprintf(stderr, "usage: %s [--shards=N] [--workers=N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--shards=N] [--workers=N] [--backlog=N]\n",
+                   argv[0]);
       return 1;
     }
   }
@@ -79,6 +84,7 @@ int main(int argc, char** argv) {
     cfg.cache_shards = shards;
     cfg.hint_stripes = shards;
     cfg.workers = workers;
+    cfg.listen_backlog = backlog;
     // Failure budget: tight data-path probes, short quarantine so the demo's
     // outage phase shows degradation and the stats stay legible.
     cfg.peer_deadline_seconds = 0.25;

@@ -27,6 +27,11 @@ std::optional<std::string_view> find_header(const Headers& headers,
   return std::nullopt;
 }
 
+bool keep_alive_header(const Headers& headers) {
+  const auto conn = find_header(headers, "Connection");
+  return conn && iequals(*conn, "keep-alive");
+}
+
 // Parses "Key: Value\r\n..." lines; nullopt on malformation.
 std::optional<Headers> parse_headers(std::string_view block) {
   Headers out;
@@ -45,31 +50,33 @@ std::optional<Headers> parse_headers(std::string_view block) {
   return out;
 }
 
-struct Preamble {
-  std::string_view first_line;
-  Headers headers;
-  std::string_view body;
-};
+// "METHOD SP TARGET SP HTTP/x.y"
+bool parse_request_line(std::string_view line, HttpRequest& req) {
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) return false;
+  if (!line.substr(sp2 + 1).starts_with("HTTP/")) return false;
+  req.method = std::string(line.substr(0, sp1));
+  req.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  return !req.method.empty() && !req.target.empty();
+}
 
-std::optional<Preamble> split_message(std::string_view raw) {
-  const std::size_t line_end = raw.find("\r\n");
-  if (line_end == std::string_view::npos) return std::nullopt;
-  const std::size_t headers_end = raw.find("\r\n\r\n", line_end);
-  if (headers_end == std::string_view::npos) return std::nullopt;
-
-  auto headers = parse_headers(
-      raw.substr(line_end + 2, headers_end - line_end - 2 + 2));
-  if (!headers) return std::nullopt;
-
-  const std::string_view body = raw.substr(headers_end + 4);
-  std::size_t expected = 0;
-  if (auto cl = find_header(*headers, "Content-Length")) {
-    const auto [ptr, ec] =
-        std::from_chars(cl->data(), cl->data() + cl->size(), expected);
-    if (ec != std::errc{} || ptr != cl->data() + cl->size()) return std::nullopt;
-  }
-  if (body.size() != expected) return std::nullopt;
-  return Preamble{raw.substr(0, line_end), std::move(*headers), body};
+// "HTTP/x.y SP STATUS [SP REASON]"
+bool parse_status_line(std::string_view line, HttpResponse& resp) {
+  if (!line.starts_with("HTTP/")) return false;
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string_view code = line.substr(
+      sp1 + 1, sp2 == std::string_view::npos ? line.size() - sp1 - 1
+                                             : sp2 - sp1 - 1);
+  const auto [ptr, ec] =
+      std::from_chars(code.data(), code.data() + code.size(), resp.status);
+  if (ec != std::errc{} || ptr != code.data() + code.size()) return false;
+  resp.reason = sp2 == std::string_view::npos
+                    ? ""
+                    : std::string(line.substr(sp2 + 1));
+  return true;
 }
 
 void append_headers(std::string& out, const Headers& headers,
@@ -100,6 +107,14 @@ std::optional<std::string_view> HttpResponse::header(
   return find_header(headers, name);
 }
 
+bool HttpRequest::wants_keep_alive() const {
+  return keep_alive_header(headers);
+}
+
+bool HttpResponse::wants_keep_alive() const {
+  return keep_alive_header(headers);
+}
+
 std::string HttpRequest::path() const {
   const std::size_t q = target.find('?');
   return q == std::string::npos ? target : target.substr(0, q);
@@ -124,60 +139,126 @@ std::optional<std::string> HttpRequest::query_param(
   return std::nullopt;
 }
 
-std::string serialize(const HttpRequest& r) {
+std::string serialize_head(const HttpRequest& r, std::size_t body_size) {
   std::string out = r.method + " " + r.target + " HTTP/1.0\r\n";
-  append_headers(out, r.headers, r.body.size());
+  append_headers(out, r.headers, body_size);
+  return out;
+}
+
+std::string serialize_head(const HttpResponse& r, std::size_t body_size) {
+  std::string out =
+      "HTTP/1.0 " + std::to_string(r.status) + " " + r.reason + "\r\n";
+  append_headers(out, r.headers, body_size);
+  return out;
+}
+
+std::string serialize(const HttpRequest& r) {
+  std::string out = serialize_head(r, r.body.size());
   out += r.body;
   return out;
 }
 
 std::string serialize(const HttpResponse& r) {
-  std::string out =
-      "HTTP/1.0 " + std::to_string(r.status) + " " + r.reason + "\r\n";
-  append_headers(out, r.headers, r.body.size());
+  std::string out = serialize_head(r, r.body.size());
   out += r.body;
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// the incremental parser
+// ---------------------------------------------------------------------------
+
+std::size_t HttpParser::feed(std::string_view data) {
+  std::size_t consumed = 0;
+  while (consumed < data.size() && state_ != State::kComplete &&
+         state_ != State::kError) {
+    started_ = true;
+    if (state_ == State::kStartLine) {
+      head_.append(data.substr(consumed));
+      consumed = data.size();
+      const std::size_t pos = head_.find("\r\n\r\n", scan_from_);
+      if (pos == std::string::npos) {
+        // Resume the terminator search where a split "\r\n\r\n" could start.
+        scan_from_ = head_.size() < 3 ? 0 : head_.size() - 3;
+        if (head_.size() > limits_.max_head_bytes) state_ = State::kError;
+        continue;
+      }
+      const std::size_t head_len = pos + 4;
+      // Bytes past the head belong to the body (or the next message): hand
+      // them back and re-consume through the body state.
+      consumed -= head_.size() - head_len;
+      head_.resize(head_len);
+      if (head_len > limits_.max_head_bytes || !on_head_complete(head_)) {
+        state_ = State::kError;
+        break;
+      }
+      state_ = body_expected_ == 0 ? State::kComplete : State::kBody;
+      continue;
+    }
+    // kBody: append exactly the missing Content-Length bytes.
+    std::string& body =
+        kind_ == Kind::kRequest ? request_.body : response_.body;
+    const std::size_t need = body_expected_ - body.size();
+    const std::size_t take = std::min(need, data.size() - consumed);
+    body.append(data.substr(consumed, take));
+    consumed += take;
+    if (body.size() == body_expected_) state_ = State::kComplete;
+  }
+  return consumed;
+}
+
+bool HttpParser::on_head_complete(std::string_view head) {
+  const std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) return false;
+  // The header block spans from after the start line up to (and including)
+  // the last header's "\r\n", excluding the blank line.
+  const std::string_view block =
+      head.substr(line_end + 2, head.size() - 2 - (line_end + 2));
+  auto headers = parse_headers(block);
+  if (!headers) return false;
+
+  const std::string_view line = head.substr(0, line_end);
+  if (kind_ == Kind::kRequest) {
+    if (!parse_request_line(line, request_)) return false;
+    request_.headers = std::move(*headers);
+  } else {
+    if (!parse_status_line(line, response_)) return false;
+    response_.headers = std::move(*headers);
+  }
+
+  body_expected_ = 0;
+  const Headers& hs =
+      kind_ == Kind::kRequest ? request_.headers : response_.headers;
+  if (auto cl = find_header(hs, "Content-Length")) {
+    const auto parsed = parse_u64(*cl);
+    if (!parsed || *parsed > limits_.max_body_bytes) return false;
+    body_expected_ = static_cast<std::size_t>(*parsed);
+  }
+  return true;
+}
+
+void HttpParser::reset() {
+  state_ = State::kStartLine;
+  started_ = false;
+  head_.clear();
+  scan_from_ = 0;
+  body_expected_ = 0;
+  request_ = HttpRequest{};
+  response_ = HttpResponse{};
+}
+
 std::optional<HttpRequest> parse_request(std::string_view raw) {
-  auto pre = split_message(raw);
-  if (!pre) return std::nullopt;
-  // "METHOD SP TARGET SP HTTP/x.y"
-  const std::string_view line = pre->first_line;
-  const std::size_t sp1 = line.find(' ');
-  const std::size_t sp2 = line.rfind(' ');
-  if (sp1 == std::string_view::npos || sp2 == sp1) return std::nullopt;
-  if (!line.substr(sp2 + 1).starts_with("HTTP/")) return std::nullopt;
-  HttpRequest req;
-  req.method = std::string(line.substr(0, sp1));
-  req.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
-  req.headers = std::move(pre->headers);
-  req.body = std::string(pre->body);
-  if (req.method.empty() || req.target.empty()) return std::nullopt;
-  return req;
+  HttpParser parser(HttpParser::Kind::kRequest);
+  const std::size_t used = parser.feed(raw);
+  if (!parser.complete() || used != raw.size()) return std::nullopt;
+  return std::move(parser.request());
 }
 
 std::optional<HttpResponse> parse_response(std::string_view raw) {
-  auto pre = split_message(raw);
-  if (!pre) return std::nullopt;
-  const std::string_view line = pre->first_line;
-  if (!line.starts_with("HTTP/")) return std::nullopt;
-  const std::size_t sp1 = line.find(' ');
-  if (sp1 == std::string_view::npos) return std::nullopt;
-  const std::size_t sp2 = line.find(' ', sp1 + 1);
-  const std::string_view code = line.substr(
-      sp1 + 1, sp2 == std::string_view::npos ? line.size() - sp1 - 1
-                                             : sp2 - sp1 - 1);
-  HttpResponse resp;
-  const auto [ptr, ec] =
-      std::from_chars(code.data(), code.data() + code.size(), resp.status);
-  if (ec != std::errc{}) return std::nullopt;
-  resp.reason = sp2 == std::string_view::npos
-                    ? ""
-                    : std::string(line.substr(sp2 + 1));
-  resp.headers = std::move(pre->headers);
-  resp.body = std::string(pre->body);
-  return resp;
+  HttpParser parser(HttpParser::Kind::kResponse);
+  const std::size_t used = parser.feed(raw);
+  if (!parser.complete() || used != raw.size()) return std::nullopt;
+  return std::move(parser.response());
 }
 
 std::optional<std::uint64_t> parse_u64(std::string_view text) {
@@ -197,6 +278,10 @@ std::optional<std::uint16_t> parse_port(std::string_view text) {
   return static_cast<std::uint16_t>(*value);
 }
 
+// ---------------------------------------------------------------------------
+// client side
+// ---------------------------------------------------------------------------
+
 namespace {
 
 using Clock = std::chrono::steady_clock;
@@ -205,65 +290,7 @@ double seconds_until(Clock::time_point deadline) {
   return std::chrono::duration<double>(deadline - Clock::now()).count();
 }
 
-// Reads one message; when `deadline` is non-null the stream timeout is
-// re-armed to the remaining budget before every read, so the sum of waits
-// is bounded by the budget rather than by (reads x timeout).
-std::optional<std::string> read_message_impl(TcpStream& stream,
-                                             const Clock::time_point* deadline) {
-  auto bounded_read = [&](std::size_t max) -> std::optional<std::string> {
-    if (deadline) {
-      const double remaining = seconds_until(*deadline);
-      if (remaining <= 0 || !stream.set_timeout(remaining)) {
-        return std::nullopt;
-      }
-    }
-    return stream.read_some(max);
-  };
-
-  std::string buf;
-  std::size_t headers_end = std::string::npos;
-  while (headers_end == std::string::npos) {
-    auto chunk = bounded_read(8192);
-    if (!chunk) return std::nullopt;
-    if (chunk->empty()) return std::nullopt;  // EOF before headers done
-    buf += *chunk;
-    headers_end = buf.find("\r\n\r\n");
-    if (buf.size() > (1 << 20) && headers_end == std::string::npos) {
-      return std::nullopt;  // header flood
-    }
-  }
-
-  std::size_t expected = 0;
-  {
-    auto headers = parse_headers(buf.substr(0, headers_end + 2).substr(
-        buf.find("\r\n") + 2));
-    if (!headers) return std::nullopt;
-    if (auto cl = find_header(*headers, "Content-Length")) {
-      const auto [ptr, ec] =
-          std::from_chars(cl->data(), cl->data() + cl->size(), expected);
-      if (ec != std::errc{}) return std::nullopt;
-    }
-  }
-  const std::size_t total = headers_end + 4 + expected;
-  while (buf.size() < total) {
-    auto chunk = bounded_read(65536);
-    if (!chunk || chunk->empty()) return std::nullopt;
-    buf += *chunk;
-  }
-  if (buf.size() != total) return std::nullopt;  // trailing junk
-  return buf;
-}
-
 }  // namespace
-
-std::optional<std::string> read_http_message(TcpStream& stream) {
-  return read_message_impl(stream, nullptr);
-}
-
-std::optional<std::string> read_http_message(TcpStream& stream,
-                                             Clock::time_point deadline) {
-  return read_message_impl(stream, &deadline);
-}
 
 double backoff_delay(int attempt, const CallOptions& opts, Rng& rng) {
   double cap = opts.backoff_base_seconds;
@@ -274,6 +301,54 @@ double backoff_delay(int attempt, const CallOptions& opts, Rng& rng) {
   // Uniform in (0, cap]: full jitter avoids synchronized retry bursts, and
   // a strictly positive floor keeps the schedule an actual delay.
   return cap * (1.0 - rng.next_double());
+}
+
+std::optional<ClientConnection> ClientConnection::open(std::uint16_t port,
+                                                       double timeout_seconds) {
+  auto stream = TcpStream::connect(port, timeout_seconds);
+  if (!stream) return std::nullopt;
+  return ClientConnection(std::move(*stream));
+}
+
+ClientConnection::ClientConnection(TcpStream stream)
+    : stream_(std::move(stream)), last_used_(Clock::now()) {}
+
+std::optional<HttpResponse> ClientConnection::exchange(
+    const HttpRequest& request, Clock::time_point deadline, bool keep_alive) {
+  reusable_ = false;
+  std::string wire;
+  if (keep_alive && !request.header("Connection")) {
+    HttpRequest req = request;
+    req.headers.emplace_back("Connection", "keep-alive");
+    wire = serialize(req);
+  } else {
+    wire = serialize(request);
+  }
+
+  double remaining = seconds_until(deadline);
+  if (remaining <= 0 || !stream_.set_timeout(remaining)) return std::nullopt;
+  if (!stream_.write_all(wire)) return std::nullopt;
+  // Without keep-alive, half-close signals "one exchange" the HTTP/1.0 way.
+  if (!keep_alive) stream_.shutdown_write();
+
+  // Re-arm the stream timeout to the remaining budget before every read so
+  // a trickling peer can never stretch the call past its deadline.
+  HttpParser parser(HttpParser::Kind::kResponse);
+  while (!parser.complete()) {
+    remaining = seconds_until(deadline);
+    if (remaining <= 0 || !stream_.set_timeout(remaining)) return std::nullopt;
+    const auto chunk = stream_.read_some(65536);
+    if (!chunk) return std::nullopt;
+    if (chunk->empty()) return std::nullopt;  // EOF mid-message
+    const std::size_t used = parser.feed(*chunk);
+    if (parser.failed()) return std::nullopt;
+    if (used != chunk->size()) return std::nullopt;  // bytes past the reply
+  }
+  last_used_ = Clock::now();
+  HttpResponse resp = std::move(parser.response());
+  // Reusable only when both sides agreed and the framing was byte-exact.
+  if (keep_alive && resp.wants_keep_alive()) reusable_ = true;
+  return resp;
 }
 
 std::optional<HttpResponse> http_call(std::uint16_t port,
@@ -289,20 +364,15 @@ std::optional<HttpResponse> http_call(std::uint16_t port,
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(opts.deadline_seconds));
   Rng rng(opts.backoff_seed);
-  const std::string wire = serialize(request);
   int attempts = 0;
   std::optional<HttpResponse> result;
   for (int attempt = 0; attempt < opts.max_attempts; ++attempt) {
     const double remaining = seconds_until(deadline);
     if (remaining <= 0) break;
     ++attempts;
-    auto stream = TcpStream::connect(port, remaining);
-    if (stream && stream->write_all(wire)) {
-      stream->shutdown_write();
-      if (auto raw = read_http_message(*stream, deadline)) {
-        result = parse_response(*raw);
-        if (result) break;
-      }
+    if (auto conn = ClientConnection::open(port, remaining)) {
+      result = conn->exchange(request, deadline, /*keep_alive=*/false);
+      if (result) break;
     }
     if (attempt + 1 < opts.max_attempts) {
       const double delay =

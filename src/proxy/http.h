@@ -1,7 +1,14 @@
-// A deliberately small HTTP/1.0 subset: request line, response status line,
-// headers, Content-Length framing, connection-per-request. It is exactly
-// what the prototype era's Squid spoke between caches, and all the daemon
-// needs.
+// A deliberately small HTTP/1.x subset: request line, response status line,
+// headers, Content-Length framing. It is exactly what the prototype era's
+// Squid spoke between caches, and all the daemon needs — plus keep-alive,
+// because the hint architecture's whole point is that cache-to-cache probes
+// are cheap, and a fresh TCP handshake per 20-byte metadata batch is not.
+//
+// Framing is done by one engine: HttpParser, an incremental state machine
+// fed byte ranges. The epoll reactor feeds it whatever recv() produced and
+// resumes mid-header or mid-body on the next readable event; the blocking
+// client feeds it chunk by chunk under a deadline. Messages split at any
+// byte boundary parse identically to a single complete buffer.
 //
 // Client calls carry an explicit failure budget (CallOptions): a total
 // per-call deadline that covers connect, send, and the whole read, plus an
@@ -38,6 +45,9 @@ struct HttpRequest {
   // Query parameter from the target ("/x?a=1&b=2"), if present.
   std::optional<std::string> query_param(std::string_view name) const;
   std::string path() const;  // target without the query string
+  // True when a "Connection: keep-alive" header is present (HTTP/1.0
+  // semantics: the default is close, keep-alive is opt-in).
+  bool wants_keep_alive() const;
 };
 
 struct HttpResponse {
@@ -47,27 +57,86 @@ struct HttpResponse {
   std::string body;
 
   std::optional<std::string_view> header(std::string_view name) const;
+  bool wants_keep_alive() const;
 };
 
+// Full message bytes (head + body).
 std::string serialize(const HttpRequest& r);
 std::string serialize(const HttpResponse& r);
-
-// Strict parsers over a complete message; nullopt on any malformation,
-// including a body shorter or longer than Content-Length.
-std::optional<HttpRequest> parse_request(std::string_view raw);
-std::optional<HttpResponse> parse_response(std::string_view raw);
+// Start line + headers + blank line only, with Content-Length supplied for
+// `body_size` when the caller did not set one. The reactor writes head and
+// body as one gathered writev instead of concatenating them.
+std::string serialize_head(const HttpRequest& r, std::size_t body_size);
+std::string serialize_head(const HttpResponse& r, std::size_t body_size);
 
 // Checked numeric parses for header and body fields: the whole string must
 // be a decimal number in range, else nullopt (never a silent zero).
 std::optional<std::uint64_t> parse_u64(std::string_view text);
 std::optional<std::uint16_t> parse_port(std::string_view text);
 
-// Reads one complete message (headers + Content-Length body) from a stream.
-std::optional<std::string> read_http_message(TcpStream& stream);
-// Same, but re-arms the stream timeout before every read so the total wait
-// can never exceed `deadline` — a trickling peer cannot stretch the call.
-std::optional<std::string> read_http_message(
-    TcpStream& stream, std::chrono::steady_clock::time_point deadline);
+// Incremental HTTP/1.x message parser — the single framing engine.
+//
+// Feed it byte ranges as they arrive; it consumes up to the end of the
+// current message and no further, so pipelined messages on one connection
+// are handed back to the caller byte-exactly. After kComplete, move the
+// message out and reset() for the next one.
+class HttpParser {
+ public:
+  enum class Kind { kRequest, kResponse };
+  enum class State {
+    kStartLine,  // accumulating the request/status line + headers
+    kBody,       // headers parsed; accumulating Content-Length body bytes
+    kComplete,   // one full message parsed; feed() consumes nothing more
+    kError,      // malformed or over-limit input; terminal until reset()
+  };
+  struct Limits {
+    // Start line + header block, including the blank line.
+    std::size_t max_head_bytes = 1 << 20;
+    // Content-Length ceiling; larger messages are rejected up front.
+    std::size_t max_body_bytes = 64u << 20;
+  };
+
+  explicit HttpParser(Kind kind) : kind_(kind) {}
+  HttpParser(Kind kind, Limits limits) : kind_(kind), limits_(limits) {}
+
+  // Consumes bytes until the message completes, an error is detected, or
+  // `data` is exhausted; returns the number of bytes consumed.
+  std::size_t feed(std::string_view data);
+
+  State state() const { return state_; }
+  bool complete() const { return state_ == State::kComplete; }
+  bool failed() const { return state_ == State::kError; }
+  // True once any byte of the current message has been consumed (EOF midway
+  // through a started message is a protocol error; EOF between messages is
+  // a clean close).
+  bool started() const { return started_; }
+
+  // Valid only when complete(); the caller may move the message out.
+  HttpRequest& request() { return request_; }
+  HttpResponse& response() { return response_; }
+
+  // Ready for the next message on the same connection.
+  void reset();
+
+ private:
+  bool on_head_complete(std::string_view head);
+
+  Kind kind_;
+  Limits limits_;
+  State state_ = State::kStartLine;
+  bool started_ = false;
+  std::string head_;            // bytes of the start line + header block
+  std::size_t scan_from_ = 0;   // where the "\r\n\r\n" search resumes
+  std::size_t body_expected_ = 0;
+  HttpRequest request_;
+  HttpResponse response_;
+};
+
+// Strict parsers over a complete message; nullopt on any malformation,
+// including a body shorter or longer than Content-Length. (One-shot
+// HttpParser runs under the hood.)
+std::optional<HttpRequest> parse_request(std::string_view raw);
+std::optional<HttpResponse> parse_response(std::string_view raw);
 
 // Failure budget for one client call.
 struct CallOptions {
@@ -87,8 +156,38 @@ struct CallOptions {
 // cap = min(base * 2^attempt, max); attempt counts from 0.
 double backoff_delay(int attempt, const CallOptions& opts, Rng& rng);
 
-// One-shot client exchange: connect, send, read full reply — all within the
-// default budget.
+// A persistent client connection: one request/response exchange at a time
+// over a stream that survives between exchanges. The building block of the
+// per-peer connection pool — and of any client that wants keep-alive.
+class ClientConnection {
+ public:
+  // Connects within `timeout_seconds`; nullopt on refusal/timeout/fault.
+  static std::optional<ClientConnection> open(std::uint16_t port,
+                                              double timeout_seconds);
+  explicit ClientConnection(TcpStream stream);
+
+  // One exchange under an absolute deadline. When `keep_alive` is set the
+  // request carries "Connection: keep-alive" and, if the server agrees and
+  // the reply framing was byte-exact, the connection is reusable()
+  // afterwards. Any transport or framing failure poisons it.
+  std::optional<HttpResponse> exchange(
+      const HttpRequest& request,
+      std::chrono::steady_clock::time_point deadline, bool keep_alive = true);
+
+  bool reusable() const { return reusable_; }
+  std::uint16_t port() const { return stream_.peer_port(); }
+  std::chrono::steady_clock::time_point last_used() const {
+    return last_used_;
+  }
+
+ private:
+  TcpStream stream_;
+  bool reusable_ = false;
+  std::chrono::steady_clock::time_point last_used_;
+};
+
+// One-shot client exchange on a fresh connection: connect, send, read full
+// reply — all within the default budget.
 std::optional<HttpResponse> http_call(std::uint16_t port,
                                       const HttpRequest& request);
 

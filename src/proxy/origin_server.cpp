@@ -43,15 +43,26 @@ OriginServer::OriginServer() {
   listener_ = TcpListener::bind_ephemeral();
   if (!listener_) throw std::runtime_error("origin: cannot bind");
   port_ = listener_->port();
-  thread_ = std::thread([this] { serve(); });
+  reactor_ = std::make_unique<Reactor>();
+  // Origin handlers are pure in-memory work, so they run inline on the loop
+  // thread: dispatch -> handle -> respond without a worker pool.
+  http_loop_ = std::make_unique<HttpLoop>(
+      *reactor_, listener_->fd(), HttpLoop::Options{},
+      [this](std::uint64_t token, HttpRequest req) {
+        http_loop_->respond(token, handle(req));
+      });
+  thread_ = std::thread([this] { reactor_->run(); });
 }
 
 OriginServer::~OriginServer() { stop(); }
 
 void OriginServer::stop() {
   if (stopping_.exchange(true)) return;
-  listener_->shut_down();
+  reactor_->stop();
   if (thread_.joinable()) thread_.join();
+  // After the loop has stopped, tear down the connections so lingering
+  // keep-alive clients see EOF instead of a hang.
+  http_loop_->shutdown();
 }
 
 void OriginServer::modify(ObjectId id) {
@@ -83,24 +94,6 @@ Version OriginServer::version_of(ObjectId id) const {
   std::lock_guard lock(mu_);
   auto it = versions_.find(id);
   return it == versions_.end() ? 1 : it->second;
-}
-
-void OriginServer::serve() {
-  while (!stopping_.load()) {
-    auto stream = listener_->accept();
-    if (!stream) break;
-    auto raw = read_http_message(*stream);
-    if (!raw) continue;
-    auto req = parse_request(*raw);
-    HttpResponse resp;
-    if (!req) {
-      resp.status = 400;
-      resp.reason = "Bad Request";
-    } else {
-      resp = handle(*req);
-    }
-    stream->write_all(serialize(resp));
-  }
 }
 
 HttpResponse OriginServer::handle(const HttpRequest& req) {

@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -24,6 +25,7 @@
 
 #include "common/types.h"
 #include "proxy/http.h"
+#include "proxy/reactor.h"
 #include "proxy/socket.h"
 
 namespace bh::proxy {
@@ -60,11 +62,15 @@ class OriginServer {
   void stop();
 
  private:
-  void serve();
   HttpResponse handle(const HttpRequest& req);
 
   std::optional<TcpListener> listener_;
   std::uint16_t port_ = 0;
+  // Event-driven serving: the reactor loop accepts, parses, and writes;
+  // handlers are cheap enough to run inline on the loop thread. Keep-alive
+  // clients (the proxies' pooled origin connections) are held open.
+  std::unique_ptr<Reactor> reactor_;
+  std::unique_ptr<HttpLoop> http_loop_;
   std::thread thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> requests_{0};

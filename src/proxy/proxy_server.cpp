@@ -69,19 +69,29 @@ ProxyServer::ProxyServer(ProxyConfig cfg)
           cfg_.hint_bytes,
           effective_partitions(cfg_.hint_bytes, cfg_.hint_stripes,
                                kMinHintStripeBytes))),
+      pool_(ConnectionPool::Options{cfg_.pool_max_idle_per_peer,
+                                    cfg_.pool_idle_timeout_seconds}),
       neighbors_(cfg_.hint_neighbors),
       c_(make_counters(registry_)),
       request_ms_(registry_.histogram("bh.proxy.request_ms")),
       flush_batch_(registry_.histogram("bh.proxy.flush_batch")) {
-  listener_ = TcpListener::bind_ephemeral();
+  listener_ = TcpListener::bind_ephemeral(cfg_.listen_backlog);
   if (!listener_) throw std::runtime_error("proxy: cannot bind");
   port_ = listener_->port();
+  reactor_ = std::make_unique<Reactor>();
+  HttpLoop::Options loop_opts;
+  loop_opts.idle_timeout_seconds = cfg_.keepalive_idle_seconds;
+  http_loop_ = std::make_unique<HttpLoop>(
+      *reactor_, listener_->fd(), loop_opts,
+      [this](std::uint64_t token, HttpRequest req) {
+        dispatch_request(token, std::move(req));
+      });
+  loop_thread_ = std::thread([this] { reactor_->run(); });
   const std::size_t workers = std::max<std::size_t>(1, cfg_.workers);
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
-  accept_thread_ = std::thread([this] { serve(); });
   flusher_thread_ = std::thread([this] { flusher_loop(); });
   if (cfg_.register_with_origin) {
     // Registration is the consistency anchor — worth the bounded retry.
@@ -90,7 +100,8 @@ ProxyServer::ProxyServer(ProxyConfig cfg)
     reg.target = "/register";
     reg.body = std::to_string(port_);
     int attempts = 0;
-    http_call(cfg_.origin_port, reg, metadata_call_options(), &attempts);
+    http_call(pool_, cfg_.origin_port, reg, metadata_call_options(),
+              &attempts);
     if (attempts > 1) {
       c_.metadata_retries.inc(static_cast<std::uint64_t>(attempts - 1));
     }
@@ -101,18 +112,20 @@ ProxyServer::~ProxyServer() { stop(); }
 
 void ProxyServer::stop() {
   if (stopping_.exchange(true)) return;
-  // The lock-then-notify pairs below close the classic missed-wakeup window:
-  // a thread that checked its predicate before stopping_ flipped is either
-  // already waiting (the notify lands) or still holds the mutex (it will
-  // re-check after we release it).
+  // First the reactor: once the loop has stopped and the loop is torn down,
+  // the listener is closed, so peers probing a dead daemon see a refused
+  // connection rather than an accepted-then-silent one.
+  reactor_->stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  http_loop_->shutdown();
+  listener_->shut_down();
+  // Workers drain the already-parsed jobs (each bounded by the per-call
+  // deadlines; their respond() posts are dropped, the loop being gone) and
+  // exit. The lock-then-notify pair closes the missed-wakeup window.
   {
     std::lock_guard lock(pool_mu_);
+    intake_done_ = true;
   }
-  accept_cv_.notify_all();
-  listener_->shut_down();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // serve() has set accept_done_; workers drain the queued connections
-  // (each bounded by the per-call deadlines) and exit.
   pool_cv_.notify_all();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
@@ -122,6 +135,7 @@ void ProxyServer::stop() {
   }
   queue_cv_.notify_all();
   if (flusher_thread_.joinable()) flusher_thread_.join();
+  pool_.clear();
 }
 
 ProxyStats ProxyServer::stats() const {
@@ -180,8 +194,16 @@ obs::MetricsSnapshot ProxyServer::metrics_snapshot() const {
   {
     std::lock_guard lock(pool_mu_);
     registry_.gauge("bh.proxy.queue_depth")
-        .set(static_cast<double>(conns_.size()));
+        .set(static_cast<double>(jobs_.size()));
   }
+  // Reactor and connection-pool counters keep their own atomics on the hot
+  // path; the registry copies are refreshed at scrape time.
+  registry_.gauge("bh.proxy.open_conns")
+      .set(static_cast<double>(http_loop_->open_connections()));
+  registry_.gauge("bh.proxy.pool_idle")
+      .set(static_cast<double>(pool_.idle_count()));
+  registry_.counter("bh.proxy.loop_iterations").set(reactor_->iterations());
+  registry_.counter("bh.proxy.pool_reuse").set(pool_.reuses());
   return registry_.snapshot();
 }
 
@@ -196,58 +218,44 @@ CallOptions ProxyServer::metadata_call_options() {
 }
 
 // ---------------------------------------------------------------------------
-// connection intake: accept loop + worker pool
+// request intake: reactor dispatch + worker pool
 // ---------------------------------------------------------------------------
 
-void ProxyServer::serve() {
-  while (!stopping_.load()) {
-    auto stream = listener_->accept();
-    if (!stream) break;
-    std::unique_lock lock(pool_mu_);
-    // Bounded handoff queue: when every worker is busy and the queue is
-    // full, the accept loop itself blocks, and further backpressure is the
-    // kernel listen backlog — clients queue instead of spawning unbounded
-    // handler threads.
-    accept_cv_.wait(lock, [this] {
-      return stopping_.load() || conns_.size() < cfg_.accept_queue_capacity;
-    });
-    if (stopping_.load()) break;
-    conns_.push_back(std::move(*stream));
-    lock.unlock();
-    pool_cv_.notify_one();
-  }
+// Runs on the reactor loop thread with a fully parsed request: enqueue it
+// for the workers and apply backpressure when the queue is full.
+void ProxyServer::dispatch_request(std::uint64_t token, HttpRequest req) {
+  bool pause = false;
   {
     std::lock_guard lock(pool_mu_);
-    accept_done_ = true;
+    jobs_.push_back(Job{token, std::move(req)});
+    pause = jobs_.size() >= cfg_.accept_queue_capacity;
   }
-  pool_cv_.notify_all();
+  if (pause && !intake_paused_.exchange(true)) {
+    // Already-open keep-alive connections keep queueing (each holds at most
+    // one in-flight request); new connections wait in the kernel backlog.
+    http_loop_->pause_accept();
+  }
+  pool_cv_.notify_one();
 }
 
 void ProxyServer::worker_loop() {
   for (;;) {
-    std::unique_lock lock(pool_mu_);
-    pool_cv_.wait(lock, [this] { return !conns_.empty() || accept_done_; });
-    if (conns_.empty()) return;  // accept loop exited and the queue drained
-    TcpStream stream = std::move(conns_.front());
-    conns_.pop_front();
-    lock.unlock();
-    accept_cv_.notify_one();
-    handle_connection(std::move(stream));
+    Job job;
+    bool resume = false;
+    {
+      std::unique_lock lock(pool_mu_);
+      pool_cv_.wait(lock, [this] { return !jobs_.empty() || intake_done_; });
+      if (jobs_.empty()) return;  // reactor stopped and the queue drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+      resume = intake_paused_.load(std::memory_order_relaxed) &&
+               jobs_.size() <= cfg_.accept_queue_capacity / 2;
+    }
+    if (resume && intake_paused_.exchange(false)) {
+      http_loop_->resume_accept();
+    }
+    http_loop_->respond(job.token, handle(job.req));
   }
-}
-
-void ProxyServer::handle_connection(TcpStream stream) {
-  auto raw = read_http_message(stream);
-  if (!raw) return;
-  auto req = parse_request(*raw);
-  HttpResponse resp;
-  if (!req) {
-    resp.status = 400;
-    resp.reason = "Bad Request";
-  } else {
-    resp = handle(*req);
-  }
-  stream.write_all(serialize(resp));
 }
 
 HttpResponse ProxyServer::handle(const HttpRequest& req) {
@@ -357,7 +365,7 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
       peer_req.headers.emplace_back("X-Requester-Port", std::to_string(port_));
       CallOptions probe;
       probe.deadline_seconds = cfg_.peer_deadline_seconds;
-      auto peer_resp = http_call(peer_port, peer_req, probe);
+      auto peer_resp = http_call(pool_, peer_port, peer_req, probe);
       if (peer_resp && peer_resp->status == 200) {
         record_peer_success(peer_port);
         c_.sibling_hits.inc();
@@ -396,7 +404,8 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
   origin_req.target = req.target;
   CallOptions origin_opts;
   origin_opts.deadline_seconds = cfg_.origin_deadline_seconds;
-  auto origin_resp = http_call(cfg_.origin_port, origin_req, origin_opts);
+  auto origin_resp = http_call(pool_, cfg_.origin_port, origin_req,
+                               origin_opts);
   if (!origin_resp || origin_resp->status != 200) {
     c_.origin_failures.inc();
     resp.status = 502;
@@ -549,7 +558,7 @@ void ProxyServer::push_to_neighbors(ObjectId id, const std::string& body,
     put.body = body;
     CallOptions opts;
     opts.deadline_seconds = cfg_.metadata_deadline_seconds;
-    const auto sent = http_call(nb, put, opts);
+    const auto sent = http_call(pool_, nb, put, opts);
     if (sent && sent->status == 200) {
       record_peer_success(nb);
       c_.pushes_sent.inc();
@@ -692,7 +701,8 @@ void ProxyServer::flush_hints() {
       req.headers.emplace_back("X-Hop", std::to_string(batch_hops));
       req.body.assign(reinterpret_cast<const char*>(body.data()), body.size());
       int attempts = 0;
-      const auto sent = http_call(nb, req, metadata_call_options(), &attempts);
+      const auto sent =
+          http_call(pool_, nb, req, metadata_call_options(), &attempts);
       if (attempts > 1) {
         c_.metadata_retries.inc(static_cast<std::uint64_t>(attempts - 1));
       }

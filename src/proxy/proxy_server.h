@@ -12,14 +12,23 @@
 //
 // Threading model (the paper makes the *local* cache operation the common
 // case; this layer makes it scale to many cores):
+//   - all inbound I/O runs on a single epoll reactor thread: non-blocking
+//     accept, incremental parsing, and gathered response writes, with
+//     HTTP/1.0 keep-alive so one client connection can carry many requests
+//     (see reactor.h). The loop never blocks on a socket;
+//   - each fully parsed request is handed to a fixed pool of `workers`
+//     threads through a bounded job queue (when it fills, the loop pauses
+//     accepting and backpressure falls back to the kernel listen backlog);
+//     workers run the cache/hint/outbound logic — everything that may block
+//     — and post the response back to the loop. stop() joins the loop and
+//     the pool, so in-flight handlers never outlive the daemon;
+//   - outbound probes, origin fetches, and metadata POSTs go through a
+//     bounded per-peer pool of persistent connections (conn_pool.h), so the
+//     steady state exchanges hints and probes without TCP handshakes;
 //   - the object cache is a ShardedLruCache — N lock-striped shards chosen
 //     by mix64(id) — and the hint cache sits behind an equally striped
 //     front, so concurrent handlers touching different objects take
 //     different locks;
-//   - connection handling runs on a fixed pool of `workers` threads fed by
-//     a bounded accept queue (when it fills, the accept loop blocks and
-//     backpressure falls back to the kernel listen backlog); stop() joins
-//     the pool, so in-flight handlers never outlive the daemon;
 //   - the remaining shared state is guarded per concern: neighbour
 //     list/health under one mutex, the outbound update queue + relay
 //     seen-set under another. Lock order: a cache-shard lock may be taken
@@ -66,7 +75,9 @@
 #include "hints/hint_cache.h"
 #include "obs/metrics.h"
 #include "proto/wire.h"
+#include "proxy/conn_pool.h"
 #include "proxy/http.h"
+#include "proxy/reactor.h"
 #include "proxy/socket.h"
 
 namespace bh::proxy {
@@ -98,11 +109,23 @@ struct ProxyConfig {
   // caches degenerate to one shard and behave exactly like a single LRU).
   std::size_t cache_shards = 8;
   std::size_t hint_stripes = 8;
-  // Fixed connection-handler pool size (also the concurrent-request bound).
+  // Fixed request-handler pool size (also the concurrent-request bound).
   std::size_t workers = 8;
-  // Accepted-but-unclaimed connections the daemon buffers; when full, the
-  // accept loop blocks and further backpressure is the kernel backlog.
+  // Parsed-but-unclaimed requests the daemon buffers; when full, the
+  // reactor pauses accepting and further backpressure is the kernel listen
+  // backlog.
   std::size_t accept_queue_capacity = 128;
+
+  // --- event-driven I/O ---
+  // Kernel listen backlog; <= 0 means SOMAXCONN.
+  int listen_backlog = 0;
+  // Inbound keep-alive connections idle longer than this are closed by the
+  // reactor's sweep; <= 0 disables the sweep.
+  double keepalive_idle_seconds = 30.0;
+  // Outbound persistent-connection pool: parked connections per peer, and
+  // how long one may sit idle before it is discarded instead of reused.
+  std::size_t pool_max_idle_per_peer = 4;
+  double pool_idle_timeout_seconds = 30.0;
 
   // --- outbound hint batching ---
   // The flusher thread sends as soon as this many updates are pending...
@@ -247,10 +270,9 @@ class ProxyServer {
   };
   static Counters make_counters(obs::MetricsRegistry& reg);
 
-  void serve();
   void worker_loop();
   void flusher_loop();
-  void handle_connection(TcpStream stream);
+  void dispatch_request(std::uint64_t token, HttpRequest req);
   HttpResponse handle(const HttpRequest& req);
   HttpResponse handle_get(const HttpRequest& req);
   HttpResponse handle_updates(const HttpRequest& req);
@@ -297,18 +319,30 @@ class ProxyServer {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> call_seq_{0};  // de-syncs backoff jitter streams
 
-  // --- connection intake: bounded queue + fixed worker pool ---
-  mutable std::mutex pool_mu_;  // const scrapes sample the queue depth
-  std::condition_variable pool_cv_;    // workers wait for connections
-  std::condition_variable accept_cv_;  // accept loop waits for queue space
-  std::deque<TcpStream> conns_;
-  bool accept_done_ = false;  // accept loop exited; workers drain then stop
-  std::thread accept_thread_;
+  // --- inbound I/O: epoll reactor + HTTP connection state machines ---
+  // Declared before http_loop_ so the loop is destroyed first.
+  std::unique_ptr<Reactor> reactor_;
+  std::unique_ptr<HttpLoop> http_loop_;
+  std::thread loop_thread_;
+
+  // --- request intake: bounded job queue + fixed worker pool ---
+  struct Job {
+    std::uint64_t token = 0;
+    HttpRequest req;
+  };
+  mutable std::mutex pool_mu_;       // const scrapes sample the queue depth
+  std::condition_variable pool_cv_;  // workers wait for jobs
+  std::deque<Job> jobs_;
+  bool intake_done_ = false;  // reactor stopped; workers drain then exit
+  std::atomic<bool> intake_paused_{false};  // accept paused for backpressure
   std::vector<std::thread> workers_;
 
   // --- data path: internally lock-striped, no daemon-wide lock ---
   cache::ShardedLruCache cache_;
   std::unique_ptr<hints::HintStore> hints_;  // striped front: thread-safe
+
+  // --- outbound persistent connections ---
+  ConnectionPool pool_;
 
   // --- neighbours: list + health ---
   mutable std::mutex peers_mu_;

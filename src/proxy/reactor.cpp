@@ -1,0 +1,539 @@
+#include "proxy/reactor.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace bh::proxy {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TimerWheel
+
+TimerWheel::TimerWheel(double tick_seconds, std::size_t slots)
+    : epoch_(Clock::now()),
+      tick_seconds_(tick_seconds > 0 ? tick_seconds : 0.01),
+      slots_(slots > 0 ? slots : 1) {}
+
+std::uint64_t TimerWheel::tick_of(Clock::time_point t) const {
+  const double secs = std::chrono::duration<double>(t - epoch_).count();
+  if (secs <= 0) return 0;
+  return static_cast<std::uint64_t>(secs / tick_seconds_);
+}
+
+std::uint64_t TimerWheel::add(Clock::time_point now, double delay_seconds,
+                              std::function<void()> fn) {
+  const std::uint64_t delay_ticks =
+      delay_seconds <= 0
+          ? 0
+          : static_cast<std::uint64_t>(
+                std::ceil(delay_seconds / tick_seconds_));
+  // Never schedule into an already-processed tick: such an entry would sit
+  // in its slot forever.
+  std::uint64_t due = tick_of(now) + delay_ticks;
+  if (due <= cursor_) due = cursor_ + 1;
+
+  const std::uint64_t id = next_id_++;
+  slots_[due % slots_.size()].push_back(Entry{id, due, std::move(fn)});
+  by_id_.emplace(id, due);
+  due_ticks_.insert(due);
+  return id;
+}
+
+bool TimerWheel::cancel(std::uint64_t id) {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  const std::uint64_t due = it->second;
+  auto& slot = slots_[due % slots_.size()];
+  for (std::size_t i = 0; i < slot.size(); ++i) {
+    if (slot[i].id == id) {
+      slot[i] = std::move(slot.back());
+      slot.pop_back();
+      break;
+    }
+  }
+  due_ticks_.erase(due_ticks_.find(due));
+  by_id_.erase(it);
+  return true;
+}
+
+void TimerWheel::advance(Clock::time_point now) {
+  const std::uint64_t target = tick_of(now);
+  if (target <= cursor_) return;
+  if (by_id_.empty()) {
+    cursor_ = target;
+    return;
+  }
+  // When more ticks elapsed than the wheel has slots, one pass over every
+  // slot covers all of them.
+  std::uint64_t begin = cursor_ + 1;
+  if (target - cursor_ > slots_.size()) begin = target - slots_.size() + 1;
+
+  std::vector<std::function<void()>> fire;
+  for (std::uint64_t t = begin; t <= target; ++t) {
+    auto& slot = slots_[t % slots_.size()];
+    for (std::size_t i = 0; i < slot.size();) {
+      if (slot[i].due_tick <= target) {
+        fire.push_back(std::move(slot[i].fn));
+        by_id_.erase(slot[i].id);
+        due_ticks_.erase(due_ticks_.find(slot[i].due_tick));
+        slot[i] = std::move(slot.back());
+        slot.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+  cursor_ = target;
+  // Fired after the bookkeeping settles: callbacks may add or cancel
+  // timers, including rescheduling themselves.
+  for (auto& fn : fire) fn();
+}
+
+int TimerWheel::next_delay_ms(Clock::time_point now) const {
+  if (due_ticks_.empty()) return -1;
+  const std::uint64_t earliest = *due_ticks_.begin();
+  const auto due_time =
+      epoch_ + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(
+                       static_cast<double>(earliest) * tick_seconds_));
+  const auto diff =
+      std::chrono::duration_cast<std::chrono::milliseconds>(due_time - now)
+          .count();
+  if (diff <= 0) return 0;
+  // +1 so the wait lands at-or-after the due instant despite ms truncation.
+  return static_cast<int>(diff) + 1;
+}
+
+// ---------------------------------------------------------------------------
+// Reactor
+
+Reactor::Reactor() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw std::runtime_error("epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw std::runtime_error("eventfd failed");
+  }
+  // Registration id 0 is reserved for the wakeup eventfd.
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    throw std::runtime_error("epoll_ctl(wake_fd) failed");
+  }
+}
+
+Reactor::~Reactor() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+std::uint64_t Reactor::add_fd(int fd, std::uint32_t events, IoFn fn) {
+  const std::uint64_t id = next_reg_id_++;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return 0;
+  regs_.emplace(id, Registration{fd, std::move(fn)});
+  return id;
+}
+
+bool Reactor::mod_fd(std::uint64_t id, std::uint32_t events) {
+  const auto it = regs_.find(id);
+  if (it == regs_.end()) return false;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = id;
+  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, it->second.fd, &ev) == 0;
+}
+
+void Reactor::del_fd(std::uint64_t id) {
+  const auto it = regs_.find(id);
+  if (it == regs_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+  regs_.erase(it);
+}
+
+void Reactor::post(std::function<void()> fn) {
+  {
+    std::lock_guard lock(tasks_mu_);
+    tasks_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Reactor::stop() {
+  stop_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+bool Reactor::on_loop_thread() const {
+  return loop_tid_.load(std::memory_order_acquire) ==
+         std::this_thread::get_id();
+}
+
+void Reactor::run() {
+  loop_tid_.store(std::this_thread::get_id(), std::memory_order_release);
+  epoll_event events[64];
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Posted tasks first: they may register fds or arm timers that the
+    // upcoming wait must take into account.
+    std::deque<std::function<void()>> tasks;
+    {
+      std::lock_guard lock(tasks_mu_);
+      tasks.swap(tasks_);
+    }
+    for (auto& fn : tasks) fn();
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    timers_.advance(Clock::now());
+    const int timeout = timers_.next_delay_ms(Clock::now());
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout);
+    iterations_.fetch_add(1, std::memory_order_relaxed);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t id = events[i].data.u64;
+      if (id == 0) {
+        std::uint64_t drain;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      // Looked up per event (a callback earlier in the batch may have
+      // deleted this registration) and the functor copied out (the callback
+      // may delete its own registration mid-call).
+      const auto it = regs_.find(id);
+      if (it == regs_.end()) continue;
+      IoFn fn = it->second.fn;
+      fn(events[i].events);
+    }
+  }
+  loop_tid_.store(std::thread::id{}, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// HttpLoop
+
+HttpLoop::HttpLoop(Reactor& reactor, int listen_fd, Options opts,
+                   Dispatch dispatch)
+    : reactor_(reactor),
+      listen_fd_(listen_fd),
+      opts_(opts),
+      dispatch_(std::move(dispatch)) {
+  set_nonblocking(listen_fd_);
+  listener_reg_ = reactor_.add_fd(listen_fd_, EPOLLIN,
+                                  [this](std::uint32_t) { on_acceptable(); });
+  schedule_sweep();
+}
+
+HttpLoop::~HttpLoop() { shutdown(); }
+
+void HttpLoop::schedule_sweep() {
+  if (shut_down_ || opts_.idle_timeout_seconds <= 0) return;
+  const double interval = std::max(0.05, opts_.idle_timeout_seconds / 4.0);
+  sweep_timer_ = reactor_.timers().add(Clock::now(), interval, [this] {
+    sweep_idle();
+    schedule_sweep();
+  });
+}
+
+void HttpLoop::on_acceptable() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or a transient accept error: wait for the next event
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Conn>(opts_.parser_limits);
+    conn->fd = fd;
+    conn->token = next_token_++;
+    conn->last_activity = Clock::now();
+    const std::uint64_t token = conn->token;
+    conn->reg_id =
+        reactor_.add_fd(fd, EPOLLIN, [this, token](std::uint32_t events) {
+          on_conn_event(token, events);
+        });
+    if (conn->reg_id == 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(token, std::move(conn));
+    open_conns_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HttpLoop::on_conn_event(std::uint64_t token, std::uint32_t events) {
+  {
+    const auto it = conns_.find(token);
+    if (it == conns_.end()) return;
+    if ((events & EPOLLOUT) && it->second->writing) {
+      if (!continue_write(token)) return;
+    }
+  }
+  if (events & (EPOLLIN | EPOLLERR | EPOLLHUP)) read_available(token);
+}
+
+void HttpLoop::read_available(std::uint64_t token) {
+  const auto it = conns_.find(token);
+  if (it == conns_.end()) return;
+  Conn* c = it->second.get();
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(c->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c->last_activity = Clock::now();
+      c->buffered.append(buf, static_cast<std::size_t>(n));
+      // A client shoving pipelined data faster than we respond is bounded
+      // by the largest legal message; beyond that it is abuse.
+      if (c->buffered.size() >
+          opts_.parser_limits.max_head_bytes +
+              opts_.parser_limits.max_body_bytes) {
+        close_conn(token);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      c->saw_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_conn(token);
+    return;
+  }
+  pump(token);
+}
+
+void HttpLoop::pump(std::uint64_t token) {
+  for (;;) {
+    const auto it = conns_.find(token);
+    if (it == conns_.end()) return;
+    Conn* c = it->second.get();
+    if (c->busy) return;  // strictly one in-flight request per connection
+
+    if (!c->buffered.empty()) {
+      const std::size_t used = c->parser.feed(c->buffered);
+      c->buffered.erase(0, used);
+    }
+    if (c->parser.failed()) {
+      HttpResponse bad;
+      bad.status = 400;
+      bad.reason = "Bad Request";
+      bad.body = "malformed request\n";
+      c->keep_alive = false;
+      c->close_after_write = true;
+      c->busy = true;
+      start_response(token, std::move(bad));
+      return;
+    }
+    if (c->parser.complete()) {
+      HttpRequest req = std::move(c->parser.request());
+      c->parser.reset();
+      c->keep_alive = req.wants_keep_alive();
+      c->busy = true;
+      c->last_activity = Clock::now();
+      // May respond() inline (and even close the connection) before
+      // returning — no Conn* survives this call.
+      dispatch_(token, std::move(req));
+      continue;
+    }
+    // Mid-message or between messages with nothing buffered: EOF now means
+    // the client is done (a half-finished message is simply dropped, as the
+    // blocking path did).
+    if (c->saw_eof) close_conn(token);
+    return;
+  }
+}
+
+void HttpLoop::respond(std::uint64_t token, HttpResponse resp) {
+  if (reactor_.on_loop_thread()) {
+    start_response(token, std::move(resp));
+    return;
+  }
+  auto shared = std::make_shared<HttpResponse>(std::move(resp));
+  reactor_.post(
+      [this, token, shared] { start_response(token, std::move(*shared)); });
+}
+
+void HttpLoop::start_response(std::uint64_t token, HttpResponse resp) {
+  const auto it = conns_.find(token);
+  if (it == conns_.end()) return;  // connection died while the worker ran
+  Conn* c = it->second.get();
+  const bool ka = c->keep_alive && !c->close_after_write;
+  resp.headers.emplace_back("Connection", ka ? "keep-alive" : "close");
+  c->out_head = serialize_head(resp, resp.body.size());
+  c->out_body = std::move(resp.body);
+  c->out_off = 0;
+  continue_write(token);
+}
+
+bool HttpLoop::continue_write(std::uint64_t token) {
+  const auto it = conns_.find(token);
+  if (it == conns_.end()) return false;
+  Conn* c = it->second.get();
+  for (;;) {
+    const std::size_t head_len = c->out_head.size();
+    const std::size_t total = head_len + c->out_body.size();
+    if (c->out_off >= total) {
+      finish_write(token);
+      return conns_.find(token) != conns_.end();
+    }
+    // Head + body in one gathered write — the body is never copied into a
+    // contiguous reply buffer.
+    iovec iov[2];
+    int iovcnt = 0;
+    if (c->out_off < head_len) {
+      iov[iovcnt].iov_base =
+          const_cast<char*>(c->out_head.data() + c->out_off);
+      iov[iovcnt].iov_len = head_len - c->out_off;
+      ++iovcnt;
+      if (!c->out_body.empty()) {
+        iov[iovcnt].iov_base = const_cast<char*>(c->out_body.data());
+        iov[iovcnt].iov_len = c->out_body.size();
+        ++iovcnt;
+      }
+    } else {
+      const std::size_t boff = c->out_off - head_len;
+      iov[iovcnt].iov_base = const_cast<char*>(c->out_body.data() + boff);
+      iov[iovcnt].iov_len = c->out_body.size() - boff;
+      ++iovcnt;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iovcnt;
+    const ssize_t n = ::sendmsg(c->fd, &msg, MSG_NOSIGNAL);
+    if (n >= 0) {
+      c->out_off += static_cast<std::size_t>(n);
+      c->last_activity = Clock::now();
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!c->writing) {
+        c->writing = true;
+        reactor_.mod_fd(c->reg_id, EPOLLIN | EPOLLOUT);
+      }
+      return true;
+    }
+    if (errno == EINTR) continue;
+    close_conn(token);
+    return false;
+  }
+}
+
+void HttpLoop::finish_write(std::uint64_t token) {
+  const auto it = conns_.find(token);
+  if (it == conns_.end()) return;
+  Conn* c = it->second.get();
+  if (c->writing) {
+    c->writing = false;
+    reactor_.mod_fd(c->reg_id, EPOLLIN);
+  }
+  c->out_head.clear();
+  c->out_body.clear();
+  c->out_off = 0;
+  c->busy = false;
+  c->last_activity = Clock::now();
+  if (c->close_after_write || !c->keep_alive) {
+    close_conn(token);
+    return;
+  }
+  // Deferred (not recursive) pump: the next pipelined request — or the EOF
+  // check — runs on a fresh stack.
+  reactor_.post([this, token] { pump(token); });
+}
+
+void HttpLoop::close_conn(std::uint64_t token) {
+  const auto it = conns_.find(token);
+  if (it == conns_.end()) return;
+  Conn* c = it->second.get();
+  if (c->reg_id != 0) reactor_.del_fd(c->reg_id);
+  // Decremented before ::close so an observer woken by the peer's EOF never
+  // reads a stale count.
+  open_conns_.fetch_sub(1, std::memory_order_relaxed);
+  ::close(c->fd);
+  conns_.erase(it);
+}
+
+void HttpLoop::sweep_idle() {
+  const auto now = Clock::now();
+  const auto cutoff =
+      now - std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(opts_.idle_timeout_seconds));
+  std::vector<std::uint64_t> expired;
+  for (const auto& [token, conn] : conns_) {
+    // Busy connections are the worker pool's responsibility, not ours.
+    if (!conn->busy && conn->last_activity < cutoff) {
+      expired.push_back(token);
+    }
+  }
+  for (const std::uint64_t token : expired) close_conn(token);
+}
+
+void HttpLoop::pause_accept() {
+  if (accept_paused_ || listener_reg_ == 0) return;
+  accept_paused_ = true;
+  reactor_.mod_fd(listener_reg_, 0);
+}
+
+void HttpLoop::resume_accept() {
+  reactor_.post([this] {
+    if (!accept_paused_ || listener_reg_ == 0) return;
+    accept_paused_ = false;
+    reactor_.mod_fd(listener_reg_, EPOLLIN);
+  });
+}
+
+void HttpLoop::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  if (sweep_timer_ != 0) {
+    reactor_.timers().cancel(sweep_timer_);
+    sweep_timer_ = 0;
+  }
+  if (listener_reg_ != 0) {
+    reactor_.del_fd(listener_reg_);
+    listener_reg_ = 0;
+  }
+  std::vector<std::uint64_t> tokens;
+  tokens.reserve(conns_.size());
+  for (const auto& [token, conn] : conns_) tokens.push_back(token);
+  for (const std::uint64_t token : tokens) close_conn(token);
+}
+
+}  // namespace bh::proxy

@@ -1,0 +1,238 @@
+// The proxy's event-driven I/O core: a single-threaded epoll reactor, a
+// coarse hashed timer wheel for deadlines, and an HTTP server harness
+// (HttpLoop) that multiplexes every inbound connection over it.
+//
+// Ownership model:
+//   - Reactor owns the epoll instance, an eventfd for cross-thread wakeup,
+//     and the registered I/O callbacks. run() executes on exactly one
+//     thread (the "loop thread"); every callback, timer, and posted task
+//     fires there, so per-connection state needs no locks.
+//   - HttpLoop owns the per-connection state machines: a non-blocking fd,
+//     an incremental HttpParser, a buffered-ahead byte queue for pipelined
+//     requests, and the response write state. It borrows the listening fd
+//     (the TcpListener keeps ownership) and accepts in a loop until EAGAIN.
+//   - Everything that can block — shard lookups that contend, hint ops,
+//     outbound peer probes, origin fetches — runs on the caller's worker
+//     pool, NOT here. The loop's contract is: parse, dispatch, write,
+//     never wait on anything but epoll.
+//
+// Request flow: readable fd -> parser.feed -> complete request ->
+// dispatch(token, request) on the loop thread (must not block; typically
+// enqueues to a worker pool) -> worker calls respond(token, response) from
+// any thread -> posted back to the loop -> gathered writev of head + body
+// -> keep-alive ? parse the next (possibly already buffered) request :
+// close.
+//
+// Keep-alive: HTTP/1.0 semantics — close by default, held open when the
+// request carries "Connection: keep-alive" (the response echoes the
+// decision). Pipelined requests on one connection are served strictly in
+// order: while one request is in flight its successors stay buffered.
+//
+// Deadlines: a periodic sweep over the timer wheel closes connections that
+// have been idle (or stuck mid-message) past the idle timeout, so a wedged
+// or slow-trickling client can never pin a connection forever.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "proxy/http.h"
+
+namespace bh::proxy {
+
+// Hashed timer wheel: O(1) add/cancel, coarse `tick_seconds` resolution —
+// plenty for connection deadlines, which are 10ms+ quantities. Not
+// thread-safe; lives on the loop thread.
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit TimerWheel(double tick_seconds = 0.01, std::size_t slots = 256);
+
+  // Fires `fn` once, `delay_seconds` from `now` (rounded up to a tick).
+  // Returns an id usable with cancel().
+  std::uint64_t add(Clock::time_point now, double delay_seconds,
+                    std::function<void()> fn);
+  bool cancel(std::uint64_t id);
+
+  // Fires every timer due at `now`. Callbacks may add or cancel timers.
+  void advance(Clock::time_point now);
+
+  // Milliseconds until the next timer is due at `now` (0 if already due),
+  // or -1 when none are pending — the epoll_wait timeout.
+  int next_delay_ms(Clock::time_point now) const;
+
+  std::size_t pending() const { return by_id_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::uint64_t due_tick;
+    std::function<void()> fn;
+  };
+
+  std::uint64_t tick_of(Clock::time_point t) const;
+
+  Clock::time_point epoch_;
+  double tick_seconds_;
+  std::vector<std::vector<Entry>> slots_;
+  // id -> due_tick for cancel; due-tick multiset for next_delay_ms.
+  std::unordered_map<std::uint64_t, std::uint64_t> by_id_;
+  std::multiset<std::uint64_t> due_ticks_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t cursor_ = 0;  // last tick fully processed
+};
+
+class Reactor {
+ public:
+  using IoFn = std::function<void(std::uint32_t events)>;
+
+  Reactor();  // throws std::runtime_error if epoll/eventfd creation fails
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // --- loop-thread-only API ---
+  // Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...); returns a handle
+  // id, 0 on failure. The callback may add/mod/del registrations freely;
+  // events for handles deleted mid-batch are dropped, and handle ids are
+  // never reused, so a recycled fd can never receive a stale event.
+  std::uint64_t add_fd(int fd, std::uint32_t events, IoFn fn);
+  bool mod_fd(std::uint64_t id, std::uint32_t events);
+  void del_fd(std::uint64_t id);
+
+  TimerWheel& timers() { return timers_; }
+
+  // --- any-thread API ---
+  // Enqueues `fn` to run on the loop thread; wakes the loop via eventfd.
+  // Safe before run() and after stop() (tasks posted after the loop exits
+  // are destroyed unrun).
+  void post(std::function<void()> fn);
+  void stop();
+
+  void run();
+  bool on_loop_thread() const;
+
+  // epoll_wait returns since run() started — `bh.proxy.loop_iterations`.
+  std::uint64_t iterations() const {
+    return iterations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Registration {
+    int fd;
+    IoFn fn;
+  };
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd
+  std::unordered_map<std::uint64_t, Registration> regs_;
+  std::uint64_t next_reg_id_ = 1;
+  TimerWheel timers_;
+
+  std::mutex tasks_mu_;
+  std::deque<std::function<void()>> tasks_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> iterations_{0};
+  std::atomic<std::thread::id> loop_tid_{};
+};
+
+// HTTP server harness over a Reactor (see the file comment for the model).
+class HttpLoop {
+ public:
+  struct Options {
+    // Quiet keep-alive connections (and connections stuck mid-message) are
+    // closed after this long; <= 0 disables the sweep.
+    double idle_timeout_seconds = 30.0;
+    HttpParser::Limits parser_limits{};
+  };
+
+  // `dispatch` runs on the loop thread with each complete request; it must
+  // not block (hand off to a worker pool and respond() later, or compute
+  // inline and respond() immediately).
+  using Dispatch = std::function<void(std::uint64_t token, HttpRequest req)>;
+
+  // `listen_fd` stays owned by the caller; it is made non-blocking here.
+  HttpLoop(Reactor& reactor, int listen_fd, Options opts, Dispatch dispatch);
+  ~HttpLoop();
+
+  // Queues `resp` for the connection identified by `token`; a no-op if the
+  // connection died meanwhile. Callable from any thread.
+  void respond(std::uint64_t token, HttpResponse resp);
+
+  // Flow control: stop/resume accepting new connections (backpressure when
+  // the worker queue is full). pause is loop-thread-only; resume may be
+  // called from any thread.
+  void pause_accept();
+  void resume_accept();
+
+  // Closes the listener registration and every open connection. Must be
+  // called after the reactor loop has stopped (or from the loop thread).
+  void shutdown();
+
+  std::size_t open_connections() const {
+    return open_conns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::uint64_t token = 0;
+    std::uint64_t reg_id = 0;
+    HttpParser parser;
+    std::string buffered;     // bytes received ahead of the current message
+    bool busy = false;        // a dispatched request awaits its response
+    bool keep_alive = false;  // the in-flight request asked for keep-alive
+    bool saw_eof = false;
+    bool close_after_write = false;
+    // Gathered write state: head + body via one writev, no concatenation.
+    std::string out_head;
+    std::string out_body;
+    std::size_t out_off = 0;
+    bool writing = false;
+    std::chrono::steady_clock::time_point last_activity;
+
+    explicit Conn(HttpParser::Limits limits)
+        : parser(HttpParser::Kind::kRequest, limits) {}
+  };
+
+  // All helpers below take the connection token and re-resolve it, because
+  // any step that writes or dispatches can close the connection under the
+  // caller's feet; a dangling Conn* is never held across such a step.
+  void on_acceptable();
+  void on_conn_event(std::uint64_t token, std::uint32_t events);
+  void read_available(std::uint64_t token);
+  // Runs buffered bytes through the parser; dispatches at most one request
+  // at a time (pipelined successors wait in `buffered`), closes on EOF.
+  void pump(std::uint64_t token);
+  void start_response(std::uint64_t token, HttpResponse resp);
+  bool continue_write(std::uint64_t token);  // false once the conn is gone
+  void finish_write(std::uint64_t token);
+  void close_conn(std::uint64_t token);
+  void sweep_idle();
+  void schedule_sweep();
+
+  Reactor& reactor_;
+  int listen_fd_;
+  Options opts_;
+  Dispatch dispatch_;
+  std::uint64_t listener_reg_ = 0;
+  std::uint64_t sweep_timer_ = 0;
+  bool accept_paused_ = false;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_token_ = 1;
+  std::atomic<std::size_t> open_conns_{0};
+  bool shut_down_ = false;
+};
+
+}  // namespace bh::proxy

@@ -174,7 +174,7 @@ std::optional<std::string> TcpStream::read_to_end(std::size_t limit) {
 
 void TcpStream::shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }
 
-std::optional<TcpListener> TcpListener::bind_ephemeral() {
+std::optional<TcpListener> TcpListener::bind_ephemeral(int backlog) {
   Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return std::nullopt;
   const int one = 1;
@@ -188,7 +188,8 @@ std::optional<TcpListener> TcpListener::bind_ephemeral() {
   if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
     return std::nullopt;
   }
-  if (::listen(fd.get(), 64) != 0) return std::nullopt;
+  if (backlog <= 0) backlog = SOMAXCONN;
+  if (::listen(fd.get(), backlog) != 0) return std::nullopt;
   return TcpListener(std::move(fd), ntohs(addr.sin_port));
 }
 

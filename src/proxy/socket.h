@@ -79,10 +79,16 @@ class TcpStream {
 
 class TcpListener {
  public:
-  // Binds 127.0.0.1 on an ephemeral port; nullopt on failure.
-  static std::optional<TcpListener> bind_ephemeral();
+  // Binds 127.0.0.1 on an ephemeral port; nullopt on failure. `backlog`
+  // sizes the kernel accept queue — a serving daemon wants the SOMAXCONN
+  // ceiling (the default, backlog <= 0), a test may want it tiny.
+  static std::optional<TcpListener> bind_ephemeral(int backlog = 0);
 
   std::uint16_t port() const { return port_; }
+
+  // The raw listening descriptor, for mounting on a Reactor. Ownership
+  // stays with the listener.
+  int fd() const { return fd_.get(); }
 
   // Blocks for the next connection; nullopt once shut_down() was called or
   // on error.

@@ -939,5 +939,67 @@ TEST(ProxyMetricsTest, ConcurrentScrapesDuringTraffic) {
             std::uint64_t(kFetches));
 }
 
+// --- keep-alive and the reactor data path ---
+
+TEST(ProxyKeepAliveTest, OneConnectionServesManyRequests) {
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  ProxyServer proxy(cfg);
+
+  auto conn = ClientConnection::open(proxy.port(), 1.0);
+  ASSERT_TRUE(conn.has_value());
+  const ObjectId id{77};
+  for (int i = 0; i < 6; ++i) {
+    HttpRequest req;
+    req.method = "GET";
+    req.target = object_path(id, 256);
+    auto resp = conn->exchange(
+        req, std::chrono::steady_clock::now() + std::chrono::seconds(5),
+        /*keep_alive=*/true);
+    ASSERT_TRUE(resp.has_value()) << "request " << i;
+    EXPECT_EQ(resp->status, 200);
+    EXPECT_TRUE(conn->reusable());
+    EXPECT_EQ(resp->header("X-Cache").value_or(""), i == 0 ? "MISS" : "HIT");
+    EXPECT_EQ(resp->body, origin_body(id, 1, 256));
+  }
+  const ProxyStats s = proxy.stats();
+  EXPECT_EQ(s.requests, 6u);
+  EXPECT_EQ(s.local_hits, 5u);
+  EXPECT_EQ(s.origin_fetches, 1u);
+}
+
+TEST(ProxyKeepAliveTest, ReactorAndPoolMetricsExported) {
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  ProxyServer proxy(cfg);
+
+  // Two distinct misses: the second origin fetch rides the pooled
+  // connection the first one parked.
+  fetch(proxy.port(), ObjectId{21}, 64);
+  fetch(proxy.port(), ObjectId{22}, 64);
+
+  auto resp = scrape(proxy.port(), "/metrics?format=json");
+  ASSERT_TRUE(resp.has_value());
+  const auto snap = obs::parse_snapshot(resp->body);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_GE(snap->counter("bh.proxy.loop_iterations"), 1u);
+  EXPECT_GE(snap->counter("bh.proxy.pool_reuse"), 1u);
+  EXPECT_GE(snap->gauge("bh.proxy.pool_idle"), 1.0);
+  // The scraping connection itself is open at sample time.
+  EXPECT_GE(snap->gauge("bh.proxy.open_conns"), 1.0);
+
+  auto text = scrape(proxy.port());
+  ASSERT_TRUE(text.has_value());
+  for (const char* name :
+       {"bh_proxy_open_conns", "bh_proxy_pool_reuse",
+        "bh_proxy_loop_iterations", "bh_proxy_queue_depth",
+        "bh_proxy_pool_idle"}) {
+    EXPECT_NE(text->body.find(name), std::string::npos)
+        << "missing metric: " << name;
+  }
+}
+
 }  // namespace
 }  // namespace bh::proxy
