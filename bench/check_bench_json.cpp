@@ -5,12 +5,19 @@
 // this after the smoke benches so a serializer regression fails the job
 // instead of silently corrupting the perf history.
 //
-//   check_bench_json <file> [<required-suite>...]
+// A requirement of the form <suite>:<metric> additionally demands that the
+// suite's metrics block contain that counter/gauge/histogram — how CI pins
+// down specific entries, e.g. that the loadgen_net sweep recorded both the
+// epoll and io_uring rows rather than silently dropping one.
+//
+//   check_bench_json <file> [<required-suite> | <suite>:<metric> ...]
 #include <cstdio>
+#include <map>
 #include <string>
 
 #include "obs/bench_store.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -58,11 +65,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: no suites\n", path.c_str());
     return 1;
   }
+  // Split requirements into plain suite names and suite:metric pairs.
+  std::multimap<std::string, std::string> metric_reqs;
   for (int i = 2; i < argc; ++i) {
-    if (suites.find(argv[i]) == suites.end()) {
+    const std::string req = argv[i];
+    const std::size_t colon = req.find(':');
+    const std::string suite = req.substr(0, colon);
+    if (suites.find(suite) == suites.end()) {
       std::fprintf(stderr, "%s: required suite \"%s\" missing\n", path.c_str(),
-                   argv[i]);
+                   suite.c_str());
       return 1;
+    }
+    if (colon != std::string::npos) {
+      metric_reqs.emplace(suite, req.substr(colon + 1));
     }
   }
 
@@ -82,7 +97,26 @@ int main(int argc, char** argv) {
                    path.c_str(), name.c_str());
       return 1;
     }
+    const auto [begin, end] = metric_reqs.equal_range(name);
+    for (auto it = begin; it != end; ++it) {
+      const std::string& metric = it->second;
+      if (snap->counters.count(metric) == 0 &&
+          snap->gauges.count(metric) == 0 &&
+          snap->histograms.count(metric) == 0) {
+        std::fprintf(stderr, "%s: suite \"%s\": required metric \"%s\" missing\n",
+                     path.c_str(), name.c_str(), metric.c_str());
+        return 1;
+      }
+    }
+    metric_reqs.erase(begin, end);
     ++checked;
+  }
+  // A suite with no metrics block cannot satisfy a metric requirement.
+  if (!metric_reqs.empty()) {
+    const auto& [suite, metric] = *metric_reqs.begin();
+    std::fprintf(stderr, "%s: suite \"%s\" has no metrics block (wanted \"%s\")\n",
+                 path.c_str(), suite.c_str(), metric.c_str());
+    return 1;
   }
 
   std::printf("%s: ok (%zu suites, %d metrics blocks round-tripped)\n",

@@ -18,7 +18,11 @@
 // object (a pure local HIT, so connection setup dominates the exchange).
 // The per_request baseline opens a fresh TCP connection per call (the old
 // thread-per-request contract); the keepalive path holds one persistent
-// ClientConnection per thread. Results land in the "loadgen_net" suite.
+// ClientConnection per thread. The whole comparison runs once per available
+// I/O backend (epoll, then io_uring when the kernel has it), recording
+// bh.loadgen_net.<backend>.* gauges plus an io_uring_vs_epoll ratio, with
+// the unprefixed keys carrying the auto-selected backend's numbers. Results
+// land in the "loadgen_net" suite.
 //
 // Usage: loadgen_concurrent [--json=<path>] [--ops=<per-thread-op-count>]
 //                           [--keepalive] [--clients=<n>]
@@ -47,6 +51,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "proxy/http.h"
+#include "proxy/io_backend.h"
 #include "proxy/origin_server.h"
 #include "proxy/proxy_server.h"
 
@@ -270,13 +275,22 @@ double median_of_three(Fn&& fn) {
   return trials[1];
 }
 
-int run_net_mode(const std::string& json_path, int clients, std::uint64_t ops,
-                 double require_speedup) {
-  proxy::OriginServer origin;
+struct NetResult {
+  double per_req = 0.0;
+  double keepalive = 0.0;
+};
+
+// One full per-request/keep-alive comparison against a proxy+origin pair
+// mounted on `kind`. Servers are rebuilt per backend so runs are isolated
+// and both measure the identical warm-HIT exchange on the same hardware.
+std::optional<NetResult> run_net_for_backend(proxy::IoBackendKind kind,
+                                             int clients, std::uint64_t ops) {
+  proxy::OriginServer origin(kind);
   proxy::ProxyConfig cfg;
   cfg.name = "loadgen";
   cfg.origin_port = origin.port();
   cfg.workers = static_cast<std::size_t>(std::max(clients, 2));
+  cfg.io_backend = kind;
   proxy::ProxyServer proxy_server(cfg);
 
   // Warm the one object: first fetch is the only origin round trip; every
@@ -284,30 +298,74 @@ int run_net_mode(const std::string& json_path, int clients, std::uint64_t ops,
   // difference under test rather than cache behavior.
   const auto warmed = proxy::http_call(proxy_server.port(), net_request());
   if (!warmed || warmed->status != 200) {
-    std::fprintf(stderr, "[loadgen_net] warm fetch failed\n");
-    return 1;
+    std::fprintf(stderr, "[loadgen_net] warm fetch failed (%s)\n",
+                 proxy::io_backend_kind_name(kind));
+    return std::nullopt;
+  }
+
+  NetResult r;
+  r.per_req = median_of_three([&] {
+    return run_per_request(proxy_server.port(), clients, ops);
+  });
+  r.keepalive = median_of_three([&] {
+    return run_keepalive(proxy_server.port(), clients, ops);
+  });
+  return r;
+}
+
+int run_net_mode(const std::string& json_path, int clients, std::uint64_t ops,
+                 double require_speedup) {
+  // Sweep every backend this kernel offers, epoll first so the io_uring run
+  // can be read as a delta against it.
+  std::vector<proxy::IoBackendKind> kinds{proxy::IoBackendKind::kEpoll};
+  std::string why;
+  if (proxy::io_uring_supported(&why)) {
+    kinds.push_back(proxy::IoBackendKind::kIoUring);
+  } else {
+    std::fprintf(stderr, "[loadgen_net] io_uring unavailable (%s): epoll only\n",
+                 why.c_str());
   }
 
   std::printf("loadgen_net: %d client(s), %llu requests/client, %zu-byte body\n",
               clients, static_cast<unsigned long long>(ops), kNetObjectBytes);
-  const double per_req = median_of_three([&] {
-    return run_per_request(proxy_server.port(), clients, ops);
-  });
-  const double keepalive = median_of_three([&] {
-    return run_keepalive(proxy_server.port(), clients, ops);
-  });
-  const double speedup = keepalive / per_req;
-  std::printf("%16s %20s %10s\n", "per_request r/s", "keepalive r/s",
-              "speedup");
-  std::printf("%16.0f %20.0f %9.2fx\n", per_req, keepalive, speedup);
+  std::printf("%10s %16s %20s %10s\n", "backend", "per_request r/s",
+              "keepalive r/s", "speedup");
 
   obs::MetricsRegistry reg;
   reg.gauge("bh.loadgen_net.clients").set(static_cast<double>(clients));
   reg.gauge("bh.loadgen_net.requests_per_client")
       .set(static_cast<double>(ops));
-  reg.gauge("bh.loadgen_net.per_request.requests_per_sec").set(per_req);
-  reg.gauge("bh.loadgen_net.keepalive.requests_per_sec").set(keepalive);
+
+  std::map<std::string, NetResult> results;
+  for (const proxy::IoBackendKind kind : kinds) {
+    const auto r = run_net_for_backend(kind, clients, ops);
+    if (!r) return 1;
+    const std::string name = proxy::io_backend_kind_name(kind);
+    results[name] = *r;
+    std::printf("%10s %16.0f %20.0f %9.2fx\n", name.c_str(), r->per_req,
+                r->keepalive, r->keepalive / r->per_req);
+    const std::string prefix = "bh.loadgen_net." + name;
+    reg.gauge(prefix + ".per_request.requests_per_sec").set(r->per_req);
+    reg.gauge(prefix + ".keepalive.requests_per_sec").set(r->keepalive);
+    reg.gauge(prefix + ".speedup").set(r->keepalive / r->per_req);
+  }
+
+  // Unprefixed keys track what a default (`auto`) deployment gets — the
+  // last backend in the sweep is the one auto prefers — preserving the
+  // trend line the suite recorded before the per-backend split.
+  const NetResult& preferred = results.rbegin()->second;
+  reg.gauge("bh.loadgen_net.per_request.requests_per_sec")
+      .set(preferred.per_req);
+  reg.gauge("bh.loadgen_net.keepalive.requests_per_sec")
+      .set(preferred.keepalive);
+  const double speedup = preferred.keepalive / preferred.per_req;
   reg.gauge("bh.loadgen_net.speedup").set(speedup);
+
+  if (results.count("epoll") && results.count("io_uring")) {
+    const double vs = results["io_uring"].keepalive / results["epoll"].keepalive;
+    reg.gauge("bh.loadgen_net.io_uring_vs_epoll").set(vs);
+    std::printf("io_uring/epoll keep-alive ratio: %.2fx\n", vs);
+  }
 
   std::ostringstream suite;
   suite << "{\"benchmarks\": [], \"metrics\": " << obs::to_json(reg.snapshot())

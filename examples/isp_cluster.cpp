@@ -65,6 +65,9 @@ int main() {
   // proxies. Every proxy flushes its update batch on its randomized timer.
   Rng rng(7);
   ZipfSampler zipf(300, 0.9);
+  // The Zipf stream repeats the popular URLs constantly; memoize their MD5
+  // digests so only first-sight URLs pay for the full hash.
+  UrlDigestCache digests;
   std::uint64_t local_hits = 0, metro_hits = 0, far_hits = 0, misses = 0;
 
   double now = 0;
@@ -77,8 +80,8 @@ int main() {
     const int at = 1 + static_cast<int>(rng.next_below(8));
     Proxy& p = proxies[at];
     const ObjectId obj =
-        object_id_from_url("http://news.example.com/story/" +
-                           std::to_string(zipf.sample(rng)));
+        digests.object_id("http://news.example.com/story/" +
+                          std::to_string(zipf.sample(rng)));
 
     if (p.has(obj)) {
       ++local_hits;

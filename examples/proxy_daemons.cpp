@@ -19,6 +19,7 @@
 
 #include "common/rng.h"
 #include "common/zipf.h"
+#include "proxy/io_backend.h"
 #include "proxy/origin_server.h"
 #include "proxy/proxy_server.h"
 
@@ -51,10 +52,14 @@ void print_stats(const std::vector<std::unique_ptr<proxy::ProxyServer>>& ps) {
 int main(int argc, char** argv) {
   // Data-path concurrency knobs: --shards=N sets both the cache shard and
   // hint stripe count, --workers=N sizes each daemon's handler pool,
-  // --backlog=N caps each listener's accept backlog (0 = SOMAXCONN).
+  // --backlog=N caps each listener's accept backlog (0 = SOMAXCONN),
+  // --io-backend=auto|epoll|io_uring picks the reactor's I/O engine
+  // (auto probes io_uring and falls back to epoll), and --probe-io-uring
+  // just reports whether this kernel can run the io_uring backend.
   std::size_t shards = 8;
   std::size_t workers = 8;
   int backlog = 0;
+  proxy::IoBackendKind io_backend = proxy::IoBackendKind::kAuto;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--shards=", 0) == 0) {
@@ -63,14 +68,42 @@ int main(int argc, char** argv) {
       workers = std::strtoull(a.c_str() + 10, nullptr, 10);
     } else if (a.rfind("--backlog=", 0) == 0) {
       backlog = std::atoi(a.c_str() + 10);
+    } else if (a.rfind("--io-backend=", 0) == 0) {
+      const auto kind = proxy::parse_io_backend(a.substr(13));
+      if (!kind) {
+        std::fprintf(stderr, "unknown --io-backend '%s' (auto|epoll|io_uring)\n",
+                     a.c_str() + 13);
+        return 1;
+      }
+      io_backend = *kind;
+    } else if (a == "--probe-io-uring") {
+      std::string why;
+      if (proxy::io_uring_supported(&why)) {
+        std::printf("io_uring: supported\n");
+        return 0;
+      }
+      std::printf("io_uring: unsupported (%s)\n", why.c_str());
+      return 2;
     } else {
-      std::fprintf(stderr, "usage: %s [--shards=N] [--workers=N] [--backlog=N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--shards=N] [--workers=N] [--backlog=N] "
+                   "[--io-backend=auto|epoll|io_uring] [--probe-io-uring]\n",
                    argv[0]);
       return 1;
     }
   }
 
-  proxy::OriginServer origin;
+  // An explicitly requested backend the kernel cannot provide is a clean
+  // startup error, not a silent fallback.
+  if (io_backend == proxy::IoBackendKind::kIoUring) {
+    std::string why;
+    if (!proxy::io_uring_supported(&why)) {
+      std::fprintf(stderr, "--io-backend=io_uring: %s\n", why.c_str());
+      return 1;
+    }
+  }
+
+  proxy::OriginServer origin(io_backend);
 
   // A ring topology: each proxy exchanges hints with its successor. The
   // graph is cyclic — exactly the shape that used to circulate updates
@@ -85,6 +118,7 @@ int main(int argc, char** argv) {
     cfg.hint_stripes = shards;
     cfg.workers = workers;
     cfg.listen_backlog = backlog;
+    cfg.io_backend = io_backend;
     // Failure budget: tight data-path probes, short quarantine so the demo's
     // outage phase shows degradation and the stats stay legible.
     cfg.peer_deadline_seconds = 0.25;
@@ -97,7 +131,8 @@ int main(int argc, char** argv) {
         proxies[std::size_t((i + 1) % 4)]->port());
   }
 
-  std::printf("origin on 127.0.0.1:%u; proxies (hint ring) on", origin.port());
+  std::printf("origin on 127.0.0.1:%u; proxies (hint ring, %s I/O) on",
+              origin.port(), proxies[0]->backend_name());
   for (const auto& p : proxies) std::printf(" %u", p->port());
   std::printf("\n\n");
 

@@ -30,10 +30,6 @@ ShardedLruCache::ShardedLruCache(std::uint64_t capacity_bytes,
   }
 }
 
-std::size_t ShardedLruCache::shard_of(ObjectId id) const {
-  return static_cast<std::size_t>(mix64(id.value) % shards_.size());
-}
-
 std::optional<std::string> ShardedLruCache::find(ObjectId id) {
   Shard& s = *shards_[shard_of(id)];
   std::lock_guard lock(s.mu);

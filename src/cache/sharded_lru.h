@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "cache/lru_cache.h"
+#include "common/hash.h"
 #include "common/types.h"
 
 namespace bh::cache {
@@ -87,7 +88,14 @@ class ShardedLruCache {
   std::uint64_t shard_used_bytes(std::size_t shard) const;
   std::size_t shard_object_count(std::size_t shard) const;
 
-  std::size_t shard_of(ObjectId id) const;
+  // Shard selection, inlined on the hot path: mix64 scrambles the id and the
+  // Lemire multiply-shift maps the 64-bit hash onto [0, shards) without the
+  // div instruction a `%` would cost per request.
+  std::size_t shard_of(ObjectId id) const {
+    return static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(mix64(id.value)) * shards_.size()) >>
+        64);
+  }
 
  private:
   struct Shard {

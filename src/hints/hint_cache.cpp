@@ -183,14 +183,6 @@ StripedHintStore::StripedHintStore(std::uint64_t capacity_bytes,
   }
 }
 
-StripedHintStore::Stripe& StripedHintStore::stripe_of(ObjectId id) {
-  return stripes_[static_cast<std::size_t>(mix64(id.value) % stripes_.size())];
-}
-
-const StripedHintStore::Stripe& StripedHintStore::stripe_of(ObjectId id) const {
-  return stripes_[static_cast<std::size_t>(mix64(id.value) % stripes_.size())];
-}
-
 std::optional<MachineId> StripedHintStore::lookup(ObjectId id) {
   Stripe& s = stripe_of(id);
   std::lock_guard lock(s.mu);

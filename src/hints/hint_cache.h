@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "hints/hint_record.h"
 #include "obs/metrics.h"
 
@@ -122,8 +123,17 @@ class StripedHintStore final : public HintStore {
     std::unique_ptr<HintStore> store;
   };
 
-  Stripe& stripe_of(ObjectId id);
-  const Stripe& stripe_of(ObjectId id) const;
+  // Inlined stripe selection: mix64 + Lemire multiply-shift, avoiding a div
+  // per lookup on the proxy hot path.
+  std::size_t stripe_index(ObjectId id) const {
+    return static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(mix64(id.value)) * stripes_.size()) >>
+        64);
+  }
+  Stripe& stripe_of(ObjectId id) { return stripes_[stripe_index(id)]; }
+  const Stripe& stripe_of(ObjectId id) const {
+    return stripes_[stripe_index(id)];
+  }
 
   std::vector<Stripe> stripes_;
 };

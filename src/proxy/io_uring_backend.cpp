@@ -1,0 +1,736 @@
+// io_uring backend, written against the raw kernel interface
+// (io_uring_setup/io_uring_enter/io_uring_register + mmap'd ring
+// accounting) so it works without liburing.
+//
+// Shape of the implementation:
+//   - Listeners arm one multishot-accept SQE; each completed connection
+//     arrives as a CQE carrying the new fd, no accept4 loop in user space.
+//   - Streams arm one multishot-recv SQE with IOSQE_BUFFER_SELECT; the
+//     kernel picks a buffer from our provided buffer ring and the CQE tells
+//     us which (flags >> IORING_CQE_BUFFER_SHIFT). The buffer is recycled
+//     onto the ring tail as soon as the callback returns.
+//   - Generic fds (the reactor's eventfd, test pipes) use multishot poll.
+//   - Writability requests arm a one-shot POLLOUT poll.
+//   - SQEs produced during a poll cycle accumulate in the SQ and go to the
+//     kernel in one io_uring_enter at the head of the next cycle; waiting
+//     is a second, submission-free enter with an EXT_ARG timeout.
+//
+// Staleness: user_data packs [reg_id:40][gen:16][op:8]. Operations that
+// supersede in-flight SQEs (mod_fd, listener pause/resume) bump the
+// registration's generation and queue an ASYNC_CANCEL; completions whose
+// generation no longer matches are dropped (their buffers still recycled).
+// Registration ids are never reused, so fd reuse is inherently safe.
+#include "proxy/io_backend.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+#include <poll.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/eventfd.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace bh::proxy {
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags, const void* arg, size_t argsz) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, arg, argsz));
+}
+
+int sys_io_uring_register(int fd, unsigned opcode, const void* arg,
+                          unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+unsigned load_acquire_u32(const unsigned* p) {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+
+void store_release_u32(unsigned* p, unsigned v) {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+
+void store_release_u16(std::uint16_t* p, std::uint16_t v) {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+
+constexpr unsigned kSqEntries = 256;
+constexpr unsigned kCqEntries = 2048;
+constexpr unsigned kBufCount = 128;    // provided buffers (power of two)
+constexpr unsigned kBufSize = 16384;   // bytes each
+constexpr std::uint16_t kBufGroup = 0;
+
+// user_data layout: [reg_id:40][gen:16][op:8].
+enum Op : std::uint8_t {
+  kOpPollMulti = 1,   // generic fd readiness
+  kOpPollOut = 2,     // one-shot stream writability
+  kOpAccept = 3,      // multishot accept
+  kOpRecv = 4,        // multishot recv
+  kOpCancel = 5,      // ASYNC_CANCEL (completion is ignored)
+};
+
+std::uint64_t pack_ud(std::uint64_t reg_id, std::uint16_t gen, Op op) {
+  return (reg_id << 24) | (static_cast<std::uint64_t>(gen) << 8) | op;
+}
+
+class UringBackend final : public IoBackend {
+ public:
+  UringBackend() {
+    io_uring_params p{};
+    p.flags = IORING_SETUP_CQSIZE | IORING_SETUP_CLAMP;
+    p.cq_entries = kCqEntries;
+    ring_fd_ = sys_io_uring_setup(kSqEntries, &p);
+    if (ring_fd_ < 0) {
+      throw std::runtime_error(std::string("io_uring_setup: ") +
+                               ::strerror(errno));
+    }
+    try {
+      init_mmaps(p);
+      check_support();
+      init_buf_ring();
+      init_wakeup();
+    } catch (...) {
+      teardown();
+      throw;
+    }
+  }
+
+  ~UringBackend() override { teardown(); }
+
+  const char* name() const override { return "io_uring"; }
+
+  std::uint64_t add_fd(int fd, std::uint32_t events, IoFn fn) override {
+    const std::uint64_t id = next_id_++;
+    Reg reg;
+    reg.fd = fd;
+    reg.kind = Kind::kGeneric;
+    reg.events = events;
+    reg.fn = std::move(fn);
+    auto [it, ok] = regs_.emplace(id, std::move(reg));
+    (void)ok;
+    if (events != 0) arm_poll_multi(id, it->second);
+    return id;
+  }
+
+  bool mod_fd(std::uint64_t id, std::uint32_t events) override {
+    const auto it = regs_.find(id);
+    if (it == regs_.end()) return false;
+    Reg& reg = it->second;
+    if (reg.events == events) return true;
+    if (reg.poll_armed) {
+      queue_cancel(pack_ud(id, reg.gen, kOpPollMulti));
+      reg.poll_armed = false;
+    }
+    ++reg.gen;
+    reg.events = events;
+    if (events != 0) arm_poll_multi(id, reg);
+    return true;
+  }
+
+  void del_fd(std::uint64_t id) override {
+    const auto it = regs_.find(id);
+    if (it == regs_.end()) return;
+    Reg& reg = it->second;
+    if (reg.poll_armed) queue_cancel(pack_ud(id, reg.gen, kOpPollMulti));
+    if (reg.accept_armed) queue_cancel(pack_ud(id, reg.gen, kOpAccept));
+    if (reg.recv_armed) queue_cancel(pack_ud(id, reg.gen, kOpRecv));
+    if (reg.pollout_armed) queue_cancel(pack_ud(id, reg.gen, kOpPollOut));
+    regs_.erase(it);
+  }
+
+  std::uint64_t add_listener(int fd, AcceptFn fn) override {
+    const std::uint64_t id = next_id_++;
+    Reg reg;
+    reg.fd = fd;
+    reg.kind = Kind::kListener;
+    reg.accept_fn = std::move(fn);
+    auto [it, ok] = regs_.emplace(id, std::move(reg));
+    (void)ok;
+    arm_accept(id, it->second);
+    return id;
+  }
+
+  bool set_listener_enabled(std::uint64_t id, bool enabled) override {
+    const auto it = regs_.find(id);
+    if (it == regs_.end() || it->second.kind != Kind::kListener) return false;
+    Reg& reg = it->second;
+    if (reg.enabled == enabled) return true;
+    reg.enabled = enabled;
+    if (reg.accept_armed) {
+      queue_cancel(pack_ud(id, reg.gen, kOpAccept));
+      reg.accept_armed = false;
+    }
+    ++reg.gen;
+    if (enabled) arm_accept(id, reg);
+    return true;
+  }
+
+  std::uint64_t add_stream(int fd, RecvFn on_recv,
+                           WritableFn on_writable) override {
+    const std::uint64_t id = next_id_++;
+    Reg reg;
+    reg.fd = fd;
+    reg.kind = Kind::kStream;
+    reg.recv_fn = std::move(on_recv);
+    reg.writable_fn = std::move(on_writable);
+    auto [it, ok] = regs_.emplace(id, std::move(reg));
+    (void)ok;
+    arm_recv(id, it->second);
+    return id;
+  }
+
+  void request_writable(std::uint64_t id) override {
+    const auto it = regs_.find(id);
+    if (it == regs_.end() || it->second.kind != Kind::kStream) return;
+    Reg& reg = it->second;
+    if (reg.pollout_armed) return;
+    io_uring_sqe* sqe = get_sqe(pack_ud(id, reg.gen, kOpPollOut));
+    sqe->opcode = IORING_OP_POLL_ADD;
+    sqe->fd = reg.fd;
+    sqe->poll32_events = POLLOUT;
+    reg.pollout_armed = true;
+  }
+
+  bool poll(int timeout_ms) override {
+    if (!flush_submissions()) return false;
+    if (load_acquire_u32(cq_tail_) == *cq_head_ && timeout_ms != 0) {
+      io_uring_getevents_arg arg{};
+      __kernel_timespec ts{};
+      const void* argp = nullptr;
+      size_t argsz = 0;
+      unsigned flags = IORING_ENTER_GETEVENTS;
+      if (timeout_ms >= 0) {
+        ts.tv_sec = timeout_ms / 1000;
+        ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000;
+        arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+        argp = &arg;
+        argsz = sizeof(arg);
+        flags |= IORING_ENTER_EXT_ARG;
+      }
+      const int rc = sys_io_uring_enter(ring_fd_, 0, 1, flags, argp, argsz);
+      if (rc < 0 && errno != ETIME && errno != EINTR && errno != EBUSY) {
+        return false;
+      }
+    }
+    reap();
+    return true;
+  }
+
+  void wakeup() override {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+  }
+
+  Stats stats() const override {
+    Stats s;
+    s.submit_calls = submit_calls_.load(std::memory_order_relaxed);
+    s.sqes_submitted = sqes_submitted_.load(std::memory_order_relaxed);
+    s.cqes_reaped = cqes_reaped_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  enum class Kind { kGeneric, kListener, kStream };
+
+  struct Reg {
+    int fd = -1;
+    Kind kind = Kind::kGeneric;
+    std::uint32_t events = 0;  // generic-fd interest mask
+    std::uint16_t gen = 0;
+    IoFn fn;
+    AcceptFn accept_fn;
+    RecvFn recv_fn;
+    WritableFn writable_fn;
+    bool enabled = true;
+    bool poll_armed = false;
+    bool accept_armed = false;
+    bool recv_armed = false;
+    bool pollout_armed = false;
+  };
+
+  // --- setup / teardown ----------------------------------------------------
+
+  void init_mmaps(const io_uring_params& p) {
+    sq_ring_sz_ = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+    cq_ring_sz_ = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    single_mmap_ = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap_ && cq_ring_sz_ > sq_ring_sz_) sq_ring_sz_ = cq_ring_sz_;
+    sq_ring_ptr_ = ::mmap(nullptr, sq_ring_sz_, PROT_READ | PROT_WRITE,
+                          MAP_SHARED | MAP_POPULATE, ring_fd_,
+                          IORING_OFF_SQ_RING);
+    if (sq_ring_ptr_ == MAP_FAILED) {
+      sq_ring_ptr_ = nullptr;
+      throw std::runtime_error("io_uring: mmap SQ ring failed");
+    }
+    if (single_mmap_) {
+      cq_ring_ptr_ = sq_ring_ptr_;
+      cq_ring_sz_ = sq_ring_sz_;
+    } else {
+      cq_ring_ptr_ = ::mmap(nullptr, cq_ring_sz_, PROT_READ | PROT_WRITE,
+                            MAP_SHARED | MAP_POPULATE, ring_fd_,
+                            IORING_OFF_CQ_RING);
+      if (cq_ring_ptr_ == MAP_FAILED) {
+        cq_ring_ptr_ = nullptr;
+        throw std::runtime_error("io_uring: mmap CQ ring failed");
+      }
+    }
+    sqes_sz_ = p.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, sqes_sz_, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      sqes_ = nullptr;
+      throw std::runtime_error("io_uring: mmap SQE array failed");
+    }
+
+    auto* sq = static_cast<char*>(sq_ring_ptr_);
+    sq_head_ = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+    sq_flags_ = reinterpret_cast<unsigned*>(sq + p.sq_off.flags);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+    auto* cq = static_cast<char*>(cq_ring_ptr_);
+    cq_head_ = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+    features_ = p.features;
+    sq_local_tail_ = *sq_tail_;
+  }
+
+  void check_support() {
+    if (!(features_ & IORING_FEAT_EXT_ARG) ||
+        !(features_ & IORING_FEAT_NODROP)) {
+      throw std::runtime_error("io_uring: kernel lacks EXT_ARG/NODROP");
+    }
+    // The op probe reports supported opcodes. Multishot recv and buffer
+    // rings landed in 6.0/5.19; IORING_OP_SEND_ZC (6.0) doubles as the
+    // version marker the probe itself cannot express.
+    constexpr unsigned kProbeOps = IORING_OP_SEND_ZC + 1;
+    alignas(io_uring_probe) char buf[sizeof(io_uring_probe) +
+                                     kProbeOps * sizeof(io_uring_probe_op)];
+    ::memset(buf, 0, sizeof(buf));
+    auto* probe = reinterpret_cast<io_uring_probe*>(buf);
+    if (sys_io_uring_register(ring_fd_, IORING_REGISTER_PROBE, probe,
+                              kProbeOps) != 0) {
+      throw std::runtime_error("io_uring: op probe failed");
+    }
+    for (const unsigned op : {static_cast<unsigned>(IORING_OP_POLL_ADD),
+                              static_cast<unsigned>(IORING_OP_ACCEPT),
+                              static_cast<unsigned>(IORING_OP_RECV),
+                              static_cast<unsigned>(IORING_OP_ASYNC_CANCEL),
+                              static_cast<unsigned>(IORING_OP_SEND_ZC)}) {
+      if (op > probe->last_op ||
+          !(probe->ops[op].flags & IO_URING_OP_SUPPORTED)) {
+        throw std::runtime_error("io_uring: kernel lacks required ops");
+      }
+    }
+  }
+
+  void init_buf_ring() {
+    const size_t ring_bytes = kBufCount * sizeof(io_uring_buf);
+    buf_ring_ = static_cast<io_uring_buf_ring*>(
+        ::mmap(nullptr, ring_bytes, PROT_READ | PROT_WRITE,
+               MAP_ANONYMOUS | MAP_PRIVATE, -1, 0));
+    if (buf_ring_ == MAP_FAILED) {
+      buf_ring_ = nullptr;
+      throw std::runtime_error("io_uring: buf ring mmap failed");
+    }
+    buf_ring_sz_ = ring_bytes;
+    io_uring_buf_reg reg{};
+    reg.ring_addr = reinterpret_cast<std::uint64_t>(buf_ring_);
+    reg.ring_entries = kBufCount;
+    reg.bgid = kBufGroup;
+    if (sys_io_uring_register(ring_fd_, IORING_REGISTER_PBUF_RING, &reg, 1) !=
+        0) {
+      throw std::runtime_error(std::string("io_uring: PBUF_RING register: ") +
+                               ::strerror(errno));
+    }
+    buf_ring_registered_ = true;
+    buf_mem_ = static_cast<char*>(
+        ::mmap(nullptr, static_cast<size_t>(kBufCount) * kBufSize,
+               PROT_READ | PROT_WRITE, MAP_ANONYMOUS | MAP_PRIVATE, -1, 0));
+    if (buf_mem_ == MAP_FAILED) {
+      buf_mem_ = nullptr;
+      throw std::runtime_error("io_uring: buffer pool mmap failed");
+    }
+    for (unsigned i = 0; i < kBufCount; ++i) recycle_buf(i);
+  }
+
+  void init_wakeup() {
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wake_fd_ < 0) throw std::runtime_error("io_uring: eventfd failed");
+    const int fd = wake_fd_;
+    add_fd(fd, kIoReadable, [fd](std::uint32_t) {
+      std::uint64_t drain;
+      while (::read(fd, &drain, sizeof(drain)) > 0) {
+      }
+    });
+  }
+
+  void teardown() {
+    if (buf_ring_registered_) {
+      io_uring_buf_reg reg{};
+      reg.bgid = kBufGroup;
+      sys_io_uring_register(ring_fd_, IORING_UNREGISTER_PBUF_RING, &reg, 1);
+      buf_ring_registered_ = false;
+    }
+    if (buf_mem_) {
+      ::munmap(buf_mem_, static_cast<size_t>(kBufCount) * kBufSize);
+      buf_mem_ = nullptr;
+    }
+    if (buf_ring_) {
+      ::munmap(buf_ring_, buf_ring_sz_);
+      buf_ring_ = nullptr;
+    }
+    if (sqes_) {
+      ::munmap(sqes_, sqes_sz_);
+      sqes_ = nullptr;
+    }
+    if (cq_ring_ptr_ && cq_ring_ptr_ != sq_ring_ptr_) {
+      ::munmap(cq_ring_ptr_, cq_ring_sz_);
+    }
+    cq_ring_ptr_ = nullptr;
+    if (sq_ring_ptr_) {
+      ::munmap(sq_ring_ptr_, sq_ring_sz_);
+      sq_ring_ptr_ = nullptr;
+    }
+    if (wake_fd_ >= 0) {
+      ::close(wake_fd_);
+      wake_fd_ = -1;
+    }
+    if (ring_fd_ >= 0) {
+      ::close(ring_fd_);
+      ring_fd_ = -1;
+    }
+  }
+
+  // --- submission ----------------------------------------------------------
+
+  io_uring_sqe* get_sqe(std::uint64_t user_data) {
+    if (sq_local_tail_ - load_acquire_u32(sq_head_) == kSqEntries) {
+      // SQ full mid-cycle: flush what we have so callbacks can keep queueing.
+      flush_submissions();
+    }
+    const unsigned idx = sq_local_tail_ & sq_mask_;
+    io_uring_sqe* sqe = &sqes_[idx];
+    ::memset(sqe, 0, sizeof(*sqe));
+    sqe->user_data = user_data;
+    sq_array_[idx] = idx;
+    ++sq_local_tail_;
+    store_release_u32(sq_tail_, sq_local_tail_);
+    ++to_submit_;
+    return sqe;
+  }
+
+  bool flush_submissions() {
+    int spins = 0;
+    while (to_submit_ > 0) {
+      const int rc = sys_io_uring_enter(ring_fd_, to_submit_, 0, 0, nullptr, 0);
+      if (rc > 0) {
+        submit_calls_.fetch_add(1, std::memory_order_relaxed);
+        sqes_submitted_.fetch_add(static_cast<unsigned>(rc),
+                                  std::memory_order_relaxed);
+        if (submit_observer_) submit_observer_(static_cast<unsigned>(rc));
+        to_submit_ -= static_cast<unsigned>(rc);
+        continue;
+      }
+      if (rc == 0) return true;
+      if (errno == EINTR) continue;
+      if ((errno == EBUSY || errno == EAGAIN) && spins++ < 2) {
+        // CQ backlogged: ask the kernel to flush overflow, drain, retry.
+        sys_io_uring_enter(ring_fd_, 0, 0, IORING_ENTER_GETEVENTS, nullptr, 0);
+        reap();
+        continue;
+      }
+      return false;
+    }
+    return true;
+  }
+
+  void queue_cancel(std::uint64_t target_ud) {
+    io_uring_sqe* sqe = get_sqe(pack_ud(0, 0, kOpCancel));
+    sqe->opcode = IORING_OP_ASYNC_CANCEL;
+    sqe->fd = -1;
+    sqe->addr = target_ud;
+  }
+
+  void arm_poll_multi(std::uint64_t id, Reg& reg) {
+    io_uring_sqe* sqe = get_sqe(pack_ud(id, reg.gen, kOpPollMulti));
+    sqe->opcode = IORING_OP_POLL_ADD;
+    sqe->fd = reg.fd;
+    sqe->len = IORING_POLL_ADD_MULTI;
+    sqe->poll32_events = reg.events;
+    reg.poll_armed = true;
+  }
+
+  void arm_accept(std::uint64_t id, Reg& reg) {
+    io_uring_sqe* sqe = get_sqe(pack_ud(id, reg.gen, kOpAccept));
+    sqe->opcode = IORING_OP_ACCEPT;
+    sqe->fd = reg.fd;
+    sqe->ioprio = IORING_ACCEPT_MULTISHOT;
+    sqe->accept_flags = SOCK_NONBLOCK | SOCK_CLOEXEC;
+    reg.accept_armed = true;
+  }
+
+  void arm_recv(std::uint64_t id, Reg& reg) {
+    io_uring_sqe* sqe = get_sqe(pack_ud(id, reg.gen, kOpRecv));
+    sqe->opcode = IORING_OP_RECV;
+    sqe->fd = reg.fd;
+    sqe->ioprio = IORING_RECV_MULTISHOT;
+    sqe->flags = IOSQE_BUFFER_SELECT;
+    sqe->buf_group = kBufGroup;
+    reg.recv_armed = true;
+  }
+
+  // --- completion ----------------------------------------------------------
+
+  // Entry array base. NOT buf_ring_->bufs: in C++ the uapi's
+  // __DECLARE_FLEX_ARRAY expands with an empty-struct member that has
+  // size 1 (not 0 as in C), shifting the flexible array by 8 bytes and
+  // silently corrupting the ring. Entries really start at offset 0,
+  // overlaid with the tail word (bufs[0].resv).
+  io_uring_buf* buf_entries() {
+    return reinterpret_cast<io_uring_buf*>(buf_ring_);
+  }
+
+  void recycle_buf(unsigned bid) {
+    const unsigned idx = buf_tail_ & (kBufCount - 1);
+    io_uring_buf* slot = &buf_entries()[idx];
+    slot->addr = reinterpret_cast<std::uint64_t>(buf_mem_ +
+                                                 static_cast<size_t>(bid) *
+                                                     kBufSize);
+    slot->len = kBufSize;
+    slot->bid = static_cast<std::uint16_t>(bid);
+    ++buf_tail_;
+    store_release_u16(&buf_ring_->tail, buf_tail_);
+  }
+
+  // Re-reads the shared head each iteration and copies the CQE out before
+  // publishing the advance: callbacks can queue SQEs, which can flush, which
+  // can re-enter reap() when the CQ is backlogged — the shared head is the
+  // only cursor that survives that recursion.
+  void reap() {
+    for (;;) {
+      const unsigned head = *cq_head_;
+      if (head == load_acquire_u32(cq_tail_)) break;
+      const io_uring_cqe* cqe = &cqes_[head & cq_mask_];
+      const std::uint64_t ud = cqe->user_data;
+      const int res = cqe->res;
+      const std::uint32_t flags = cqe->flags;
+      store_release_u32(cq_head_, head + 1);
+      handle_cqe(ud, res, flags);
+    }
+  }
+
+  void handle_cqe(std::uint64_t ud, int res, std::uint32_t flags) {
+    cqes_reaped_.fetch_add(1, std::memory_order_relaxed);
+    const Op op = static_cast<Op>(ud & 0xff);
+    const std::uint16_t gen = static_cast<std::uint16_t>((ud >> 8) & 0xffff);
+    const std::uint64_t id = ud >> 24;
+    int bid = -1;
+    if (flags & IORING_CQE_F_BUFFER) {
+      bid = static_cast<int>(flags >> IORING_CQE_BUFFER_SHIFT);
+    }
+    if (op == kOpCancel) {
+      if (bid >= 0) recycle_buf(static_cast<unsigned>(bid));
+      return;
+    }
+    const auto it = regs_.find(id);
+    if (it == regs_.end() || it->second.gen != gen) {
+      // Stale completion for a deleted or superseded registration; the
+      // loaned buffer (if any) must still go back on the ring.
+      if (bid >= 0) recycle_buf(static_cast<unsigned>(bid));
+      return;
+    }
+    switch (op) {
+      case kOpPollMulti:
+        handle_poll(id, gen, res, flags);
+        break;
+      case kOpPollOut:
+        handle_pollout(id, res);
+        break;
+      case kOpAccept:
+        handle_accept(id, gen, res, flags);
+        break;
+      case kOpRecv:
+        handle_recv(id, gen, res, flags, bid);
+        break;
+      case kOpCancel:
+        break;
+    }
+  }
+
+  // Re-fetches the registration after a callback and re-arms the multishot
+  // op if the kernel retired it (no IORING_CQE_F_MORE) and the registration
+  // is still alive at the same generation.
+  Reg* refind(std::uint64_t id, std::uint16_t gen) {
+    const auto it = regs_.find(id);
+    if (it == regs_.end() || it->second.gen != gen) return nullptr;
+    return &it->second;
+  }
+
+  void handle_poll(std::uint64_t id, std::uint16_t gen, int res,
+                   std::uint32_t flags) {
+    Reg& reg = regs_.find(id)->second;
+    if (!(flags & IORING_CQE_F_MORE)) reg.poll_armed = false;
+    if (res < 0) {
+      if (res == -ECANCELED) return;
+      if (Reg* r = refind(id, gen); r && r->events != 0 && !r->poll_armed) {
+        arm_poll_multi(id, *r);
+      }
+      return;
+    }
+    IoFn fn = reg.fn;
+    fn(static_cast<std::uint32_t>(res));
+    if (Reg* r = refind(id, gen); r && r->events != 0 && !r->poll_armed) {
+      arm_poll_multi(id, *r);
+    }
+  }
+
+  void handle_pollout(std::uint64_t id, int res) {
+    Reg& reg = regs_.find(id)->second;
+    reg.pollout_armed = false;
+    if (res == -ECANCELED) return;
+    // On error deliver the notification anyway: the caller's write will
+    // surface the real errno and tear the connection down properly.
+    WritableFn fn = reg.writable_fn;
+    fn();
+  }
+
+  void handle_accept(std::uint64_t id, std::uint16_t gen, int res,
+                     std::uint32_t flags) {
+    Reg& reg = regs_.find(id)->second;
+    if (!(flags & IORING_CQE_F_MORE)) reg.accept_armed = false;
+    if (res >= 0) {
+      AcceptFn fn = reg.accept_fn;
+      fn(res);
+    } else if (res == -ECANCELED) {
+      return;
+    }
+    // Transient accept errors (ECONNABORTED, EMFILE) retire the multishot;
+    // re-arm so the listener keeps accepting.
+    if (Reg* r = refind(id, gen); r && r->enabled && !r->accept_armed) {
+      arm_accept(id, *r);
+    }
+  }
+
+  void handle_recv(std::uint64_t id, std::uint16_t gen, int res,
+                   std::uint32_t flags, int bid) {
+    Reg& reg = regs_.find(id)->second;
+    if (!(flags & IORING_CQE_F_MORE)) reg.recv_armed = false;
+    if (res > 0 && bid >= 0) {
+      const char* data = buf_mem_ + static_cast<size_t>(bid) * kBufSize;
+      RecvFn fn = reg.recv_fn;
+      fn(data, res);
+      recycle_buf(static_cast<unsigned>(bid));
+      if (Reg* r = refind(id, gen); r && !r->recv_armed) arm_recv(id, *r);
+      return;
+    }
+    if (bid >= 0) recycle_buf(static_cast<unsigned>(bid));
+    if (res > 0) {
+      // Data without a buffer id should not happen; drop it and re-arm
+      // rather than hand the callback a pointer we do not have.
+      if (Reg* r = refind(id, gen); r && !r->recv_armed) arm_recv(id, *r);
+      return;
+    }
+    if (res == 0) {
+      RecvFn fn = reg.recv_fn;
+      fn(nullptr, 0);  // EOF: no re-arm, the callback closes the stream
+      return;
+    }
+    if (res == -ENOBUFS) {
+      // All provided buffers were in flight; they have been recycled by
+      // now (or will be as this batch drains), so just re-arm.
+      if (Reg* r = refind(id, gen); r && !r->recv_armed) arm_recv(id, *r);
+      return;
+    }
+    if (res == -ECANCELED) return;
+    RecvFn fn = reg.recv_fn;
+    fn(nullptr, res);
+  }
+
+  int ring_fd_ = -1;
+  int wake_fd_ = -1;
+  unsigned features_ = 0;
+  bool single_mmap_ = false;
+
+  void* sq_ring_ptr_ = nullptr;
+  void* cq_ring_ptr_ = nullptr;
+  size_t sq_ring_sz_ = 0;
+  size_t cq_ring_sz_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  size_t sqes_sz_ = 0;
+
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_flags_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned sq_local_tail_ = 0;
+  unsigned to_submit_ = 0;
+
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  io_uring_buf_ring* buf_ring_ = nullptr;
+  size_t buf_ring_sz_ = 0;
+  bool buf_ring_registered_ = false;
+  char* buf_mem_ = nullptr;
+  std::uint16_t buf_tail_ = 0;
+
+  std::unordered_map<std::uint64_t, Reg> regs_;
+  std::uint64_t next_id_ = 1;
+  std::atomic<std::uint64_t> submit_calls_{0};
+  std::atomic<std::uint64_t> sqes_submitted_{0};
+  std::atomic<std::uint64_t> cqes_reaped_{0};
+};
+
+}  // namespace
+
+bool io_uring_supported(std::string* why) {
+  if (const char* env = ::getenv("BH_DISABLE_IO_URING");
+      env != nullptr && env[0] != '\0' && ::strcmp(env, "0") != 0) {
+    if (why) *why = "disabled by BH_DISABLE_IO_URING";
+    return false;
+  }
+  try {
+    UringBackend probe;
+  } catch (const std::runtime_error& e) {
+    if (why) *why = e.what();
+    return false;
+  }
+  if (why) why->clear();
+  return true;
+}
+
+namespace detail {
+
+std::unique_ptr<IoBackend> make_uring_backend() {
+  return std::make_unique<UringBackend>();
+}
+
+}  // namespace detail
+
+}  // namespace bh::proxy

@@ -39,11 +39,11 @@ std::optional<ObjectId> object_from_path(std::string_view path) {
   return ObjectId{value};
 }
 
-OriginServer::OriginServer() {
+OriginServer::OriginServer(IoBackendKind io_backend) {
   listener_ = TcpListener::bind_ephemeral();
   if (!listener_) throw std::runtime_error("origin: cannot bind");
   port_ = listener_->port();
-  reactor_ = std::make_unique<Reactor>();
+  reactor_ = std::make_unique<Reactor>(io_backend);
   // Origin handlers are pure in-memory work, so they run inline on the loop
   // thread: dispatch -> handle -> respond without a worker pool.
   http_loop_ = std::make_unique<HttpLoop>(

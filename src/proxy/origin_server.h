@@ -39,7 +39,9 @@ std::optional<ObjectId> object_from_path(std::string_view path);
 
 class OriginServer {
  public:
-  OriginServer();
+  // `io_backend` selects the reactor backend (io_backend.h); kAuto prefers
+  // io_uring and falls back to epoll.
+  explicit OriginServer(IoBackendKind io_backend = IoBackendKind::kAuto);
   ~OriginServer();
 
   OriginServer(const OriginServer&) = delete;

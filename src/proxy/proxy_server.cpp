@@ -74,11 +74,14 @@ ProxyServer::ProxyServer(ProxyConfig cfg)
       neighbors_(cfg_.hint_neighbors),
       c_(make_counters(registry_)),
       request_ms_(registry_.histogram("bh.proxy.request_ms")),
-      flush_batch_(registry_.histogram("bh.proxy.flush_batch")) {
+      flush_batch_(registry_.histogram("bh.proxy.flush_batch")),
+      sqe_batch_(registry_.histogram("bh.proxy.sqe_batch")) {
   listener_ = TcpListener::bind_ephemeral(cfg_.listen_backlog);
   if (!listener_) throw std::runtime_error("proxy: cannot bind");
   port_ = listener_->port();
-  reactor_ = std::make_unique<Reactor>();
+  reactor_ = std::make_unique<Reactor>(cfg_.io_backend);
+  reactor_->io().set_submit_observer(
+      [this](unsigned batch) { sqe_batch_.record(batch); });
   HttpLoop::Options loop_opts;
   loop_opts.idle_timeout_seconds = cfg_.keepalive_idle_seconds;
   http_loop_ = std::make_unique<HttpLoop>(
@@ -109,6 +112,10 @@ ProxyServer::ProxyServer(ProxyConfig cfg)
 }
 
 ProxyServer::~ProxyServer() { stop(); }
+
+const char* ProxyServer::backend_name() const {
+  return reactor_->backend_name();
+}
 
 void ProxyServer::stop() {
   if (stopping_.exchange(true)) return;
@@ -204,6 +211,14 @@ obs::MetricsSnapshot ProxyServer::metrics_snapshot() const {
       .set(static_cast<double>(pool_.idle_count()));
   registry_.counter("bh.proxy.loop_iterations").set(reactor_->iterations());
   registry_.counter("bh.proxy.pool_reuse").set(pool_.reuses());
+  // Which I/O backend actually serves this daemon (auto may have fallen
+  // back), plus its submission/completion counters (zero under epoll).
+  registry_.gauge(std::string("bh.proxy.backend.") + reactor_->backend_name())
+      .set(1.0);
+  const IoBackend::Stats io = reactor_->io_stats();
+  registry_.counter("bh.proxy.submit_calls").set(io.submit_calls);
+  registry_.counter("bh.proxy.sqes_submitted").set(io.sqes_submitted);
+  registry_.counter("bh.proxy.cqes_reaped").set(io.cqes_reaped);
   return registry_.snapshot();
 }
 
@@ -231,8 +246,8 @@ void ProxyServer::dispatch_request(std::uint64_t token, HttpRequest req) {
     pause = jobs_.size() >= cfg_.accept_queue_capacity;
   }
   if (pause && !intake_paused_.exchange(true)) {
-    // Already-open keep-alive connections keep queueing (each holds at most
-    // one in-flight request); new connections wait in the kernel backlog.
+    // Already-open keep-alive connections keep queueing (each bounded by
+    // the loop's pipeline cap); new connections wait in the kernel backlog.
     http_loop_->pause_accept();
   }
   pool_cv_.notify_one();

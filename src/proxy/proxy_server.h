@@ -12,10 +12,11 @@
 //
 // Threading model (the paper makes the *local* cache operation the common
 // case; this layer makes it scale to many cores):
-//   - all inbound I/O runs on a single epoll reactor thread: non-blocking
+//   - all inbound I/O runs on a single reactor thread over a pluggable
+//     backend (epoll or io_uring, ProxyConfig::io_backend): non-blocking
 //     accept, incremental parsing, and gathered response writes, with
 //     HTTP/1.0 keep-alive so one client connection can carry many requests
-//     (see reactor.h). The loop never blocks on a socket;
+//     (see reactor.h, io_backend.h). The loop never blocks on a socket;
 //   - each fully parsed request is handed to a fixed pool of `workers`
 //     threads through a bounded job queue (when it fills, the loop pauses
 //     accepting and backpressure falls back to the kernel listen backlog);
@@ -117,6 +118,10 @@ struct ProxyConfig {
   std::size_t accept_queue_capacity = 128;
 
   // --- event-driven I/O ---
+  // Which reactor I/O backend serves inbound connections: kAuto picks
+  // io_uring when the kernel supports it and falls back to epoll;
+  // kIoUring makes construction throw on an unsupported kernel.
+  IoBackendKind io_backend = IoBackendKind::kAuto;
   // Kernel listen backlog; <= 0 means SOMAXCONN.
   int listen_backlog = 0;
   // Inbound keep-alive connections idle longer than this are closed by the
@@ -206,6 +211,10 @@ class ProxyServer {
 
   std::uint16_t port() const { return port_; }
   MachineId self() const { return MachineId{port_}; }
+
+  // Name of the I/O backend the reactor actually selected ("epoll" or
+  // "io_uring") — with kAuto this is the probe's outcome, not the request.
+  const char* backend_name() const;
 
   // Drains and sends the pending hint-update batch to every neighbour now,
   // synchronously. Tests and examples drive batching explicitly for
@@ -319,7 +328,7 @@ class ProxyServer {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> call_seq_{0};  // de-syncs backoff jitter streams
 
-  // --- inbound I/O: epoll reactor + HTTP connection state machines ---
+  // --- inbound I/O: reactor (epoll/io_uring) + HTTP state machines ---
   // Declared before http_loop_ so the loop is destroyed first.
   std::unique_ptr<Reactor> reactor_;
   std::unique_ptr<HttpLoop> http_loop_;
@@ -365,6 +374,7 @@ class ProxyServer {
   Counters c_;
   obs::Histogram& request_ms_;   // client GET service time, milliseconds
   obs::Histogram& flush_batch_;  // updates per non-empty flush, post-coalesce
+  obs::Histogram& sqe_batch_;    // SQEs per io_uring submission (uring only)
 };
 
 }  // namespace bh::proxy

@@ -1,11 +1,8 @@
 #include "proxy/reactor.h"
 
 #include <errno.h>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <sys/epoll.h>
-#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -21,11 +18,7 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-bool set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0) return false;
-  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
-}
+constexpr std::size_t kMaxWriteIov = 16;
 
 }  // namespace
 
@@ -130,69 +123,31 @@ int TimerWheel::next_delay_ms(Clock::time_point now) const {
 // ---------------------------------------------------------------------------
 // Reactor
 
-Reactor::Reactor() {
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  if (epoll_fd_ < 0) throw std::runtime_error("epoll_create1 failed");
-  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (wake_fd_ < 0) {
-    ::close(epoll_fd_);
-    throw std::runtime_error("eventfd failed");
-  }
-  // Registration id 0 is reserved for the wakeup eventfd.
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = 0;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
-    ::close(wake_fd_);
-    ::close(epoll_fd_);
-    throw std::runtime_error("epoll_ctl(wake_fd) failed");
-  }
-}
+Reactor::Reactor(IoBackendKind kind) : backend_(make_io_backend(kind)) {}
 
-Reactor::~Reactor() {
-  if (wake_fd_ >= 0) ::close(wake_fd_);
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
-}
+Reactor::~Reactor() = default;
 
 std::uint64_t Reactor::add_fd(int fd, std::uint32_t events, IoFn fn) {
-  const std::uint64_t id = next_reg_id_++;
-  epoll_event ev{};
-  ev.events = events;
-  ev.data.u64 = id;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return 0;
-  regs_.emplace(id, Registration{fd, std::move(fn)});
-  return id;
+  return backend_->add_fd(fd, events, std::move(fn));
 }
 
 bool Reactor::mod_fd(std::uint64_t id, std::uint32_t events) {
-  const auto it = regs_.find(id);
-  if (it == regs_.end()) return false;
-  epoll_event ev{};
-  ev.events = events;
-  ev.data.u64 = id;
-  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, it->second.fd, &ev) == 0;
+  return backend_->mod_fd(id, events);
 }
 
-void Reactor::del_fd(std::uint64_t id) {
-  const auto it = regs_.find(id);
-  if (it == regs_.end()) return;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
-  regs_.erase(it);
-}
+void Reactor::del_fd(std::uint64_t id) { backend_->del_fd(id); }
 
 void Reactor::post(std::function<void()> fn) {
   {
     std::lock_guard lock(tasks_mu_);
     tasks_.push_back(std::move(fn));
   }
-  const std::uint64_t one = 1;
-  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+  backend_->wakeup();
 }
 
 void Reactor::stop() {
   stop_.store(true, std::memory_order_release);
-  const std::uint64_t one = 1;
-  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+  backend_->wakeup();
 }
 
 bool Reactor::on_loop_thread() const {
@@ -202,7 +157,6 @@ bool Reactor::on_loop_thread() const {
 
 void Reactor::run() {
   loop_tid_.store(std::this_thread::get_id(), std::memory_order_release);
-  epoll_event events[64];
   while (!stop_.load(std::memory_order_acquire)) {
     // Posted tasks first: they may register fds or arm timers that the
     // upcoming wait must take into account.
@@ -216,28 +170,9 @@ void Reactor::run() {
 
     timers_.advance(Clock::now());
     const int timeout = timers_.next_delay_ms(Clock::now());
-    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout);
+    const bool ok = backend_->poll(timeout);
     iterations_.fetch_add(1, std::memory_order_relaxed);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    for (int i = 0; i < n; ++i) {
-      const std::uint64_t id = events[i].data.u64;
-      if (id == 0) {
-        std::uint64_t drain;
-        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
-        }
-        continue;
-      }
-      // Looked up per event (a callback earlier in the batch may have
-      // deleted this registration) and the functor copied out (the callback
-      // may delete its own registration mid-call).
-      const auto it = regs_.find(id);
-      if (it == regs_.end()) continue;
-      IoFn fn = it->second.fn;
-      fn(events[i].events);
-    }
+    if (!ok) break;
   }
   loop_tid_.store(std::thread::id{}, std::memory_order_release);
 }
@@ -251,9 +186,9 @@ HttpLoop::HttpLoop(Reactor& reactor, int listen_fd, Options opts,
       listen_fd_(listen_fd),
       opts_(opts),
       dispatch_(std::move(dispatch)) {
-  set_nonblocking(listen_fd_);
-  listener_reg_ = reactor_.add_fd(listen_fd_, EPOLLIN,
-                                  [this](std::uint32_t) { on_acceptable(); });
+  if (opts_.max_pipeline == 0) opts_.max_pipeline = 1;
+  listener_reg_ =
+      reactor_.io().add_listener(listen_fd_, [this](int fd) { on_accepted(fd); });
   schedule_sweep();
 }
 
@@ -268,87 +203,94 @@ void HttpLoop::schedule_sweep() {
   });
 }
 
-void HttpLoop::on_acceptable() {
-  for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // EAGAIN, or a transient accept error: wait for the next event
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+void HttpLoop::on_accepted(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
-    auto conn = std::make_unique<Conn>(opts_.parser_limits);
-    conn->fd = fd;
-    conn->token = next_token_++;
-    conn->last_activity = Clock::now();
-    const std::uint64_t token = conn->token;
-    conn->reg_id =
-        reactor_.add_fd(fd, EPOLLIN, [this, token](std::uint32_t events) {
-          on_conn_event(token, events);
-        });
-    if (conn->reg_id == 0) {
-      ::close(fd);
-      continue;
-    }
-    conns_.emplace(token, std::move(conn));
-    open_conns_.fetch_add(1, std::memory_order_relaxed);
+  auto conn = std::make_unique<Conn>(opts_.parser_limits);
+  conn->fd = fd;
+  conn->token = next_token_++;
+  conn->last_activity = Clock::now();
+  const std::uint64_t token = conn->token;
+  Conn* raw = conn.get();
+  conns_.emplace(token, std::move(conn));
+  raw->reg_id = reactor_.io().add_stream(
+      fd,
+      [this, token](const char* data, ssize_t n) { on_recv(token, data, n); },
+      [this, token] {
+        const auto it = conns_.find(token);
+        if (it == conns_.end()) return;
+        it->second->writing = false;
+        continue_write(token);
+      });
+  if (raw->reg_id == 0) {
+    conns_.erase(token);
+    ::close(fd);
+    return;
   }
+  open_conns_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void HttpLoop::on_conn_event(std::uint64_t token, std::uint32_t events) {
-  {
-    const auto it = conns_.find(token);
-    if (it == conns_.end()) return;
-    if ((events & EPOLLOUT) && it->second->writing) {
-      if (!continue_write(token)) return;
-    }
-  }
-  if (events & (EPOLLIN | EPOLLERR | EPOLLHUP)) read_available(token);
-}
-
-void HttpLoop::read_available(std::uint64_t token) {
+void HttpLoop::on_recv(std::uint64_t token, const char* data, ssize_t n) {
   const auto it = conns_.find(token);
   if (it == conns_.end()) return;
   Conn* c = it->second.get();
-  char buf[16384];
-  for (;;) {
-    const ssize_t n = ::recv(c->fd, buf, sizeof(buf), 0);
-    if (n > 0) {
-      c->last_activity = Clock::now();
-      c->buffered.append(buf, static_cast<std::size_t>(n));
-      // A client shoving pipelined data faster than we respond is bounded
-      // by the largest legal message; beyond that it is abuse.
-      if (c->buffered.size() >
-          opts_.parser_limits.max_head_bytes +
-              opts_.parser_limits.max_body_bytes) {
-        close_conn(token);
-        return;
-      }
-      continue;
+  if (n > 0) {
+    c->last_activity = Clock::now();
+    c->buffered.append(data, static_cast<std::size_t>(n));
+    // A client shoving pipelined data faster than we respond is bounded by
+    // the largest legal message; beyond that it is abuse.
+    if (c->buffered.size() > opts_.parser_limits.max_head_bytes +
+                                 opts_.parser_limits.max_body_bytes) {
+      close_conn(token);
+      return;
     }
-    if (n == 0) {
-      c->saw_eof = true;
-      break;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
-    close_conn(token);
+    pump(token);
     return;
   }
-  pump(token);
+  if (n == 0) {
+    c->saw_eof = true;
+    pump(token);
+    return;
+  }
+  close_conn(token);
 }
 
 void HttpLoop::pump(std::uint64_t token) {
+  {
+    const auto it = conns_.find(token);
+    if (it == conns_.end()) return;
+    it->second->in_pump = true;
+  }
+  pump_inner(token);
+  // Flush once per pump: responses produced inline by dispatch_ during the
+  // parse batch coalesce into a single gathered write instead of one
+  // sendmsg per request.
+  const auto it = conns_.find(token);
+  if (it == conns_.end()) return;
+  Conn* c = it->second.get();
+  c->in_pump = false;
+  if (!c->out.empty() && !c->writing) continue_write(token);
+}
+
+void HttpLoop::pump_inner(std::uint64_t token) {
   for (;;) {
     const auto it = conns_.find(token);
     if (it == conns_.end()) return;
     Conn* c = it->second.get();
-    if (c->busy) return;  // strictly one in-flight request per connection
+    if (c->no_more_requests) {
+      if (c->inflight == 0 && c->parked.empty() && c->out.empty()) {
+        close_conn(token);
+      }
+      return;
+    }
+    // Parse-ahead bound: leave further pipelined bytes buffered until the
+    // write queue drains (continue_write re-pumps then).
+    if (c->pipeline_load() >= opts_.max_pipeline) return;
 
+    std::size_t used = 0;
     if (!c->buffered.empty()) {
-      const std::size_t used = c->parser.feed(c->buffered);
+      used = c->parser.feed(c->buffered);
       c->buffered.erase(0, used);
     }
     if (c->parser.failed()) {
@@ -356,27 +298,44 @@ void HttpLoop::pump(std::uint64_t token) {
       bad.status = 400;
       bad.reason = "Bad Request";
       bad.body = "malformed request\n";
-      c->keep_alive = false;
-      c->close_after_write = true;
-      c->busy = true;
-      start_response(token, std::move(bad));
+      bad.headers.emplace_back("Connection", "close");
+      PendingWrite pw;
+      pw.head = serialize_head(bad, bad.body.size());
+      pw.body = std::move(bad.body);
+      pw.close_after = true;
+      c->no_more_requests = true;
+      const std::uint64_t seq = c->next_seq++;
+      place_response(token, seq, std::move(pw));
       return;
     }
     if (c->parser.complete()) {
       HttpRequest req = std::move(c->parser.request());
       c->parser.reset();
-      c->keep_alive = req.wants_keep_alive();
-      c->busy = true;
+      const bool ka = req.wants_keep_alive();
+      const std::uint64_t seq = c->next_seq++;
+      const std::uint64_t req_token = next_req_token_++;
+      c->inflight++;
+      c->open_reqs.push_back(req_token);
       c->last_activity = Clock::now();
+      if (!ka) c->no_more_requests = true;
+      reqs_.emplace(req_token, ReqSlot{token, seq, ka});
       // May respond() inline (and even close the connection) before
       // returning — no Conn* survives this call.
-      dispatch_(token, std::move(req));
+      dispatch_(req_token, std::move(req));
+      if (!ka) return;
       continue;
     }
-    // Mid-message or between messages with nothing buffered: EOF now means
-    // the client is done (a half-finished message is simply dropped, as the
-    // blocking path did).
-    if (c->saw_eof) close_conn(token);
+    if (used > 0) continue;  // partial progress: feed again
+    // Mid-message or between messages with nothing parseable: EOF now means
+    // the client is done sending (a half-finished message is simply
+    // dropped, as the blocking path did); queued responses still drain.
+    if (c->saw_eof) {
+      if (c->inflight == 0 && c->parked.empty() && c->out.empty()) {
+        close_conn(token);
+      } else {
+        c->no_more_requests = true;
+      }
+    }
     return;
   }
 }
@@ -391,16 +350,52 @@ void HttpLoop::respond(std::uint64_t token, HttpResponse resp) {
       [this, token, shared] { start_response(token, std::move(*shared)); });
 }
 
-void HttpLoop::start_response(std::uint64_t token, HttpResponse resp) {
-  const auto it = conns_.find(token);
-  if (it == conns_.end()) return;  // connection died while the worker ran
+void HttpLoop::start_response(std::uint64_t req_token, HttpResponse resp) {
+  const auto rit = reqs_.find(req_token);
+  if (rit == reqs_.end()) return;  // connection died while the worker ran
+  const ReqSlot slot = rit->second;
+  reqs_.erase(rit);
+  const auto it = conns_.find(slot.conn_token);
+  if (it == conns_.end()) return;
   Conn* c = it->second.get();
-  const bool ka = c->keep_alive && !c->close_after_write;
-  resp.headers.emplace_back("Connection", ka ? "keep-alive" : "close");
-  c->out_head = serialize_head(resp, resp.body.size());
-  c->out_body = std::move(resp.body);
-  c->out_off = 0;
-  continue_write(token);
+  c->inflight--;
+  for (auto& t : c->open_reqs) {
+    if (t == req_token) {
+      t = c->open_reqs.back();
+      c->open_reqs.pop_back();
+      break;
+    }
+  }
+  resp.headers.emplace_back("Connection",
+                            slot.keep_alive ? "keep-alive" : "close");
+  PendingWrite pw;
+  pw.head = serialize_head(resp, resp.body.size());
+  pw.body = std::move(resp.body);
+  pw.close_after = !slot.keep_alive;
+  place_response(slot.conn_token, slot.seq, std::move(pw));
+}
+
+void HttpLoop::place_response(std::uint64_t conn_token, std::uint64_t seq,
+                              PendingWrite pw) {
+  const auto it = conns_.find(conn_token);
+  if (it == conns_.end()) return;
+  Conn* c = it->second.get();
+  if (seq != c->write_seq) {
+    c->parked.emplace(seq, std::move(pw));
+    return;
+  }
+  c->out.push_back(std::move(pw));
+  c->write_seq++;
+  // Release parked successors now contiguous with the write queue.
+  for (auto pit = c->parked.find(c->write_seq); pit != c->parked.end();
+       pit = c->parked.find(c->write_seq)) {
+    c->out.push_back(std::move(pit->second));
+    c->parked.erase(pit);
+    c->write_seq++;
+  }
+  // Inside a pump batch the flush happens once at the end; while an EAGAIN
+  // writability notification is armed, the backend will kick us.
+  if (!c->in_pump && !c->writing) continue_write(conn_token);
 }
 
 bool HttpLoop::continue_write(std::uint64_t token) {
@@ -408,81 +403,90 @@ bool HttpLoop::continue_write(std::uint64_t token) {
   if (it == conns_.end()) return false;
   Conn* c = it->second.get();
   for (;;) {
-    const std::size_t head_len = c->out_head.size();
-    const std::size_t total = head_len + c->out_body.size();
-    if (c->out_off >= total) {
-      finish_write(token);
-      return conns_.find(token) != conns_.end();
+    if (c->out.empty()) {
+      c->last_activity = Clock::now();
+      if (c->no_more_requests && c->inflight == 0 && c->parked.empty()) {
+        close_conn(token);
+        return false;
+      }
+      // Capacity freed: parse buffered pipelined requests on a fresh stack.
+      if (!c->buffered.empty() && !c->in_pump) {
+        reactor_.post([this, token] { pump(token); });
+      }
+      return true;
     }
-    // Head + body in one gathered write — the body is never copied into a
-    // contiguous reply buffer.
-    iovec iov[2];
-    int iovcnt = 0;
-    if (c->out_off < head_len) {
-      iov[iovcnt].iov_base =
-          const_cast<char*>(c->out_head.data() + c->out_off);
-      iov[iovcnt].iov_len = head_len - c->out_off;
-      ++iovcnt;
-      if (!c->out_body.empty()) {
-        iov[iovcnt].iov_base = const_cast<char*>(c->out_body.data());
-        iov[iovcnt].iov_len = c->out_body.size();
+    // One gathered write covering as many queued responses as fit: head +
+    // body pairs from the front of the queue, the first adjusted by
+    // front_off. Bodies are never copied into a contiguous reply buffer.
+    iovec iov[kMaxWriteIov];
+    std::size_t iovcnt = 0;
+    std::size_t off = c->front_off;
+    for (const PendingWrite& pw : c->out) {
+      if (iovcnt >= kMaxWriteIov) break;
+      const std::size_t head_len = pw.head.size();
+      if (off < head_len) {
+        iov[iovcnt].iov_base = const_cast<char*>(pw.head.data() + off);
+        iov[iovcnt].iov_len = head_len - off;
+        ++iovcnt;
+        if (iovcnt < kMaxWriteIov && !pw.body.empty()) {
+          iov[iovcnt].iov_base = const_cast<char*>(pw.body.data());
+          iov[iovcnt].iov_len = pw.body.size();
+          ++iovcnt;
+        }
+      } else {
+        const std::size_t boff = off - head_len;
+        iov[iovcnt].iov_base = const_cast<char*>(pw.body.data() + boff);
+        iov[iovcnt].iov_len = pw.body.size() - boff;
         ++iovcnt;
       }
-    } else {
-      const std::size_t boff = c->out_off - head_len;
-      iov[iovcnt].iov_base = const_cast<char*>(c->out_body.data() + boff);
-      iov[iovcnt].iov_len = c->out_body.size() - boff;
-      ++iovcnt;
+      off = 0;
     }
     msghdr msg{};
     msg.msg_iov = iov;
     msg.msg_iovlen = iovcnt;
     const ssize_t n = ::sendmsg(c->fd, &msg, MSG_NOSIGNAL);
-    if (n >= 0) {
-      c->out_off += static_cast<std::size_t>(n);
+    if (n > 0) {
       c->last_activity = Clock::now();
+      std::size_t rem = static_cast<std::size_t>(n);
+      while (rem > 0) {
+        PendingWrite& front = c->out.front();
+        const std::size_t total = front.head.size() + front.body.size();
+        const std::size_t step = std::min(rem, total - c->front_off);
+        c->front_off += step;
+        rem -= step;
+        if (c->front_off == total) {
+          const bool close_now = front.close_after;
+          c->out.pop_front();
+          c->front_off = 0;
+          if (close_now) {
+            // A close-after response is always last in line (parse-ahead
+            // stops at the request that produced it).
+            close_conn(token);
+            return false;
+          }
+        }
+      }
       continue;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       if (!c->writing) {
         c->writing = true;
-        reactor_.mod_fd(c->reg_id, EPOLLIN | EPOLLOUT);
+        reactor_.io().request_writable(c->reg_id);
       }
       return true;
     }
-    if (errno == EINTR) continue;
+    if (n < 0 && errno == EINTR) continue;
     close_conn(token);
     return false;
   }
-}
-
-void HttpLoop::finish_write(std::uint64_t token) {
-  const auto it = conns_.find(token);
-  if (it == conns_.end()) return;
-  Conn* c = it->second.get();
-  if (c->writing) {
-    c->writing = false;
-    reactor_.mod_fd(c->reg_id, EPOLLIN);
-  }
-  c->out_head.clear();
-  c->out_body.clear();
-  c->out_off = 0;
-  c->busy = false;
-  c->last_activity = Clock::now();
-  if (c->close_after_write || !c->keep_alive) {
-    close_conn(token);
-    return;
-  }
-  // Deferred (not recursive) pump: the next pipelined request — or the EOF
-  // check — runs on a fresh stack.
-  reactor_.post([this, token] { pump(token); });
 }
 
 void HttpLoop::close_conn(std::uint64_t token) {
   const auto it = conns_.find(token);
   if (it == conns_.end()) return;
   Conn* c = it->second.get();
-  if (c->reg_id != 0) reactor_.del_fd(c->reg_id);
+  if (c->reg_id != 0) reactor_.io().del_fd(c->reg_id);
+  for (const std::uint64_t req_token : c->open_reqs) reqs_.erase(req_token);
   // Decremented before ::close so an observer woken by the peer's EOF never
   // reads a stale count.
   open_conns_.fetch_sub(1, std::memory_order_relaxed);
@@ -497,8 +501,9 @@ void HttpLoop::sweep_idle() {
                 std::chrono::duration<double>(opts_.idle_timeout_seconds));
   std::vector<std::uint64_t> expired;
   for (const auto& [token, conn] : conns_) {
-    // Busy connections are the worker pool's responsibility, not ours.
-    if (!conn->busy && conn->last_activity < cutoff) {
+    // Connections with dispatched requests are the worker pool's
+    // responsibility, not ours.
+    if (conn->inflight == 0 && conn->last_activity < cutoff) {
       expired.push_back(token);
     }
   }
@@ -508,14 +513,14 @@ void HttpLoop::sweep_idle() {
 void HttpLoop::pause_accept() {
   if (accept_paused_ || listener_reg_ == 0) return;
   accept_paused_ = true;
-  reactor_.mod_fd(listener_reg_, 0);
+  reactor_.io().set_listener_enabled(listener_reg_, false);
 }
 
 void HttpLoop::resume_accept() {
   reactor_.post([this] {
     if (!accept_paused_ || listener_reg_ == 0) return;
     accept_paused_ = false;
-    reactor_.mod_fd(listener_reg_, EPOLLIN);
+    reactor_.io().set_listener_enabled(listener_reg_, true);
   });
 }
 
@@ -527,7 +532,7 @@ void HttpLoop::shutdown() {
     sweep_timer_ = 0;
   }
   if (listener_reg_ != 0) {
-    reactor_.del_fd(listener_reg_);
+    reactor_.io().del_fd(listener_reg_);
     listener_reg_ = 0;
   }
   std::vector<std::uint64_t> tokens;

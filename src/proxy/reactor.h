@@ -1,32 +1,37 @@
-// The proxy's event-driven I/O core: a single-threaded epoll reactor, a
-// coarse hashed timer wheel for deadlines, and an HTTP server harness
-// (HttpLoop) that multiplexes every inbound connection over it.
+// The proxy's event-driven I/O core: a single-threaded reactor over a
+// pluggable I/O backend (io_backend.h — epoll or io_uring), a coarse hashed
+// timer wheel for deadlines, and an HTTP server harness (HttpLoop) that
+// multiplexes every inbound connection over it.
 //
 // Ownership model:
-//   - Reactor owns the epoll instance, an eventfd for cross-thread wakeup,
-//     and the registered I/O callbacks. run() executes on exactly one
-//     thread (the "loop thread"); every callback, timer, and posted task
-//     fires there, so per-connection state needs no locks.
-//   - HttpLoop owns the per-connection state machines: a non-blocking fd,
-//     an incremental HttpParser, a buffered-ahead byte queue for pipelined
-//     requests, and the response write state. It borrows the listening fd
-//     (the TcpListener keeps ownership) and accepts in a loop until EAGAIN.
+//   - Reactor owns the IoBackend (which owns the kernel-facing machinery:
+//     the epoll instance or the io_uring rings, plus the wakeup eventfd)
+//     and the timer wheel. run() executes on exactly one thread (the "loop
+//     thread"); every callback, timer, and posted task fires there, so
+//     per-connection state needs no locks.
+//   - HttpLoop owns the per-connection state machines: an incremental
+//     HttpParser, a buffered-ahead byte queue for pipelined requests, and
+//     the in-order response write queue. It borrows the listening fd (the
+//     TcpListener keeps ownership) and receives accepted fds from the
+//     backend's listener registration; bytes arrive via the backend's
+//     stream callbacks (an accept4/recv loop on epoll, multishot
+//     completions on io_uring).
 //   - Everything that can block — shard lookups that contend, hint ops,
 //     outbound peer probes, origin fetches — runs on the caller's worker
 //     pool, NOT here. The loop's contract is: parse, dispatch, write,
-//     never wait on anything but epoll.
+//     never wait on anything but the backend.
 //
-// Request flow: readable fd -> parser.feed -> complete request ->
-// dispatch(token, request) on the loop thread (must not block; typically
-// enqueues to a worker pool) -> worker calls respond(token, response) from
-// any thread -> posted back to the loop -> gathered writev of head + body
-// -> keep-alive ? parse the next (possibly already buffered) request :
-// close.
+// Request flow: bytes arrive -> parser.feed -> each complete request is
+// dispatched immediately with its own request token (parse-ahead: pipelined
+// requests are all in flight at once, up to a cap) -> workers call
+// respond(token, response) from any thread -> responses are sequenced back
+// into request order on the loop thread, coalesced into one gathered
+// sendmsg covering as many queued responses as fit.
 //
 // Keep-alive: HTTP/1.0 semantics — close by default, held open when the
 // request carries "Connection: keep-alive" (the response echoes the
-// decision). Pipelined requests on one connection are served strictly in
-// order: while one request is in flight its successors stay buffered.
+// decision). A non-keep-alive request ends parse-ahead; its response is the
+// last thing written before the close.
 //
 // Deadlines: a periodic sweep over the timer wheel closes connections that
 // have been idle (or stuck mid-message) past the idle timeout, so a wedged
@@ -38,6 +43,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -47,6 +53,7 @@
 #include <vector>
 
 #include "proxy/http.h"
+#include "proxy/io_backend.h"
 
 namespace bh::proxy {
 
@@ -69,7 +76,7 @@ class TimerWheel {
   void advance(Clock::time_point now);
 
   // Milliseconds until the next timer is due at `now` (0 if already due),
-  // or -1 when none are pending — the epoll_wait timeout.
+  // or -1 when none are pending — the backend's poll timeout.
   int next_delay_ms(Clock::time_point now) const;
 
   std::size_t pending() const { return by_id_.size(); }
@@ -95,49 +102,49 @@ class TimerWheel {
 
 class Reactor {
  public:
-  using IoFn = std::function<void(std::uint32_t events)>;
+  using IoFn = IoBackend::IoFn;
 
-  Reactor();  // throws std::runtime_error if epoll/eventfd creation fails
+  // Throws std::runtime_error if the backend cannot be constructed (for
+  // kIoUring that includes "this kernel cannot run it"; kAuto always
+  // succeeds by falling back to epoll).
+  explicit Reactor(IoBackendKind kind = IoBackendKind::kAuto);
   ~Reactor();
   Reactor(const Reactor&) = delete;
   Reactor& operator=(const Reactor&) = delete;
 
   // --- loop-thread-only API ---
-  // Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...); returns a handle
-  // id, 0 on failure. The callback may add/mod/del registrations freely;
-  // events for handles deleted mid-batch are dropped, and handle ids are
-  // never reused, so a recycled fd can never receive a stale event.
+  // Registers `fd` for `events` (kIoReadable/kIoWritable/...); returns a
+  // handle id, 0 on failure. The callback may add/mod/del registrations
+  // freely; events for handles deleted mid-batch are dropped, and handle
+  // ids are never reused, so a recycled fd can never receive a stale event.
   std::uint64_t add_fd(int fd, std::uint32_t events, IoFn fn);
   bool mod_fd(std::uint64_t id, std::uint32_t events);
   void del_fd(std::uint64_t id);
 
+  // The backend, for listener/stream registrations (HttpLoop) and stats.
+  IoBackend& io() { return *backend_; }
+  const char* backend_name() const { return backend_->name(); }
+  IoBackend::Stats io_stats() const { return backend_->stats(); }
+
   TimerWheel& timers() { return timers_; }
 
   // --- any-thread API ---
-  // Enqueues `fn` to run on the loop thread; wakes the loop via eventfd.
-  // Safe before run() and after stop() (tasks posted after the loop exits
-  // are destroyed unrun).
+  // Enqueues `fn` to run on the loop thread; wakes a blocked poll. Safe
+  // before run() and after stop() (tasks posted after the loop exits are
+  // destroyed unrun).
   void post(std::function<void()> fn);
   void stop();
 
   void run();
   bool on_loop_thread() const;
 
-  // epoll_wait returns since run() started — `bh.proxy.loop_iterations`.
+  // Poll cycles since run() started — `bh.proxy.loop_iterations`.
   std::uint64_t iterations() const {
     return iterations_.load(std::memory_order_relaxed);
   }
 
  private:
-  struct Registration {
-    int fd;
-    IoFn fn;
-  };
-
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;  // eventfd
-  std::unordered_map<std::uint64_t, Registration> regs_;
-  std::uint64_t next_reg_id_ = 1;
+  std::unique_ptr<IoBackend> backend_;
   TimerWheel timers_;
 
   std::mutex tasks_mu_;
@@ -155,18 +162,25 @@ class HttpLoop {
     // closed after this long; <= 0 disables the sweep.
     double idle_timeout_seconds = 30.0;
     HttpParser::Limits parser_limits{};
+    // Parse-ahead bound: requests in flight plus responses queued for write
+    // on one connection. Further pipelined bytes stay in the buffer until
+    // responses drain.
+    std::size_t max_pipeline = 16;
   };
 
   // `dispatch` runs on the loop thread with each complete request; it must
   // not block (hand off to a worker pool and respond() later, or compute
-  // inline and respond() immediately).
+  // inline and respond() immediately). The token identifies the REQUEST —
+  // pipelined requests on one connection each get their own token, and the
+  // loop reorders responses back into request order no matter when each
+  // respond() arrives.
   using Dispatch = std::function<void(std::uint64_t token, HttpRequest req)>;
 
   // `listen_fd` stays owned by the caller; it is made non-blocking here.
   HttpLoop(Reactor& reactor, int listen_fd, Options opts, Dispatch dispatch);
   ~HttpLoop();
 
-  // Queues `resp` for the connection identified by `token`; a no-op if the
+  // Queues `resp` for the request identified by `token`; a no-op if the
   // connection died meanwhile. Callable from any thread.
   void respond(std::uint64_t token, HttpResponse resp);
 
@@ -185,39 +199,68 @@ class HttpLoop {
   }
 
  private:
+  // One serialized response waiting to be written.
+  struct PendingWrite {
+    std::string head;
+    std::string body;
+    bool close_after = false;  // close the connection once this is written
+  };
+
   struct Conn {
     int fd = -1;
     std::uint64_t token = 0;
     std::uint64_t reg_id = 0;
     HttpParser parser;
-    std::string buffered;     // bytes received ahead of the current message
-    bool busy = false;        // a dispatched request awaits its response
-    bool keep_alive = false;  // the in-flight request asked for keep-alive
+    std::string buffered;  // bytes received ahead of the current message
     bool saw_eof = false;
-    bool close_after_write = false;
-    // Gathered write state: head + body via one writev, no concatenation.
-    std::string out_head;
-    std::string out_body;
-    std::size_t out_off = 0;
-    bool writing = false;
+    // Parse-ahead stops here: set on EOF, parse error, or a non-keep-alive
+    // request; queued responses still drain.
+    bool no_more_requests = false;
+    std::size_t inflight = 0;     // dispatched requests awaiting respond()
+    std::uint64_t next_seq = 0;   // sequence of the next parsed request
+    std::uint64_t write_seq = 0;  // sequence owed to the write queue next
+    // Responses that arrived out of order park here until their turn.
+    std::map<std::uint64_t, PendingWrite> parked;
+    std::vector<std::uint64_t> open_reqs;  // request tokens, for close cleanup
+    // In-order responses being written; front_off = bytes of front already
+    // sent. Drained with one gathered sendmsg covering several entries.
+    std::deque<PendingWrite> out;
+    std::size_t front_off = 0;
+    bool writing = false;  // writability notification armed after EAGAIN
+    bool in_pump = false;  // defer write kicks so one flush covers the batch
     std::chrono::steady_clock::time_point last_activity;
 
     explicit Conn(HttpParser::Limits limits)
         : parser(HttpParser::Kind::kRequest, limits) {}
+
+    std::size_t pipeline_load() const {
+      return inflight + parked.size() + out.size();
+    }
+  };
+
+  // Maps an outstanding request token to its connection and slot.
+  struct ReqSlot {
+    std::uint64_t conn_token;
+    std::uint64_t seq;
+    bool keep_alive;
   };
 
   // All helpers below take the connection token and re-resolve it, because
   // any step that writes or dispatches can close the connection under the
   // caller's feet; a dangling Conn* is never held across such a step.
-  void on_acceptable();
-  void on_conn_event(std::uint64_t token, std::uint32_t events);
-  void read_available(std::uint64_t token);
-  // Runs buffered bytes through the parser; dispatches at most one request
-  // at a time (pipelined successors wait in `buffered`), closes on EOF.
+  void on_accepted(int fd);
+  void on_recv(std::uint64_t token, const char* data, ssize_t n);
+  // Runs buffered bytes through the parser, dispatching every complete
+  // request (parse-ahead) up to max_pipeline; flushes coalesced writes once
+  // the batch is parsed.
   void pump(std::uint64_t token);
-  void start_response(std::uint64_t token, HttpResponse resp);
+  void pump_inner(std::uint64_t token);
+  void start_response(std::uint64_t req_token, HttpResponse resp);
+  // Slots a serialized response into its connection at `seq`, releasing any
+  // parked successors into the write queue.
+  void place_response(std::uint64_t conn_token, std::uint64_t seq,
+                      PendingWrite pw);
   bool continue_write(std::uint64_t token);  // false once the conn is gone
-  void finish_write(std::uint64_t token);
   void close_conn(std::uint64_t token);
   void sweep_idle();
   void schedule_sweep();
@@ -230,7 +273,9 @@ class HttpLoop {
   std::uint64_t sweep_timer_ = 0;
   bool accept_paused_ = false;
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
-  std::uint64_t next_token_ = 1;
+  std::unordered_map<std::uint64_t, ReqSlot> reqs_;
+  std::uint64_t next_token_ = 1;      // connection tokens
+  std::uint64_t next_req_token_ = 1;  // request tokens (dispatch/respond)
   std::atomic<std::size_t> open_conns_{0};
   bool shut_down_ = false;
 };

@@ -1,20 +1,27 @@
-// Tests for the epoll reactor core: the timer wheel's ordering and
-// cancellation, the loop's cross-thread post/wakeup contract, and the
-// HttpLoop connection state machine (keep-alive, pipelining, 400-on-junk)
-// driven over real loopback sockets.
+// Tests for the reactor core: the timer wheel's ordering and cancellation,
+// the loop's cross-thread post/wakeup contract, and the HttpLoop connection
+// state machine (keep-alive, pipelining, 400-on-junk) driven over real
+// loopback sockets. Everything that touches the loop runs against every
+// available I/O backend (epoll always; io_uring when the kernel supports
+// it), so both implementations are held to the same observable contract.
 #include <gtest/gtest.h>
+
+#include <stdlib.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <functional>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "proxy/conn_pool.h"
 #include "proxy/http.h"
+#include "proxy/io_backend.h"
 #include "proxy/reactor.h"
 #include "proxy/socket.h"
 
@@ -22,6 +29,48 @@ namespace bh::proxy {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// The backends available on this machine. Epoll always works; io_uring is
+// probed once, and when absent the suite says so explicitly rather than
+// silently shrinking.
+std::vector<IoBackendKind> test_backends() {
+  std::vector<IoBackendKind> kinds{IoBackendKind::kEpoll};
+  std::string why;
+  if (io_uring_supported(&why)) {
+    kinds.push_back(IoBackendKind::kIoUring);
+  } else {
+    static const bool logged = [&why] {
+      std::fprintf(stderr,
+                   "io_uring unavailable (%s): reactor tests run on epoll "
+                   "only\n",
+                   why.c_str());
+      return true;
+    }();
+    (void)logged;
+  }
+  return kinds;
+}
+
+class BackendParamTest : public ::testing::TestWithParam<IoBackendKind> {};
+
+using ReactorBackendTest = BackendParamTest;
+using HttpLoopBackendTest = BackendParamTest;
+using ConnectionPoolBackendTest = BackendParamTest;
+
+std::string backend_param_name(
+    const ::testing::TestParamInfo<IoBackendKind>& info) {
+  return io_backend_kind_name(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ReactorBackendTest,
+                         ::testing::ValuesIn(test_backends()),
+                         backend_param_name);
+INSTANTIATE_TEST_SUITE_P(Backends, HttpLoopBackendTest,
+                         ::testing::ValuesIn(test_backends()),
+                         backend_param_name);
+INSTANTIATE_TEST_SUITE_P(Backends, ConnectionPoolBackendTest,
+                         ::testing::ValuesIn(test_backends()),
+                         backend_param_name);
 
 TEST(TimerWheelTest, FiresInDueOrder) {
   TimerWheel wheel(/*tick_seconds=*/0.001, /*slots=*/16);
@@ -92,8 +141,8 @@ TEST(TimerWheelTest, CallbackMayRescheduleItself) {
   EXPECT_EQ(fires, 3);
 }
 
-TEST(ReactorTest, PostRunsOnLoopThreadAndStopExits) {
-  Reactor reactor;
+TEST_P(ReactorBackendTest, PostRunsOnLoopThreadAndStopExits) {
+  Reactor reactor(GetParam());
   std::thread loop([&] { reactor.run(); });
 
   std::atomic<bool> ran{false};
@@ -115,8 +164,8 @@ TEST(ReactorTest, PostRunsOnLoopThreadAndStopExits) {
   loop.join();
 }
 
-TEST(ReactorTest, TimersFireOnTheLoop) {
-  Reactor reactor;
+TEST_P(ReactorBackendTest, TimersFireOnTheLoop) {
+  Reactor reactor(GetParam());
   std::thread loop([&] { reactor.run(); });
   std::atomic<int> fired{0};
   reactor.post([&] {
@@ -137,10 +186,10 @@ TEST(ReactorTest, TimersFireOnTheLoop) {
 // which response.
 class EchoServer {
  public:
-  EchoServer() {
+  explicit EchoServer(IoBackendKind backend = IoBackendKind::kEpoll) {
     listener_ = TcpListener::bind_ephemeral();
     EXPECT_TRUE(listener_.has_value());
-    reactor_ = std::make_unique<Reactor>();
+    reactor_ = std::make_unique<Reactor>(backend);
     HttpLoop::Options opts;
     opts.idle_timeout_seconds = 30.0;
     loop_ = std::make_unique<HttpLoop>(
@@ -170,8 +219,8 @@ class EchoServer {
   std::thread thread_;
 };
 
-TEST(HttpLoopTest, KeepAliveServesManyExchangesOnOneConnection) {
-  EchoServer server;
+TEST_P(HttpLoopBackendTest, KeepAliveServesManyExchangesOnOneConnection) {
+  EchoServer server(GetParam());
   auto conn = ClientConnection::open(server.port(), 1.0);
   ASSERT_TRUE(conn.has_value());
   for (int i = 0; i < 10; ++i) {
@@ -193,8 +242,8 @@ TEST(HttpLoopTest, KeepAliveServesManyExchangesOnOneConnection) {
   EXPECT_EQ(server.open_connections(), 1u);
 }
 
-TEST(HttpLoopTest, WithoutKeepAliveServerCloses) {
-  EchoServer server;
+TEST_P(HttpLoopBackendTest, WithoutKeepAliveServerCloses) {
+  EchoServer server(GetParam());
   auto conn = ClientConnection::open(server.port(), 1.0);
   ASSERT_TRUE(conn.has_value());
   HttpRequest req;
@@ -208,8 +257,8 @@ TEST(HttpLoopTest, WithoutKeepAliveServerCloses) {
   EXPECT_EQ(resp->header("Connection").value_or(""), "close");
 }
 
-TEST(HttpLoopTest, PipelinedRequestsAnsweredInOrder) {
-  EchoServer server;
+TEST_P(HttpLoopBackendTest, PipelinedRequestsAnsweredInOrder) {
+  EchoServer server(GetParam());
   auto stream = TcpStream::connect(server.port(), 1.0);
   ASSERT_TRUE(stream.has_value());
 
@@ -252,8 +301,71 @@ TEST(HttpLoopTest, PipelinedRequestsAnsweredInOrder) {
   EXPECT_EQ(got, 3);
 }
 
-TEST(HttpLoopTest, MalformedRequestGets400AndClose) {
-  EchoServer server;
+// Responses released out of request order (worst case: all in reverse) must
+// still reach the wire in request order — the loop's sequencing, not the
+// responder's timing, decides the output order.
+TEST_P(HttpLoopBackendTest, OutOfOrderRespondsAreResequenced) {
+  std::optional<TcpListener> listener = TcpListener::bind_ephemeral();
+  ASSERT_TRUE(listener.has_value());
+  Reactor reactor(GetParam());
+  std::vector<std::pair<std::uint64_t, std::string>> parked;
+  std::unique_ptr<HttpLoop> loop;
+  loop = std::make_unique<HttpLoop>(
+      reactor, listener->fd(), HttpLoop::Options{},
+      [&](std::uint64_t token, HttpRequest req) {
+        // Park until all three arrive, then answer newest-first.
+        parked.emplace_back(token, req.target);
+        if (parked.size() < 3) return;
+        for (auto it = parked.rbegin(); it != parked.rend(); ++it) {
+          HttpResponse resp;
+          resp.body = "resp:" + it->second;
+          loop->respond(it->first, std::move(resp));
+        }
+        parked.clear();
+      });
+  std::thread t([&] { reactor.run(); });
+
+  auto stream = TcpStream::connect(listener->port(), 1.0);
+  ASSERT_TRUE(stream.has_value());
+  std::string wire;
+  for (int i = 0; i < 3; ++i) {
+    HttpRequest req;
+    req.method = "GET";
+    req.target = "/ooo/" + std::to_string(i);
+    req.headers.emplace_back("Connection", "keep-alive");
+    wire += serialize(req);
+  }
+  ASSERT_TRUE(stream->write_all(wire));
+
+  HttpParser parser(HttpParser::Kind::kResponse);
+  std::string pending;
+  int got = 0;
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  while (got < 3 && Clock::now() < deadline) {
+    if (pending.empty()) {
+      auto chunk = stream->read_some(4096);
+      ASSERT_TRUE(chunk.has_value());
+      ASSERT_FALSE(chunk->empty()) << "server closed early";
+      pending += *chunk;
+    }
+    const std::size_t used = parser.feed(pending);
+    pending.erase(0, used);
+    ASSERT_FALSE(parser.failed());
+    if (parser.complete()) {
+      EXPECT_EQ(parser.response().body, "resp:/ooo/" + std::to_string(got));
+      parser.reset();
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, 3);
+
+  reactor.stop();
+  t.join();
+  loop->shutdown();
+}
+
+TEST_P(HttpLoopBackendTest, MalformedRequestGets400AndClose) {
+  EchoServer server(GetParam());
   auto stream = TcpStream::connect(server.port(), 1.0);
   ASSERT_TRUE(stream.has_value());
   ASSERT_TRUE(stream->write_all("this is not http\r\n\r\n"));
@@ -265,10 +377,10 @@ TEST(HttpLoopTest, MalformedRequestGets400AndClose) {
   EXPECT_EQ(resp->header("Connection").value_or(""), "close");
 }
 
-TEST(HttpLoopTest, IdleConnectionsAreSweptOut) {
+TEST_P(HttpLoopBackendTest, IdleConnectionsAreSweptOut) {
   std::optional<TcpListener> listener = TcpListener::bind_ephemeral();
   ASSERT_TRUE(listener.has_value());
-  Reactor reactor;
+  Reactor reactor(GetParam());
   HttpLoop::Options opts;
   opts.idle_timeout_seconds = 0.2;  // sweep interval floors at 50 ms
   HttpLoop loop(reactor, listener->fd(), opts,
@@ -299,8 +411,8 @@ TEST(HttpLoopTest, IdleConnectionsAreSweptOut) {
   loop.shutdown();
 }
 
-TEST(ConnectionPoolTest, PooledCallReusesParkedConnection) {
-  EchoServer server;
+TEST_P(ConnectionPoolBackendTest, PooledCallReusesParkedConnection) {
+  EchoServer server(GetParam());
   ConnectionPool pool;
   HttpRequest req;
   req.method = "POST";
@@ -323,12 +435,12 @@ TEST(ConnectionPoolTest, PooledCallReusesParkedConnection) {
   EXPECT_EQ(server.open_connections(), 1u);
 }
 
-TEST(ConnectionPoolTest, StaleParkedConnectionRetriesFresh) {
+TEST_P(ConnectionPoolBackendTest, StaleParkedConnectionRetriesFresh) {
   ConnectionPool pool;
   std::uint16_t port = 0;
   {
     // Park a connection, then kill the server: the parked stream is stale.
-    EchoServer server;
+    EchoServer server(GetParam());
     port = server.port();
     HttpRequest req;
     req.method = "GET";
@@ -349,13 +461,13 @@ TEST(ConnectionPoolTest, StaleParkedConnectionRetriesFresh) {
   EXPECT_EQ(pool.idle_count(), 0u);
 }
 
-TEST(ConnectionPoolTest, BoundAndIdleTimeoutEnforced) {
+TEST_P(ConnectionPoolBackendTest, BoundAndIdleTimeoutEnforced) {
   ConnectionPool::Options popts;
   popts.max_idle_per_peer = 2;
   popts.idle_timeout_seconds = 0.05;
   ConnectionPool pool(popts);
 
-  EchoServer server;
+  EchoServer server(GetParam());
   // Park three connections; the bound keeps two.
   std::vector<ClientConnection> conns;
   for (int i = 0; i < 3; ++i) {
@@ -375,6 +487,70 @@ TEST(ConnectionPoolTest, BoundAndIdleTimeoutEnforced) {
   std::this_thread::sleep_for(std::chrono::milliseconds(80));
   EXPECT_FALSE(pool.acquire(server.port()).has_value());
   EXPECT_EQ(pool.idle_count(), 0u);
+}
+
+// --- backend selection ---
+
+class IoBackendSelectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv("BH_DISABLE_IO_URING"); }
+};
+
+TEST_F(IoBackendSelectionTest, ParseNames) {
+  EXPECT_EQ(parse_io_backend("auto"), IoBackendKind::kAuto);
+  EXPECT_EQ(parse_io_backend("epoll"), IoBackendKind::kEpoll);
+  EXPECT_EQ(parse_io_backend("io_uring"), IoBackendKind::kIoUring);
+  EXPECT_EQ(parse_io_backend("uring"), IoBackendKind::kIoUring);
+  EXPECT_FALSE(parse_io_backend("kqueue").has_value());
+  EXPECT_FALSE(parse_io_backend("").has_value());
+}
+
+TEST_F(IoBackendSelectionTest, AutoFallsBackToEpollWhenProbeFails) {
+  // BH_DISABLE_IO_URING simulates a kernel without io_uring; `auto` must
+  // still bring up a working loop, on epoll.
+  ::setenv("BH_DISABLE_IO_URING", "1", 1);
+  std::string why;
+  EXPECT_FALSE(io_uring_supported(&why));
+  EXPECT_NE(why.find("BH_DISABLE_IO_URING"), std::string::npos) << why;
+  Reactor reactor(IoBackendKind::kAuto);
+  EXPECT_STREQ(reactor.backend_name(), "epoll");
+}
+
+TEST_F(IoBackendSelectionTest, DisableEnvZeroMeansEnabled) {
+  ::setenv("BH_DISABLE_IO_URING", "0", 1);
+  std::string why;
+  // "0" does not disable; the result is whatever the kernel probe says
+  // (and the reason string, if unsupported, names the kernel, not the env).
+  if (!io_uring_supported(&why)) {
+    EXPECT_EQ(why.find("BH_DISABLE_IO_URING"), std::string::npos) << why;
+  }
+}
+
+TEST_F(IoBackendSelectionTest, ExplicitIoUringErrorsCleanlyWhenUnsupported) {
+  ::setenv("BH_DISABLE_IO_URING", "1", 1);
+  try {
+    Reactor reactor(IoBackendKind::kIoUring);
+    FAIL() << "expected construction to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("io_uring"), std::string::npos);
+  }
+}
+
+TEST_F(IoBackendSelectionTest, ExplicitEpollIsAlwaysHonored) {
+  Reactor reactor(IoBackendKind::kEpoll);
+  EXPECT_STREQ(reactor.backend_name(), "epoll");
+}
+
+TEST_F(IoBackendSelectionTest, UringBackendReportsItsName) {
+  std::string why;
+  if (!io_uring_supported(&why)) {
+    GTEST_SKIP() << "io_uring unavailable: " << why;
+  }
+  Reactor reactor(IoBackendKind::kIoUring);
+  EXPECT_STREQ(reactor.backend_name(), "io_uring");
+  // A fresh loop has made no submissions yet; stats start at zero.
+  const IoBackend::Stats stats = reactor.io_stats();
+  EXPECT_EQ(stats.submit_calls, 0u);
 }
 
 }  // namespace
