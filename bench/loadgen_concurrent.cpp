@@ -24,9 +24,19 @@
 // the unprefixed keys carrying the auto-selected backend's numbers. Results
 // land in the "loadgen_net" suite.
 //
+// --restart measures the persistence tier: one daemon with a disk tier and
+// a hint image serves a working set several times its RAM budget (cold
+// pass: every request is an origin fetch, most bodies demote to disk), is
+// cleanly stopped, and a second daemon is mounted over the same on-disk
+// state. The warm pass replays the working set and records what fraction
+// was served without the origin — bh.restart.warm_hit_ratio in the
+// "restart" suite, alongside the per-phase request rates and disk counters.
+//
 // Usage: loadgen_concurrent [--json=<path>] [--ops=<per-thread-op-count>]
-//                           [--keepalive] [--clients=<n>]
+//                           [--keepalive] [--restart] [--clients=<n>]
 //                           [--require-speedup=<x>]
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -384,6 +394,127 @@ int run_net_mode(const std::string& json_path, int clients, std::uint64_t ops,
   return 0;
 }
 
+// --- restart mode ---
+
+// Working set: kRestartObjects bodies of kRestartObjBytes each, ~8x the RAM
+// budget, so the cold pass demotes most of the set to the disk tier.
+constexpr std::uint64_t kRestartObjects = 128;
+constexpr std::size_t kRestartObjBytes = 4096;
+constexpr std::uint64_t kRestartRamBytes = 16 * kRestartObjBytes;
+
+int run_restart_mode(const std::string& json_path) {
+  const std::string state =
+      "/tmp/bh_loadgen_restart." + std::to_string(::getpid());
+  if (std::system(("rm -rf '" + state + "' && mkdir -p '" + state + "'")
+                      .c_str()) != 0) {
+    std::fprintf(stderr, "[restart] cannot create state dir %s\n",
+                 state.c_str());
+    return 1;
+  }
+
+  proxy::OriginServer origin;
+  proxy::ProxyConfig cfg;
+  cfg.name = "restart";
+  cfg.origin_port = origin.port();
+  cfg.capacity_bytes = kRestartRamBytes;
+  cfg.disk_path = state + "/objects";
+  cfg.disk_fsync = false;  // measuring the tier, not the platters
+  cfg.hint_image_path = state + "/hints.img";
+
+  // One full sequential sweep of the working set; returns requests/sec.
+  const auto sweep = [](std::uint16_t port) -> double {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t k = 1; k <= kRestartObjects; ++k) {
+      proxy::HttpRequest req;
+      req.method = "GET";
+      req.target = proxy::object_path(ObjectId{k}, kRestartObjBytes);
+      const auto resp = proxy::http_call(port, req);
+      if (!resp || resp->status != 200) {
+        std::fprintf(stderr, "[restart] fetch %llu failed\n",
+                     static_cast<unsigned long long>(k));
+        return -1.0;
+      }
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return static_cast<double>(kRestartObjects) / elapsed.count();
+  };
+
+  double cold_rps = 0.0;
+  std::uint64_t demoted = 0;
+  {
+    proxy::ProxyServer cold(cfg);
+    cold_rps = sweep(cold.port());
+    if (cold_rps < 0.0) return 1;
+    demoted = cold.stats().disk_demotions;
+    cold.stop();  // clean stop: saves the hint image
+  }
+  const std::uint64_t cold_origin = origin.requests_served();
+
+  // Same state, new daemon — the paper's restart-without-refill scenario.
+  proxy::ProxyServer warm(cfg);
+  const std::uint64_t disk_objects =
+      warm.disk() ? warm.disk()->object_count() : 0;
+  const double warm_rps = sweep(warm.port());
+  if (warm_rps < 0.0) return 1;
+  const std::uint64_t warm_origin = origin.requests_served() - cold_origin;
+  const double warm_hit_ratio =
+      1.0 - static_cast<double>(warm_origin) / kRestartObjects;
+  const double cold_hit_ratio =
+      1.0 - static_cast<double>(cold_origin) / kRestartObjects;
+  const proxy::ProxyStats ws = warm.stats();
+
+  std::printf("restart: %llu objects x %zu bytes, %llu-byte RAM budget\n",
+              static_cast<unsigned long long>(kRestartObjects),
+              kRestartObjBytes,
+              static_cast<unsigned long long>(kRestartRamBytes));
+  std::printf("  cold pass: %8.0f req/s, %llu origin fetches, %llu demotions\n",
+              cold_rps, static_cast<unsigned long long>(cold_origin),
+              static_cast<unsigned long long>(demoted));
+  std::printf("  warm pass: %8.0f req/s, %llu origin fetches, "
+              "%llu disk objects adopted\n",
+              warm_rps, static_cast<unsigned long long>(warm_origin),
+              static_cast<unsigned long long>(disk_objects));
+  std::printf("  warm hit ratio: %.3f (cold %.3f)\n", warm_hit_ratio,
+              cold_hit_ratio);
+
+  obs::MetricsRegistry reg;
+  reg.gauge("bh.restart.working_set").set(static_cast<double>(kRestartObjects));
+  reg.gauge("bh.restart.object_bytes")
+      .set(static_cast<double>(kRestartObjBytes));
+  reg.gauge("bh.restart.ram_bytes").set(static_cast<double>(kRestartRamBytes));
+  reg.gauge("bh.restart.cold.requests_per_sec").set(cold_rps);
+  reg.gauge("bh.restart.warm.requests_per_sec").set(warm_rps);
+  reg.gauge("bh.restart.cold_origin_fetches")
+      .set(static_cast<double>(cold_origin));
+  reg.gauge("bh.restart.warm_origin_fetches")
+      .set(static_cast<double>(warm_origin));
+  reg.gauge("bh.restart.cold_hit_ratio").set(cold_hit_ratio);
+  reg.gauge("bh.restart.warm_hit_ratio").set(warm_hit_ratio);
+  reg.gauge("bh.restart.disk_objects").set(static_cast<double>(disk_objects));
+  reg.gauge("bh.restart.warm_disk_hits").set(static_cast<double>(ws.disk_hits));
+  reg.gauge("bh.restart.cold_demotions").set(static_cast<double>(demoted));
+
+  std::ostringstream suite;
+  suite << "{\"benchmarks\": [], \"metrics\": " << obs::to_json(reg.snapshot())
+        << "}";
+  auto suites = obs::load_suites(json_path);
+  suites["restart"] = suite.str();
+  obs::write_suites(json_path, suites);
+  std::printf("\n[restart] results merged into %s\n", json_path.c_str());
+
+  warm.stop();  // the final image save needs the state dir still present
+  [[maybe_unused]] int rc = std::system(("rm -rf '" + state + "'").c_str());
+  // The warm tier must beat a cold start by a wide margin or the
+  // persistence layer is not doing its job; fail loudly in smoke runs.
+  if (warm_hit_ratio < 0.5) {
+    std::fprintf(stderr, "[restart] warm hit ratio %.3f below 0.5\n",
+                 warm_hit_ratio);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -391,6 +522,7 @@ int main(int argc, char** argv) {
   std::uint64_t ops_per_thread = 200000;
   bool ops_given = false;
   bool net_mode = false;
+  bool restart_mode = false;
   int clients = 8;
   double require_speedup = 0.0;
   for (int i = 1; i < argc; ++i) {
@@ -402,6 +534,8 @@ int main(int argc, char** argv) {
       ops_given = true;
     } else if (a == "--keepalive") {
       net_mode = true;
+    } else if (a == "--restart") {
+      restart_mode = true;
     } else if (a.rfind("--clients=", 0) == 0) {
       clients = std::atoi(a.c_str() + 10);
     } else if (a.rfind("--require-speedup=", 0) == 0) {
@@ -412,6 +546,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (restart_mode) {
+    return run_restart_mode(json_path);
+  }
   if (net_mode) {
     // Real sockets are ~1000x slower per op than the in-memory paths; a
     // modest default also keeps the per-request baseline from exhausting

@@ -54,16 +54,21 @@ int main(int argc, char** argv) {
   // hint stripe count, --workers=N sizes each daemon's handler pool,
   // --backlog=N caps each listener's accept backlog (0 = SOMAXCONN),
   // --io-backend=auto|epoll|io_uring picks the reactor's I/O engine
-  // (auto probes io_uring and falls back to epoll), and --probe-io-uring
+  // (auto probes io_uring and falls back to epoll), --persist=DIR gives each
+  // daemon an on-disk L2 tier and a hint image under DIR/proxy-<i>/ (rerun
+  // with the same DIR to watch the cluster start warm), and --probe-io-uring
   // just reports whether this kernel can run the io_uring backend.
   std::size_t shards = 8;
   std::size_t workers = 8;
   int backlog = 0;
+  std::string persist_dir;
   proxy::IoBackendKind io_backend = proxy::IoBackendKind::kAuto;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--shards=", 0) == 0) {
       shards = std::strtoull(a.c_str() + 9, nullptr, 10);
+    } else if (a.rfind("--persist=", 0) == 0) {
+      persist_dir = a.substr(10);
     } else if (a.rfind("--workers=", 0) == 0) {
       workers = std::strtoull(a.c_str() + 10, nullptr, 10);
     } else if (a.rfind("--backlog=", 0) == 0) {
@@ -87,7 +92,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--shards=N] [--workers=N] [--backlog=N] "
-                   "[--io-backend=auto|epoll|io_uring] [--probe-io-uring]\n",
+                   "[--io-backend=auto|epoll|io_uring] [--persist=DIR] "
+                   "[--probe-io-uring]\n",
                    argv[0]);
       return 1;
     }
@@ -124,11 +130,39 @@ int main(int argc, char** argv) {
     cfg.peer_deadline_seconds = 0.25;
     cfg.quarantine_threshold = 2;
     cfg.quarantine_seconds = 10.0;
+    if (!persist_dir.empty()) {
+      // Per-daemon persistent state: demoted objects plus a hint image saved
+      // every few seconds (and on clean stop), so a rerun over the same DIR
+      // starts with a warm disk tier and hint table.
+      const std::string home = persist_dir + "/proxy-" + std::to_string(i);
+      if (std::system(("mkdir -p '" + home + "'").c_str()) != 0) {
+        std::fprintf(stderr, "--persist: cannot create %s\n", home.c_str());
+        return 1;
+      }
+      cfg.disk_path = home + "/objects";
+      cfg.disk_capacity_bytes = 64u << 20;
+      cfg.hint_image_path = home + "/hints.img";
+      cfg.hint_image_save_seconds = 5.0;
+    }
     proxies.push_back(std::make_unique<proxy::ProxyServer>(cfg));
   }
   for (int i = 0; i < 4; ++i) {
     proxies[std::size_t(i)]->add_hint_neighbor(
         proxies[std::size_t((i + 1) % 4)]->port());
+  }
+
+  if (!persist_dir.empty()) {
+    for (std::size_t i = 0; i < proxies.size(); ++i) {
+      const auto& p = proxies[i];
+      const std::string hints =
+          p->hint_image_restored()
+              ? "warm hint image (" +
+                    std::to_string(p->hint_image_entries()) + " hints)"
+              : std::string("cold hint table");
+      std::printf("proxy-%zu persistent state: %zu disk object(s), %s\n", i,
+                  p->disk() ? p->disk()->object_count() : std::size_t{0},
+                  hints.c_str());
+    }
   }
 
   std::printf("origin on 127.0.0.1:%u; proxies (hint ring, %s I/O) on",

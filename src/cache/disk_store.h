@@ -1,0 +1,126 @@
+// On-disk L2 object store — the persistent tier under the RAM
+// ShardedLruCache.
+//
+// The paper's proxies survive restarts without inducing a miss storm; this
+// store is what makes that true for the daemon: RAM evictions demote bodies
+// here, disk hits promote them back, and a killed-and-restarted process
+// rescans the directory tree and serves the same bytes.
+//
+// On-disk layout:
+//   <root>/meta                    format-version stamp (crash-atomic)
+//   <root>/<xx>/<16-hex-id>.obj    one file per object
+// where <xx> is the low byte of the object id in hex. Object ids are the low
+// 8 bytes of MD5(URL), so the 256 directories stay uniformly filled without
+// any extra hashing, and no directory grows past ~capacity/256 entries.
+//
+// Each .obj file is a small checksummed envelope: a fixed header carrying
+// magic, format version, the object id (so a renamed or misplaced file can
+// never impersonate another object), the object version, the body length,
+// and an FNV-1a checksum of the body, followed by the body bytes. Files are
+// written via the atomic_write_file discipline (unique temp + rename), so a
+// crash mid-demotion leaves either the old object or the new one, never a
+// torn file; leftover `*.tmp.*` files are swept at startup. A file that
+// fails validation on read is dropped (unlinked, counted) — the tier is a
+// cache, so the only correct response to corruption is a miss.
+//
+// Eviction is scan-based against a byte budget: an in-memory index maps id
+// -> {file bytes, last-access tick}; when a put pushes the total over
+// capacity, the index is scanned for the least-recently-accessed entries
+// until the store fits. O(n) per eviction batch, which is fine at the access
+// rates of a spill tier (every op here already paid a syscall).
+//
+// Thread-safety: all public methods are safe to call concurrently. File
+// payload I/O runs outside the index mutex; only index bookkeeping (and
+// victim unlinks) run under it. The eviction callback is invoked under the
+// mutex — callers must not re-enter the store from it (the proxy only
+// queues a hint invalidation there).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace bh::cache {
+
+struct DiskStoreStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t corrupt_dropped = 0;  // failed validation on read
+  std::uint64_t io_errors = 0;        // write/replace failures (put kept going)
+};
+
+class DiskStore {
+ public:
+  struct Options {
+    std::string root;  // directory; created (one level) if absent
+    std::uint64_t capacity_bytes = 256ULL << 20;
+    // fsync each object file before rename. Surviving SIGKILL never needs
+    // it (page cache persists); surviving power loss does.
+    bool fsync_writes = true;
+  };
+
+  // Invoked (under the internal mutex) for each entry evicted by the byte
+  // budget — never for erase() or corruption drops.
+  using EvictFn = std::function<void(ObjectId)>;
+
+  // Scans the tree, rebuilding the index from whatever survived: complete
+  // .obj files are adopted (sized from the filesystem, recency reset),
+  // stale temp files from interrupted writes are deleted. Throws
+  // std::runtime_error if the root cannot be created or the meta stamp
+  // names an incompatible layout version.
+  explicit DiskStore(Options opts, EvictFn on_evict = {});
+
+  // Reads and validates the object. A hit refreshes recency; a file that
+  // fails validation is dropped and reported as a miss.
+  std::optional<std::string> get(ObjectId id);
+
+  // Writes (or replaces) the object crash-atomically, then evicts
+  // least-recently-accessed entries as needed to fit the budget. Returns
+  // false on I/O failure (the store simply doesn't hold the object) or when
+  // the envelope alone exceeds the budget.
+  bool put(ObjectId id, std::string_view body, Version version = 1);
+
+  // Presence in the index (no file I/O, no recency touch).
+  bool contains(ObjectId id) const;
+
+  // Removes the object (consistency invalidation). Returns true if present.
+  bool erase(ObjectId id);
+
+  std::uint64_t used_bytes() const;
+  std::size_t object_count() const;
+  std::uint64_t capacity_bytes() const { return opts_.capacity_bytes; }
+  DiskStoreStats stats() const;
+
+  const std::string& root() const { return opts_.root; }
+
+ private:
+  struct IndexEntry {
+    std::uint64_t file_bytes = 0;
+    std::uint64_t last_access = 0;
+  };
+
+  std::string path_of(ObjectId id) const;
+  void scan_tree();
+  // Drops `id` from the index and unlinks its file. Caller holds mu_.
+  void drop_locked(ObjectId id, bool unlink_file);
+  void evict_to_fit_locked();
+
+  Options opts_;
+  EvictFn on_evict_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<ObjectId, IndexEntry> index_;
+  std::uint64_t used_bytes_ = 0;
+  std::uint64_t tick_ = 0;
+  DiskStoreStats stats_;
+};
+
+}  // namespace bh::cache

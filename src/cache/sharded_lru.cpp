@@ -48,37 +48,43 @@ ShardedLruCache::InsertOutcome ShardedLruCache::insert(
     bool replace_existing, const EvictFn& on_evict) {
   Shard& s = *shards_[shard_of(id)];
   std::lock_guard lock(s.mu);
-  const bool existed = s.lru.contains(id);
+  const LruCache::Entry* prev = s.lru.peek(id);
+  const bool existed = prev != nullptr;
   if (existed && !replace_existing) return InsertOutcome::kKept;
+  const std::uint64_t prev_size = existed ? prev->size : 0;
 
-  const std::uint64_t bytes_before = s.lru.used_bytes();
-  const std::size_t objects_before = s.lru.object_count();
+  const std::uint64_t new_size = body.size();
   const bool stored = s.lru.insert(
-      id, body.size(), version, pushed, [&](const LruCache::Entry& victim) {
-        s.bodies.erase(victim.id);
+      id, new_size, version, pushed, [&](const LruCache::Entry& victim) {
+        // Accounting is settled before the callback body can observe the
+        // cache: a victim's bytes leave the totals the instant it leaves
+        // the shard, not after a (possibly slow, disk-bound) callback.
+        total_bytes_.fetch_sub(victim.size, std::memory_order_relaxed);
+        total_objects_.fetch_sub(1, std::memory_order_relaxed);
         evictions_.fetch_add(1, std::memory_order_relaxed);
-        if (on_evict) on_evict(victim);
+        auto node = s.bodies.extract(victim.id);
+        if (on_evict) {
+          on_evict(victim, node ? std::move(node.mapped()) : std::string());
+        }
       });
   if (!stored) return InsertOutcome::kRejected;
   s.bodies[id] = std::move(body);
-
-  const std::uint64_t bytes_after = s.lru.used_bytes();
-  total_bytes_.fetch_add(bytes_after - bytes_before,
-                         std::memory_order_relaxed);
-  total_objects_.fetch_add(s.lru.object_count() - objects_before,
-                           std::memory_order_relaxed);
+  // Unsigned wrap makes the replace delta correct in one add even when the
+  // refreshed body shrank.
+  total_bytes_.fetch_add(new_size - prev_size, std::memory_order_relaxed);
+  if (!existed) total_objects_.fetch_add(1, std::memory_order_relaxed);
   return existed ? InsertOutcome::kReplaced : InsertOutcome::kInserted;
 }
 
 bool ShardedLruCache::erase(ObjectId id) {
   Shard& s = *shards_[shard_of(id)];
   std::lock_guard lock(s.mu);
-  const std::uint64_t bytes_before = s.lru.used_bytes();
-  if (!s.lru.erase(id)) return false;
-  s.bodies.erase(id);
-  total_bytes_.fetch_sub(bytes_before - s.lru.used_bytes(),
-                         std::memory_order_relaxed);
+  const LruCache::Entry* e = s.lru.peek(id);
+  if (e == nullptr) return false;
+  total_bytes_.fetch_sub(e->size, std::memory_order_relaxed);
   total_objects_.fetch_sub(1, std::memory_order_relaxed);
+  s.lru.erase(id);
+  s.bodies.erase(id);
   return true;
 }
 

@@ -18,9 +18,14 @@
 // "never purge the cache for a hopeless object", just at shard granularity).
 //
 // Thread-safety: every public method is safe to call concurrently. Eviction
-// callbacks run while the owning shard's lock is held; callers must not
-// re-enter the cache from the callback. Lock order note for the proxy: shard
-// lock may be taken before the update-queue lock, never the reverse.
+// callbacks run while the owning shard's lock is held and receive the
+// victim's body by move (so a demotion tier can take the bytes without a
+// copy); callers must not re-enter the cache from the callback. Global
+// atomics are updated at each mutation — a victim's bytes leave the totals
+// inside its callback, before the callback body runs — so concurrent scrape
+// reads never see evicted bytes still counted. Lock order note for the
+// proxy: shard lock may be taken before the update-queue lock, never the
+// reverse.
 #pragma once
 
 #include <atomic>
@@ -42,7 +47,9 @@ namespace bh::cache {
 class ShardedLruCache {
  public:
   // Invoked (under the shard lock) for each entry evicted to make space.
-  using EvictFn = std::function<void(const LruCache::Entry&)>;
+  // The victim's body is handed over by move — the cache no longer holds it.
+  using EvictFn =
+      std::function<void(const LruCache::Entry&, std::string&& body)>;
 
   enum class InsertOutcome {
     kInserted,  // new entry stored
@@ -83,6 +90,14 @@ class ShardedLruCache {
 
   std::uint64_t capacity_bytes() const { return capacity_bytes_; }
   std::size_t shard_count() const { return shards_.size(); }
+
+  // Largest body insert() can accept: the per-shard budget. Anything bigger
+  // comes back kRejected, so callers with a spill tier can route oversized
+  // objects straight there without paying a failed insert.
+  std::uint64_t max_object_bytes() const {
+    if (capacity_bytes_ == kUnlimitedBytes) return kUnlimitedBytes;
+    return capacity_bytes_ / shards_.size();
+  }
 
   // Per-shard occupancy for observability gauges (takes that shard's lock).
   std::uint64_t shard_used_bytes(std::size_t shard) const;

@@ -1,0 +1,98 @@
+#include "common/fs_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace bh {
+
+namespace {
+
+AtomicWriteFault g_write_fault;
+
+void set_error(std::string* error, const std::string& what) {
+  if (error) *error = what + ": " + std::strerror(errno);
+}
+
+// Unique temp-file suffix: pid disambiguates processes sharing a directory
+// (the kill-and-restart tests do), the counter disambiguates threads.
+std::string temp_path_for(const std::string& path) {
+  static std::atomic<std::uint64_t> seq{0};
+  return path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+}
+
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void set_atomic_write_fault(AtomicWriteFault hook) {
+  g_write_fault = std::move(hook);
+}
+
+bool atomic_write_file(const std::string& path, std::string_view contents,
+                       std::string* error, bool fsync_file) {
+  const std::string tmp = temp_path_for(path);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    set_error(error, "open " + tmp);
+    return false;
+  }
+
+  std::string_view to_write = contents;
+  bool injected_crash = false;
+  if (g_write_fault) {
+    if (const auto cut = g_write_fault(path)) {
+      to_write = contents.substr(0, *cut);
+      injected_crash = true;
+    }
+  }
+
+  if (!write_all(fd, to_write.data(), to_write.size())) {
+    set_error(error, "write " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (injected_crash) {
+    // Simulated SIGKILL between the write and the rename: the temp file is
+    // left behind (as a real crash would), the destination stays intact.
+    ::close(fd);
+    if (error) *error = "injected crash before rename: " + tmp;
+    return false;
+  }
+  if (fsync_file && ::fsync(fd) != 0) {
+    set_error(error, "fsync " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    set_error(error, "close " + tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, "rename " + tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace bh

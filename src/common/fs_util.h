@@ -1,0 +1,40 @@
+// Crash-atomic file writes.
+//
+// Every persistent artifact in the system — the hint-cache image, the disk
+// store's metadata, each on-disk object — is written with the same
+// discipline: serialize the whole contents into a unique temp file next to
+// the destination, fsync it, then rename() over the final path. A reader can
+// therefore never observe a torn file: it sees either the old complete
+// contents or the new complete contents, no matter where a crash (or a
+// SIGKILL mid-save) lands. Leftover `*.tmp.*` files from an interrupted
+// write are garbage to be swept by the owner on its next startup.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bh {
+
+// Atomically replaces `path` with `contents`. `fsync_file` controls whether
+// the temp file is flushed to stable storage before the rename: process
+// crashes (SIGKILL) never need it — the page cache survives the process —
+// but surviving a machine crash does. On failure returns false and, when
+// `error` is non-null, stores a human-readable reason; the destination is
+// left untouched in every failure mode.
+bool atomic_write_file(const std::string& path, std::string_view contents,
+                       std::string* error = nullptr, bool fsync_file = true);
+
+// Test-only crash injection. When installed, atomic_write_file consults the
+// hook with the destination path; a returned byte count N simulates a crash
+// after N bytes of the temp file were written — the write stops there, the
+// rename never happens (exactly a SIGKILL mid-save), and the call fails.
+// Returning nullopt lets the write proceed normally. Not thread-safe with
+// concurrent installs; install once per test, uninstall with nullptr.
+using AtomicWriteFault =
+    std::function<std::optional<std::size_t>(const std::string& path)>;
+void set_atomic_write_fault(AtomicWriteFault hook);
+
+}  // namespace bh

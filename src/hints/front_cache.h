@@ -25,6 +25,10 @@ class FrontedHintStore final : public HintStore {
   void insert(ObjectId id, MachineId loc) override;
   bool erase(ObjectId id) override;
   std::size_t entry_count() const override { return inner_->entry_count(); }
+  void for_each(
+      const std::function<void(ObjectId, MachineId)>& fn) const override {
+    inner_->for_each(fn);
+  }
 
   std::uint64_t front_lookups() const { return front_lookups_; }
   std::uint64_t front_hits() const { return front_hits_; }

@@ -4,8 +4,11 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <numeric>
 #include <stdexcept>
+#include <utility>
 
+#include "common/fs_util.h"
 #include "common/hash.h"
 
 namespace bh::hints {
@@ -88,6 +91,24 @@ bool AssociativeHintCache::erase(ObjectId id) {
 
 std::size_t AssociativeHintCache::entry_count() const { return valid_; }
 
+void AssociativeHintCache::for_each(
+    const std::function<void(ObjectId, MachineId)>& fn) const {
+  // LRU -> MRU, so replaying through insert() rebuilds the same victim
+  // ordering in the receiving cache (the last-inserted entry is the one a
+  // future conflict eviction spares longest).
+  std::vector<std::size_t> slots;
+  slots.reserve(valid_);
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].key != kInvalidHintKey) slots.push_back(i);
+  }
+  std::sort(slots.begin(), slots.end(), [this](std::size_t a, std::size_t b) {
+    return last_touch_[a] < last_touch_[b];
+  });
+  for (const std::size_t i : slots) {
+    fn(ObjectId{records_[i].key}, MachineId{records_[i].location});
+  }
+}
+
 namespace {
 
 // On-disk image header. The record array alone is not enough to restore the
@@ -112,8 +133,9 @@ constexpr std::uint32_t kHintImageVersion = 1;
 }  // namespace
 
 void AssociativeHintCache::save(const std::string& path) const {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("hint cache: cannot open for write: " + path);
+  // Serialize the whole image, then hand it to the crash-atomic writer: the
+  // previous save stays intact until the new one is complete on disk, so a
+  // crash (or SIGKILL) mid-save can never leave a torn image behind.
   HintImageHeader h;
   h.magic = kHintImageMagic;
   h.version = kHintImageVersion;
@@ -121,41 +143,81 @@ void AssociativeHintCache::save(const std::string& path) const {
   h.records = records_.size();
   h.ways = kWays;
   h.tick = tick_;
-  f.write(reinterpret_cast<const char*>(&h), sizeof h);
-  f.write(reinterpret_cast<const char*>(records_.data()),
-          static_cast<std::streamsize>(records_.size() * sizeof(HintRecord)));
-  f.write(reinterpret_cast<const char*>(last_touch_.data()),
-          static_cast<std::streamsize>(last_touch_.size() *
-                                       sizeof(std::uint32_t)));
-  if (!f) throw std::runtime_error("hint cache: write failed: " + path);
+  std::string image;
+  image.reserve(sizeof h + records_.size() * sizeof(HintRecord) +
+                last_touch_.size() * sizeof(std::uint32_t));
+  image.append(reinterpret_cast<const char*>(&h), sizeof h);
+  image.append(reinterpret_cast<const char*>(records_.data()),
+               records_.size() * sizeof(HintRecord));
+  image.append(reinterpret_cast<const char*>(last_touch_.data()),
+               last_touch_.size() * sizeof(std::uint32_t));
+  std::string err;
+  if (!atomic_write_file(path, image, &err)) {
+    throw std::runtime_error("hint cache: save failed: " + err);
+  }
 }
 
 AssociativeHintCache AssociativeHintCache::load(const std::string& path) {
+  // Every failure mode gets its own message so an operator reading the log
+  // can tell a half-copied image from a version skew from a foreign file.
+  // Everything parses into the local `cache`; a throw discards it whole.
   std::ifstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("hint cache: cannot open for read: " + path);
+  if (!f) {
+    throw std::runtime_error("hint cache: cannot open for read: " + path);
+  }
   HintImageHeader h;
   f.read(reinterpret_cast<char*>(&h), sizeof h);
-  if (!f || h.magic != kHintImageMagic) {
+  if (f.gcount() != static_cast<std::streamsize>(sizeof h)) {
+    throw std::runtime_error(
+        "hint cache: truncated header (" + std::to_string(f.gcount()) +
+        " of " + std::to_string(sizeof h) + " bytes): " + path);
+  }
+  if (h.magic != kHintImageMagic) {
     throw std::runtime_error("hint cache: not a hint image: " + path);
   }
-  if (h.version != kHintImageVersion || h.record_bytes != sizeof(HintRecord) ||
-      h.ways != kWays) {
-    throw std::runtime_error("hint cache: image layout mismatch: " + path);
+  if (h.version != kHintImageVersion) {
+    throw std::runtime_error(
+        "hint cache: image version mismatch (found v" +
+        std::to_string(h.version) + ", expected v" +
+        std::to_string(kHintImageVersion) + "): " + path);
+  }
+  if (h.record_bytes != sizeof(HintRecord) || h.ways != kWays) {
+    throw std::runtime_error(
+        "hint cache: image layout mismatch (record_bytes=" +
+        std::to_string(h.record_bytes) + " ways=" + std::to_string(h.ways) +
+        "): " + path);
   }
   if (h.records == 0 || h.records % kWays != 0) {
-    throw std::runtime_error("hint cache: corrupt image: " + path);
+    throw std::runtime_error("hint cache: corrupt record count (" +
+                             std::to_string(h.records) + "): " + path);
   }
   AssociativeHintCache cache(h.records * sizeof(HintRecord));
-  f.read(reinterpret_cast<char*>(cache.records_.data()),
-         static_cast<std::streamsize>(h.records * sizeof(HintRecord)));
-  f.read(reinterpret_cast<char*>(cache.last_touch_.data()),
-         static_cast<std::streamsize>(h.records * sizeof(std::uint32_t)));
-  if (!f) throw std::runtime_error("hint cache: truncated image: " + path);
+  const auto record_bytes =
+      static_cast<std::streamsize>(h.records * sizeof(HintRecord));
+  f.read(reinterpret_cast<char*>(cache.records_.data()), record_bytes);
+  if (f.gcount() != record_bytes) {
+    throw std::runtime_error(
+        "hint cache: truncated record region (" + std::to_string(f.gcount()) +
+        " of " + std::to_string(record_bytes) + " bytes): " + path);
+  }
+  const auto recency_bytes =
+      static_cast<std::streamsize>(h.records * sizeof(std::uint32_t));
+  f.read(reinterpret_cast<char*>(cache.last_touch_.data()), recency_bytes);
+  if (f.gcount() != recency_bytes) {
+    throw std::runtime_error(
+        "hint cache: truncated recency region (" + std::to_string(f.gcount()) +
+        " of " + std::to_string(recency_bytes) + " bytes): " + path);
+  }
   cache.tick_ = h.tick;
   cache.valid_ = static_cast<std::size_t>(
       std::count_if(cache.records_.begin(), cache.records_.end(),
                     [](const HintRecord& r) { return r.key != kInvalidHintKey; }));
   return cache;
+}
+
+void AssociativeHintCache::restore(const std::string& path) {
+  AssociativeHintCache loaded = load(path);  // throws before any mutation
+  *this = std::move(loaded);
 }
 
 std::optional<MachineId> UnboundedHintStore::lookup(ObjectId id) {
@@ -169,6 +231,13 @@ void UnboundedHintStore::insert(ObjectId id, MachineId loc) {
 }
 
 bool UnboundedHintStore::erase(ObjectId id) { return map_.erase(id.value) > 0; }
+
+void UnboundedHintStore::for_each(
+    const std::function<void(ObjectId, MachineId)>& fn) const {
+  for (const auto& [key, loc] : map_) {
+    fn(ObjectId{key}, MachineId{loc});
+  }
+}
 
 StripedHintStore::StripedHintStore(std::uint64_t capacity_bytes,
                                    std::size_t stripes)
@@ -208,6 +277,14 @@ std::size_t StripedHintStore::entry_count() const {
     total += s.store->entry_count();
   }
   return total;
+}
+
+void StripedHintStore::for_each(
+    const std::function<void(ObjectId, MachineId)>& fn) const {
+  for (const Stripe& s : stripes_) {
+    std::lock_guard lock(s.mu);
+    s.store->for_each(fn);
+  }
 }
 
 std::unique_ptr<HintStore> make_hint_store(std::uint64_t capacity_bytes) {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -41,6 +42,15 @@ class HintStore {
   virtual bool erase(ObjectId id) = 0;
 
   virtual std::size_t entry_count() const = 0;
+
+  // Enumerates every stored hint — the persistence path walks the striped
+  // store through this to build a save image. Stores that cannot enumerate
+  // yield nothing (the default). Thread safety follows the store's own
+  // contract; `fn` must not re-enter the store.
+  virtual void for_each(
+      const std::function<void(ObjectId, MachineId)>& fn) const {
+    (void)fn;
+  }
 };
 
 struct HintCacheStats {
@@ -66,14 +76,29 @@ class AssociativeHintCache final : public HintStore {
   bool erase(ObjectId id) override;
   std::size_t entry_count() const override;
 
+  // Valid records in least- to most-recently-touched order, so replaying
+  // them through insert() into a fresh cache reproduces the recency order.
+  void for_each(
+      const std::function<void(ObjectId, MachineId)>& fn) const override;
+
   std::uint64_t capacity_bytes() const { return records_.size() * sizeof(HintRecord); }
   std::size_t capacity_entries() const { return records_.size(); }
   const HintCacheStats& stats() const { return stats_; }
 
   // Persists / restores the raw record array (the prototype keeps it in a
-  // memory-mapped file so a cold hint is one disk access away).
+  // memory-mapped file so a cold hint is one disk access away). save() is
+  // crash-atomic (unique temp + fsync + rename): a crash mid-save leaves the
+  // previous image intact, never a torn one. load() rejects every damaged or
+  // foreign image with a distinct std::runtime_error (cannot open, truncated
+  // header, wrong magic, version mismatch, layout mismatch, corrupt record
+  // count, truncated record/recency region) naming the path; it parses into
+  // a local instance, so a throw never leaves partially-applied state.
   void save(const std::string& path) const;
   static AssociativeHintCache load(const std::string& path);
+
+  // In-place variant of load with the same strong guarantee: parses into a
+  // temporary and swaps only on success — on throw *this is untouched.
+  void restore(const std::string& path);
 
  private:
   std::size_t set_base(std::uint64_t key) const;
@@ -95,6 +120,8 @@ class UnboundedHintStore final : public HintStore {
   void insert(ObjectId id, MachineId loc) override;
   bool erase(ObjectId id) override;
   std::size_t entry_count() const override { return map_.size(); }
+  void for_each(
+      const std::function<void(ObjectId, MachineId)>& fn) const override;
 
  private:
   std::unordered_map<std::uint64_t, std::uint64_t> map_;
@@ -114,6 +141,11 @@ class StripedHintStore final : public HintStore {
   void insert(ObjectId id, MachineId loc) override;
   bool erase(ObjectId id) override;
   std::size_t entry_count() const override;
+
+  // Walks each stripe under its own lock; entries from one stripe keep that
+  // stripe's order, stripes are visited in index order.
+  void for_each(
+      const std::function<void(ObjectId, MachineId)>& fn) const override;
 
   std::size_t stripe_count() const { return stripes_.size(); }
 

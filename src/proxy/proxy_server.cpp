@@ -1,9 +1,13 @@
 #include "proxy/proxy_server.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "common/hash.h"
 #include "obs/export.h"
@@ -57,6 +61,10 @@ ProxyServer::Counters ProxyServer::make_counters(obs::MetricsRegistry& reg) {
       reg.counter("bh.proxy.metadata_retries"),
       reg.counter("bh.proxy.updates_deduped"),
       reg.counter("bh.proxy.updates_hop_capped"),
+      reg.counter("bh.proxy.disk.hits"),
+      reg.counter("bh.proxy.disk.misses"),
+      reg.counter("bh.proxy.disk.demotions"),
+      reg.counter("bh.proxy.disk.promotions"),
   };
 }
 
@@ -75,7 +83,27 @@ ProxyServer::ProxyServer(ProxyConfig cfg)
       c_(make_counters(registry_)),
       request_ms_(registry_.histogram("bh.proxy.request_ms")),
       flush_batch_(registry_.histogram("bh.proxy.flush_batch")),
-      sqe_batch_(registry_.histogram("bh.proxy.sqe_batch")) {
+      sqe_batch_(registry_.histogram("bh.proxy.sqe_batch")),
+      demote_ms_(registry_.histogram("bh.proxy.disk.demote_ms")),
+      promote_ms_(registry_.histogram("bh.proxy.disk.promote_ms")) {
+  // Persistence first: a bad disk root fails construction before any thread
+  // exists, and the hint table is warm before the first request can arrive.
+  if (!cfg_.disk_path.empty()) {
+    cache::DiskStore::Options dopts;
+    dopts.root = cfg_.disk_path;
+    dopts.capacity_bytes = cfg_.disk_capacity_bytes;
+    dopts.fsync_writes = cfg_.disk_fsync;
+    disk_ = std::make_unique<cache::DiskStore>(
+        std::move(dopts), [this](ObjectId victim) {
+          // A disk eviction is the object leaving the node entirely (the
+          // RAM copy, if any, was already demoted away): advertise the
+          // non-presence. Lock order: DiskStore mutex before queue_mu_.
+          std::lock_guard lock(queue_mu_);
+          queue_update_locked(proto::Action::kInvalidate, victim, self(),
+                              MachineId{0});
+        });
+  }
+  load_hint_image();
   listener_ = TcpListener::bind_ephemeral(cfg_.listen_backlog);
   if (!listener_) throw std::runtime_error("proxy: cannot bind");
   port_ = listener_->port();
@@ -113,6 +141,45 @@ ProxyServer::ProxyServer(ProxyConfig cfg)
 
 ProxyServer::~ProxyServer() { stop(); }
 
+void ProxyServer::load_hint_image() {
+  if (cfg_.hint_image_path.empty()) return;
+  if (::access(cfg_.hint_image_path.c_str(), F_OK) != 0) return;  // first run
+  try {
+    const auto image = hints::AssociativeHintCache::load(cfg_.hint_image_path);
+    std::size_t restored = 0;
+    image.for_each([&](ObjectId id, MachineId loc) {
+      hints_->insert(id, loc);
+      ++restored;
+    });
+    hint_image_restored_ = true;
+    hint_image_entries_ = restored;
+  } catch (const std::exception& e) {
+    // A rejected image is a cold start, never a crash: the daemon is a
+    // cache, the hints are soft state.
+    std::fprintf(stderr, "%s: hint image not restored (cold start): %s\n",
+                 cfg_.name.c_str(), e.what());
+  }
+}
+
+void ProxyServer::save_hint_image() {
+  if (cfg_.hint_image_path.empty()) return;
+  // The striped store has no flat record array of its own; rebuild one
+  // associative image from an enumeration and save that. for_each yields
+  // each stripe LRU -> MRU, so replaying through insert() preserves the
+  // recency order within every set.
+  std::uint64_t image_bytes = cfg_.hint_bytes;
+  if (image_bytes == kUnlimitedBytes) {
+    // Unbounded store: size the image to the live entry count with 4x
+    // headroom so set conflicts drop almost nothing.
+    image_bytes = std::max<std::uint64_t>(
+        64ULL << 10, hints_->entry_count() * sizeof(hints::HintRecord) * 4);
+  }
+  hints::AssociativeHintCache image(image_bytes);
+  hints_->for_each(
+      [&](ObjectId id, MachineId loc) { image.insert(id, loc); });
+  image.save(cfg_.hint_image_path);
+}
+
 const char* ProxyServer::backend_name() const {
   return reactor_->backend_name();
 }
@@ -142,6 +209,15 @@ void ProxyServer::stop() {
   }
   queue_cv_.notify_all();
   if (flusher_thread_.joinable()) flusher_thread_.join();
+  // Final image save after every worker and the flusher are gone, so the
+  // saved table is the daemon's last word. Failure only costs the next
+  // start its warmth.
+  try {
+    save_hint_image();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: final hint image save failed: %s\n",
+                 cfg_.name.c_str(), e.what());
+  }
   pool_.clear();
 }
 
@@ -173,6 +249,10 @@ ProxyStats ProxyServer::stats() const {
   s.metadata_retries = c_.metadata_retries.value();
   s.updates_deduped = c_.updates_deduped.value();
   s.updates_hop_capped = c_.updates_hop_capped.value();
+  s.disk_hits = c_.disk_hits.value();
+  s.disk_misses = c_.disk_misses.value();
+  s.disk_demotions = c_.disk_demotions.value();
+  s.disk_promotions = c_.disk_promotions.value();
   return s;
 }
 
@@ -193,6 +273,20 @@ obs::MetricsSnapshot ProxyServer::metrics_snapshot() const {
   }
   registry_.gauge("bh.proxy.hint_entries")
       .set(static_cast<double>(hints_->entry_count()));
+  if (disk_) {
+    const cache::DiskStoreStats ds = disk_->stats();
+    registry_.gauge("bh.proxy.disk.bytes")
+        .set(static_cast<double>(disk_->used_bytes()));
+    registry_.gauge("bh.proxy.disk.objects")
+        .set(static_cast<double>(disk_->object_count()));
+    registry_.counter("bh.proxy.disk.evictions").set(ds.evictions);
+    registry_.counter("bh.proxy.disk.corrupt_dropped").set(ds.corrupt_dropped);
+    registry_.counter("bh.proxy.disk.io_errors").set(ds.io_errors);
+  }
+  registry_.gauge("bh.proxy.hint_image_restored")
+      .set(hint_image_restored_ ? 1.0 : 0.0);
+  registry_.gauge("bh.proxy.hint_image_entries")
+      .set(static_cast<double>(hint_image_entries_.load()));
   {
     std::lock_guard lock(queue_mu_);
     registry_.gauge("bh.proxy.pending_updates")
@@ -352,6 +446,32 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
     }
     return resp;
   }
+  // 1b. Disk tier: a RAM miss can still be a node hit. The body promotes
+  // back into RAM without re-advertising (the node never stopped holding
+  // the object, so peers learned nothing new); peer probes see a plain HIT,
+  // clients see which tier answered.
+  if (disk_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (auto body = disk_->get(*id)) {
+      c_.disk_hits.inc();
+      store_internal(*id, *body, /*replace_existing=*/true, /*pushed=*/false,
+                     /*advertise=*/false);
+      c_.disk_promotions.inc();
+      promote_ms_.record(std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+      if (cache_only) {
+        c_.peer_serves.inc();
+      } else {
+        c_.local_hits.inc();
+      }
+      resp.body = std::move(*body);
+      resp.headers.emplace_back("X-Cache", cache_only ? "HIT" : "DISK");
+      resp.headers.emplace_back("X-Served-By", cfg_.name);
+      return resp;
+    }
+    c_.disk_misses.inc();
+  }
   if (cache_only) {
     // A peer probed us on a hint we no longer honour: the error reply that
     // prices a false positive.
@@ -437,19 +557,73 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
 
 void ProxyServer::store(ObjectId id, std::string body, bool replace_existing,
                         bool pushed) {
-  // The eviction callback runs under the shard lock and takes the queue
+  store_internal(id, std::move(body), replace_existing, pushed,
+                 /*advertise=*/true);
+}
+
+void ProxyServer::store_internal(ObjectId id, std::string body,
+                                 bool replace_existing, bool pushed,
+                                 bool advertise) {
+  // Objects too large for any RAM shard go straight to the disk tier (an
+  // insert would come back kRejected and the body would be lost).
+  if (disk_ && body.size() > cache_.max_object_bytes()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool ok = disk_->put(id, body);
+    demote_ms_.record(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+    if (ok && advertise) {
+      std::lock_guard lock(queue_mu_);
+      queue_update_locked(proto::Action::kInform, id, self(), MachineId{0});
+    }
+    return;
+  }
+
+  // The eviction callback runs under the shard lock and may take the queue
   // lock — the one sanctioned nesting (shard before queue, never reverse).
+  // With a disk tier, victims are only collected there: their bodies are
+  // demoted after the shard lock is released, so disk I/O never serializes
+  // the shard, and the invalidate/keep decision waits for the write result.
+  std::vector<std::pair<cache::LruCache::Entry, std::string>> demote;
   const auto outcome = cache_.insert(
       id, std::move(body), /*version=*/1, pushed, replace_existing,
-      [this](const cache::LruCache::Entry& victim) {
+      [this, &demote](const cache::LruCache::Entry& victim,
+                      std::string&& victim_body) {
+        if (disk_) {
+          demote.emplace_back(victim, std::move(victim_body));
+          return;
+        }
         std::lock_guard lock(queue_mu_);
         queue_update_locked(proto::Action::kInvalidate, victim.id, self(),
                             MachineId{0});
       });
-  if (outcome == cache::ShardedLruCache::InsertOutcome::kInserted) {
+  if (outcome == cache::ShardedLruCache::InsertOutcome::kInserted &&
+      advertise) {
     std::lock_guard lock(queue_mu_);
     queue_update_locked(proto::Action::kInform, id, self(), MachineId{0});
   }
+  for (auto& [victim, victim_body] : demote) {
+    demote_to_disk(victim, std::move(victim_body));
+  }
+}
+
+void ProxyServer::demote_to_disk(const cache::LruCache::Entry& victim,
+                                 std::string body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool ok = disk_->put(victim.id, body, victim.version);
+  demote_ms_.record(std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
+  if (ok) {
+    // The node still holds the object (one tier down): hints stay valid,
+    // nothing is advertised.
+    c_.disk_demotions.inc();
+    return;
+  }
+  // The write failed: the object has left the node after all.
+  std::lock_guard lock(queue_mu_);
+  queue_update_locked(proto::Action::kInvalidate, victim.id, self(),
+                      MachineId{0});
 }
 
 // ---------------------------------------------------------------------------
@@ -648,6 +822,15 @@ void ProxyServer::flusher_loop() {
   const auto interval =
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(cfg_.flush_interval_seconds));
+  // Periodic hint-image saves ride on this thread: the save walks the hint
+  // stripes (their own locks) and writes crash-atomically, so it needs no
+  // coordination with the data path.
+  const bool save_armed =
+      cfg_.hint_image_save_seconds > 0 && !cfg_.hint_image_path.empty();
+  const auto save_period =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(cfg_.hint_image_save_seconds));
+  auto next_save = std::chrono::steady_clock::now() + save_period;
   std::unique_lock lock(queue_mu_);
   while (!stopping_.load()) {
     const bool size_due = cfg_.flush_max_pending > 0 &&
@@ -663,8 +846,25 @@ void ProxyServer::flusher_loop() {
       lock.lock();
       continue;
     }
-    if (age_armed) {
+    if (save_armed && std::chrono::steady_clock::now() >= next_save) {
+      lock.unlock();
+      try {
+        save_hint_image();
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: periodic hint image save failed: %s\n",
+                     cfg_.name.c_str(), e.what());
+      }
+      lock.lock();
+      next_save = std::chrono::steady_clock::now() + save_period;
+      continue;
+    }
+    if (age_armed && save_armed) {
+      queue_cv_.wait_until(lock,
+                           std::min(oldest_pending_ + interval, next_save));
+    } else if (age_armed) {
       queue_cv_.wait_until(lock, oldest_pending_ + interval);
+    } else if (save_armed) {
+      queue_cv_.wait_until(lock, next_save);
     } else {
       queue_cv_.wait(lock);
     }
@@ -735,7 +935,11 @@ void ProxyServer::flush_hints() {
 }
 
 void ProxyServer::invalidate(ObjectId id) {
-  if (cache_.erase(id)) {
+  // Both tiers drop the copy; either one having held it means peers may
+  // hold a hint worth retracting.
+  const bool had_ram = cache_.erase(id);
+  const bool had_disk = disk_ && disk_->erase(id);
+  if (had_ram || had_disk) {
     std::lock_guard lock(queue_mu_);
     queue_update_locked(proto::Action::kInvalidate, id, self(), MachineId{0});
   }

@@ -71,6 +71,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cache/disk_store.h"
 #include "cache/sharded_lru.h"
 #include "common/types.h"
 #include "hints/hint_cache.h"
@@ -103,6 +104,26 @@ struct ProxyConfig {
   // Subscribe to the origin's server-driven invalidation (DELETE callbacks
   // on modify) — the paper's strong-consistency assumption, end-to-end.
   bool register_with_origin = false;
+
+  // --- persistence & warm restart ---
+  // Root directory of the on-disk L2 object store. Empty disables the disk
+  // tier entirely (RAM-only, the pre-persistence behaviour). When set, RAM
+  // evictions demote their bodies here and disk hits promote them back; a
+  // restarted daemon rescans the directory and serves the surviving objects.
+  std::string disk_path;
+  std::uint64_t disk_capacity_bytes = 256ULL << 20;
+  // fsync demoted objects and saved images before rename. Surviving SIGKILL
+  // never needs it (the page cache outlives the process); surviving power
+  // loss does. Tests and benches turn it off for speed.
+  bool disk_fsync = true;
+  // Path of the versioned hint-cache image. When set, an existing image is
+  // loaded at startup (warm hint table — a failed load logs the reason and
+  // starts cold) and a fresh image is saved crash-atomically on stop().
+  std::string hint_image_path;
+  // > 0 additionally saves the image every this-many seconds from the
+  // flusher thread, so a SIGKILLed daemon restarts with hints at most one
+  // period stale. 0 saves only on clean stop().
+  double hint_image_save_seconds = 0.0;
 
   // --- data-path concurrency ---
   // Lock stripes for the object cache and the hint front. The effective
@@ -190,6 +211,12 @@ struct ProxyStats {
   std::uint64_t pushes_received = 0;
   std::uint64_t push_bytes_sent = 0;
 
+  // Disk-tier counters (all zero when the tier is disabled).
+  std::uint64_t disk_hits = 0;        // misses served from the disk tier
+  std::uint64_t disk_misses = 0;      // RAM misses the disk couldn't cover
+  std::uint64_t disk_demotions = 0;   // RAM evictions written to disk
+  std::uint64_t disk_promotions = 0;  // disk hits copied back into RAM
+
   // Failure-path counters.
   std::uint64_t peer_failures = 0;      // probe died (refused/reset/timeout)
   std::uint64_t origin_failures = 0;    // origin fetch died or non-200
@@ -241,6 +268,21 @@ class ProxyServer {
 
   std::size_t cache_shard_count() const { return cache_.shard_count(); }
 
+  // The disk tier, or nullptr when `disk_path` is empty. Stable for the
+  // daemon's lifetime; tests read stats()/object_count() through it.
+  const cache::DiskStore* disk() const { return disk_.get(); }
+
+  // Builds an AssociativeHintCache image of the current hint table and
+  // saves it crash-atomically to `hint_image_path`. Throws std::runtime_error
+  // if the write fails; no-op when no path is configured. stop() and the
+  // periodic flusher-thread save call this same path.
+  void save_hint_image();
+
+  // Whether startup found and successfully loaded a hint image (and how many
+  // hints it carried) — the warm-restart observability hook.
+  bool hint_image_restored() const { return hint_image_restored_; }
+  std::size_t hint_image_entries() const { return hint_image_entries_; }
+
   void stop();
 
  private:
@@ -276,6 +318,10 @@ class ProxyServer {
     obs::Counter& metadata_retries;
     obs::Counter& updates_deduped;
     obs::Counter& updates_hop_capped;
+    obs::Counter& disk_hits;
+    obs::Counter& disk_misses;
+    obs::Counter& disk_demotions;
+    obs::Counter& disk_promotions;
   };
   static Counters make_counters(obs::MetricsRegistry& reg);
 
@@ -293,9 +339,19 @@ class ProxyServer {
   // Stores a fetched/pushed body in the sharded cache, queueing the inform
   // for a new entry and invalidations for every eviction. Safe to call with
   // no locks held; takes the shard lock, then (from the eviction callback
-  // and for the inform) the queue lock — the one sanctioned nesting.
+  // and for the inform) the queue lock — the one sanctioned nesting. With a
+  // disk tier, eviction victims are collected under the shard lock and
+  // demoted after it is released — disk I/O never runs under a shard lock.
   void store(ObjectId id, std::string body, bool replace_existing,
              bool pushed);
+  // `advertise = false` suppresses the inform: promotions bring back an
+  // object the node never stopped holding, so peers learned nothing new.
+  void store_internal(ObjectId id, std::string body, bool replace_existing,
+                      bool pushed, bool advertise);
+  // Writes the victim to the disk tier; on failure the object has left the
+  // node, so the hint invalidation is queued here.
+  void demote_to_disk(const cache::LruCache::Entry& victim, std::string body);
+  void load_hint_image();
 
   // Update queue + seen-set, guarded by queue_mu_.
   void queue_update_locked(proto::Action action, ObjectId id, MachineId loc,
@@ -349,6 +405,12 @@ class ProxyServer {
   // --- data path: internally lock-striped, no daemon-wide lock ---
   cache::ShardedLruCache cache_;
   std::unique_ptr<hints::HintStore> hints_;  // striped front: thread-safe
+  // L2 spill tier (null when disabled). Lock order: its internal mutex may
+  // be taken before queue_mu_ (the disk evict callback queues a hint
+  // invalidation), never the reverse; it is never taken under a shard lock.
+  std::unique_ptr<cache::DiskStore> disk_;
+  std::atomic<bool> hint_image_restored_{false};
+  std::atomic<std::size_t> hint_image_entries_{0};
 
   // --- outbound persistent connections ---
   ConnectionPool pool_;
@@ -375,6 +437,8 @@ class ProxyServer {
   obs::Histogram& request_ms_;   // client GET service time, milliseconds
   obs::Histogram& flush_batch_;  // updates per non-empty flush, post-coalesce
   obs::Histogram& sqe_batch_;    // SQEs per io_uring submission (uring only)
+  obs::Histogram& demote_ms_;    // RAM-eviction -> disk write latency
+  obs::Histogram& promote_ms_;   // disk read -> RAM re-insert latency
 };
 
 }  // namespace bh::proxy

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 
+#include "common/fs_util.h"
 #include "hints/hint_cache.h"
 #include "hints/metadata_hierarchy.h"
 #include "net/topology.h"
@@ -189,6 +190,138 @@ TEST(HintCacheTest, LoadRejectsVersionMismatch) {
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
   EXPECT_THROW(AssociativeHintCache::load(path), std::runtime_error);
+}
+
+// --- crash-atomic save / granular load errors ---
+
+std::string load_error(const std::string& path) {
+  try {
+    AssociativeHintCache::load(path);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+void write_raw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string read_raw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+// A crash mid-save (simulated by the fault hook: the write stops partway and
+// the rename never happens) must leave the previous image byte-identical and
+// loadable — the torn-write bug this save path used to have.
+TEST(HintCacheTest, SaveIsCrashAtomic) {
+  const std::string path = ::testing::TempDir() + "/bh_hints_atomic.img";
+  AssociativeHintCache c(4096);
+  for (std::uint64_t k = 1; k <= 20; ++k) c.insert(obj(k), loc(k * 3));
+  c.save(path);
+  const std::string before = read_raw(path);
+
+  for (std::uint64_t k = 21; k <= 40; ++k) c.insert(obj(k), loc(k * 3));
+  set_atomic_write_fault([&](const std::string& target) {
+    return target == path ? std::optional<std::size_t>(before.size() / 2)
+                          : std::nullopt;
+  });
+  EXPECT_THROW(c.save(path), std::runtime_error);
+  set_atomic_write_fault(nullptr);
+
+  EXPECT_EQ(read_raw(path), before) << "interrupted save damaged the image";
+  AssociativeHintCache back = AssociativeHintCache::load(path);
+  EXPECT_EQ(back.entry_count(), 20u);
+
+  // With the hook gone the same save completes and replaces the image whole.
+  c.save(path);
+  EXPECT_EQ(AssociativeHintCache::load(path).entry_count(), 40u);
+}
+
+TEST(HintCacheTest, LoadFailureModesAreDistinct) {
+  const std::string dir = ::testing::TempDir();
+  const std::string good = dir + "/bh_hints_modes.img";
+  AssociativeHintCache c(4096);
+  for (std::uint64_t k = 1; k <= 20; ++k) c.insert(obj(k), loc(k));
+  c.save(good);
+  const std::string bytes = read_raw(good);
+
+  EXPECT_NE(load_error(dir + "/bh_hints_missing.img").find("cannot open"),
+            std::string::npos);
+
+  const std::string header_cut = dir + "/bh_hints_header_cut.img";
+  write_raw(header_cut, bytes.substr(0, 10));
+  EXPECT_NE(load_error(header_cut).find("truncated header"),
+            std::string::npos);
+
+  const std::string foreign = dir + "/bh_hints_foreign.img";
+  write_raw(foreign, std::string(4096, 'z'));
+  EXPECT_NE(load_error(foreign).find("not a hint image"), std::string::npos);
+
+  const std::string version = dir + "/bh_hints_vers.img";
+  std::string v = bytes;
+  v[8] = 99;  // version field follows the 8-byte magic
+  write_raw(version, v);
+  EXPECT_NE(load_error(version).find("version mismatch"), std::string::npos);
+
+  const std::string record_cut = dir + "/bh_hints_record_cut.img";
+  write_raw(record_cut, bytes.substr(0, 32 + 100));  // header + partial records
+  EXPECT_NE(load_error(record_cut).find("truncated record region"),
+            std::string::npos);
+
+  const std::string recency_cut = dir + "/bh_hints_recency_cut.img";
+  write_raw(recency_cut, bytes.substr(0, bytes.size() - 8));
+  EXPECT_NE(load_error(recency_cut).find("truncated recency region"),
+            std::string::npos);
+}
+
+// restore() must have the strong guarantee: a failed restore leaves the
+// in-memory cache exactly as it was (the old in-place-parse could not).
+TEST(HintCacheTest, RestoreLeavesCacheUntouchedOnFailure) {
+  const std::string dir = ::testing::TempDir();
+  const std::string good = dir + "/bh_hints_restore_good.img";
+  const std::string bad = dir + "/bh_hints_restore_bad.img";
+
+  AssociativeHintCache saved(4096);
+  for (std::uint64_t k = 1; k <= 10; ++k) saved.insert(obj(k), loc(k * 7));
+  saved.save(good);
+  write_raw(bad, read_raw(good).substr(0, 40));  // truncated mid-records
+
+  AssociativeHintCache live(4096);
+  for (std::uint64_t k = 100; k < 130; ++k) live.insert(obj(k), loc(k));
+  EXPECT_THROW(live.restore(bad), std::runtime_error);
+  EXPECT_EQ(live.entry_count(), 30u);
+  for (std::uint64_t k = 100; k < 130; ++k) {
+    EXPECT_TRUE(live.lookup(obj(k)).has_value()) << k;
+  }
+
+  live.restore(good);
+  EXPECT_EQ(live.entry_count(), 10u);
+  EXPECT_EQ(live.lookup(obj(3))->value, 21u);
+  EXPECT_FALSE(live.lookup(obj(100)).has_value());
+}
+
+// for_each enumerates LRU -> MRU, so replaying into a fresh cache through
+// insert() preserves which record a future set conflict will evict.
+TEST(HintCacheTest, ForEachEnumeratesInRecencyOrder) {
+  AssociativeHintCache c(64);  // one 4-way set
+  for (std::uint64_t k = 1; k <= 4; ++k) c.insert(obj(k), loc(k));
+  ASSERT_TRUE(c.lookup(obj(2)).has_value());  // obj 1 is now the LRU
+
+  std::vector<std::uint64_t> order;
+  c.for_each([&](ObjectId id, MachineId) { order.push_back(id.value); });
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), 1u);
+  EXPECT_EQ(order.back(), 2u);
+
+  AssociativeHintCache replay(64);
+  for (const std::uint64_t k : order) replay.insert(obj(k), loc(k));
+  replay.insert(obj(5), loc(5));  // conflict: must evict the true LRU, obj 1
+  EXPECT_FALSE(replay.lookup(obj(1)).has_value());
+  EXPECT_TRUE(replay.lookup(obj(2)).has_value());
 }
 
 TEST(UnboundedHintStoreTest, Basics) {

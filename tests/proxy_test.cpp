@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <span>
 #include <string>
@@ -286,6 +287,130 @@ TEST(ProxyServerTest, EvictionAdvertisesInvalidation) {
   EXPECT_EQ(a.stats().false_positives, 0u);
   // And the hint for `second` still works.
   EXPECT_EQ(fetch(a.port(), second, 100).cache, "SIBLING");
+}
+
+// --- disk tier: demotion, promotion, restart ---
+
+// Fresh per-test directory for a daemon's persistent state.
+std::string fresh_state_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/bh_proxy_" + name;
+  std::string cmd = "rm -rf '" + dir + "' && mkdir -p '" + dir + "'";
+  [[maybe_unused]] int rc = std::system(cmd.c_str());
+  return dir;
+}
+
+TEST(ProxyDiskTierTest, DemotesEvictionsAndServesFromDisk) {
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  cfg.capacity_bytes = 400;  // one 300-byte object at a time in RAM
+  cfg.disk_path = fresh_state_dir("demote");
+  cfg.disk_fsync = false;
+  ProxyServer proxy(cfg);
+  ASSERT_NE(proxy.disk(), nullptr);
+
+  const ObjectId first{31}, second{32};
+  EXPECT_EQ(fetch(proxy.port(), first, 300).cache, "MISS");
+  EXPECT_EQ(fetch(proxy.port(), second, 300).cache, "MISS");  // evicts `first`
+  EXPECT_EQ(proxy.stats().disk_demotions, 1u);
+  EXPECT_EQ(proxy.disk()->object_count(), 1u);
+
+  // The evicted object comes back from the L2 tier, not the origin.
+  auto back = fetch(proxy.port(), first, 300);
+  EXPECT_EQ(back.status, 200);
+  EXPECT_EQ(back.cache, "DISK");
+  EXPECT_EQ(back.body, origin_body(first, 1, 300));
+  EXPECT_EQ(origin.requests_served(), 2u);
+  const ProxyStats s = proxy.stats();
+  EXPECT_EQ(s.disk_hits, 1u);
+  EXPECT_EQ(s.disk_promotions, 1u);
+  // The promotion re-inserted `first` into RAM (demoting `second`), so the
+  // next fetch is a plain RAM hit and the disk now holds both.
+  EXPECT_EQ(fetch(proxy.port(), first, 300).cache, "HIT");
+  EXPECT_EQ(proxy.disk()->object_count(), 2u);
+
+  // Invalidation clears both tiers.
+  proxy.invalidate(first);
+  EXPECT_FALSE(proxy.disk()->contains(first));
+  EXPECT_EQ(fetch(proxy.port(), first, 300).cache, "MISS");
+  EXPECT_EQ(origin.requests_served(), 3u);
+}
+
+TEST(ProxyDiskTierTest, DiskTierSurvivesRestart) {
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  cfg.capacity_bytes = 400;
+  cfg.disk_path = fresh_state_dir("restart");
+  cfg.disk_fsync = false;
+
+  {
+    ProxyServer proxy(cfg);
+    for (std::uint64_t k = 41; k <= 43; ++k) {
+      EXPECT_EQ(fetch(proxy.port(), ObjectId{k}, 300).cache, "MISS");
+    }
+    EXPECT_EQ(proxy.stats().disk_demotions, 2u);
+  }
+  ASSERT_EQ(origin.requests_served(), 3u);
+
+  // A restarted daemon rescans the tree and serves the demoted objects
+  // without touching the origin.
+  ProxyServer back(cfg);
+  ASSERT_NE(back.disk(), nullptr);
+  EXPECT_EQ(back.disk()->object_count(), 2u);
+  auto warm = fetch(back.port(), ObjectId{41}, 300);
+  EXPECT_EQ(warm.status, 200);
+  EXPECT_EQ(warm.cache, "DISK");
+  EXPECT_EQ(warm.body, origin_body(ObjectId{41}, 1, 300));
+  EXPECT_EQ(origin.requests_served(), 3u);
+}
+
+TEST(ProxyDiskTierTest, HintImageWarmsRestartAndPeerServesFromDisk) {
+  OriginServer origin;
+  // b owns a disk tier; its RAM eviction demotes (no invalidation — the
+  // object never left the node, so the hint stays valid).
+  ProxyConfig cb;
+  cb.name = "b";
+  cb.origin_port = origin.port();
+  cb.capacity_bytes = 400;
+  cb.disk_path = fresh_state_dir("peer_disk");
+  cb.disk_fsync = false;
+  const std::string image = fresh_state_dir("hint_img") + "/hints.img";
+
+  const ObjectId demoted{51}, resident{52};
+  {
+    ProxyConfig ca;
+    ca.name = "a";
+    ca.origin_port = origin.port();
+    ca.hint_image_path = image;
+    ProxyServer a(ca);
+    EXPECT_FALSE(a.hint_image_restored());  // nothing to load yet
+
+    ProxyServer b(cb);
+    b.add_hint_neighbor(a.port());
+    fetch(b.port(), demoted, 300);
+    fetch(b.port(), resident, 300);  // demotes `demoted` to b's disk
+    b.flush_hints();
+    // a heard both informs and no invalidation; its clean stop saves the
+    // image. b stays alive across a's restart (scoped separately below).
+    a.stop();
+
+    ProxyConfig ca2 = ca;
+    ca2.name = "a2";
+    ProxyServer a2(ca2);
+    EXPECT_TRUE(a2.hint_image_restored());
+    EXPECT_EQ(a2.hint_image_entries(), 2u);
+
+    // The warm hint names b; b serves the probe from its disk tier.
+    auto via_a2 = fetch(a2.port(), demoted, 300);
+    EXPECT_EQ(via_a2.status, 200);
+    EXPECT_EQ(via_a2.cache, "SIBLING");
+    EXPECT_EQ(via_a2.body, origin_body(demoted, 1, 300));
+    EXPECT_EQ(origin.requests_served(), 2u);  // never refetched
+    const ProxyStats sb = b.stats();
+    EXPECT_EQ(sb.peer_serves, 1u);
+    EXPECT_EQ(sb.disk_hits, 1u);
+  }
 }
 
 TEST(ProxyServerTest, UpdatesRelayAlongAChain) {

@@ -38,7 +38,11 @@ TEST(ShardedLruCacheTest, SingleShardMatchesPlainLruOnSameTrace) {
       case 0:
       case 1:
         sharded.insert(id, body_of(id.value, size), 1, false, true,
-                       [&](const LruCache::Entry& e) {
+                       [&](const LruCache::Entry& e, std::string&& body) {
+                         // The victim's body is handed over intact.
+                         ASSERT_EQ(body.size(), e.size);
+                         ASSERT_EQ(body[0],
+                                   static_cast<char>('a' + e.id.value % 26));
                          sharded_evicted.push_back(e.id.value);
                        });
         plain.insert(id, size, 1, false, [&](const LruCache::Entry& e) {
@@ -129,7 +133,7 @@ TEST(ShardedLruCacheTest, ConcurrentHammerKeepsAccountingConsistent) {
           case 1:
           case 2:
             c.insert(id, body_of(id.value, 64 + rng.next_below(256)), 1, false,
-                     true, [&evictions](const LruCache::Entry&) {
+                     true, [&evictions](const LruCache::Entry&, std::string&&) {
                        evictions.fetch_add(1, std::memory_order_relaxed);
                      });
             break;
@@ -156,6 +160,72 @@ TEST(ShardedLruCacheTest, ConcurrentHammerKeepsAccountingConsistent) {
   EXPECT_EQ(c.used_bytes(), bytes);
   EXPECT_EQ(c.object_count(), objects);
   EXPECT_EQ(c.evictions(), evictions.load());
+}
+
+// The disk-demotion shape (satellite of the persistence work): every primary
+// eviction re-enters a *different* cache from inside the callback, while the
+// owning shard lock is still held. Global accounting is incremental — a
+// victim's bytes leave the totals before the callback body runs — so a
+// sampler thread must never observe the primary's total above capacity by
+// more than one in-flight insert, and the final totals must match the
+// per-shard sums exactly on both caches.
+TEST(ShardedLruCacheTest, ReentrantDemotionHammerKeepsInvariants) {
+  constexpr std::uint64_t kPrimaryCap = 1 << 20;
+  constexpr std::uint64_t kMaxBody = 64 + 255;
+  ShardedLruCache primary(kPrimaryCap, 8);
+  ShardedLruCache secondary(4 << 20, 4);
+  std::atomic<std::uint64_t> demoted{0};
+  std::atomic<bool> done{false};
+
+  std::thread sampler([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const std::uint64_t bytes = primary.used_bytes();
+      // Relaxed-atomic totals lag a mutation by at most the entries touched
+      // by in-flight inserts (one per thread): far below one shard budget.
+      ASSERT_LE(bytes, kPrimaryCap + 8 * kMaxBody);
+      ASSERT_LE(primary.object_count(), 1u << 16);
+    }
+  });
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(3000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 15000; ++i) {
+        const ObjectId id{rng.next_below(8192) + 1};
+        primary.insert(
+            id, body_of(id.value, 64 + rng.next_below(256)), 1, false, true,
+            [&](const LruCache::Entry& e, std::string&& body) {
+              ASSERT_EQ(body.size(), e.size);
+              demoted.fetch_add(1, std::memory_order_relaxed);
+              // Re-entering another sharded cache under our shard lock is
+              // the demotion pattern; ids are disjoint from the primary's
+              // key space so the secondary never calls back into us.
+              secondary.insert(ObjectId{e.id.value + (1u << 20)},
+                               std::move(body));
+            });
+        if (rng.bernoulli(0.1)) primary.erase(id);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  done.store(true);
+  sampler.join();
+
+  for (const ShardedLruCache* c : {&primary, &secondary}) {
+    std::uint64_t bytes = 0;
+    std::size_t objects = 0;
+    for (std::size_t s = 0; s < c->shard_count(); ++s) {
+      bytes += c->shard_used_bytes(s);
+      objects += c->shard_object_count(s);
+    }
+    EXPECT_EQ(c->used_bytes(), bytes);
+    EXPECT_EQ(c->object_count(), objects);
+  }
+  EXPECT_GT(demoted.load(), 0u) << "trace never exercised demotion";
+  EXPECT_EQ(primary.evictions(), demoted.load());
 }
 
 TEST(StripedHintStoreTest, RoundTripAndStripeClamp) {
