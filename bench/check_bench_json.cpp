@@ -97,6 +97,20 @@ int main(int argc, char** argv) {
                    path.c_str(), name.c_str());
       return 1;
     }
+    // A single-core run makes every concurrency ratio in the file
+    // meaningless (the sharded-vs-mutex speedups collapse to lock overhead,
+    // keep-alive gains invert). The numbers still record, but nobody should
+    // read them as representative — shout, don't fail.
+    if (const auto it = snap->gauges.find("bh.loadgen.cores");
+        it != snap->gauges.end() && it->second == 1.0) {
+      std::fprintf(stderr,
+                   "========================================================\n"
+                   "WARNING: %s: suite \"%s\" was generated on a SINGLE core\n"
+                   "(bh.loadgen.cores == 1). Every concurrency speedup and\n"
+                   "throughput ratio in this suite is unrepresentative.\n"
+                   "========================================================\n",
+                   path.c_str(), name.c_str());
+    }
     const auto [begin, end] = metric_reqs.equal_range(name);
     for (auto it = begin; it != end; ++it) {
       const std::string& metric = it->second;

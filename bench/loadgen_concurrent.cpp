@@ -32,9 +32,14 @@
 // was served without the origin — bh.restart.warm_hit_ratio in the
 // "restart" suite, alongside the per-phase request rates and disk counters.
 //
+// --large measures the large-object serve path: 256KB–4MB bodies streamed
+// from the RAM tier (shared buffers; SEND_ZC on io_uring) and from the disk
+// tier (file extents via sendfile), recording MB/s per size and in
+// aggregate plus the zero-copy send counters, in the "loadgen_large" suite.
+//
 // Usage: loadgen_concurrent [--json=<path>] [--ops=<per-thread-op-count>]
-//                           [--keepalive] [--restart] [--clients=<n>]
-//                           [--require-speedup=<x>]
+//                           [--keepalive] [--restart] [--large]
+//                           [--clients=<n>] [--require-speedup=<x>]
 #include <unistd.h>
 
 #include <algorithm>
@@ -77,6 +82,47 @@ constexpr std::size_t kBodyBytes = 256;
 
 std::string body_of(std::uint64_t id) {
   return std::string(kBodyBytes, static_cast<char>('a' + id % 26));
+}
+
+// First "model name" line from /proc/cpuinfo, squeezed into a metric-name
+// suffix (alnum plus [._-]; everything else becomes '_'). "unknown" when
+// the file is absent (non-Linux or sandboxed).
+std::string cpu_model_slug() {
+  std::string model = "unknown";
+  if (std::FILE* f = std::fopen("/proc/cpuinfo", "r")) {
+    char line[512];
+    while (std::fgets(line, sizeof line, f)) {
+      const std::string s(line);
+      if (s.rfind("model name", 0) != 0) continue;
+      const std::size_t colon = s.find(':');
+      if (colon == std::string::npos) break;
+      std::size_t from = colon + 1;
+      while (from < s.size() && s[from] == ' ') ++from;
+      model = s.substr(from);
+      break;
+    }
+    std::fclose(f);
+  }
+  while (!model.empty() && (model.back() == '\n' || model.back() == ' ')) {
+    model.pop_back();
+  }
+  if (model.empty()) model = "unknown";
+  for (char& c : model) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_';
+    if (!ok) c = '_';
+  }
+  return model;
+}
+
+// Machine shape stamped into every loadgen suite: the core count that all
+// concurrency ratios are relative to, and the CPU model encoded into the
+// metric name (value 1.0) so runs from different machines never silently
+// average in the perf history.
+void record_machine_shape(obs::MetricsRegistry& reg) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  reg.gauge("bh.loadgen.cores").set(static_cast<double>(cores));
+  reg.gauge("bh.loadgen.cpu_model." + cpu_model_slug()).set(1.0);
 }
 
 // The in-memory portion of a proxy GET/PUT against the old global-mutex
@@ -342,6 +388,7 @@ int run_net_mode(const std::string& json_path, int clients, std::uint64_t ops,
               "keepalive r/s", "speedup");
 
   obs::MetricsRegistry reg;
+  record_machine_shape(reg);
   reg.gauge("bh.loadgen_net.clients").set(static_cast<double>(clients));
   reg.gauge("bh.loadgen_net.requests_per_client")
       .set(static_cast<double>(ops));
@@ -479,6 +526,7 @@ int run_restart_mode(const std::string& json_path) {
               cold_hit_ratio);
 
   obs::MetricsRegistry reg;
+  record_machine_shape(reg);
   reg.gauge("bh.restart.working_set").set(static_cast<double>(kRestartObjects));
   reg.gauge("bh.restart.object_bytes")
       .set(static_cast<double>(kRestartObjBytes));
@@ -515,6 +563,152 @@ int run_restart_mode(const std::string& json_path) {
   return 0;
 }
 
+// --- large-object mode ---
+//
+// MB/s for 256KB–4MB bodies on the two serve tiers: RAM (shared-buffer
+// bodies, SEND_ZC above the threshold on io_uring) and disk (extent bodies
+// via sendfile — a tiny RAM budget routes every object straight to the L2
+// store). Warm pass fetches each object once from the origin; the measured
+// pass replays the set over one keep-alive connection per size.
+
+constexpr std::size_t kLargeSizes[] = {256 << 10, 1 << 20, 4 << 20};
+constexpr std::uint64_t kLargeObjectsPerSize = 6;
+constexpr int kLargeRounds = 4;
+
+// Fetches each (id, size) pair `rounds` times over one keep-alive
+// connection; returns MB/s of body payload, or -1 on any failure.
+double sweep_large(std::uint16_t port, std::uint64_t id_base, std::size_t size,
+                   int rounds, double* seconds_out) {
+  auto conn = proxy::ClientConnection::open(port, 5.0);
+  if (!conn) return -1.0;
+  std::uint64_t bytes = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    for (std::uint64_t k = 0; k < kLargeObjectsPerSize; ++k) {
+      proxy::HttpRequest req;
+      req.method = "GET";
+      req.target = proxy::object_path(ObjectId{id_base + k}, size);
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      auto resp = conn->exchange(req, deadline, /*keep_alive=*/true);
+      if (!resp || resp->status != 200 || resp->body.size() != size) {
+        std::fprintf(stderr, "[loadgen_large] fetch %llu (%zu B) failed\n",
+                     static_cast<unsigned long long>(id_base + k), size);
+        return -1.0;
+      }
+      bytes += resp->body.size();
+      if (!conn->reusable()) {
+        conn = proxy::ClientConnection::open(port, 5.0);
+        if (!conn) return -1.0;
+      }
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  if (seconds_out) *seconds_out += elapsed.count();
+  return static_cast<double>(bytes) / (1024.0 * 1024.0) / elapsed.count();
+}
+
+int run_large_mode(const std::string& json_path) {
+  obs::MetricsRegistry reg;
+  record_machine_shape(reg);
+
+  // RAM tier: budget holds every object with room to spare (64 MB over 8
+  // shards puts max_object_bytes at 8 MB, above the largest body).
+  proxy::OriginServer ram_origin;
+  proxy::ProxyConfig ram_cfg;
+  ram_cfg.name = "large_ram";
+  ram_cfg.origin_port = ram_origin.port();
+  ram_cfg.capacity_bytes = 64ULL << 20;
+  proxy::ProxyServer ram_proxy(ram_cfg);
+
+  // Disk tier: a 64 KB RAM budget makes every large body oversized, so it
+  // bypasses RAM entirely — stored to and served from the L2 extent path.
+  const std::string state =
+      "/tmp/bh_loadgen_large." + std::to_string(::getpid());
+  if (std::system(("rm -rf '" + state + "' && mkdir -p '" + state + "'")
+                      .c_str()) != 0) {
+    std::fprintf(stderr, "[loadgen_large] cannot create %s\n", state.c_str());
+    return 1;
+  }
+  proxy::OriginServer disk_origin;
+  proxy::ProxyConfig disk_cfg;
+  disk_cfg.name = "large_disk";
+  disk_cfg.origin_port = disk_origin.port();
+  disk_cfg.capacity_bytes = 64 << 10;
+  disk_cfg.disk_path = state + "/objects";
+  disk_cfg.disk_fsync = false;
+  proxy::ProxyServer disk_proxy(disk_cfg);
+
+  std::printf("loadgen_large: %llu objects/size, %d rounds\n",
+              static_cast<unsigned long long>(kLargeObjectsPerSize),
+              kLargeRounds);
+  std::printf("%10s %16s %16s\n", "body", "ram MB/s", "disk MB/s");
+
+  double ram_bytes_mb = 0.0, ram_seconds = 0.0;
+  double disk_bytes_mb = 0.0, disk_seconds = 0.0;
+  std::uint64_t id_base = 1;
+  for (const std::size_t size : kLargeSizes) {
+    // Warm both tiers (origin fetches; the disk tier also pays its puts).
+    if (sweep_large(ram_proxy.port(), id_base, size, 1, nullptr) < 0.0 ||
+        sweep_large(disk_proxy.port(), id_base, size, 1, nullptr) < 0.0) {
+      return 1;
+    }
+    const double ram = sweep_large(ram_proxy.port(), id_base, size,
+                                   kLargeRounds, &ram_seconds);
+    const double disk = sweep_large(disk_proxy.port(), id_base, size,
+                                    kLargeRounds, &disk_seconds);
+    if (ram < 0.0 || disk < 0.0) return 1;
+    const double set_mb = static_cast<double>(size) * kLargeObjectsPerSize *
+                          kLargeRounds / (1024.0 * 1024.0);
+    ram_bytes_mb += set_mb;
+    disk_bytes_mb += set_mb;
+    const std::string tag = std::to_string(size >> 10) + "k";
+    reg.gauge("bh.large." + tag + ".ram_mb_per_s").set(ram);
+    reg.gauge("bh.large." + tag + ".disk_mb_per_s").set(disk);
+    std::printf("%10s %16.0f %16.0f\n", tag.c_str(), ram, disk);
+    id_base += kLargeObjectsPerSize;
+  }
+
+  const double ram_agg = ram_bytes_mb / ram_seconds;
+  const double disk_agg = disk_bytes_mb / disk_seconds;
+  reg.gauge("bh.large.ram_mb_per_s").set(ram_agg);
+  reg.gauge("bh.large.disk_mb_per_s").set(disk_agg);
+  reg.gauge("bh.large.object_count")
+      .set(static_cast<double>(kLargeObjectsPerSize) *
+           (sizeof kLargeSizes / sizeof kLargeSizes[0]));
+
+  // The disk tier must actually be exercising the zero-copy send path —
+  // record the counters so the history (and CI) can demand it.
+  const proxy::ProxyStats ds = disk_proxy.stats();
+  const proxy::ProxyStats rs = ram_proxy.stats();
+  reg.counter("bh.proxy.zerocopy_sends").set(ds.zerocopy_sends +
+                                             rs.zerocopy_sends);
+  reg.counter("bh.proxy.bytes_zerocopy").set(ds.zerocopy_bytes +
+                                             rs.zerocopy_bytes);
+  std::printf("aggregate: ram %.0f MB/s, disk %.0f MB/s, "
+              "%llu zero-copy sends\n",
+              ram_agg, disk_agg,
+              static_cast<unsigned long long>(ds.zerocopy_sends +
+                                              rs.zerocopy_sends));
+
+  std::ostringstream suite;
+  suite << "{\"benchmarks\": [], \"metrics\": " << obs::to_json(reg.snapshot())
+        << "}";
+  auto suites = obs::load_suites(json_path);
+  suites["loadgen_large"] = suite.str();
+  obs::write_suites(json_path, suites);
+  std::printf("\n[loadgen_large] results merged into %s\n", json_path.c_str());
+
+  [[maybe_unused]] int rc = std::system(("rm -rf '" + state + "'").c_str());
+  if (ds.zerocopy_sends == 0) {
+    std::fprintf(stderr,
+                 "[loadgen_large] disk tier recorded no zero-copy sends\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -523,6 +717,7 @@ int main(int argc, char** argv) {
   bool ops_given = false;
   bool net_mode = false;
   bool restart_mode = false;
+  bool large_mode = false;
   int clients = 8;
   double require_speedup = 0.0;
   for (int i = 1; i < argc; ++i) {
@@ -536,6 +731,8 @@ int main(int argc, char** argv) {
       net_mode = true;
     } else if (a == "--restart") {
       restart_mode = true;
+    } else if (a == "--large") {
+      large_mode = true;
     } else if (a.rfind("--clients=", 0) == 0) {
       clients = std::atoi(a.c_str() + 10);
     } else if (a.rfind("--require-speedup=", 0) == 0) {
@@ -549,6 +746,9 @@ int main(int argc, char** argv) {
   if (restart_mode) {
     return run_restart_mode(json_path);
   }
+  if (large_mode) {
+    return run_large_mode(json_path);
+  }
   if (net_mode) {
     // Real sockets are ~1000x slower per op than the in-memory paths; a
     // modest default also keeps the per-request baseline from exhausting
@@ -558,8 +758,8 @@ int main(int argc, char** argv) {
   }
 
   obs::MetricsRegistry reg;
+  record_machine_shape(reg);
   const unsigned cores = std::thread::hardware_concurrency();
-  reg.gauge("bh.loadgen.cores").set(static_cast<double>(cores));
   reg.gauge("bh.loadgen.ops_per_thread")
       .set(static_cast<double>(ops_per_thread));
 

@@ -221,8 +221,8 @@ int main(int argc, char** argv) {
     std::printf("\n-- GET /metrics on proxy-0 (excerpt) --\n");
     int lines = 0;
     for (std::size_t pos = 0; pos < resp->body.size() && lines < 8;) {
-      const std::size_t eol = resp->body.find('\n', pos);
-      const std::string line = resp->body.substr(pos, eol - pos);
+      const std::size_t eol = resp->body.str().find('\n', pos);
+      const std::string line = resp->body.str().substr(pos, eol - pos);
       if (line.rfind("# TYPE", 0) != 0) {
         std::printf("  %s\n", line.c_str());
         ++lines;

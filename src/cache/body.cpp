@@ -1,0 +1,44 @@
+#include "cache/body.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace bh::cache {
+
+FdRef::~FdRef() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+const std::string& Body::str() const noexcept {
+  static const std::string kEmpty;
+  return ram_ ? *ram_ : kEmpty;
+}
+
+bool Body::append_to(std::string& out) const {
+  if (ram_) {
+    out.append(*ram_);
+    return true;
+  }
+  if (len_ == 0) return true;
+  const std::size_t base = out.size();
+  out.resize(base + static_cast<std::size_t>(len_));
+  std::uint64_t done = 0;
+  while (done < len_) {
+    const ssize_t n =
+        ::pread(fd_->fd(), out.data() + base + done,
+                static_cast<std::size_t>(len_ - done),
+                static_cast<off_t>(off_ + done));
+    if (n > 0) {
+      done += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // Short file or read error: the extent no longer matches its envelope.
+    out.resize(base);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace bh::cache

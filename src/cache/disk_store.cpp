@@ -1,6 +1,7 @@
 #include "cache/disk_store.h"
 
 #include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -195,6 +196,64 @@ std::optional<std::string> DiskStore::get(ObjectId id) {
   return body;
 }
 
+std::optional<Body> DiskStore::get_body(ObjectId id) {
+  const std::string path = path_of(id);
+  {
+    std::lock_guard lock(mu_);
+    auto it = index_.find(id);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    it->second.last_access = ++tick_;
+  }
+
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    std::lock_guard lock(mu_);
+    drop_locked(id, /*unlink_file=*/false);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  // Structural validation only: the header must name this object and the
+  // file must end exactly where the header says the body does. No checksum
+  // — that would read the body through userspace, which is exactly what an
+  // extent serve exists to avoid.
+  ObjHeader h;
+  struct stat st{};
+  std::size_t got = 0;
+  while (got < sizeof h) {
+    const ssize_t n = ::pread(fd, reinterpret_cast<char*>(&h) + got,
+                              sizeof h - got, static_cast<off_t>(got));
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  const bool ok = got == sizeof h && h.magic == kObjMagic &&
+                  h.layout == kLayoutVersion && h.key == id.value &&
+                  ::fstat(fd, &st) == 0 &&
+                  static_cast<std::uint64_t>(st.st_size) ==
+                      sizeof h + h.body_len;
+  if (!ok) {
+    ::close(fd);
+    std::lock_guard lock(mu_);
+    drop_locked(id, /*unlink_file=*/true);
+    ++stats_.corrupt_dropped;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.hits;
+  }
+  // The FdRef owns the fd from here; the extent stays readable even if the
+  // file is evicted and unlinked while the response is in flight.
+  return Body::extent(std::make_shared<const FdRef>(fd), sizeof h, h.body_len);
+}
+
 bool DiskStore::put(ObjectId id, std::string_view body, Version version) {
   const std::uint64_t file_bytes = sizeof(ObjHeader) + body.size();
   if (file_bytes > opts_.capacity_bytes) return false;
@@ -287,5 +346,86 @@ DiskStoreStats DiskStore::stats() const {
   std::lock_guard lock(mu_);
   return stats_;
 }
+
+bool DiskStore::put_async(ObjectId id, BodyPtr body, Version version,
+                          std::function<void(bool ok)> done) {
+  if (!body) return false;
+  {
+    std::lock_guard lock(queue_mu_);
+    if (queue_.size() >= opts_.demote_queue_depth) {
+      // Backpressure by shedding: a cache that can't keep up with demotion
+      // just forgets the victim. The counter makes the shedding visible.
+      std::lock_guard slock(mu_);
+      ++stats_.async_dropped;
+      return false;
+    }
+    if (!writer_running_) {
+      if (writer_.joinable()) writer_.join();  // reap a stopped writer
+      writer_stop_ = false;
+      writer_running_ = true;
+      writer_ = std::thread([this] { writer_main(); });
+    }
+    queue_.push_back(DemoteJob{id, std::move(body), version, std::move(done)});
+  }
+  queue_cv_.notify_one();
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.async_queued;
+  }
+  return true;
+}
+
+void DiskStore::writer_main() {
+  for (;;) {
+    DemoteJob job;
+    {
+      std::unique_lock lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return writer_stop_ || !queue_.empty(); });
+      // Drain before stopping: every accepted job is written, so a clean
+      // shutdown loses nothing and warm restarts see the full tier.
+      if (queue_.empty()) {
+        writer_running_ = false;
+        queue_cv_.notify_all();
+        return;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      job_inflight_ = true;
+    }
+    const bool ok = put(job.id, *job.body, job.version);
+    if (job.done) job.done(ok);
+    {
+      std::lock_guard lock(queue_mu_);
+      job_inflight_ = false;
+    }
+    queue_cv_.notify_all();
+  }
+}
+
+void DiskStore::drain_async() const {
+  std::unique_lock lock(queue_mu_);
+  // The in-flight flag clears only after the job's completion callback has
+  // run, so a returned drain means every accepted demotion — counters
+  // included — is fully settled.
+  queue_cv_.wait(lock, [this] { return queue_.empty() && !job_inflight_; });
+}
+
+void DiskStore::stop_async() {
+  std::thread writer;
+  {
+    std::lock_guard lock(queue_mu_);
+    writer_stop_ = true;
+    writer = std::move(writer_);
+  }
+  queue_cv_.notify_all();
+  if (writer.joinable()) writer.join();
+}
+
+std::size_t DiskStore::async_queue_depth() const {
+  std::lock_guard lock(queue_mu_);
+  return queue_.size();
+}
+
+DiskStore::~DiskStore() { stop_async(); }
 
 }  // namespace bh::cache

@@ -36,14 +36,18 @@
 // queues a hint invalidation there).
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 
+#include "cache/body.h"
 #include "common/types.h"
 
 namespace bh::cache {
@@ -55,6 +59,8 @@ struct DiskStoreStats {
   std::uint64_t evictions = 0;
   std::uint64_t corrupt_dropped = 0;  // failed validation on read
   std::uint64_t io_errors = 0;        // write/replace failures (put kept going)
+  std::uint64_t async_queued = 0;     // put_async jobs accepted
+  std::uint64_t async_dropped = 0;    // put_async jobs rejected (queue full)
 };
 
 class DiskStore {
@@ -65,6 +71,11 @@ class DiskStore {
     // fsync each object file before rename. Surviving SIGKILL never needs
     // it (page cache persists); surviving power loss does.
     bool fsync_writes = true;
+    // Bound on put_async's backlog. When a burst of RAM evictions outruns
+    // the writer thread, jobs beyond this depth are dropped (counted) — the
+    // object simply isn't demoted, which for a cache beats blocking a
+    // worker on disk.
+    std::size_t demote_queue_depth = 256;
   };
 
   // Invoked (under the internal mutex) for each entry evicted by the byte
@@ -82,11 +93,45 @@ class DiskStore {
   // fails validation is dropped and reported as a miss.
   std::optional<std::string> get(ObjectId id);
 
+  // Zero-copy read: opens the object file and returns an extent Body
+  // {fd, offset, len} pointing past the envelope header, so the serve path
+  // can sendfile(2) the bytes without them ever entering userspace. The fd
+  // is refcounted by the Body — a concurrent eviction/unlink cannot revoke
+  // bytes already in flight (the open fd pins the inode).
+  //
+  // Validation is structural only (magic/layout/key/exact file size); the
+  // checksum would force a full userspace read, defeating the point. The
+  // checksummed get() remains the promotion path's read.
+  std::optional<Body> get_body(ObjectId id);
+
   // Writes (or replaces) the object crash-atomically, then evicts
   // least-recently-accessed entries as needed to fit the budget. Returns
   // false on I/O failure (the store simply doesn't hold the object) or when
   // the envelope alone exceeds the budget.
   bool put(ObjectId id, std::string_view body, Version version = 1);
+
+  // Enqueues the object for a background put() on the writer thread, so a
+  // burst of RAM evictions never stalls the caller on disk I/O. Returns
+  // false (and counts async_dropped) when the bounded queue is full — the
+  // demotion is simply skipped. `done(ok)` runs on the writer thread after
+  // the synchronous put completes (ok = its return value); it must not
+  // re-enter the store. The writer thread starts lazily on first use.
+  bool put_async(ObjectId id, BodyPtr body, Version version = 1,
+                 std::function<void(bool ok)> done = {});
+
+  // Drains the async queue (every accepted job is written) and joins the
+  // writer thread. Idempotent; put_async after this restarts the writer.
+  // Callers whose done-callbacks touch external state must stop_async()
+  // before that state dies.
+  void stop_async();
+
+  // Blocks until the async queue is empty and no job is mid-write — every
+  // accepted demotion (and its done-callback) has fully settled. The writer
+  // thread stays available. Mainly for tests and quiescence barriers.
+  void drain_async() const;
+
+  // Current async backlog (jobs accepted, not yet written).
+  std::size_t async_queue_depth() const;
 
   // Presence in the index (no file I/O, no recency touch).
   bool contains(ObjectId id) const;
@@ -101,10 +146,19 @@ class DiskStore {
 
   const std::string& root() const { return opts_.root; }
 
+  ~DiskStore();
+
  private:
   struct IndexEntry {
     std::uint64_t file_bytes = 0;
     std::uint64_t last_access = 0;
+  };
+
+  struct DemoteJob {
+    ObjectId id;
+    BodyPtr body;
+    Version version = 1;
+    std::function<void(bool ok)> done;
   };
 
   std::string path_of(ObjectId id) const;
@@ -112,6 +166,7 @@ class DiskStore {
   // Drops `id` from the index and unlinks its file. Caller holds mu_.
   void drop_locked(ObjectId id, bool unlink_file);
   void evict_to_fit_locked();
+  void writer_main();
 
   Options opts_;
   EvictFn on_evict_;
@@ -121,6 +176,17 @@ class DiskStore {
   std::uint64_t used_bytes_ = 0;
   std::uint64_t tick_ = 0;
   DiskStoreStats stats_;
+
+  // Async demotion writer. queue_mu_ never nests with mu_: put_async
+  // touches only queue_mu_, and the writer thread releases it before
+  // calling put() (which takes mu_).
+  mutable std::mutex queue_mu_;
+  mutable std::condition_variable queue_cv_;
+  std::deque<DemoteJob> queue_;
+  std::thread writer_;
+  bool writer_stop_ = false;
+  bool writer_running_ = false;
+  bool job_inflight_ = false;
 };
 
 }  // namespace bh::cache

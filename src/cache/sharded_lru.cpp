@@ -30,10 +30,12 @@ ShardedLruCache::ShardedLruCache(std::uint64_t capacity_bytes,
   }
 }
 
-std::optional<std::string> ShardedLruCache::find(ObjectId id) {
+BodyPtr ShardedLruCache::find(ObjectId id) {
   Shard& s = *shards_[shard_of(id)];
   std::lock_guard lock(s.mu);
-  if (s.lru.find(id) == nullptr) return std::nullopt;
+  if (s.lru.find(id) == nullptr) return nullptr;
+  // Hand back the stored buffer itself: a hit costs one refcount bump, never
+  // a copy of the payload under the shard lock.
   return s.bodies.at(id);
 }
 
@@ -44,8 +46,9 @@ bool ShardedLruCache::contains(ObjectId id) const {
 }
 
 ShardedLruCache::InsertOutcome ShardedLruCache::insert(
-    ObjectId id, std::string body, Version version, bool pushed,
+    ObjectId id, BodyPtr body, Version version, bool pushed,
     bool replace_existing, const EvictFn& on_evict) {
+  if (!body) body = std::make_shared<const std::string>();
   Shard& s = *shards_[shard_of(id)];
   std::lock_guard lock(s.mu);
   const LruCache::Entry* prev = s.lru.peek(id);
@@ -53,7 +56,7 @@ ShardedLruCache::InsertOutcome ShardedLruCache::insert(
   if (existed && !replace_existing) return InsertOutcome::kKept;
   const std::uint64_t prev_size = existed ? prev->size : 0;
 
-  const std::uint64_t new_size = body.size();
+  const std::uint64_t new_size = body->size();
   const bool stored = s.lru.insert(
       id, new_size, version, pushed, [&](const LruCache::Entry& victim) {
         // Accounting is settled before the callback body can observe the
@@ -64,7 +67,7 @@ ShardedLruCache::InsertOutcome ShardedLruCache::insert(
         evictions_.fetch_add(1, std::memory_order_relaxed);
         auto node = s.bodies.extract(victim.id);
         if (on_evict) {
-          on_evict(victim, node ? std::move(node.mapped()) : std::string());
+          on_evict(victim, node ? std::move(node.mapped()) : BodyPtr());
         }
       });
   if (!stored) return InsertOutcome::kRejected;

@@ -17,10 +17,16 @@
 // than capacity/num_shards is rejected outright (same contract as LruCache's
 // "never purge the cache for a hopeless object", just at shard granularity).
 //
+// Bodies are refcounted shared buffers (cache::BodyPtr): a hit returns the
+// stored pointer, so serving a hit never copies or allocates under the shard
+// lock — the response holds the same bytes the cache does, and eviction only
+// drops the cache's reference while in-flight responses keep theirs.
+//
 // Thread-safety: every public method is safe to call concurrently. Eviction
 // callbacks run while the owning shard's lock is held and receive the
-// victim's body by move (so a demotion tier can take the bytes without a
-// copy); callers must not re-enter the cache from the callback. Global
+// victim's body as a shared reference (so a demotion tier can take the bytes
+// without a copy); callers must not re-enter the cache from the callback.
+// Global
 // atomics are updated at each mutation — a victim's bytes leave the totals
 // inside its callback, before the callback body runs — so concurrent scrape
 // reads never see evicted bytes still counted. Lock order note for the
@@ -38,6 +44,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/body.h"
 #include "cache/lru_cache.h"
 #include "common/hash.h"
 #include "common/types.h"
@@ -47,9 +54,9 @@ namespace bh::cache {
 class ShardedLruCache {
  public:
   // Invoked (under the shard lock) for each entry evicted to make space.
-  // The victim's body is handed over by move — the cache no longer holds it.
-  using EvictFn =
-      std::function<void(const LruCache::Entry&, std::string&& body)>;
+  // The victim's body is handed over as a shared reference — the cache no
+  // longer holds it, but any in-flight response still does.
+  using EvictFn = std::function<void(const LruCache::Entry&, BodyPtr body)>;
 
   enum class InsertOutcome {
     kInserted,  // new entry stored
@@ -60,8 +67,9 @@ class ShardedLruCache {
 
   ShardedLruCache(std::uint64_t capacity_bytes, std::size_t num_shards);
 
-  // Returns a copy of the body and refreshes recency, or nullopt.
-  std::optional<std::string> find(ObjectId id);
+  // Returns the stored shared buffer (no copy, no allocation — the caller
+  // and the cache share the bytes) and refreshes recency; null on miss.
+  BodyPtr find(ObjectId id);
 
   // Presence test without touching recency.
   bool contains(ObjectId id) const;
@@ -69,9 +77,16 @@ class ShardedLruCache {
   // Inserts or (when replace_existing) refreshes; evicts LRU entries of the
   // same shard as needed. `on_evict` fires under the shard lock for each
   // victim, never for the inserted/replaced id itself.
-  InsertOutcome insert(ObjectId id, std::string body, Version version = 1,
+  InsertOutcome insert(ObjectId id, BodyPtr body, Version version = 1,
                        bool pushed = false, bool replace_existing = true,
                        const EvictFn& on_evict = {});
+  // Convenience for owned strings: wraps the body in a fresh shared buffer.
+  InsertOutcome insert(ObjectId id, std::string body, Version version = 1,
+                       bool pushed = false, bool replace_existing = true,
+                       const EvictFn& on_evict = {}) {
+    return insert(id, std::make_shared<const std::string>(std::move(body)),
+                  version, pushed, replace_existing, on_evict);
+  }
 
   // Removes an entry (consistency invalidation). Returns true if present.
   bool erase(ObjectId id);
@@ -116,7 +131,7 @@ class ShardedLruCache {
   struct Shard {
     mutable std::mutex mu;
     LruCache lru;
-    std::unordered_map<ObjectId, std::string> bodies;
+    std::unordered_map<ObjectId, BodyPtr> bodies;
 
     explicit Shard(std::uint64_t capacity) : lru(capacity) {}
   };

@@ -159,8 +159,8 @@ std::string serialize(const HttpRequest& r) {
 }
 
 std::string serialize(const HttpResponse& r) {
-  std::string out = serialize_head(r, r.body.size());
-  out += r.body;
+  std::string out = serialize_head(r, static_cast<std::size_t>(r.body.size()));
+  r.body.append_to(out);
   return out;
 }
 
@@ -195,14 +195,22 @@ std::size_t HttpParser::feed(std::string_view data) {
       state_ = body_expected_ == 0 ? State::kComplete : State::kBody;
       continue;
     }
-    // kBody: append exactly the missing Content-Length bytes.
+    // kBody: append exactly the missing Content-Length bytes. Response
+    // bodies accumulate in owned scratch and become the (immutable)
+    // cache::Body in one move at completion.
     std::string& body =
-        kind_ == Kind::kRequest ? request_.body : response_.body;
+        kind_ == Kind::kRequest ? request_.body : body_scratch_;
     const std::size_t need = body_expected_ - body.size();
     const std::size_t take = std::min(need, data.size() - consumed);
     body.append(data.substr(consumed, take));
     consumed += take;
-    if (body.size() == body_expected_) state_ = State::kComplete;
+    if (body.size() == body_expected_) {
+      if (kind_ == Kind::kResponse) {
+        response_.body = cache::Body(std::move(body_scratch_));
+        body_scratch_.clear();
+      }
+      state_ = State::kComplete;
+    }
   }
   return consumed;
 }
@@ -243,6 +251,7 @@ void HttpParser::reset() {
   head_.clear();
   scan_from_ = 0;
   body_expected_ = 0;
+  body_scratch_.clear();
   request_ = HttpRequest{};
   response_ = HttpResponse{};
 }

@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/body.h"
 #include "common/rng.h"
 #include "proxy/socket.h"
 
@@ -54,7 +55,11 @@ struct HttpResponse {
   int status = 200;
   std::string reason = "OK";
   Headers headers;
-  std::string body;
+  // Response bodies travel as cache::Body so a RAM cache hit shares the
+  // cached buffer all the way to the socket write, and a disk hit carries a
+  // {fd, offset, len} extent that sendfile(2) transmits without a userspace
+  // copy. Assigning a string still works (one buffer allocation).
+  cache::Body body;
 
   std::optional<std::string_view> header(std::string_view name) const;
   bool wants_keep_alive() const;
@@ -128,6 +133,10 @@ class HttpParser {
   std::string head_;            // bytes of the start line + header block
   std::size_t scan_from_ = 0;   // where the "\r\n\r\n" search resumes
   std::size_t body_expected_ = 0;
+  // Response bodies accumulate here (HttpResponse::body is an immutable
+  // cache::Body, so incremental appends need owned scratch) and move into
+  // response_.body in one shot at completion.
+  std::string body_scratch_;
   HttpRequest request_;
   HttpResponse response_;
 };

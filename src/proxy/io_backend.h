@@ -92,6 +92,8 @@ class IoBackend {
   using AcceptFn = std::function<void(int fd)>;
   using RecvFn = std::function<void(const char* data, ssize_t n)>;
   using WritableFn = std::function<void()>;
+  // Result of a zero-copy send: bytes written (may be short) or -errno.
+  using SendDoneFn = std::function<void(ssize_t n)>;
 
   // Counters for `bh.proxy.*` metrics. Backends maintain them as relaxed
   // atomics (written only by the loop thread, sampled by metric scrapes on
@@ -116,6 +118,21 @@ class IoBackend {
   virtual std::uint64_t add_stream(int fd, RecvFn on_recv,
                                    WritableFn on_writable) = 0;
   virtual void request_writable(std::uint64_t id) = 0;
+
+  // Zero-copy send on a stream registration (io_uring IORING_OP_SEND_ZC).
+  // Returns false when the backend has no zero-copy path (epoll) — the
+  // caller falls back to ordinary copies. On true, the kernel transmits
+  // directly from `data`; `keepalive` is held by the backend until the
+  // kernel's buffer-release notification (F_NOTIF), so the bytes outlive
+  // even a del_fd mid-flight, and `done(n)` fires on the loop thread with
+  // the send result (short counts possible; -errno on failure). At most one
+  // zero-copy send may be in flight per stream. Loop-thread-only.
+  virtual bool send_zc(std::uint64_t /*id*/, const void* /*data*/,
+                       std::size_t /*len*/,
+                       std::shared_ptr<const void> /*keepalive*/,
+                       SendDoneFn /*done*/) {
+    return false;
+  }
 
   virtual bool poll(int timeout_ms) = 0;
   virtual void wakeup() = 0;  // any-thread

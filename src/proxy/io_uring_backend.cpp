@@ -86,6 +86,7 @@ enum Op : std::uint8_t {
   kOpAccept = 3,      // multishot accept
   kOpRecv = 4,        // multishot recv
   kOpCancel = 5,      // ASYNC_CANCEL (completion is ignored)
+  kOpSendZc = 6,      // zero-copy send (id is a per-send ticket, not a reg)
 };
 
 std::uint64_t pack_ud(std::uint64_t reg_id, std::uint16_t gen, Op op) {
@@ -196,6 +197,29 @@ class UringBackend final : public IoBackend {
     (void)ok;
     arm_recv(id, it->second);
     return id;
+  }
+
+  bool send_zc(std::uint64_t id, const void* data, std::size_t len,
+               std::shared_ptr<const void> keepalive,
+               SendDoneFn done) override {
+    const auto it = regs_.find(id);
+    if (it == regs_.end() || it->second.kind != Kind::kStream) return false;
+    // Each send gets a fresh ticket id from the never-reused counter: the
+    // result CQE and the buffer-release notification CQE both carry it, and
+    // it can never collide with a registration, so the pending entry (and
+    // the keepalive pinning the caller's buffer) survives del_fd on the
+    // stream — the kernel may still be reading the buffer after the
+    // connection is torn down.
+    const std::uint64_t ticket = next_id_++;
+    io_uring_sqe* sqe = get_sqe(pack_ud(ticket, 0, kOpSendZc));
+    sqe->opcode = IORING_OP_SEND_ZC;
+    sqe->fd = it->second.fd;
+    sqe->addr = reinterpret_cast<std::uint64_t>(data);
+    sqe->len = static_cast<unsigned>(len);
+    sqe->msg_flags = MSG_NOSIGNAL;
+    zc_pending_.emplace(ticket,
+                        ZcPending{std::move(keepalive), std::move(done)});
+    return true;
   }
 
   void request_writable(std::uint64_t id) override {
@@ -555,6 +579,11 @@ class UringBackend final : public IoBackend {
       if (bid >= 0) recycle_buf(static_cast<unsigned>(bid));
       return;
     }
+    if (op == kOpSendZc) {
+      // Ticket-keyed, not registration-keyed: must run even after del_fd.
+      handle_send_zc(id, res, flags);
+      return;
+    }
     const auto it = regs_.find(id);
     if (it == regs_.end() || it->second.gen != gen) {
       // Stale completion for a deleted or superseded registration; the
@@ -576,8 +605,25 @@ class UringBackend final : public IoBackend {
         handle_recv(id, gen, res, flags, bid);
         break;
       case kOpCancel:
-        break;
+      case kOpSendZc:
+        break;  // handled above
     }
+  }
+
+  // SEND_ZC completes in (up to) two CQEs: first the send result (F_MORE set
+  // when a notification will follow), then an F_NOTIF CQE once the kernel
+  // has finished reading the caller's buffer. The keepalive is released only
+  // on the final CQE; the done callback fires on the result CQE.
+  void handle_send_zc(std::uint64_t ticket, int res, std::uint32_t flags) {
+    const auto it = zc_pending_.find(ticket);
+    if (it == zc_pending_.end()) return;
+    if (flags & IORING_CQE_F_NOTIF) {
+      zc_pending_.erase(it);  // buffer released; keepalive may drop
+      return;
+    }
+    SendDoneFn done = std::move(it->second.done);
+    if (!(flags & IORING_CQE_F_MORE)) zc_pending_.erase(it);
+    if (done) done(res);
   }
 
   // Re-fetches the registration after a callback and re-arms the multishot
@@ -700,7 +746,13 @@ class UringBackend final : public IoBackend {
   char* buf_mem_ = nullptr;
   std::uint16_t buf_tail_ = 0;
 
+  struct ZcPending {
+    std::shared_ptr<const void> keep;  // pins the bytes until F_NOTIF
+    SendDoneFn done;
+  };
+
   std::unordered_map<std::uint64_t, Reg> regs_;
+  std::unordered_map<std::uint64_t, ZcPending> zc_pending_;
   std::uint64_t next_id_ = 1;
   std::atomic<std::uint64_t> submit_calls_{0};
   std::atomic<std::uint64_t> sqes_submitted_{0};

@@ -93,6 +93,7 @@ ProxyServer::ProxyServer(ProxyConfig cfg)
     dopts.root = cfg_.disk_path;
     dopts.capacity_bytes = cfg_.disk_capacity_bytes;
     dopts.fsync_writes = cfg_.disk_fsync;
+    dopts.demote_queue_depth = std::max<std::size_t>(1, cfg_.demote_queue_depth);
     disk_ = std::make_unique<cache::DiskStore>(
         std::move(dopts), [this](ObjectId victim) {
           // A disk eviction is the object leaving the node entirely (the
@@ -112,6 +113,7 @@ ProxyServer::ProxyServer(ProxyConfig cfg)
       [this](unsigned batch) { sqe_batch_.record(batch); });
   HttpLoop::Options loop_opts;
   loop_opts.idle_timeout_seconds = cfg_.keepalive_idle_seconds;
+  loop_opts.zero_copy_min_bytes = cfg_.zero_copy_min_bytes;
   http_loop_ = std::make_unique<HttpLoop>(
       *reactor_, listener_->fd(), loop_opts,
       [this](std::uint64_t token, HttpRequest req) {
@@ -209,6 +211,11 @@ void ProxyServer::stop() {
   }
   queue_cv_.notify_all();
   if (flusher_thread_.joinable()) flusher_thread_.join();
+  // Drain and join the disk store's async demotion writer while the
+  // counters and the update queue its callbacks touch are still alive (the
+  // registry is destroyed before disk_ by declaration order). Every
+  // accepted demotion reaches disk before the final hint image is cut.
+  if (disk_) disk_->stop_async();
   // Final image save after every worker and the flusher are gone, so the
   // saved table is the daemon's last word. Failure only costs the next
   // start its warmth.
@@ -253,6 +260,13 @@ ProxyStats ProxyServer::stats() const {
   s.disk_misses = c_.disk_misses.value();
   s.disk_demotions = c_.disk_demotions.value();
   s.disk_promotions = c_.disk_promotions.value();
+  if (disk_) {
+    const cache::DiskStoreStats ds = disk_->stats();
+    s.demote_queued = ds.async_queued;
+    s.demote_dropped = ds.async_dropped;
+  }
+  s.zerocopy_sends = http_loop_->zerocopy_sends();
+  s.zerocopy_bytes = http_loop_->zerocopy_bytes();
   return s;
 }
 
@@ -282,6 +296,10 @@ obs::MetricsSnapshot ProxyServer::metrics_snapshot() const {
     registry_.counter("bh.proxy.disk.evictions").set(ds.evictions);
     registry_.counter("bh.proxy.disk.corrupt_dropped").set(ds.corrupt_dropped);
     registry_.counter("bh.proxy.disk.io_errors").set(ds.io_errors);
+    registry_.counter("bh.proxy.demote_queued").set(ds.async_queued);
+    registry_.counter("bh.proxy.demote_dropped").set(ds.async_dropped);
+    registry_.gauge("bh.proxy.demote_queue_depth")
+        .set(static_cast<double>(disk_->async_queue_depth()));
   }
   registry_.gauge("bh.proxy.hint_image_restored")
       .set(hint_image_restored_ ? 1.0 : 0.0);
@@ -313,6 +331,10 @@ obs::MetricsSnapshot ProxyServer::metrics_snapshot() const {
   registry_.counter("bh.proxy.submit_calls").set(io.submit_calls);
   registry_.counter("bh.proxy.sqes_submitted").set(io.sqes_submitted);
   registry_.counter("bh.proxy.cqes_reaped").set(io.cqes_reaped);
+  // Zero-copy sends: extents via sendfile(2), large shared buffers via
+  // IORING_OP_SEND_ZC on the uring backend.
+  registry_.counter("bh.proxy.zerocopy_sends").set(http_loop_->zerocopy_sends());
+  registry_.counter("bh.proxy.bytes_zerocopy").set(http_loop_->zerocopy_bytes());
   return registry_.snapshot();
 }
 
@@ -425,14 +447,16 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
   const bool cache_only = req.header("X-No-Forward").has_value();
   if (!cache_only) c_.requests.inc();
 
-  // 1. Local cache (one shard lock).
+  // 1. Local cache (one shard lock). find() hands back the stored shared
+  // buffer, and the response adopts it: the hit's bytes are never copied
+  // between the shard and the socket write.
   if (auto body = cache_.find(*id)) {
     if (cache_only) {
       c_.peer_serves.inc();
     } else {
       c_.local_hits.inc();
     }
-    resp.body = std::move(*body);
+    resp.body = cache::Body(std::move(body));
     resp.headers.emplace_back("X-Cache", "HIT");
     resp.headers.emplace_back("X-Served-By", cfg_.name);
     if (cache_only && cfg_.push_on_peer_fetch && !stopping_.load()) {
@@ -446,20 +470,29 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
     }
     return resp;
   }
-  // 1b. Disk tier: a RAM miss can still be a node hit. The body promotes
-  // back into RAM without re-advertising (the node never stopped holding
-  // the object, so peers learned nothing new); peer probes see a plain HIT,
-  // clients see which tier answered.
+  // 1b. Disk tier: a RAM miss can still be a node hit. The response carries
+  // the file extent itself — the reactor ships it with sendfile(2), so the
+  // body never crosses userspace on the serve path. RAM-sized bodies also
+  // promote back up (the one pread this path pays), without re-advertising
+  // (the node never stopped holding the object, so peers learned nothing
+  // new); oversized bodies stay disk-resident — re-putting them would only
+  // rewrite the same file. Peer probes see a plain HIT, clients see which
+  // tier answered.
   if (disk_) {
     const auto t0 = std::chrono::steady_clock::now();
-    if (auto body = disk_->get(*id)) {
+    if (auto body = disk_->get_body(*id)) {
       c_.disk_hits.inc();
-      store_internal(*id, *body, /*replace_existing=*/true, /*pushed=*/false,
-                     /*advertise=*/false);
-      c_.disk_promotions.inc();
-      promote_ms_.record(std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - t0)
-                             .count());
+      if (body->size() <= cache_.max_object_bytes()) {
+        auto bytes = std::make_shared<std::string>();
+        if (body->append_to(*bytes)) {
+          store_internal(*id, std::move(bytes), /*replace_existing=*/true,
+                         /*pushed=*/false, /*advertise=*/false);
+          c_.disk_promotions.inc();
+          promote_ms_.record(std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count());
+        }
+      }
       if (cache_only) {
         c_.peer_serves.inc();
       } else {
@@ -504,7 +537,9 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
       if (peer_resp && peer_resp->status == 200) {
         record_peer_success(peer_port);
         c_.sibling_hits.inc();
-        store(*id, peer_resp->body, /*replace_existing=*/true,
+        // The parsed body arrives as a shared buffer: the cache and the
+        // response reference the same bytes, no copy on either side.
+        store(*id, peer_resp->body.shared(), /*replace_existing=*/true,
               /*pushed=*/false);
         resp.body = std::move(peer_resp->body);
         resp.headers.emplace_back("X-Cache", "SIBLING");
@@ -548,27 +583,30 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
     return resp;
   }
   c_.origin_fetches.inc();
-  store(*id, origin_resp->body, /*replace_existing=*/true, /*pushed=*/false);
+  store(*id, origin_resp->body.shared(), /*replace_existing=*/true,
+        /*pushed=*/false);
   resp.body = std::move(origin_resp->body);
   resp.headers.emplace_back("X-Cache", "MISS");
   resp.headers.emplace_back("X-Served-By", cfg_.name);
   return resp;
 }
 
-void ProxyServer::store(ObjectId id, std::string body, bool replace_existing,
-                        bool pushed) {
+void ProxyServer::store(ObjectId id, cache::BodyPtr body,
+                        bool replace_existing, bool pushed) {
   store_internal(id, std::move(body), replace_existing, pushed,
                  /*advertise=*/true);
 }
 
-void ProxyServer::store_internal(ObjectId id, std::string body,
+void ProxyServer::store_internal(ObjectId id, cache::BodyPtr body,
                                  bool replace_existing, bool pushed,
                                  bool advertise) {
+  if (!body) body = std::make_shared<const std::string>();
+
   // Objects too large for any RAM shard go straight to the disk tier (an
   // insert would come back kRejected and the body would be lost).
-  if (disk_ && body.size() > cache_.max_object_bytes()) {
+  if (disk_ && body->size() > cache_.max_object_bytes()) {
     const auto t0 = std::chrono::steady_clock::now();
-    const bool ok = disk_->put(id, body);
+    const bool ok = disk_->put(id, *body);
     demote_ms_.record(std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
                           .count());
@@ -582,13 +620,13 @@ void ProxyServer::store_internal(ObjectId id, std::string body,
   // The eviction callback runs under the shard lock and may take the queue
   // lock — the one sanctioned nesting (shard before queue, never reverse).
   // With a disk tier, victims are only collected there: their bodies are
-  // demoted after the shard lock is released, so disk I/O never serializes
-  // the shard, and the invalidate/keep decision waits for the write result.
-  std::vector<std::pair<cache::LruCache::Entry, std::string>> demote;
+  // handed off after the shard lock is released, so disk I/O never
+  // serializes the shard.
+  std::vector<std::pair<cache::LruCache::Entry, cache::BodyPtr>> demote;
   const auto outcome = cache_.insert(
       id, std::move(body), /*version=*/1, pushed, replace_existing,
       [this, &demote](const cache::LruCache::Entry& victim,
-                      std::string&& victim_body) {
+                      cache::BodyPtr victim_body) {
         if (disk_) {
           demote.emplace_back(victim, std::move(victim_body));
           return;
@@ -608,9 +646,40 @@ void ProxyServer::store_internal(ObjectId id, std::string body,
 }
 
 void ProxyServer::demote_to_disk(const cache::LruCache::Entry& victim,
-                                 std::string body) {
+                                 cache::BodyPtr body) {
+  if (cfg_.disk_demote_async) {
+    // Hand the victim to the background demotion writer: the worker that
+    // triggered the eviction returns immediately instead of blocking on a
+    // disk write. The shared buffer keeps the bytes alive until the writer
+    // is done with them. The invalidate/keep decision rides the completion
+    // callback — hints stay valid only once the object really reached disk.
+    const auto t0 = std::chrono::steady_clock::now();
+    const ObjectId id = victim.id;
+    const bool queued = disk_->put_async(
+        victim.id, std::move(body), victim.version, [this, id, t0](bool ok) {
+          demote_ms_.record(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
+          if (ok) {
+            c_.disk_demotions.inc();
+            return;
+          }
+          std::lock_guard lock(queue_mu_);
+          queue_update_locked(proto::Action::kInvalidate, id, self(),
+                              MachineId{0});
+        });
+    if (!queued) {
+      // Queue full (or stopped): the demotion is shed and the object has
+      // left the node — say so now rather than after a blocking write.
+      std::lock_guard lock(queue_mu_);
+      queue_update_locked(proto::Action::kInvalidate, victim.id, self(),
+                          MachineId{0});
+    }
+    return;
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
-  const bool ok = disk_->put(victim.id, body, victim.version);
+  const bool ok = disk_->put(victim.id, *body, victim.version);
   demote_ms_.record(std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - t0)
                         .count());
@@ -716,7 +785,8 @@ HttpResponse ProxyServer::handle_push(const HttpRequest& req) {
   c_.pushes_received.inc();
   // A push never displaces an existing copy's recency semantics: if we
   // already cache the object, keep ours (replace_existing = false).
-  store(*id, req.body, /*replace_existing=*/false, /*pushed=*/true);
+  store(*id, std::make_shared<const std::string>(req.body),
+        /*replace_existing=*/false, /*pushed=*/true);
   resp.body = "ok";
   return resp;
 }
@@ -734,17 +804,21 @@ HttpResponse ProxyServer::handle_metrics(const HttpRequest& req) {
   return resp;
 }
 
-void ProxyServer::push_to_neighbors(ObjectId id, const std::string& body,
+void ProxyServer::push_to_neighbors(ObjectId id, const cache::Body& body,
                                     std::uint16_t skip_port) {
   const std::vector<std::uint16_t> neighbors = neighbor_ports();
+  if (neighbors.empty()) return;
+  // Request bodies are plain strings: materialize the pushed object once,
+  // outside the per-neighbor loop (extents pay their one pread here).
+  const std::string bytes = body.to_string();
   for (const std::uint16_t nb : neighbors) {
     if (stopping_.load()) break;
     if (nb == skip_port) continue;
     if (!peer_usable(nb)) continue;  // pushes are best-effort
     HttpRequest put;
     put.method = "PUT";
-    put.target = object_path(id, body.size());
-    put.body = body;
+    put.target = object_path(id, bytes.size());
+    put.body = bytes;
     CallOptions opts;
     opts.deadline_seconds = cfg_.metadata_deadline_seconds;
     const auto sent = http_call(pool_, nb, put, opts);

@@ -116,6 +116,13 @@ struct ProxyConfig {
   // never needs it (the page cache outlives the process); surviving power
   // loss does. Tests and benches turn it off for speed.
   bool disk_fsync = true;
+  // Demote RAM eviction victims through the disk store's background writer
+  // instead of synchronously on the evicting worker: a burst of evictions
+  // never stalls request handlers on disk I/O. Clean stop() drains the
+  // queue; a full queue sheds the demotion (counted, object forgotten).
+  bool disk_demote_async = true;
+  // Bound on the async demotion backlog (jobs, each holding one body).
+  std::size_t demote_queue_depth = 256;
   // Path of the versioned hint-cache image. When set, an existing image is
   // loaded at startup (warm hint table — a failed load logs the reason and
   // starts cold) and a fresh image is saved crash-atomically on stop().
@@ -148,6 +155,11 @@ struct ProxyConfig {
   // Inbound keep-alive connections idle longer than this are closed by the
   // reactor's sweep; <= 0 disables the sweep.
   double keepalive_idle_seconds = 30.0;
+  // RAM response bodies at least this large go out via the backend's
+  // zero-copy send (io_uring SEND_ZC) instead of being copied into the
+  // socket; disk-extent bodies always go via sendfile. 0 disables the
+  // SEND_ZC path. (See HttpLoop::Options::zero_copy_min_bytes.)
+  std::uint64_t zero_copy_min_bytes = 64ULL << 10;
   // Outbound persistent-connection pool: parked connections per peer, and
   // how long one may sit idle before it is discarded instead of reused.
   std::size_t pool_max_idle_per_peer = 4;
@@ -216,6 +228,12 @@ struct ProxyStats {
   std::uint64_t disk_misses = 0;      // RAM misses the disk couldn't cover
   std::uint64_t disk_demotions = 0;   // RAM evictions written to disk
   std::uint64_t disk_promotions = 0;  // disk hits copied back into RAM
+  std::uint64_t demote_queued = 0;    // async demotions accepted
+  std::uint64_t demote_dropped = 0;   // async demotions shed (queue full)
+
+  // Zero-copy transmission counters (reactor write path).
+  std::uint64_t zerocopy_sends = 0;  // bodies sent via sendfile / SEND_ZC
+  std::uint64_t zerocopy_bytes = 0;  // body bytes that skipped userspace
 
   // Failure-path counters.
   std::uint64_t peer_failures = 0;      // probe died (refused/reset/timeout)
@@ -333,7 +351,7 @@ class ProxyServer {
   HttpResponse handle_updates(const HttpRequest& req);
   HttpResponse handle_push(const HttpRequest& req);
   HttpResponse handle_metrics(const HttpRequest& req);
-  void push_to_neighbors(ObjectId id, const std::string& body,
+  void push_to_neighbors(ObjectId id, const cache::Body& body,
                          std::uint16_t skip_port);
 
   // Stores a fetched/pushed body in the sharded cache, queueing the inform
@@ -342,15 +360,19 @@ class ProxyServer {
   // and for the inform) the queue lock — the one sanctioned nesting. With a
   // disk tier, eviction victims are collected under the shard lock and
   // demoted after it is released — disk I/O never runs under a shard lock.
-  void store(ObjectId id, std::string body, bool replace_existing,
+  // The body is a shared buffer: storing a fetched response keeps the same
+  // bytes the response will transmit, no copy.
+  void store(ObjectId id, cache::BodyPtr body, bool replace_existing,
              bool pushed);
   // `advertise = false` suppresses the inform: promotions bring back an
   // object the node never stopped holding, so peers learned nothing new.
-  void store_internal(ObjectId id, std::string body, bool replace_existing,
+  void store_internal(ObjectId id, cache::BodyPtr body, bool replace_existing,
                       bool pushed, bool advertise);
-  // Writes the victim to the disk tier; on failure the object has left the
-  // node, so the hint invalidation is queued here.
-  void demote_to_disk(const cache::LruCache::Entry& victim, std::string body);
+  // Hands the victim to the disk tier — through the async writer when
+  // configured, else synchronously. If the demotion is shed or the write
+  // fails, the object has left the node, so the hint invalidation is queued.
+  void demote_to_disk(const cache::LruCache::Entry& victim,
+                      cache::BodyPtr body);
   void load_hint_image();
 
   // Update queue + seen-set, guarded by queue_mu_.

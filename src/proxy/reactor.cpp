@@ -3,6 +3,8 @@
 #include <errno.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/sendfile.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -123,7 +125,16 @@ int TimerWheel::next_delay_ms(Clock::time_point now) const {
 // ---------------------------------------------------------------------------
 // Reactor
 
-Reactor::Reactor(IoBackendKind kind) : backend_(make_io_backend(kind)) {}
+Reactor::Reactor(IoBackendKind kind) : backend_(make_io_backend(kind)) {
+  // The socket writes all carry MSG_NOSIGNAL, but sendfile(2) on the
+  // zero-copy extent path has no such flag: a peer that dies mid-transfer
+  // must surface as EPIPE on the call, not kill the process.
+  static const bool sigpipe_ignored = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)sigpipe_ignored;
+}
 
 Reactor::~Reactor() = default;
 
@@ -402,6 +413,9 @@ bool HttpLoop::continue_write(std::uint64_t token) {
   const auto it = conns_.find(token);
   if (it == conns_.end()) return false;
   Conn* c = it->second.get();
+  // The kernel owns the front body's bytes until the SEND_ZC completion;
+  // its callback re-enters here.
+  if (c->zc_inflight) return true;
   for (;;) {
     if (c->out.empty()) {
       c->last_activity = Clock::now();
@@ -415,28 +429,68 @@ bool HttpLoop::continue_write(std::uint64_t token) {
       }
       return true;
     }
+    {
+      PendingWrite& front = c->out.front();
+      const std::size_t fhead = front.head.size();
+      // Disk extent with its head already out: ship the bytes with
+      // sendfile(2) — file to socket, never through userspace.
+      if (front.body.is_extent() && c->front_off >= fhead) {
+        bool blocked = false;
+        if (!sendfile_front(token, c, &blocked)) return false;
+        if (blocked) {
+          if (!c->writing) {
+            c->writing = true;
+            reactor_.io().request_writable(c->reg_id);
+          }
+          return true;
+        }
+        continue;  // front advanced or fell back to RAM: reevaluate
+      }
+      // Large RAM body at the first body byte: offer it to the backend's
+      // zero-copy send (io_uring SEND_ZC). The write queue parks until the
+      // completion resumes it.
+      if (!front.body.is_extent() && c->front_off == fhead &&
+          opts_.zero_copy_min_bytes > 0 &&
+          front.body.size() >= opts_.zero_copy_min_bytes &&
+          try_send_zc(token, c)) {
+        return true;
+      }
+    }
     // One gathered write covering as many queued responses as fit: head +
     // body pairs from the front of the queue, the first adjusted by
     // front_off. Bodies are never copied into a contiguous reply buffer.
+    // Gathering stops at a "special" body (disk extent, or SEND_ZC-eligible
+    // RAM buffer on a backend that has it): its head may join this batch,
+    // but the body itself must go out via its zero-copy path when it
+    // reaches the front — and nothing may be sent past skipped bytes.
     iovec iov[kMaxWriteIov];
     std::size_t iovcnt = 0;
     std::size_t off = c->front_off;
     for (const PendingWrite& pw : c->out) {
       if (iovcnt >= kMaxWriteIov) break;
+      const bool special =
+          pw.body.is_extent() ||
+          (zc_supported_ && opts_.zero_copy_min_bytes > 0 &&
+           pw.body.size() >= opts_.zero_copy_min_bytes);
       const std::size_t head_len = pw.head.size();
       if (off < head_len) {
         iov[iovcnt].iov_base = const_cast<char*>(pw.head.data() + off);
         iov[iovcnt].iov_len = head_len - off;
         ++iovcnt;
+        if (special) break;
         if (iovcnt < kMaxWriteIov && !pw.body.empty()) {
-          iov[iovcnt].iov_base = const_cast<char*>(pw.body.data());
-          iov[iovcnt].iov_len = pw.body.size();
+          const std::string_view body = pw.body.view();
+          iov[iovcnt].iov_base = const_cast<char*>(body.data());
+          iov[iovcnt].iov_len = body.size();
           ++iovcnt;
         }
       } else {
+        // Mid-body resume. An extent front never reaches here (handled
+        // above); a partially-sent RAM body finishes by ordinary copy.
         const std::size_t boff = off - head_len;
-        iov[iovcnt].iov_base = const_cast<char*>(pw.body.data() + boff);
-        iov[iovcnt].iov_len = pw.body.size() - boff;
+        const std::string_view body = pw.body.view();
+        iov[iovcnt].iov_base = const_cast<char*>(body.data() + boff);
+        iov[iovcnt].iov_len = body.size() - boff;
         ++iovcnt;
       }
       off = 0;
@@ -450,7 +504,8 @@ bool HttpLoop::continue_write(std::uint64_t token) {
       std::size_t rem = static_cast<std::size_t>(n);
       while (rem > 0) {
         PendingWrite& front = c->out.front();
-        const std::size_t total = front.head.size() + front.body.size();
+        const std::size_t total =
+            front.head.size() + static_cast<std::size_t>(front.body.size());
         const std::size_t step = std::min(rem, total - c->front_off);
         c->front_off += step;
         rem -= step;
@@ -479,6 +534,106 @@ bool HttpLoop::continue_write(std::uint64_t token) {
     close_conn(token);
     return false;
   }
+}
+
+bool HttpLoop::sendfile_front(std::uint64_t token, Conn* c, bool* blocked) {
+  *blocked = false;
+  PendingWrite& front = c->out.front();
+  const std::size_t head_len = front.head.size();
+  const std::uint64_t body_len = front.body.size();
+  for (;;) {
+    const std::uint64_t boff = c->front_off - head_len;
+    const std::uint64_t rem = body_len - boff;
+    if (rem == 0) break;
+    // sendfile advances its own offset cursor; front_off mirrors it so a
+    // partial send resumes exactly where the socket stalled.
+    off_t file_off = static_cast<off_t>(front.body.offset() + boff);
+    const ssize_t n = ::sendfile(c->fd, front.body.fd(), &file_off,
+                                 static_cast<size_t>(rem));
+    if (n > 0) {
+      c->front_off += static_cast<std::size_t>(n);
+      c->last_activity = Clock::now();
+      zerocopy_bytes_.fetch_add(static_cast<std::uint64_t>(n),
+                                std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      *blocked = true;
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EINVAL || errno == ENOSYS)) {
+      // Kernel/filesystem cannot sendfile this pairing: materialize the
+      // body and let the ordinary copy path finish the transfer.
+      std::string bytes;
+      if (!front.body.append_to(bytes)) {
+        close_conn(token);
+        return false;
+      }
+      front.body = cache::Body(std::move(bytes));
+      return true;
+    }
+    // Peer reset, I/O error, or the file shrank under the envelope (n == 0
+    // before the extent was exhausted): the response can't complete.
+    close_conn(token);
+    return false;
+  }
+  zerocopy_sends_.fetch_add(1, std::memory_order_relaxed);
+  const bool close_now = front.close_after;
+  c->out.pop_front();
+  c->front_off = 0;
+  if (close_now) {
+    close_conn(token);
+    return false;
+  }
+  return true;
+}
+
+bool HttpLoop::try_send_zc(std::uint64_t token, Conn* c) {
+  if (!zc_supported_) return false;
+  PendingWrite& front = c->out.front();
+  const cache::BodyPtr& buf = front.body.shared();
+  if (!buf || buf->empty()) return false;
+  const bool taken = reactor_.io().send_zc(
+      c->reg_id, buf->data(), buf->size(), buf,
+      [this, token](ssize_t n) { on_zc_done(token, n); });
+  if (!taken) {
+    zc_supported_ = false;
+    return false;
+  }
+  c->zc_inflight = true;
+  return true;
+}
+
+void HttpLoop::on_zc_done(std::uint64_t token, ssize_t n) {
+  const auto it = conns_.find(token);
+  if (it == conns_.end()) return;
+  Conn* c = it->second.get();
+  c->zc_inflight = false;
+  if (n < 0) {
+    close_conn(token);
+    return;
+  }
+  c->last_activity = Clock::now();
+  zerocopy_sends_.fetch_add(1, std::memory_order_relaxed);
+  zerocopy_bytes_.fetch_add(static_cast<std::uint64_t>(n),
+                            std::memory_order_relaxed);
+  PendingWrite& front = c->out.front();
+  const std::size_t total =
+      front.head.size() + static_cast<std::size_t>(front.body.size());
+  c->front_off += static_cast<std::size_t>(n);
+  if (c->front_off == total) {
+    const bool close_now = front.close_after;
+    c->out.pop_front();
+    c->front_off = 0;
+    if (close_now) {
+      close_conn(token);
+      return;
+    }
+  }
+  // Short zero-copy send: the remainder (and everything queued behind it)
+  // continues through the ordinary write path.
+  continue_write(token);
 }
 
 void HttpLoop::close_conn(std::uint64_t token) {

@@ -166,6 +166,11 @@ class HttpLoop {
     // on one connection. Further pipelined bytes stay in the buffer until
     // responses drain.
     std::size_t max_pipeline = 16;
+    // RAM bodies at least this large go out via the backend's zero-copy
+    // send (io_uring SEND_ZC) when it has one; smaller bodies aren't worth
+    // the two-completion round trip. Extent (disk) bodies always use
+    // sendfile regardless of size. 0 disables zero-copy RAM sends.
+    std::uint64_t zero_copy_min_bytes = 64ULL << 10;
   };
 
   // `dispatch` runs on the loop thread with each complete request; it must
@@ -198,11 +203,24 @@ class HttpLoop {
     return open_conns_.load(std::memory_order_relaxed);
   }
 
+  // Zero-copy transmission counters (`bh.proxy.zerocopy_sends` /
+  // `bh.proxy.bytes_zerocopy`): bodies that left via sendfile(2) or
+  // SEND_ZC, i.e. without a userspace copy into the socket.
+  std::uint64_t zerocopy_sends() const {
+    return zerocopy_sends_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t zerocopy_bytes() const {
+    return zerocopy_bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
-  // One serialized response waiting to be written.
+  // One response waiting to be written: serialized head + the body handle.
+  // A RAM body rides as the cache's shared buffer (no copy was made to get
+  // here); an extent body is {fd, offset, len} that sendfile ships straight
+  // from the page cache.
   struct PendingWrite {
     std::string head;
-    std::string body;
+    cache::Body body;
     bool close_after = false;  // close the connection once this is written
   };
 
@@ -228,6 +246,9 @@ class HttpLoop {
     std::size_t front_off = 0;
     bool writing = false;  // writability notification armed after EAGAIN
     bool in_pump = false;  // defer write kicks so one flush covers the batch
+    // A SEND_ZC is in flight: the write queue must not advance (the kernel
+    // owns the front body's bytes) until its completion re-enters the pump.
+    bool zc_inflight = false;
     std::chrono::steady_clock::time_point last_activity;
 
     explicit Conn(HttpParser::Limits limits)
@@ -261,6 +282,16 @@ class HttpLoop {
   void place_response(std::uint64_t conn_token, std::uint64_t seq,
                       PendingWrite pw);
   bool continue_write(std::uint64_t token);  // false once the conn is gone
+  // Transmits the front entry's extent body via sendfile(2). Returns the
+  // continue_write outcome contract: advanced/EAGAIN → true, conn gone →
+  // false; sets *blocked when the socket is full.
+  bool sendfile_front(std::uint64_t token, Conn* c, bool* blocked);
+  // Tries to hand the front entry's RAM body to the backend's zero-copy
+  // send; true when the backend took it (write queue parks until the
+  // completion callback).
+  bool try_send_zc(std::uint64_t token, Conn* c);
+  // SEND_ZC result completion: advances the write queue and resumes it.
+  void on_zc_done(std::uint64_t token, ssize_t n);
   void close_conn(std::uint64_t token);
   void sweep_idle();
   void schedule_sweep();
@@ -277,6 +308,11 @@ class HttpLoop {
   std::uint64_t next_token_ = 1;      // connection tokens
   std::uint64_t next_req_token_ = 1;  // request tokens (dispatch/respond)
   std::atomic<std::size_t> open_conns_{0};
+  std::atomic<std::uint64_t> zerocopy_sends_{0};
+  std::atomic<std::uint64_t> zerocopy_bytes_{0};
+  // Cleared the first time the backend declines send_zc (epoll always
+  // does); from then on large RAM bodies gather into sendmsg like any other.
+  bool zc_supported_ = true;
   bool shut_down_ = false;
 };
 

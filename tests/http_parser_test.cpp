@@ -238,7 +238,7 @@ TEST(HttpParserTest, SerializeHeadSuppliesContentLength) {
   // The head alone plus the body round-trips through the parser.
   HttpParser p(HttpParser::Kind::kResponse);
   p.feed(head);
-  p.feed(resp.body);
+  p.feed(resp.body.str());
   ASSERT_TRUE(p.complete());
   EXPECT_EQ(p.response().body, "12345");
 }

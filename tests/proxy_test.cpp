@@ -120,7 +120,7 @@ FetchResult fetch(std::uint16_t proxy_port, ObjectId id, std::size_t size) {
   if (!resp) return r;
   r.status = resp->status;
   if (auto c = resp->header("X-Cache")) r.cache = std::string(*c);
-  r.body = std::move(resp->body);
+  r.body = resp->body.to_string();
   return r;
 }
 
@@ -312,6 +312,7 @@ TEST(ProxyDiskTierTest, DemotesEvictionsAndServesFromDisk) {
   const ObjectId first{31}, second{32};
   EXPECT_EQ(fetch(proxy.port(), first, 300).cache, "MISS");
   EXPECT_EQ(fetch(proxy.port(), second, 300).cache, "MISS");  // evicts `first`
+  proxy.disk()->drain_async();  // demotion is asynchronous; settle it
   EXPECT_EQ(proxy.stats().disk_demotions, 1u);
   EXPECT_EQ(proxy.disk()->object_count(), 1u);
 
@@ -327,6 +328,7 @@ TEST(ProxyDiskTierTest, DemotesEvictionsAndServesFromDisk) {
   // The promotion re-inserted `first` into RAM (demoting `second`), so the
   // next fetch is a plain RAM hit and the disk now holds both.
   EXPECT_EQ(fetch(proxy.port(), first, 300).cache, "HIT");
+  proxy.disk()->drain_async();
   EXPECT_EQ(proxy.disk()->object_count(), 2u);
 
   // Invalidation clears both tiers.
@@ -349,6 +351,7 @@ TEST(ProxyDiskTierTest, DiskTierSurvivesRestart) {
     for (std::uint64_t k = 41; k <= 43; ++k) {
       EXPECT_EQ(fetch(proxy.port(), ObjectId{k}, 300).cache, "MISS");
     }
+    proxy.disk()->drain_async();  // demotion is asynchronous; settle it
     EXPECT_EQ(proxy.stats().disk_demotions, 2u);
   }
   ASSERT_EQ(origin.requests_served(), 3u);
@@ -1013,16 +1016,16 @@ TEST(ProxyMetricsTest, TextScrapeCarriesEveryProxyCounter) {
         "pushes_received", "push_bytes_sent", "peer_failures",
         "origin_failures", "quarantines", "quarantine_skips", "reprobes",
         "metadata_retries", "updates_deduped", "updates_hop_capped"}) {
-    EXPECT_NE(resp->body.find(std::string("bh_proxy_") + name),
+    EXPECT_NE(resp->body.str().find(std::string("bh_proxy_") + name),
               std::string::npos)
         << "missing counter: " << name;
   }
-  EXPECT_NE(resp->body.find("bh_proxy_requests 2"), std::string::npos);
-  EXPECT_NE(resp->body.find("bh_proxy_local_hits 1"), std::string::npos);
-  EXPECT_NE(resp->body.find("bh_proxy_origin_fetches 1"), std::string::npos);
+  EXPECT_NE(resp->body.str().find("bh_proxy_requests 2"), std::string::npos);
+  EXPECT_NE(resp->body.str().find("bh_proxy_local_hits 1"), std::string::npos);
+  EXPECT_NE(resp->body.str().find("bh_proxy_origin_fetches 1"), std::string::npos);
   // Scrape-time gauges and the latency summary ride along.
-  EXPECT_NE(resp->body.find("bh_proxy_cache_objects 1"), std::string::npos);
-  EXPECT_NE(resp->body.find("bh_proxy_request_ms_count 2"), std::string::npos);
+  EXPECT_NE(resp->body.str().find("bh_proxy_cache_objects 1"), std::string::npos);
+  EXPECT_NE(resp->body.str().find("bh_proxy_request_ms_count 2"), std::string::npos);
 }
 
 TEST(ProxyMetricsTest, JsonScrapeParsesAndMatchesStats) {
@@ -1040,7 +1043,7 @@ TEST(ProxyMetricsTest, JsonScrapeParsesAndMatchesStats) {
   ASSERT_TRUE(resp.has_value());
   EXPECT_EQ(resp->status, 200);
   EXPECT_EQ(resp->header("Content-Type").value_or(""), "application/json");
-  const auto snap = obs::parse_snapshot(resp->body);
+  const auto snap = obs::parse_snapshot(resp->body.str());
   ASSERT_TRUE(snap.has_value());
 
   const ProxyStats s = proxy.stats();
@@ -1074,14 +1077,14 @@ TEST(ProxyMetricsTest, ConcurrentScrapesDuringTraffic) {
       auto r = scrape(proxy.port());
       ASSERT_TRUE(r.has_value());
       EXPECT_EQ(r->status, 200);
-      EXPECT_NE(r->body.find("bh_proxy_requests"), std::string::npos);
+      EXPECT_NE(r->body.str().find("bh_proxy_requests"), std::string::npos);
     }
   });
   std::thread json_scraper([&] {
     for (int i = 0; i < 20; ++i) {
       auto r = scrape(proxy.port(), "/metrics?format=json");
       ASSERT_TRUE(r.has_value());
-      ASSERT_TRUE(obs::parse_snapshot(r->body).has_value());
+      ASSERT_TRUE(obs::parse_snapshot(r->body.str()).has_value());
     }
   });
   traffic.join();
@@ -1090,7 +1093,7 @@ TEST(ProxyMetricsTest, ConcurrentScrapesDuringTraffic) {
 
   auto final_scrape = scrape(proxy.port(), "/metrics?format=json");
   ASSERT_TRUE(final_scrape.has_value());
-  const auto snap = obs::parse_snapshot(final_scrape->body);
+  const auto snap = obs::parse_snapshot(final_scrape->body.str());
   ASSERT_TRUE(snap.has_value());
   EXPECT_EQ(snap->counter("bh.proxy.requests"), std::uint64_t(kFetches));
   EXPECT_EQ(snap->counter("bh.proxy.origin_fetches"),
@@ -1140,7 +1143,7 @@ TEST(ProxyKeepAliveTest, ReactorAndPoolMetricsExported) {
 
   auto resp = scrape(proxy.port(), "/metrics?format=json");
   ASSERT_TRUE(resp.has_value());
-  const auto snap = obs::parse_snapshot(resp->body);
+  const auto snap = obs::parse_snapshot(resp->body.str());
   ASSERT_TRUE(snap.has_value());
   EXPECT_GE(snap->counter("bh.proxy.loop_iterations"), 1u);
   EXPECT_GE(snap->counter("bh.proxy.pool_reuse"), 1u);
@@ -1154,7 +1157,7 @@ TEST(ProxyKeepAliveTest, ReactorAndPoolMetricsExported) {
        {"bh_proxy_open_conns", "bh_proxy_pool_reuse",
         "bh_proxy_loop_iterations", "bh_proxy_queue_depth",
         "bh_proxy_pool_idle"}) {
-    EXPECT_NE(text->body.find(name), std::string::npos)
+    EXPECT_NE(text->body.str().find(name), std::string::npos)
         << "missing metric: " << name;
   }
 }

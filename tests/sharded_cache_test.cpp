@@ -38,10 +38,10 @@ TEST(ShardedLruCacheTest, SingleShardMatchesPlainLruOnSameTrace) {
       case 0:
       case 1:
         sharded.insert(id, body_of(id.value, size), 1, false, true,
-                       [&](const LruCache::Entry& e, std::string&& body) {
+                       [&](const LruCache::Entry& e, BodyPtr body) {
                          // The victim's body is handed over intact.
-                         ASSERT_EQ(body.size(), e.size);
-                         ASSERT_EQ(body[0],
+                         ASSERT_EQ(body->size(), e.size);
+                         ASSERT_EQ((*body)[0],
                                    static_cast<char>('a' + e.id.value % 26));
                          sharded_evicted.push_back(e.id.value);
                        });
@@ -51,7 +51,7 @@ TEST(ShardedLruCacheTest, SingleShardMatchesPlainLruOnSameTrace) {
         break;
       case 2: {
         const auto body = sharded.find(id);
-        ASSERT_EQ(body.has_value(), plain.find(id) != nullptr);
+        ASSERT_EQ(body != nullptr, plain.find(id) != nullptr);
         if (body) {
           ASSERT_EQ((*body)[0], static_cast<char>('a' + id.value % 26));
         }
@@ -133,7 +133,7 @@ TEST(ShardedLruCacheTest, ConcurrentHammerKeepsAccountingConsistent) {
           case 1:
           case 2:
             c.insert(id, body_of(id.value, 64 + rng.next_below(256)), 1, false,
-                     true, [&evictions](const LruCache::Entry&, std::string&&) {
+                     true, [&evictions](const LruCache::Entry&, BodyPtr) {
                        evictions.fetch_add(1, std::memory_order_relaxed);
                      });
             break;
@@ -197,8 +197,8 @@ TEST(ShardedLruCacheTest, ReentrantDemotionHammerKeepsInvariants) {
         const ObjectId id{rng.next_below(8192) + 1};
         primary.insert(
             id, body_of(id.value, 64 + rng.next_below(256)), 1, false, true,
-            [&](const LruCache::Entry& e, std::string&& body) {
-              ASSERT_EQ(body.size(), e.size);
+            [&](const LruCache::Entry& e, BodyPtr body) {
+              ASSERT_EQ(body->size(), e.size);
               demoted.fetch_add(1, std::memory_order_relaxed);
               // Re-entering another sharded cache under our shard lock is
               // the demotion pattern; ids are disjoint from the primary's
