@@ -99,17 +99,41 @@ int main(int argc, char** argv) {
     }
     // A single-core run makes every concurrency ratio in the file
     // meaningless (the sharded-vs-mutex speedups collapse to lock overhead,
-    // keep-alive gains invert). The numbers still record, but nobody should
-    // read them as representative — shout, don't fail.
-    if (const auto it = snap->gauges.find("bh.loadgen.cores");
-        it != snap->gauges.end() && it->second == 1.0) {
+    // keep-alive gains invert), and the scenario lab's latency SLOs demote
+    // to warnings. Writers stamp bh.loadgen.single_core explicitly so this
+    // is machine-readable; bh.loadgen.cores == 1 is the legacy spelling.
+    // The numbers still record, but nobody should read them as
+    // representative — shout, don't fail.
+    const auto single = snap->gauges.find("bh.loadgen.single_core");
+    const auto cores = snap->gauges.find("bh.loadgen.cores");
+    const bool single_core =
+        (single != snap->gauges.end() && single->second != 0.0) ||
+        (single == snap->gauges.end() && cores != snap->gauges.end() &&
+         cores->second == 1.0);
+    if (single_core) {
       std::fprintf(stderr,
                    "========================================================\n"
                    "WARNING: %s: suite \"%s\" was generated on a SINGLE core\n"
-                   "(bh.loadgen.cores == 1). Every concurrency speedup and\n"
-                   "throughput ratio in this suite is unrepresentative.\n"
+                   "(bh.loadgen.single_core). Concurrency speedups and\n"
+                   "throughput ratios are unrepresentative, and latency SLO\n"
+                   "checks in scenario suites ran in warn-only mode.\n"
                    "========================================================\n",
                    path.c_str(), name.c_str());
+    }
+    // Scenario suites carry their SLO verdicts as counters. A hard failure
+    // recorded in the file fails the check — the scenario runner already
+    // exited nonzero, but a stale or hand-edited file must not pass CI.
+    for (const auto& [cname, value] : snap->counters) {
+      const std::string hard_suffix = ".slo_hard_failures";
+      if (cname.size() > hard_suffix.size() &&
+          cname.compare(cname.size() - hard_suffix.size(), hard_suffix.size(),
+                        hard_suffix) == 0 &&
+          value > 0) {
+        std::fprintf(stderr, "%s: suite \"%s\": %s = %llu (hard SLO failure)\n",
+                     path.c_str(), name.c_str(), cname.c_str(),
+                     static_cast<unsigned long long>(value));
+        return 1;
+      }
     }
     const auto [begin, end] = metric_reqs.equal_range(name);
     for (auto it = begin; it != end; ++it) {

@@ -62,8 +62,10 @@
 #include "cache/sharded_lru.h"
 #include "common/rng.h"
 #include "hints/hint_cache.h"
+#include "lab/openloop.h"
 #include "obs/bench_store.h"
 #include "obs/export.h"
+#include "obs/machine.h"
 #include "obs/metrics.h"
 #include "proxy/http.h"
 #include "proxy/io_backend.h"
@@ -82,47 +84,6 @@ constexpr std::size_t kBodyBytes = 256;
 
 std::string body_of(std::uint64_t id) {
   return std::string(kBodyBytes, static_cast<char>('a' + id % 26));
-}
-
-// First "model name" line from /proc/cpuinfo, squeezed into a metric-name
-// suffix (alnum plus [._-]; everything else becomes '_'). "unknown" when
-// the file is absent (non-Linux or sandboxed).
-std::string cpu_model_slug() {
-  std::string model = "unknown";
-  if (std::FILE* f = std::fopen("/proc/cpuinfo", "r")) {
-    char line[512];
-    while (std::fgets(line, sizeof line, f)) {
-      const std::string s(line);
-      if (s.rfind("model name", 0) != 0) continue;
-      const std::size_t colon = s.find(':');
-      if (colon == std::string::npos) break;
-      std::size_t from = colon + 1;
-      while (from < s.size() && s[from] == ' ') ++from;
-      model = s.substr(from);
-      break;
-    }
-    std::fclose(f);
-  }
-  while (!model.empty() && (model.back() == '\n' || model.back() == ' ')) {
-    model.pop_back();
-  }
-  if (model.empty()) model = "unknown";
-  for (char& c : model) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_';
-    if (!ok) c = '_';
-  }
-  return model;
-}
-
-// Machine shape stamped into every loadgen suite: the core count that all
-// concurrency ratios are relative to, and the CPU model encoded into the
-// metric name (value 1.0) so runs from different machines never silently
-// average in the perf history.
-void record_machine_shape(obs::MetricsRegistry& reg) {
-  const unsigned cores = std::thread::hardware_concurrency();
-  reg.gauge("bh.loadgen.cores").set(static_cast<double>(cores));
-  reg.gauge("bh.loadgen.cpu_model." + cpu_model_slug()).set(1.0);
 }
 
 // The in-memory portion of a proxy GET/PUT against the old global-mutex
@@ -331,9 +292,39 @@ double median_of_three(Fn&& fn) {
   return trials[1];
 }
 
+// Open-loop latency pass (lab/openloop.h): a fixed intended-arrival schedule
+// drives one keep-alive connection per client, and latency is charged from
+// the *scheduled* send time over the full intended population — the closed
+// loops above measure throughput but coordinate-omit queueing delay.
+lab::OpenLoopResult run_open_loop_keepalive(
+    std::uint16_t port, const lab::OpenLoopOptions& opts,
+    const std::function<proxy::HttpRequest(std::uint64_t seq)>& make_req) {
+  std::vector<std::optional<proxy::ClientConnection>> conns(
+      static_cast<std::size_t>(opts.clients));
+  return lab::run_open_loop(opts, [&](int client, std::uint64_t seq) {
+    auto& conn = conns[static_cast<std::size_t>(client)];
+    if (!conn) {
+      conn = proxy::ClientConnection::open(port, 2.0);
+      if (!conn) return false;
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    const auto resp = conn->exchange(make_req(seq), deadline,
+                                     /*keep_alive=*/true);
+    if (!resp || resp->status != 200) {
+      conn.reset();
+      return false;
+    }
+    if (!conn->reusable()) conn.reset();
+    return true;
+  });
+}
+
 struct NetResult {
   double per_req = 0.0;
   double keepalive = 0.0;
+  lab::OpenLoopOptions open_opts;
+  lab::OpenLoopResult open_loop;
 };
 
 // One full per-request/keep-alive comparison against a proxy+origin pair
@@ -366,6 +357,16 @@ std::optional<NetResult> run_net_for_backend(proxy::IoBackendKind kind,
   r.keepalive = median_of_three([&] {
     return run_keepalive(proxy_server.port(), clients, ops);
   });
+
+  // CO-safe percentile pass at ~25% of the measured keep-alive capacity, so
+  // the percentiles report service latency rather than saturation.
+  r.open_opts.clients = clients;
+  r.open_opts.rate_per_client =
+      std::clamp(0.25 * r.keepalive / clients, 50.0, 2000.0);
+  r.open_opts.duration_seconds = 1.0;
+  r.open_loop = run_open_loop_keepalive(
+      proxy_server.port(), r.open_opts,
+      [](std::uint64_t) { return net_request(); });
   return r;
 }
 
@@ -388,7 +389,7 @@ int run_net_mode(const std::string& json_path, int clients, std::uint64_t ops,
               "keepalive r/s", "speedup");
 
   obs::MetricsRegistry reg;
-  record_machine_shape(reg);
+  obs::record_machine_shape(reg);
   reg.gauge("bh.loadgen_net.clients").set(static_cast<double>(clients));
   reg.gauge("bh.loadgen_net.requests_per_client")
       .set(static_cast<double>(ops));
@@ -405,6 +406,14 @@ int run_net_mode(const std::string& json_path, int clients, std::uint64_t ops,
     reg.gauge(prefix + ".per_request.requests_per_sec").set(r->per_req);
     reg.gauge(prefix + ".keepalive.requests_per_sec").set(r->keepalive);
     reg.gauge(prefix + ".speedup").set(r->keepalive / r->per_req);
+    lab::record_open_loop(reg, prefix, r->open_opts, r->open_loop);
+    std::printf("%10s open-loop @ %.0f req/s: p50 %.3f ms  p99 %.3f ms  "
+                "(%llu requests, %llu failures)\n",
+                name.c_str(),
+                r->open_opts.rate_per_client * r->open_opts.clients,
+                r->open_loop.p50_ms(), r->open_loop.p99_ms(),
+                static_cast<unsigned long long>(r->open_loop.scheduled),
+                static_cast<unsigned long long>(r->open_loop.failures));
   }
 
   // Unprefixed keys track what a default (`auto`) deployment gets — the
@@ -417,6 +426,10 @@ int run_net_mode(const std::string& json_path, int clients, std::uint64_t ops,
       .set(preferred.keepalive);
   const double speedup = preferred.keepalive / preferred.per_req;
   reg.gauge("bh.loadgen_net.speedup").set(speedup);
+  // Unprefixed open-loop percentiles: what the preferred backend delivers.
+  // bh.loadgen_net.p50_ms / p99_ms are required keys in CI smoke runs.
+  lab::record_open_loop(reg, "bh.loadgen_net", preferred.open_opts,
+                        preferred.open_loop);
 
   if (results.count("epoll") && results.count("io_uring")) {
     const double vs = results["io_uring"].keepalive / results["epoll"].keepalive;
@@ -526,7 +539,7 @@ int run_restart_mode(const std::string& json_path) {
               cold_hit_ratio);
 
   obs::MetricsRegistry reg;
-  record_machine_shape(reg);
+  obs::record_machine_shape(reg);
   reg.gauge("bh.restart.working_set").set(static_cast<double>(kRestartObjects));
   reg.gauge("bh.restart.object_bytes")
       .set(static_cast<double>(kRestartObjBytes));
@@ -611,7 +624,7 @@ double sweep_large(std::uint16_t port, std::uint64_t id_base, std::size_t size,
 
 int run_large_mode(const std::string& json_path) {
   obs::MetricsRegistry reg;
-  record_machine_shape(reg);
+  obs::record_machine_shape(reg);
 
   // RAM tier: budget holds every object with room to spare (64 MB over 8
   // shards puts max_object_bytes at 8 MB, above the largest body).
@@ -674,6 +687,41 @@ int run_large_mode(const std::string& json_path) {
   const double disk_agg = disk_bytes_mb / disk_seconds;
   reg.gauge("bh.large.ram_mb_per_s").set(ram_agg);
   reg.gauge("bh.large.disk_mb_per_s").set(disk_agg);
+
+  // CO-safe percentile pass per tier over the warm 256 KB set, paced at
+  // ~25% of the tier's measured throughput (bh.large.{ram,disk}.p{50,99}_ms).
+  const double body_mb =
+      static_cast<double>(kLargeSizes[0]) / (1024.0 * 1024.0);
+  struct TierPass {
+    const char* tier;
+    std::uint16_t port;
+    double mb_per_s;
+  };
+  const TierPass tiers[] = {{"ram", ram_proxy.port(), ram_agg},
+                            {"disk", disk_proxy.port(), disk_agg}};
+  for (const auto& [tier, port, mb_per_s] : tiers) {
+    lab::OpenLoopOptions ol;
+    ol.clients = 2;
+    ol.rate_per_client =
+        std::clamp(0.25 * mb_per_s / body_mb / ol.clients, 5.0, 100.0);
+    ol.duration_seconds = 1.0;
+    ol.failure_penalty_ms = 2000.0;
+    const auto olr =
+        run_open_loop_keepalive(port, ol, [](std::uint64_t seq) {
+          proxy::HttpRequest req;
+          req.method = "GET";
+          req.target = proxy::object_path(
+              ObjectId{1 + seq % kLargeObjectsPerSize}, kLargeSizes[0]);
+          return req;
+        });
+    lab::record_open_loop(reg, std::string("bh.large.") + tier, ol, olr);
+    std::printf("%6s tier open-loop @ %.0f req/s: p50 %.3f ms  "
+                "p99 %.3f ms (%llu requests, %llu failures)\n",
+                tier, ol.rate_per_client * ol.clients, olr.p50_ms(),
+                olr.p99_ms(),
+                static_cast<unsigned long long>(olr.scheduled),
+                static_cast<unsigned long long>(olr.failures));
+  }
   reg.gauge("bh.large.object_count")
       .set(static_cast<double>(kLargeObjectsPerSize) *
            (sizeof kLargeSizes / sizeof kLargeSizes[0]));
@@ -758,7 +806,7 @@ int main(int argc, char** argv) {
   }
 
   obs::MetricsRegistry reg;
-  record_machine_shape(reg);
+  obs::record_machine_shape(reg);
   const unsigned cores = std::thread::hardware_concurrency();
   reg.gauge("bh.loadgen.ops_per_thread")
       .set(static_cast<double>(ops_per_thread));

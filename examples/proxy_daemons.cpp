@@ -1,7 +1,7 @@
 // Example: a live cooperative-cache deployment — one simulated origin server
-// and four hint-exchanging proxy daemons, all real processes' worth of TCP
-// on loopback (the library's analogue of the paper's modified-Squid
-// prototype).
+// and N hint-exchanging proxy daemons (default 4, --daemons=N scales the
+// ring to 100+), all real processes' worth of TCP on loopback (the
+// library's analogue of the paper's modified-Squid prototype).
 //
 // Demonstrates: demand misses filling caches, hint batches propagating over
 // the wire — around a *cyclic* neighbour ring, which the hop-bounded,
@@ -19,6 +19,7 @@
 
 #include "common/rng.h"
 #include "common/zipf.h"
+#include "lab/cluster.h"
 #include "proxy/io_backend.h"
 #include "proxy/origin_server.h"
 #include "proxy/proxy_server.h"
@@ -60,6 +61,7 @@ int main(int argc, char** argv) {
   // just reports whether this kernel can run the io_uring backend.
   std::size_t shards = 8;
   std::size_t workers = 8;
+  std::size_t daemons = 4;
   int backlog = 0;
   std::string persist_dir;
   proxy::IoBackendKind io_backend = proxy::IoBackendKind::kAuto;
@@ -67,6 +69,12 @@ int main(int argc, char** argv) {
     const std::string a = argv[i];
     if (a.rfind("--shards=", 0) == 0) {
       shards = std::strtoull(a.c_str() + 9, nullptr, 10);
+    } else if (a.rfind("--daemons=", 0) == 0) {
+      daemons = std::strtoull(a.c_str() + 10, nullptr, 10);
+      if (daemons < 2) {
+        std::fprintf(stderr, "--daemons must be >= 2\n");
+        return 1;
+      }
     } else if (a.rfind("--persist=", 0) == 0) {
       persist_dir = a.substr(10);
     } else if (a.rfind("--workers=", 0) == 0) {
@@ -91,9 +99,9 @@ int main(int argc, char** argv) {
       return 2;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--shards=N] [--workers=N] [--backlog=N] "
-                   "[--io-backend=auto|epoll|io_uring] [--persist=DIR] "
-                   "[--probe-io-uring]\n",
+                   "usage: %s [--daemons=N] [--shards=N] [--workers=N] "
+                   "[--backlog=N] [--io-backend=auto|epoll|io_uring] "
+                   "[--persist=DIR] [--probe-io-uring]\n",
                    argv[0]);
       return 1;
     }
@@ -109,13 +117,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Every daemon holds listener + worker + peer sockets; at 100+ daemons
+  // the default 1024-descriptor rlimit is the first thing that breaks, and
+  // it breaks as a hang (accept/connect stalls), not an error. Probe and
+  // raise it up front, and shrink the per-daemon worker pool at scale so
+  // the example does not spawn 800 threads.
+  lab::raise_nofile_limit(daemons * lab::kFdsPerDaemon + 256);
+  if (daemons > 16 && workers == 8) workers = 2;
+
   proxy::OriginServer origin(io_backend);
 
   // A ring topology: each proxy exchanges hints with its successor. The
   // graph is cyclic — exactly the shape that used to circulate updates
   // forever; the seen-set and hop bound keep it quiescent now.
   std::vector<std::unique_ptr<proxy::ProxyServer>> proxies;
-  for (int i = 0; i < 4; ++i) {
+  for (std::size_t i = 0; i < daemons; ++i) {
     proxy::ProxyConfig cfg;
     cfg.name = "proxy-" + std::to_string(i);
     cfg.origin_port = origin.port();
@@ -144,11 +160,20 @@ int main(int argc, char** argv) {
       cfg.hint_image_path = home + "/hints.img";
       cfg.hint_image_save_seconds = 5.0;
     }
-    proxies.push_back(std::make_unique<proxy::ProxyServer>(cfg));
+    // Each daemon binds an ephemeral loopback port. A bind failure at scale
+    // (descriptor or port exhaustion) must be a loud, attributed error, not
+    // a hang several daemons later.
+    try {
+      proxies.push_back(std::make_unique<proxy::ProxyServer>(cfg));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "proxy-%zu failed to start after %zu daemon(s): %s\n", i,
+                   proxies.size(), e.what());
+      return 1;
+    }
   }
-  for (int i = 0; i < 4; ++i) {
-    proxies[std::size_t(i)]->add_hint_neighbor(
-        proxies[std::size_t((i + 1) % 4)]->port());
+  for (std::size_t i = 0; i < daemons; ++i) {
+    proxies[i]->add_hint_neighbor(proxies[(i + 1) % daemons]->port());
   }
 
   if (!persist_dir.empty()) {
@@ -165,9 +190,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("origin on 127.0.0.1:%u; proxies (hint ring, %s I/O) on",
-              origin.port(), proxies[0]->backend_name());
-  for (const auto& p : proxies) std::printf(" %u", p->port());
+  std::printf("origin on 127.0.0.1:%u; %zu proxies (hint ring, %s I/O) on",
+              origin.port(), proxies.size(), proxies[0]->backend_name());
+  for (std::size_t i = 0; i < proxies.size() && i < 16; ++i) {
+    std::printf(" %u", proxies[i]->port());
+  }
+  if (proxies.size() > 16) std::printf(" ... (+%zu more)", proxies.size() - 16);
   std::printf("\n\n");
 
   // Drive a Zipf workload through random proxies, flushing hint batches
@@ -232,20 +260,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Outage: proxy-3 dies mid-run. Its neighbours' hinted probes fail within
-  // the 0.25 s per-call deadline (never the generic socket timeout), two
-  // consecutive failures quarantine it, and from then on requests hinted at
-  // the corpse degrade straight to the origin.
-  proxies[3]->stop();
-  std::printf("\nproxy-3 killed; serving 200 more requests through 0..2\n\n");
+  // Outage: the last daemon dies mid-run. Its neighbours' hinted probes
+  // fail within the 0.25 s per-call deadline (never the generic socket
+  // timeout), two consecutive failures quarantine it, and from then on
+  // requests hinted at the corpse degrade straight to the origin.
+  const std::size_t victim = daemons - 1;
+  proxies[victim]->stop();
+  std::printf("\nproxy-%zu killed; serving 200 more requests through the "
+              "survivors\n\n",
+              victim);
   for (int burst = 0; burst < 10; ++burst) {
-    drive_burst(20, 3);
-    for (auto& p : proxies) {
-      if (p != proxies[3]) p->flush_hints();
+    drive_burst(20, victim);
+    for (std::size_t i = 0; i < proxies.size(); ++i) {
+      if (i != victim) proxies[i]->flush_hints();
     }
   }
 
-  std::printf("-- degraded cluster (proxy-3 dead) --\n");
+  std::printf("-- degraded cluster (proxy-%zu dead) --\n", victim);
   print_stats(proxies);
 
   std::uint64_t origin_total = 0, quarantines = 0;

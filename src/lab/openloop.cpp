@@ -1,0 +1,101 @@
+#include "lab/openloop.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace bh::lab {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// The intended arrival offsets (seconds from the timeline origin) for one
+// client. With a profile the instantaneous rate is rate * profile(t), so
+// inter-arrival gaps stretch and shrink along the timeline — computed by
+// stepping the arrival process, not by thinning, so the intended population
+// is deterministic for a given options struct.
+std::vector<double> arrival_offsets(const OpenLoopOptions& opts) {
+  std::vector<double> offsets;
+  const double rate = std::max(opts.rate_per_client, 1e-6);
+  offsets.reserve(
+      static_cast<std::size_t>(rate * opts.duration_seconds * 2.0) + 1);
+  double t = 0.0;
+  while (t < opts.duration_seconds) {
+    offsets.push_back(t);
+    const double mult = opts.rate_profile
+                            ? std::max(opts.rate_profile(t), 1e-3)
+                            : 1.0;
+    t += 1.0 / (rate * mult);
+  }
+  return offsets;
+}
+
+struct ClientTally {
+  std::uint64_t failures = 0;
+  LatencyHistogram latency_ms{0.01, 1.05};
+};
+
+}  // namespace
+
+OpenLoopResult run_open_loop(const OpenLoopOptions& opts, const RequestFn& fn) {
+  const std::vector<double> offsets = arrival_offsets(opts);
+  const int clients = std::max(opts.clients, 1);
+
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  const auto origin = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientTally& tally = tallies[static_cast<std::size_t>(c)];
+      for (std::uint64_t seq = 0; seq < offsets.size(); ++seq) {
+        const auto deadline =
+            origin + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(offsets[seq]));
+        // Behind schedule: issue immediately, never skip — the measured
+        // latency below then includes the backlog the server built up.
+        std::this_thread::sleep_until(deadline);
+        const bool ok = fn(c, seq);
+        const double ms = std::chrono::duration<double, std::milli>(
+                              Clock::now() - deadline)
+                              .count();
+        if (ok) {
+          tally.latency_ms.record(ms);
+        } else {
+          ++tally.failures;
+          tally.latency_ms.record(std::max(ms, opts.failure_penalty_ms));
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  OpenLoopResult r;
+  r.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - origin).count();
+  for (const ClientTally& tally : tallies) {
+    r.failures += tally.failures;
+    r.latency_ms.merge(tally.latency_ms);
+  }
+  r.scheduled = offsets.size() * static_cast<std::uint64_t>(clients);
+  r.achieved_rps =
+      r.elapsed_seconds > 0.0 ? double(r.scheduled) / r.elapsed_seconds : 0.0;
+  return r;
+}
+
+void record_open_loop(obs::MetricsRegistry& reg, const std::string& prefix,
+                      const OpenLoopOptions& opts, const OpenLoopResult& r) {
+  reg.gauge(prefix + ".p50_ms").set(r.p50_ms());
+  reg.gauge(prefix + ".p90_ms").set(r.p90_ms());
+  reg.gauge(prefix + ".p99_ms").set(r.p99_ms());
+  reg.gauge(prefix + ".mean_ms").set(r.mean_ms());
+  reg.counter(prefix + ".requests").set(r.scheduled);
+  reg.counter(prefix + ".failures").set(r.failures);
+  reg.gauge(prefix + ".rate_per_sec")
+      .set(opts.rate_per_client * std::max(opts.clients, 1));
+  reg.gauge(prefix + ".achieved_rps").set(r.achieved_rps);
+  reg.histogram(prefix + ".latency_ms", 0.01).merge(r.latency_ms);
+}
+
+}  // namespace bh::lab

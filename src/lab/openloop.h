@@ -1,0 +1,81 @@
+// Open-loop, coordinated-omission-safe load driver.
+//
+// The old loadgen threads were closed-loop: each thread issued its next
+// request only after the previous one returned, so a slow server silently
+// throttled its own load and every latency statistic was taken over the
+// requests the server *let* the client send — the textbook coordinated
+// omission. A stall of 1 s under a 1000 req/s intended rate is one slow
+// sample in a closed-loop log; in reality it delayed ~1000 requests.
+//
+// This driver fixes both halves:
+//
+//   - arrivals are scheduled, not reactive: each client computes its full
+//     intended arrival timeline up front from a fixed rate (optionally
+//     modulated by a rate profile — the diurnal scenario's sinusoid), and
+//     issues every intended request even when it has fallen behind; and
+//   - latency is measured from the *scheduled* send time, not the actual
+//     send time, so a request that sat behind a stalled predecessor charges
+//     the server for the queueing delay it caused. p50/p90/p99 are then
+//     taken over the full intended-request population.
+//
+// Failed requests stay in the population too (max(observed, timeout) ms):
+// dropping them would be omission by another name.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/histogram.h"
+#include "obs/metrics.h"
+
+namespace bh::lab {
+
+struct OpenLoopOptions {
+  // Independent driver threads; total intended rate = clients * rate.
+  int clients = 4;
+  // Intended arrivals per second per client.
+  double rate_per_client = 100.0;
+  // Length of the intended-arrival timeline. The run can last longer when
+  // the server falls behind: every intended request is still issued.
+  double duration_seconds = 2.0;
+  // Latency charged to a request whose call failed outright (refused,
+  // reset, timed out): at least this much, never less than observed.
+  double failure_penalty_ms = 1000.0;
+  // Optional rate modulation: multiplier as a function of t seconds into
+  // the timeline (must stay > 0). Unset = constant rate.
+  std::function<double(double)> rate_profile;
+};
+
+struct OpenLoopResult {
+  std::uint64_t scheduled = 0;  // intended requests (all were issued)
+  std::uint64_t failures = 0;   // calls that returned false
+  double elapsed_seconds = 0.0;
+  double achieved_rps = 0.0;  // scheduled / elapsed — lags intended when behind
+  // Milliseconds from scheduled send time to completion, full population.
+  LatencyHistogram latency_ms{0.01, 1.05};
+
+  double p50_ms() const { return latency_ms.quantile(0.50); }
+  double p90_ms() const { return latency_ms.quantile(0.90); }
+  double p99_ms() const { return latency_ms.quantile(0.99); }
+  double mean_ms() const { return latency_ms.mean(); }
+  double failure_ratio() const {
+    return scheduled ? static_cast<double>(failures) / double(scheduled) : 0.0;
+  }
+};
+
+// One request: `client` is the driver thread index, `seq` the request's
+// sequence number within that client. Returns success. The function is
+// called concurrently from `clients` threads and must be thread-safe.
+using RequestFn = std::function<bool(int client, std::uint64_t seq)>;
+
+OpenLoopResult run_open_loop(const OpenLoopOptions& opts, const RequestFn& fn);
+
+// Records the result into a registry under `prefix` (no trailing dot):
+// <prefix>.{p50,p90,p99,mean}_ms gauges, <prefix>.latency_ms histogram,
+// <prefix>.{requests,failures} counters, and
+// <prefix>.{rate_per_sec,achieved_rps} gauges.
+void record_open_loop(obs::MetricsRegistry& reg, const std::string& prefix,
+                      const OpenLoopOptions& opts, const OpenLoopResult& r);
+
+}  // namespace bh::lab

@@ -1,0 +1,96 @@
+// Scripted cluster scenarios for the scenario lab.
+//
+// Each scenario stands up a real multi-process cluster (lab/cluster.h),
+// drives it with the open-loop load generator (lab/openloop.h), and distils
+// the run into one metrics registry: open-loop latency percentiles over the
+// full intended-request population (per phase and combined), cluster-wide
+// hit ratios computed from before/after scrapes of the daemons' own
+// bh.proxy.* counters, and the failure machinery's quarantine / re-probe /
+// recovery counters.
+//
+// Catalog:
+//   flash_crowd   every client hammers ONE object through every proxy — the
+//                 paper's motivating hotspot. Asserts the object spreads
+//                 (local+sibling hit ratio) instead of re-fetching.
+//   diurnal       sinusoidal rate swing over a uniform working set — the
+//                 open-loop driver's rate_profile exercised end to end; the
+//                 intended population must be issued in full at the peak.
+//   failure_storm correlated SIGKILL of a contiguous block of daemons, load
+//                 on the survivors (quarantines must trip), restart on the
+//                 old ports, then a recovery phase (re-probes must admit the
+//                 reborn daemons and the hit ratio must come back).
+//   origin_outage the origin dies mid-run and is reborn on its port; warm
+//                 objects must keep serving cache-local at full speed while
+//                 origin_failures climb, and service must recover after.
+//
+// SLO model: every scenario emits named checks. *Structural* checks (counter
+// facts: quarantines fired, re-probes admitted, the full intended population
+// was issued) are always hard. *Latency/ratio* checks are hard on multi-core
+// machines and auto-relax to warnings when the bh.loadgen.single_core stamp
+// is set — a 1-core container timeshares 50+ daemon processes against the
+// driver, so wall-clock SLOs there measure the scheduler, not the cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lab/cluster.h"
+#include "lab/openloop.h"
+#include "obs/metrics.h"
+
+namespace bh::lab {
+
+struct ScenarioOptions {
+  ClusterOptions cluster;
+  // Open-loop drive per phase.
+  int clients = 4;
+  double rate_per_client = 40.0;
+  double duration_seconds = 2.0;  // per load phase
+  // Uniform working set (flash_crowd ignores this and uses one object).
+  std::uint64_t objects = 256;
+  std::uint64_t object_bytes = 2048;
+  // Per-request call budget; calls that blow it count as failures with the
+  // open-loop penalty latency.
+  double call_deadline_seconds = 1.0;
+};
+
+// One SLO-style assertion evaluated against the run.
+struct SloCheck {
+  std::string name;
+  std::string detail;  // observed vs threshold, human-readable
+  bool ok = false;
+  // Hard checks fail the scenario; soft checks (latency SLOs on a
+  // single-core machine) only warn.
+  bool hard = true;
+};
+
+struct ScenarioResult {
+  std::string name;
+  obs::MetricsSnapshot metrics;  // bh.scenario.<name>.* + machine shape
+  std::vector<SloCheck> checks;
+
+  bool passed() const {
+    for (const SloCheck& c : checks) {
+      if (c.hard && !c.ok) return false;
+    }
+    return true;
+  }
+};
+
+inline constexpr const char* kScenarioNames[] = {
+    "flash_crowd", "diurnal", "failure_storm", "origin_outage"};
+
+// Runs one scenario by name (see kScenarioNames). Throws std::runtime_error
+// on an unknown name or when the cluster cannot be stood up.
+ScenarioResult run_scenario(const std::string& name,
+                            const ScenarioOptions& opts);
+
+// Merges the result into the bench-core-v2 suite file at `path` under suite
+// "scenario_<name>".
+void write_scenario_suite(const std::string& path, const ScenarioResult& r);
+
+// Prints the check table (PASS / WARN / FAIL lines) to stdout.
+void print_checks(const ScenarioResult& r);
+
+}  // namespace bh::lab

@@ -1,0 +1,45 @@
+#include "obs/machine.h"
+
+#include <cstdio>
+#include <thread>
+
+namespace bh::obs {
+
+std::string cpu_model_slug() {
+  std::string model = "unknown";
+  if (std::FILE* f = std::fopen("/proc/cpuinfo", "r")) {
+    char line[512];
+    while (std::fgets(line, sizeof line, f)) {
+      const std::string s(line);
+      if (s.rfind("model name", 0) != 0) continue;
+      const std::size_t colon = s.find(':');
+      if (colon == std::string::npos) break;
+      std::size_t from = colon + 1;
+      while (from < s.size() && s[from] == ' ') ++from;
+      model = s.substr(from);
+      break;
+    }
+    std::fclose(f);
+  }
+  while (!model.empty() && (model.back() == '\n' || model.back() == ' ')) {
+    model.pop_back();
+  }
+  if (model.empty()) model = "unknown";
+  for (char& c : model) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_';
+    if (!ok) c = '_';
+  }
+  return model;
+}
+
+bool single_core() { return std::thread::hardware_concurrency() <= 1; }
+
+void record_machine_shape(MetricsRegistry& reg) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  reg.gauge("bh.loadgen.cores").set(static_cast<double>(cores));
+  reg.gauge("bh.loadgen.single_core").set(cores <= 1 ? 1.0 : 0.0);
+  reg.gauge("bh.loadgen.cpu_model." + cpu_model_slug()).set(1.0);
+}
+
+}  // namespace bh::obs

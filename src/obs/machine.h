@@ -1,0 +1,31 @@
+// Machine-shape stamping, shared by every suite writer (loadgen, scenario
+// lab): the core count all concurrency ratios are relative to, the CPU model
+// encoded into a metric name so runs from different machines never silently
+// average in the perf history, and — the bit downstream tooling keys off —
+// `bh.loadgen.single_core`, a 0/1 gauge that lets SLO assertions auto-relax
+// (warn, not fail) when the run happened on a 1-core container, where every
+// latency tail and concurrency speedup is unrepresentative.
+//
+// check_bench_json's single-core warning used to be print-only; the stamp
+// makes the condition machine-readable in every suite that records it.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace bh::obs {
+
+// First "model name" line from /proc/cpuinfo, squeezed into a metric-name
+// suffix (alnum plus [._-]; everything else becomes '_'). "unknown" when
+// the file is absent (non-Linux or sandboxed).
+std::string cpu_model_slug();
+
+// True when the process sees exactly one hardware thread.
+bool single_core();
+
+// Stamps `bh.loadgen.cores`, `bh.loadgen.cpu_model.<slug>` (value 1.0), and
+// `bh.loadgen.single_core` (0/1) into the registry.
+void record_machine_shape(MetricsRegistry& reg);
+
+}  // namespace bh::obs

@@ -105,8 +105,13 @@ ProxyServer::ProxyServer(ProxyConfig cfg)
         });
   }
   load_hint_image();
-  listener_ = TcpListener::bind_ephemeral(cfg_.listen_backlog);
-  if (!listener_) throw std::runtime_error("proxy: cannot bind");
+  listener_ = TcpListener::bind(cfg_.listen_port, cfg_.listen_backlog);
+  if (!listener_) {
+    throw std::runtime_error(
+        cfg_.name + ": cannot bind 127.0.0.1:" +
+        std::to_string(cfg_.listen_port) +
+        (cfg_.listen_port != 0 ? " (port in use?)" : ""));
+  }
   port_ = listener_->port();
   reactor_ = std::make_unique<Reactor>(cfg_.io_backend);
   reactor_->io().set_submit_observer(
@@ -392,6 +397,20 @@ void ProxyServer::worker_loop() {
 HttpResponse ProxyServer::handle(const HttpRequest& req) {
   if (req.method == "POST" && req.path() == "/updates") {
     return handle_updates(req);
+  }
+  if (req.method == "POST" && req.path() == "/admin/neighbor") {
+    // Orchestration hook: daemons bind ephemeral ports, so a launcher can
+    // only wire the hint topology once every daemon is up and has reported
+    // its port. Body: the neighbour's decimal port.
+    HttpResponse resp;
+    if (const auto port = parse_port(req.body)) {
+      add_hint_neighbor(*port);
+      resp.body = "ok";
+    } else {
+      resp.status = 400;
+      resp.reason = "Bad Request";
+    }
+    return resp;
   }
   if (req.method == "PUT") {
     return handle_push(req);

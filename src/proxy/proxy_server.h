@@ -86,6 +86,10 @@ namespace bh::proxy {
 
 struct ProxyConfig {
   std::string name = "proxy";
+  // Port to serve on; 0 binds a kernel-chosen ephemeral port. The scenario
+  // lab pins restarted daemons to their old port so surviving peers' hints
+  // (keyed by port) reach the reborn instance.
+  std::uint16_t listen_port = 0;
   std::uint16_t origin_port = 0;
   std::uint64_t capacity_bytes = 64ULL << 20;
   std::uint64_t hint_bytes = 1ULL << 20;

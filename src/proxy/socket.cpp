@@ -174,12 +174,12 @@ std::optional<std::string> TcpStream::read_to_end(std::size_t limit) {
 
 void TcpStream::shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }
 
-std::optional<TcpListener> TcpListener::bind_ephemeral(int backlog) {
+std::optional<TcpListener> TcpListener::bind(std::uint16_t port, int backlog) {
   Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return std::nullopt;
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr = loopback(0);
+  sockaddr_in addr = loopback(port);
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
              sizeof addr) != 0) {
     return std::nullopt;
@@ -191,6 +191,10 @@ std::optional<TcpListener> TcpListener::bind_ephemeral(int backlog) {
   if (backlog <= 0) backlog = SOMAXCONN;
   if (::listen(fd.get(), backlog) != 0) return std::nullopt;
   return TcpListener(std::move(fd), ntohs(addr.sin_port));
+}
+
+std::optional<TcpListener> TcpListener::bind_ephemeral(int backlog) {
+  return bind(0, backlog);
 }
 
 std::optional<TcpStream> TcpListener::accept() {

@@ -1,0 +1,182 @@
+// Scenario-lab tests: open-loop coordinated-omission safety, topology
+// wiring, loud-failure guarantees of the multi-process cluster, and an
+// 8-proxy failure_storm integration run asserting the quarantine →
+// re-probe → recovery arc end to end.
+//
+// This binary spawns real daemon processes by re-exec'ing itself
+// (lab/cluster.h), so main() must dispatch through maybe_run_daemon()
+// before gtest sees argv.
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lab/cluster.h"
+#include "lab/openloop.h"
+#include "lab/scenarios.h"
+
+namespace bh::lab {
+namespace {
+
+// A server stall must charge queueing delay to every request scheduled
+// behind it. Service takes 20 ms per call against a 200/s intended rate
+// (5 ms spacing), so the driver falls ~4x behind: a closed-loop driver
+// would report ~20 ms per sample, while the CO-safe measurement from the
+// *scheduled* send time must show the growing queue in the tail.
+TEST(OpenLoop, ChargesQueueingDelayFromScheduledSendTime) {
+  OpenLoopOptions opts;
+  opts.clients = 1;
+  opts.rate_per_client = 200.0;
+  opts.duration_seconds = 0.25;  // 50 intended arrivals
+  const OpenLoopResult r = run_open_loop(opts, [](int, std::uint64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return true;
+  });
+  // Every intended request was issued even though the run fell behind.
+  EXPECT_GE(r.scheduled, 45u);
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_GT(r.elapsed_seconds, opts.duration_seconds);
+  // Per-call service time is 20 ms; only coordinated omission could make
+  // the tail look like that. The last arrival waits behind ~40 queued
+  // predecessors, so the true p99 is hundreds of milliseconds.
+  EXPECT_GT(r.p99_ms(), 250.0);
+  EXPECT_GT(r.p50_ms(), 100.0);
+}
+
+// Failed calls stay in the population at no less than the penalty latency —
+// dropping them would be omission by another name.
+TEST(OpenLoop, FailuresStayInPopulationAtPenaltyLatency) {
+  OpenLoopOptions opts;
+  opts.clients = 2;
+  opts.rate_per_client = 100.0;
+  opts.duration_seconds = 0.2;
+  opts.failure_penalty_ms = 123.0;
+  const OpenLoopResult r =
+      run_open_loop(opts, [](int, std::uint64_t) { return false; });
+  EXPECT_GT(r.scheduled, 0u);
+  EXPECT_EQ(r.failures, r.scheduled);
+  EXPECT_DOUBLE_EQ(r.failure_ratio(), 1.0);
+  EXPECT_GE(r.p50_ms(), 123.0 * 0.9);  // histogram bucketing tolerance
+}
+
+TEST(Topology, RingIsOneCycle) {
+  const auto edges = topology_edges(Topology::kRing, 5);
+  ASSERT_EQ(edges.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(edges[static_cast<std::size_t>(i)],
+              (std::pair<int, int>{i, (i + 1) % 5}));
+  }
+}
+
+TEST(Topology, HierarchyLinksEveryChildToItsParentBothWays) {
+  const int n = 21;  // full fanout-4 tree: 1 + 4 + 16
+  const auto edges = topology_edges(Topology::kHierarchy, n);
+  const std::set<std::pair<int, int>> set(edges.begin(), edges.end());
+  EXPECT_EQ(set.size(), edges.size()) << "duplicate edges";
+  EXPECT_EQ(edges.size(), 2u * (n - 1));
+  for (int child = 1; child < n; ++child) {
+    const int parent = (child - 1) / 4;
+    EXPECT_TRUE(set.count({child, parent}));
+    EXPECT_TRUE(set.count({parent, child}));
+  }
+}
+
+TEST(Topology, MeshIsSymmetricSelfFreeAndConnected) {
+  const int n = 16;
+  const auto edges = topology_edges(Topology::kMesh, n);
+  const std::set<std::pair<int, int>> set(edges.begin(), edges.end());
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (const auto& [a, b] : edges) {
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(a >= 0 && a < n && b >= 0 && b < n);
+    EXPECT_TRUE(set.count({b, a})) << a << "->" << b << " not symmetric";
+    adj[static_cast<std::size_t>(a)].push_back(b);
+  }
+  // BFS: every node reachable from 0 (hints can spread cluster-wide).
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::vector<int> queue{0};
+  seen[0] = true;
+  while (!queue.empty()) {
+    const int v = queue.back();
+    queue.pop_back();
+    for (const int w : adj[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool s) { return s; }));
+}
+
+// A cluster whose daemon binary cannot exec must fail with a thrown error
+// well inside the ready timeout — the bug class this lab exists to catch is
+// the silent hang at scale.
+TEST(Cluster, StartFailsLoudlyWhenDaemonCannotLaunch) {
+  ClusterOptions opts;
+  opts.proxies = 2;
+  opts.exe = "/nonexistent/bh-scenario-daemon";
+  opts.ready_timeout_seconds = 5.0;
+  Cluster cluster(opts);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(cluster.start(), std::runtime_error);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed.count(), opts.ready_timeout_seconds + 5.0);
+}
+
+TEST(Scenario, UnknownNameThrows) {
+  ScenarioOptions opts;
+  EXPECT_THROW(run_scenario("not_a_scenario", opts), std::runtime_error);
+}
+
+// 8 real proxy processes through the full failure_storm arc: healthy
+// baseline, correlated SIGKILL of 2 daemons, quarantines under load,
+// rebirth on the old ports, re-probe admission, and warm-hit-ratio
+// recovery. All of those are structural (hard) checks inside the scenario;
+// this test additionally pins the counters the checks were computed from.
+TEST(Scenario, FailureStormQuarantinesAndRecoversAtEightProxies) {
+  ScenarioOptions opts;
+  opts.cluster.proxies = 8;
+  opts.clients = 2;
+  opts.rate_per_client = 30.0;
+  opts.duration_seconds = 1.0;
+  opts.objects = 64;
+  const ScenarioResult r = run_scenario("failure_storm", opts);
+
+  for (const SloCheck& c : r.checks) {
+    if (c.hard) {
+      EXPECT_TRUE(c.ok) << c.name << ": " << c.detail;
+    }
+  }
+  EXPECT_TRUE(r.passed());
+
+  const std::string p = "bh.scenario.failure_storm";
+  EXPECT_GE(r.metrics.counter(p + ".phase_b.peer_failures"), 1u);
+  EXPECT_GE(r.metrics.counter(p + ".phase_b.quarantines"), 1u);
+  // The full intended population of every phase is in the latency record.
+  EXPECT_GE(r.metrics.counter(p + ".requests"),
+            r.metrics.counter(p + ".phase_a.local_hits"));
+  const auto killed = r.metrics.gauges.find(p + ".killed");
+  ASSERT_NE(killed, r.metrics.gauges.end());
+  EXPECT_EQ(killed->second, 2.0);  // max(1, 8/4)
+  // Recovery: phase C's hit ratio came back to at least half of phase A's.
+  const auto hit_a = r.metrics.gauges.find(p + ".phase_a.hit_ratio");
+  const auto hit_c = r.metrics.gauges.find(p + ".phase_c.hit_ratio");
+  ASSERT_NE(hit_a, r.metrics.gauges.end());
+  ASSERT_NE(hit_c, r.metrics.gauges.end());
+  EXPECT_GE(hit_c->second, 0.5 * hit_a->second);
+}
+
+}  // namespace
+}  // namespace bh::lab
+
+int main(int argc, char** argv) {
+  bh::lab::maybe_run_daemon(argc, argv);  // never returns in daemon processes
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
