@@ -69,15 +69,15 @@ int main(int argc, char** argv) {
   cfg.hints.hint_bytes = std::uint64_t(100.0 * scale * double(1_MB));
   TextTable push({"policy", "mean response (ms)", "push bytes/demand byte",
                   "push efficiency"});
-  for (auto policy : {core::PushPolicy::kNone, core::PushPolicy::kUpdate,
-                      core::PushPolicy::kPush1, core::PushPolicy::kPushAll}) {
-    cfg.hints.push = policy;
+  for (const char* policy :
+       {"none", "update-push", "push-1", "push-all", "adaptive-greedy"}) {
+    cfg.hints.push_policy = policy;
     const auto r = core::run_experiment_on(records, cfg);
     const double ratio =
         r.demand_bytes > 0
             ? double(r.push.bytes_pushed) / double(r.demand_bytes)
             : 0;
-    push.add_row({core::push_policy_name(policy),
+    push.add_row({policy,
                   fmt(r.metrics.mean_response_ms(), 0), fmt(ratio, 2),
                   fmt(r.push.efficiency(), 3)});
   }

@@ -20,6 +20,7 @@
 #include "common/rng.h"
 #include "common/zipf.h"
 #include "lab/cluster.h"
+#include "placement/placement.h"
 #include "proxy/io_backend.h"
 #include "proxy/origin_server.h"
 #include "proxy/proxy_server.h"
@@ -61,6 +62,7 @@ int main(int argc, char** argv) {
   // just reports whether this kernel can run the io_uring backend.
   std::size_t shards = 8;
   std::size_t workers = 8;
+  std::string push_policy = "none";
   std::size_t daemons = 4;
   int backlog = 0;
   std::string persist_dir;
@@ -77,6 +79,20 @@ int main(int argc, char** argv) {
       }
     } else if (a.rfind("--persist=", 0) == 0) {
       persist_dir = a.substr(10);
+    } else if (a.rfind("--push-policy=", 0) == 0) {
+      // Reject typos loudly: a daemon silently not pushing is the failure
+      // mode this flag exists to avoid.
+      push_policy = a.substr(14);
+      if (!placement::is_policy_name(push_policy)) {
+        std::string valid;
+        for (const auto& n : placement::policy_names()) {
+          if (!valid.empty()) valid += "|";
+          valid += n;
+        }
+        std::fprintf(stderr, "unknown --push-policy '%s' (%s)\n",
+                     push_policy.c_str(), valid.c_str());
+        return 1;
+      }
     } else if (a.rfind("--workers=", 0) == 0) {
       workers = std::strtoull(a.c_str() + 10, nullptr, 10);
     } else if (a.rfind("--backlog=", 0) == 0) {
@@ -101,7 +117,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--daemons=N] [--shards=N] [--workers=N] "
                    "[--backlog=N] [--io-backend=auto|epoll|io_uring] "
-                   "[--persist=DIR] [--probe-io-uring]\n",
+                   "[--persist=DIR] [--push-policy=NAME] "
+                   "[--probe-io-uring]\n",
                    argv[0]);
       return 1;
     }
@@ -146,6 +163,9 @@ int main(int argc, char** argv) {
     cfg.peer_deadline_seconds = 0.25;
     cfg.quarantine_threshold = 2;
     cfg.quarantine_seconds = 10.0;
+    // Placement policy for supplier-driven push on peer fetches
+    // ("none" keeps the cluster demand-only).
+    cfg.push_policy = push_policy;
     if (!persist_dir.empty()) {
       // Per-daemon persistent state: demoted objects plus a hint image saved
       // every few seconds (and on clean stop), so a rerun over the same DIR

@@ -3,7 +3,8 @@
 //   simulate [--trace=dec|berkeley|prodigy] [--scale=f]
 //            [--system=hierarchy|directory|hints|icp]
 //            [--cost=testbed|rousskov-min|rousskov-max]
-//            [--push=none|update|push1|pushhalf|pushall|ideal]
+//            [--push=none|update-push|push-1|push-half|push-all|push-ideal
+//                    |adaptive-greedy]
 //            [--l1-gb=N] [--hint-mb=N] [--hint-delay-s=N]
 //            [--client-direct] [--csv]
 //
@@ -16,6 +17,7 @@
 #include <string>
 
 #include "core/experiment.h"
+#include "placement/placement.h"
 
 using namespace bh;
 
@@ -24,16 +26,6 @@ namespace {
 [[noreturn]] void die(const std::string& msg) {
   std::fprintf(stderr, "simulate: %s\n", msg.c_str());
   std::exit(2);
-}
-
-core::PushPolicy parse_push(const std::string& s) {
-  if (s == "none") return core::PushPolicy::kNone;
-  if (s == "update") return core::PushPolicy::kUpdate;
-  if (s == "push1") return core::PushPolicy::kPush1;
-  if (s == "pushhalf") return core::PushPolicy::kPushHalf;
-  if (s == "pushall") return core::PushPolicy::kPushAll;
-  if (s == "ideal") return core::PushPolicy::kIdeal;
-  die("unknown --push: " + s);
 }
 
 core::SystemKind parse_system(const std::string& s) {
@@ -76,7 +68,8 @@ int main(int argc, char** argv) {
   cfg.workload = trace::workload_by_name(trace).scaled(scale);
   cfg.cost_model = cost;
   cfg.system = parse_system(system);
-  cfg.hints.push = parse_push(push);
+  if (!placement::is_policy_name(push)) die("unknown --push: " + push);
+  cfg.hints.push_policy = push;
   cfg.hints.client_direct = client_direct;
   if (l1_gb > 0) {
     const auto bytes = std::uint64_t(l1_gb * scale * double(1_GB));

@@ -4,18 +4,6 @@
 
 namespace bh::core {
 
-const char* push_policy_name(PushPolicy p) {
-  switch (p) {
-    case PushPolicy::kNone: return "none";
-    case PushPolicy::kUpdate: return "update-push";
-    case PushPolicy::kPush1: return "push-1";
-    case PushPolicy::kPushHalf: return "push-half";
-    case PushPolicy::kPushAll: return "push-all";
-    case PushPolicy::kIdeal: return "push-ideal";
-  }
-  return "?";
-}
-
 HintSystem::HintSystem(const net::HierarchyTopology& topo,
                        const net::CostModel& cost, HintSystemConfig cfg,
                        sim::EventQueue& queue)
@@ -26,6 +14,7 @@ HintSystem::HintSystem(const net::HierarchyTopology& topo,
       meta_(topo,
             hints::MetadataConfig{cfg.hint_bytes, cfg.hint_hop_delay},
             queue),
+      policy_(placement::make_policy(cfg.push_policy, cfg.push_params)),
       rng_(cfg.seed) {
   l1_.reserve(topo_.num_l1());
   for (std::uint32_t i = 0; i < topo_.num_l1(); ++i) {
@@ -56,25 +45,24 @@ HintSystem::HintSystem(const net::HierarchyTopology& topo,
 
 std::string HintSystem::name() const {
   std::string n = cfg_.client_direct ? "hints-client" : "hints";
-  if (cfg_.push != PushPolicy::kNone) {
+  if (policy_->name() != "none") {
     n += "+";
-    n += push_policy_name(cfg_.push);
+    n += policy_->name();
   }
   return n;
 }
 
-void HintSystem::set_recording(bool on) { recording_ = on; }
+void HintSystem::set_recording(bool on) {
+  recording_ = on;
+  policy_->set_recording(on);
+}
 
 void HintSystem::export_metrics(obs::MetricsRegistry& reg) const {
   reg.counter("bh.hints.root_updates").set(meta_.root_updates());
   reg.counter("bh.hints.leaf_updates").set(meta_.leaf_updates());
   reg.counter("bh.hints.meta_messages").set(meta_.total_messages());
   reg.counter("bh.hints.demand_bytes").set(demand_bytes_);
-  reg.counter("bh.push.copies_pushed").set(push_stats_.copies_pushed);
-  reg.counter("bh.push.bytes_pushed").set(push_stats_.bytes_pushed);
-  reg.counter("bh.push.copies_used").set(push_stats_.copies_used);
-  reg.counter("bh.push.bytes_used").set(push_stats_.bytes_used);
-  reg.counter("bh.push.rate_limited").set(push_stats_.pushes_rate_limited);
+  policy_->export_metrics(reg);
 }
 
 Millis HintSystem::hint_lookup_cost() const {
@@ -89,19 +77,37 @@ Millis HintSystem::hint_lookup_cost() const {
   return cfg_.hint_lookup_ms + (1.0 - resident) * cfg_.hint_disk_lookup_ms;
 }
 
-bool HintSystem::holder_is_fresh(NodeIndex node, const trace::Record& r) const {
-  const cache::LruCache::Entry* e = l1_[node].peek(r.object);
-  return e != nullptr && e->version >= r.version;
+placement::Access HintSystem::access_of(const trace::Record& r) const {
+  return placement::Access{r.object, r.size, r.version, queue_.now()};
+}
+
+bool HintSystem::fresh_at(NodeIndex node, ObjectId id, Version version) const {
+  const cache::LruCache::Entry* e = l1_[node].peek(id);
+  return e != nullptr && e->version >= version;
+}
+
+bool HintSystem::holder_is_fresh(NodeIndex node,
+                                 const placement::Access& a) const {
+  return fresh_at(node, a.object, a.version);
+}
+
+bool HintSystem::pushed_copy_unused(NodeIndex node,
+                                    const placement::Access& a) const {
+  const cache::LruCache::Entry* e = l1_[node].peek(a.object);
+  return e != nullptr && e->pushed && !e->used_since_push;
+}
+
+bool HintSystem::place_copy(NodeIndex node, const placement::Access& a) {
+  if (fresh_at(node, a.object, a.version)) return false;
+  insert_copy(node, a.object, a.size, a.version, /*pushed=*/true);
+  return true;
 }
 
 bool HintSystem::note_use(cache::LruCache::Entry& e) {
   if (!e.pushed) return false;
   if (!e.used_since_push) {
     e.used_since_push = true;
-    if (recording_) {
-      ++push_stats_.copies_used;
-      push_stats_.bytes_used += e.size;
-    }
+    policy_->note_copy_used(e.size);
   }
   return true;
 }
@@ -132,6 +138,7 @@ RequestOutcome HintSystem::handle_request(const trace::Record& r) {
     out.latency = cost_.hierarchy_hit(1, r.size);
     out.source = Source::kL1;
     out.served_from_pushed = note_use(*e);
+    policy_->on_local_hit(*this, access_of(r), l1);
     return out;
   }
 
@@ -169,9 +176,9 @@ RequestOutcome HintSystem::handle_request(const trace::Record& r) {
   if (hint) {
     const NodeIndex m = *hint;
     const int dist = topo_.lca_level(l1, m);
-    if (holder_is_fresh(m, r)) {
+    if (fresh_at(m, r.object, r.version)) {
       // 3a. Direct cache-to-cache transfer from the hinted node.
-      if (cfg_.push == PushPolicy::kIdeal) {
+      if (policy_->prices_remote_as_local()) {
         // Best case: the copy would already have been pushed next to the
         // client, at no space cost (Section 4.1.1).
         out.latency = cost_.hierarchy_hit(1, r.size);
@@ -182,10 +189,9 @@ RequestOutcome HintSystem::handle_request(const trace::Record& r) {
       out.served_from_pushed = note_use(*l1_[m].peek_mut(r.object));
       insert_copy(l1, r.object, r.size, r.version, /*pushed=*/false);
       demand_bytes_ += recording_ ? r.size : 0;
-      if (cfg_.push == PushPolicy::kPush1 || cfg_.push == PushPolicy::kPushHalf ||
-          cfg_.push == PushPolicy::kPushAll) {
-        hierarchical_push(l1, m, r);
-      }
+      // The object just crossed the hierarchy: let the policy seed sibling
+      // subtrees (hierarchical push on miss, Figure 9).
+      policy_->on_remote_hit(*this, access_of(r), l1, m);
       return out;
     }
     // 3b. False positive: the hinted cache no longer has a fresh copy. It
@@ -202,7 +208,7 @@ RequestOutcome HintSystem::handle_request(const trace::Record& r) {
     // No hint although a fresh copy exists somewhere: false negative.
     bool fresh_somewhere = false;
     it->second.for_each([&](NodeIndex n) {
-      if (n != l1 && holder_is_fresh(n, r)) fresh_somewhere = true;
+      if (n != l1 && fresh_at(n, r.object, r.version)) fresh_somewhere = true;
     });
     out.hint_false_negative = fresh_somewhere;
   }
@@ -212,114 +218,21 @@ RequestOutcome HintSystem::handle_request(const trace::Record& r) {
   out.source = Source::kServer;
   insert_copy(l1, r.object, r.size, r.version, /*pushed=*/false);
   demand_bytes_ += recording_ ? r.size : 0;
-  if (cfg_.push == PushPolicy::kUpdate) update_push(l1, r);
+  // First fetch of this version from the server: the update-push trigger.
+  policy_->on_server_fetch(*this, access_of(r), l1);
   return out;
 }
 
 void HintSystem::handle_modify(const trace::Record& r) {
   auto it = holders_.find(r.object);
   if (it != holders_.end()) {
-    if (cfg_.push == PushPolicy::kUpdate) {
-      // Remember who held the stale version; they are prime candidates for
-      // the new one (Section 4.1.2). A holder whose previous pushed copy was
-      // never read is skipped — the aging mechanism: objects updated many
-      // times without being read stop receiving pushes.
-      NodeSet interested;
-      it->second.for_each([&](NodeIndex n) {
-        const cache::LruCache::Entry* e = l1_[n].peek(r.object);
-        if (e != nullptr && e->pushed && !e->used_since_push) return;
-        interested.insert(n);
-      });
-      if (!interested.empty()) prior_holders_[r.object] = interested;
-    }
+    // The policy sees the stale version's holders before they are dropped
+    // (update push remembers them as candidates for the new version).
+    policy_->on_modify(*this, access_of(r), it->second);
     it->second.for_each([&](NodeIndex n) { l1_[n].erase(r.object); });
     holders_.erase(it);
   }
   meta_.invalidate_object(r.object);
-}
-
-void HintSystem::update_push(NodeIndex fetcher, const trace::Record& r) {
-  auto it = prior_holders_.find(r.object);
-  if (it == prior_holders_.end()) return;
-  NodeSet targets = it->second;
-  prior_holders_.erase(it);
-  targets.for_each([&](NodeIndex n) {
-    if (n == fetcher) return;
-    // Respect the configured update-fetch bandwidth cap.
-    const double allowed =
-        cfg_.update_push_max_bytes_per_sec * std::max(queue_.now(), 1.0);
-    if (push_budget_used_ + r.size > allowed) {
-      if (recording_) ++push_stats_.pushes_rate_limited;
-      return;
-    }
-    push_budget_used_ += r.size;
-    push_copy(n, r);
-  });
-}
-
-void HintSystem::hierarchical_push(NodeIndex requester, NodeIndex supplier,
-                                   const trace::Record& r) {
-  const int k = topo_.lca_level(requester, supplier);
-  if (k < 2) return;
-
-  // Eligible subtrees are the level-(k-1) subtrees sharing the level-k
-  // parent. For k == 2 those are the individual L1 caches under the shared
-  // L2 parent, so every push degree seeds the whole group (Figure 9). For
-  // k == 3 they are the L2 groups, and the degree picks 1 / half / all of
-  // each group's caches.
-  std::vector<NodeIndex> group_scratch;
-  auto push_into_group = [&](std::uint32_t g, std::size_t degree_count) {
-    group_scratch.clear();
-    const std::uint32_t base = g * topo_.l1_per_l2();
-    const std::uint32_t end = std::min(base + topo_.l1_per_l2(), topo_.num_l1());
-    for (std::uint32_t n = base; n < end; ++n) {
-      if (n == requester || n == supplier) continue;
-      if (holder_is_fresh(n, r)) continue;
-      group_scratch.push_back(n);
-    }
-    // Random subset of the group, degree_count wide.
-    for (std::size_t pick = 0;
-         pick < degree_count && !group_scratch.empty(); ++pick) {
-      const std::size_t j = rng_.next_below(group_scratch.size());
-      push_copy(group_scratch[j], r);
-      group_scratch[j] = group_scratch.back();
-      group_scratch.pop_back();
-    }
-  };
-
-  const std::uint32_t group_size = topo_.l1_per_l2();
-  std::size_t degree = group_size;  // push-all
-  if (cfg_.push == PushPolicy::kPush1) degree = 1;
-  if (cfg_.push == PushPolicy::kPushHalf) degree = (group_size + 1) / 2;
-
-  if (k == 2) {
-    // Every level-1 subtree (single cache) under the shared parent gets one.
-    push_into_group(topo_.l2_of_l1(requester), group_size);
-    return;
-  }
-  // k == 3: seed the level-2 subtrees that do not yet hold a copy (the two
-  // subtrees that fetched it already have one — Figure 9).
-  auto group_has_copy = [&](std::uint32_t g) {
-    const std::uint32_t base = g * topo_.l1_per_l2();
-    const std::uint32_t end = std::min(base + topo_.l1_per_l2(), topo_.num_l1());
-    for (std::uint32_t n = base; n < end; ++n) {
-      if (holder_is_fresh(n, r)) return true;
-    }
-    return false;
-  };
-  for (std::uint32_t g = 0; g < topo_.num_l2(); ++g) {
-    if (group_has_copy(g)) continue;
-    push_into_group(g, degree);
-  }
-}
-
-void HintSystem::push_copy(NodeIndex target, const trace::Record& r) {
-  if (holder_is_fresh(target, r)) return;
-  insert_copy(target, r.object, r.size, r.version, /*pushed=*/true);
-  if (recording_) {
-    ++push_stats_.copies_pushed;
-    push_stats_.bytes_pushed += r.size;
-  }
 }
 
 }  // namespace bh::core

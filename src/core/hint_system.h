@@ -11,12 +11,12 @@
 // to the clients, which then bypass the L1 proxy for remote fetches at the
 // price of a smaller (modeled by a false-negative rate) client hint cache.
 //
-// Push caching layers on top (Section 4): update push re-seeds the previous
-// holders of a modified object when its new version is first fetched;
-// hierarchical push-on-miss replicates an object into sibling subtrees when
-// it is fetched across the hierarchy (push-1 / push-half / push-all degrees);
-// ideal push is the paper's upper bound, turning every remote hit into a
-// local hit free of space charges.
+// Push caching layers on top (Section 4) through the pluggable
+// placement::Policy interface: the system reports accesses (local hits,
+// remote cache-to-cache hits, server fetches, modifications) to the
+// configured policy, and the policy decides which nodes receive pushed
+// copies. The paper's heuristics (update push, push-1/half/all, the ideal
+// bound) and the adaptive greedy policy all live in src/placement.
 #pragma once
 
 #include <cstdint>
@@ -31,20 +31,14 @@
 #include "hints/metadata_hierarchy.h"
 #include "net/cost_model.h"
 #include "net/topology.h"
+#include "placement/placement.h"
 #include "sim/event_queue.h"
 
 namespace bh::core {
 
-enum class PushPolicy : std::uint8_t {
-  kNone,      // plain hint hierarchy
-  kUpdate,    // push new versions to previous holders (Section 4.1.2)
-  kPush1,     // hierarchical push on miss, 1 node per eligible subtree
-  kPushHalf,  // ... half the nodes of each eligible subtree
-  kPushAll,   // ... every node of each eligible subtree
-  kIdeal,     // best case: every remote hit priced as a local hit
-};
-
-const char* push_policy_name(PushPolicy p);
+// Push accounting lives in the policy object; core re-exports the type for
+// result plumbing.
+using PushStats = placement::PushStats;
 
 struct HintSystemConfig {
   std::uint64_t l1_capacity = kUnlimitedBytes;  // data bytes per L1 proxy
@@ -70,29 +64,19 @@ struct HintSystemConfig {
   double client_hint_false_negative = 0.0;
   std::uint64_t client_hint_bytes = 0;
 
-  PushPolicy push = PushPolicy::kNone;
-  // Update push is rate-limited; pushes beyond the budget are discarded
-  // (Section 4.1.2). Bytes per second across the whole system.
-  double update_push_max_bytes_per_sec = 1e18;
+  // Canonical placement-policy name (placement::policy_names()); HintSystem
+  // construction throws std::invalid_argument on an unknown name, so a typo
+  // in a sweep config fails the run instead of silently not pushing.
+  std::string push_policy = "none";
+  // Knobs for the budgeted/adaptive policies: the update-push and
+  // adaptive-greedy byte budget (pushes beyond it are discarded, Section
+  // 4.1.2) and the adaptive demand-estimator parameters.
+  placement::PolicyParams push_params;
 
   std::uint64_t seed = 0x9A9A;
 };
 
-struct PushStats {
-  std::uint64_t copies_pushed = 0;
-  std::uint64_t bytes_pushed = 0;
-  std::uint64_t copies_used = 0;
-  std::uint64_t bytes_used = 0;
-  std::uint64_t pushes_rate_limited = 0;
-
-  double efficiency() const {
-    return bytes_pushed == 0
-               ? 0.0
-               : static_cast<double>(bytes_used) / static_cast<double>(bytes_pushed);
-  }
-};
-
-class HintSystem final : public CacheSystem {
+class HintSystem final : public CacheSystem, private placement::Host {
  public:
   HintSystem(const net::HierarchyTopology& topo, const net::CostModel& cost,
              HintSystemConfig cfg, sim::EventQueue& queue);
@@ -104,12 +88,32 @@ class HintSystem final : public CacheSystem {
   std::string name() const override;
 
   hints::MetadataHierarchy& metadata() { return meta_; }
-  const PushStats& push_stats() const { return push_stats_; }
+  const placement::Policy& policy() const { return *policy_; }
+  const PushStats& push_stats() const { return policy_->stats(); }
   // Demand-fetch bytes brought into L1 caches from outside (remote caches or
   // servers) while recording — the "Demand Fetch" bars of Figure 11(b).
   std::uint64_t demand_bytes() const { return demand_bytes_; }
 
  private:
+  // placement::Host — the surface the policy sees.
+  std::uint32_t num_l1() const override { return topo_.num_l1(); }
+  std::uint32_t l1_per_l2() const override { return topo_.l1_per_l2(); }
+  std::uint32_t num_l2() const override { return topo_.num_l2(); }
+  std::uint32_t l2_of_l1(NodeIndex n) const override {
+    return topo_.l2_of_l1(n);
+  }
+  int lca_level(NodeIndex a, NodeIndex b) const override {
+    return topo_.lca_level(a, b);
+  }
+  bool holder_is_fresh(NodeIndex node,
+                       const placement::Access& a) const override;
+  bool pushed_copy_unused(NodeIndex node,
+                          const placement::Access& a) const override;
+  bool place_copy(NodeIndex node, const placement::Access& a) override;
+  Rng& rng() override { return rng_; }
+
+  placement::Access access_of(const trace::Record& r) const;
+
   // Expected latency of one local hint lookup given how much of the hint
   // table fits in memory.
   Millis hint_lookup_cost() const;
@@ -120,11 +124,7 @@ class HintSystem final : public CacheSystem {
   // Marks a (possibly pushed) entry as used and reports whether it was a
   // push-placed copy.
   bool note_use(cache::LruCache::Entry& e);
-  void hierarchical_push(NodeIndex requester, NodeIndex supplier,
-                         const trace::Record& r);
-  void update_push(NodeIndex fetcher, const trace::Record& r);
-  void push_copy(NodeIndex target, const trace::Record& r);
-  bool holder_is_fresh(NodeIndex node, const trace::Record& r) const;
+  bool fresh_at(NodeIndex node, ObjectId id, Version version) const;
 
   net::HierarchyTopology topo_;
   const net::CostModel& cost_;
@@ -135,14 +135,10 @@ class HintSystem final : public CacheSystem {
   // Per-client hint caches (alternate configuration, real mechanism).
   std::vector<std::unique_ptr<hints::HintStore>> client_stores_;
   std::unordered_map<ObjectId, NodeSet> holders_;  // ground truth
-  // Previous holders of objects invalidated by an update, awaiting the first
-  // fetch of the new version (update push).
-  std::unordered_map<ObjectId, NodeSet> prior_holders_;
+  std::unique_ptr<placement::Policy> policy_;
   Rng rng_;
 
-  PushStats push_stats_;
   std::uint64_t demand_bytes_ = 0;
-  double push_budget_used_ = 0;  // bytes of update push consumed so far
   bool recording_ = true;
 };
 

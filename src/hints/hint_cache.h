@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -42,6 +43,31 @@ class HintStore {
   virtual bool erase(ObjectId id) = 0;
 
   virtual std::size_t entry_count() const = 0;
+
+  // One outcome of an apply_batch decision callback.
+  struct BatchDecision {
+    enum class Op : std::uint8_t { kKeep, kInsert, kErase };
+    Op op = Op::kKeep;
+    MachineId loc{0};
+
+    static BatchDecision keep() { return {}; }
+    static BatchDecision insert_loc(MachineId l) {
+      return {Op::kInsert, l};
+    }
+    static BatchDecision erase_hint() { return {Op::kErase, MachineId{0}}; }
+  };
+
+  // Batched read-modify-write: for each id (in order), `decide(i, current)`
+  // sees the current hint for ids[i] and returns the mutation to apply. The
+  // base implementation is a lookup plus a mutation per id; StripedHintStore
+  // overrides it to group ids by stripe and take each stripe lock once per
+  // batch instead of twice per id — the proxy applies a whole received
+  // update batch through one striped-store pass. `decide` may run under a
+  // stripe lock and must not re-enter the store.
+  virtual void apply_batch(
+      std::span<const ObjectId> ids,
+      const std::function<BatchDecision(std::size_t,
+                                        std::optional<MachineId>)>& decide);
 
   // Enumerates every stored hint — the persistence path walks the striped
   // store through this to build a save image. Stores that cannot enumerate
@@ -141,6 +167,14 @@ class StripedHintStore final : public HintStore {
   void insert(ObjectId id, MachineId loc) override;
   bool erase(ObjectId id) override;
   std::size_t entry_count() const override;
+
+  // Groups ids by stripe and applies each group under a single stripe-lock
+  // acquisition. Ids on the same stripe are still decided in batch order
+  // relative to each other; cross-stripe order is by stripe index.
+  void apply_batch(
+      std::span<const ObjectId> ids,
+      const std::function<BatchDecision(
+          std::size_t, std::optional<MachineId>)>& decide) override;
 
   // Walks each stripe under its own lock; entries from one stripe keep that
   // stripe's order, stripes are visited in index order.

@@ -81,6 +81,37 @@ std::uint64_t pair_key(const HintUpdate& update) {
   return update_key(canonical);
 }
 
+std::string encode_push_targets(std::span<const std::uint16_t> ports) {
+  std::string out;
+  for (const std::uint16_t p : ports) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(p);
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint16_t>> decode_push_targets(
+    std::string_view value) {
+  std::vector<std::uint16_t> out;
+  if (value.empty()) return out;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const std::size_t comma = std::min(value.find(',', pos), value.size());
+    const std::string_view tok = value.substr(pos, comma - pos);
+    unsigned parsed = 0;
+    const auto [end, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), parsed);
+    if (ec != std::errc{} || end != tok.data() + tok.size() || tok.empty() ||
+        parsed > 65535) {
+      return std::nullopt;
+    }
+    out.push_back(static_cast<std::uint16_t>(parsed));
+    if (comma == value.size()) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
 std::vector<std::uint8_t> encode_post(std::span<const HintUpdate> updates) {
   const std::vector<std::uint8_t> body = encode_body(updates);
   std::string header(kRequestLine);

@@ -58,6 +58,19 @@ std::uint64_t complement_key(const HintUpdate& update);
 // since the pair is a net no-op for every receiver.
 std::uint64_t pair_key(const HintUpdate& update);
 
+// Push-target list carried in the X-Push-Targets header of a pushed-object
+// PUT: the ports of every other daemon the supplier pushed the same copy to,
+// so a receiver can seed hints for its siblings' new copies immediately
+// instead of waiting a hint-batch round trip. Header-safe comma-separated
+// decimal ports ("8001,8002"); the empty list encodes to "".
+std::string encode_push_targets(std::span<const std::uint16_t> ports);
+
+// Parses an X-Push-Targets value; returns nullopt on any malformed token
+// (non-numeric, out of port range, empty element). "" parses to the empty
+// list.
+std::optional<std::vector<std::uint16_t>> decode_push_targets(
+    std::string_view value);
+
 // Wraps a body in the POST framing the prototype uses.
 std::vector<std::uint8_t> encode_post(std::span<const HintUpdate> updates);
 

@@ -86,6 +86,17 @@ ProxyServer::ProxyServer(ProxyConfig cfg)
       sqe_batch_(registry_.histogram("bh.proxy.sqe_batch")),
       demote_ms_(registry_.histogram("bh.proxy.disk.demote_ms")),
       promote_ms_(registry_.histogram("bh.proxy.disk.promote_ms")) {
+  // Resolve the placement policy first: an unknown name throws before any
+  // thread or socket exists. The legacy push_on_peer_fetch switch is an
+  // alias for "push-all" (push to every other neighbour), its old meaning.
+  {
+    std::string policy = cfg_.push_policy;
+    if (policy == "none" && cfg_.push_on_peer_fetch) policy = "push-all";
+    push_policy_ = placement::make_policy(policy, cfg_.push_params);
+    push_enabled_ = push_policy_->name() != "none";
+    push_rng_ = Rng(mix64(std::hash<std::string>{}(cfg_.name)) ^ 0x9A9A);
+  }
+
   // Persistence first: a bad disk root fails construction before any thread
   // exists, and the hint table is warm before the first request can arrive.
   if (!cfg_.disk_path.empty()) {
@@ -265,6 +276,10 @@ ProxyStats ProxyServer::stats() const {
   s.disk_misses = c_.disk_misses.value();
   s.disk_demotions = c_.disk_demotions.value();
   s.disk_promotions = c_.disk_promotions.value();
+  {
+    std::lock_guard lock(push_mu_);
+    s.pushes_rate_limited = push_policy_->stats().pushes_rate_limited;
+  }
   if (disk_) {
     const cache::DiskStoreStats ds = disk_->stats();
     s.demote_queued = ds.async_queued;
@@ -292,6 +307,12 @@ obs::MetricsSnapshot ProxyServer::metrics_snapshot() const {
   }
   registry_.gauge("bh.proxy.hint_entries")
       .set(static_cast<double>(hints_->entry_count()));
+  {
+    // Push accounting lives in the policy object; publish it with the scrape
+    // so `GET /metrics` carries the bh.push.* counters too.
+    std::lock_guard lock(push_mu_);
+    push_policy_->export_metrics(registry_);
+  }
   if (disk_) {
     const cache::DiskStoreStats ds = disk_->stats();
     registry_.gauge("bh.proxy.disk.bytes")
@@ -478,14 +499,15 @@ HttpResponse ProxyServer::handle_get(const HttpRequest& req) {
     resp.body = cache::Body(std::move(body));
     resp.headers.emplace_back("X-Cache", "HIT");
     resp.headers.emplace_back("X-Served-By", cfg_.name);
-    if (cache_only && cfg_.push_on_peer_fetch && !stopping_.load()) {
-      // A cousin just fetched from us: seed our other neighbours too
-      // (hierarchical push on miss, supplier-driven, Figure 9).
+    if (cache_only && push_enabled_ && !stopping_.load()) {
+      // A cousin just fetched from us: let the placement policy pick which
+      // other neighbours to seed (hierarchical push on miss, supplier-
+      // driven, Figure 9; the adaptive policy gates on demand estimates).
       std::uint16_t requester = 0;
       if (auto r = req.header("X-Requester-Port")) {
         requester = parse_port(*r).value_or(0);
       }
-      push_to_neighbors(*id, resp.body, requester);
+      push_to_peers(*id, resp.body, requester);
     }
     return resp;
   }
@@ -738,30 +760,41 @@ HttpResponse ProxyServer::handle_updates(const HttpRequest& req) {
     }
   }
 
+  // Apply the whole batch through one striped-store pass: ids are grouped
+  // by stripe and each stripe lock is taken once per batch, instead of a
+  // lookup plus a mutation acquisition per update.
+  {
+    std::vector<ObjectId> ids;
+    ids.reserve(updates->size());
+    for (const proto::HintUpdate& u : *updates) ids.push_back(u.object);
+    using Decision = hints::HintStore::BatchDecision;
+    hints_->apply_batch(
+        ids, [&](std::size_t i, std::optional<MachineId> cur) -> Decision {
+          const proto::HintUpdate& u = (*updates)[i];
+          if (u.location == self()) return Decision::keep();
+          switch (u.action) {
+            case proto::Action::kInform: {
+              // Keep the nearest known copy; without a distance oracle the
+              // first hint wins.
+              bool replace = !cur.has_value();
+              if (cur && cfg_.distance) {
+                replace = cfg_.distance(u.location.value) <
+                          cfg_.distance(cur->value);
+              }
+              if (replace) return Decision::insert_loc(u.location);
+              break;
+            }
+            case proto::Action::kInvalidate: {
+              if (cur && *cur == u.location) return Decision::erase_hint();
+              break;
+            }
+          }
+          return Decision::keep();
+        });
+  }
+
   for (const proto::HintUpdate& u : *updates) {
     c_.updates_received.inc();
-    if (u.location != self()) {
-      // Applying the hint touches only the striped store (thread-safe).
-      switch (u.action) {
-        case proto::Action::kInform: {
-          const auto cur = hints_->lookup(u.object);
-          // Keep the nearest known copy; without a distance oracle the first
-          // hint wins.
-          bool replace = !cur.has_value();
-          if (cur && cfg_.distance) {
-            replace = cfg_.distance(u.location.value) < cfg_.distance(cur->value);
-          }
-          if (replace) hints_->insert(u.object, u.location);
-          break;
-        }
-        case proto::Action::kInvalidate: {
-          if (auto cur = hints_->lookup(u.object); cur && *cur == u.location) {
-            hints_->erase(u.object);
-          }
-          break;
-        }
-      }
-    }
     // Re-advertise to the other neighbours next flush — at most once per
     // distinct update (the seen-set kills cycles), never for updates about
     // ourselves, and never past the hop bound.
@@ -806,6 +839,24 @@ HttpResponse ProxyServer::handle_push(const HttpRequest& req) {
   // already cache the object, keep ours (replace_existing = false).
   store(*id, std::make_shared<const std::string>(req.body),
         /*replace_existing=*/false, /*pushed=*/true);
+  // The supplier names every other daemon it pushed the same copy to:
+  // seed a hint for the nearest sibling copy immediately instead of
+  // waiting a hint-batch round trip. A malformed header is ignored (the
+  // inform batches will still arrive).
+  if (auto header = req.header("X-Push-Targets")) {
+    if (auto ports = proto::decode_push_targets(*header)) {
+      for (const std::uint16_t p : *ports) {
+        if (p == port_ || p == 0) continue;
+        const MachineId loc{p};
+        const auto cur = hints_->lookup(*id);
+        bool replace = !cur.has_value();
+        if (cur && cfg_.distance) {
+          replace = cfg_.distance(loc.value) < cfg_.distance(cur->value);
+        }
+        if (replace) hints_->insert(*id, loc);
+      }
+    }
+  }
   resp.body = "ok";
   return resp;
 }
@@ -823,21 +874,48 @@ HttpResponse ProxyServer::handle_metrics(const HttpRequest& req) {
   return resp;
 }
 
-void ProxyServer::push_to_neighbors(ObjectId id, const cache::Body& body,
-                                    std::uint16_t skip_port) {
+void ProxyServer::push_to_peers(ObjectId id, const cache::Body& body,
+                                std::uint16_t requester_port) {
   const std::vector<std::uint16_t> neighbors = neighbor_ports();
   if (neighbors.empty()) return;
+
+  // One policy decision per supplied fetch: the policy sees the candidate
+  // neighbour list and appends the ports to seed (the requester already has
+  // the copy and is excluded by the policy).
+  const double now = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_time_)
+                         .count();
+  const placement::Access access{id, body.size(), /*version=*/0, now};
+  std::vector<std::uint16_t> targets;
+  {
+    std::lock_guard lock(push_mu_);
+    push_policy_->select_push_targets(access, neighbors, requester_port,
+                                      push_rng_, targets);
+  }
+  if (targets.empty()) return;
+
   // Request bodies are plain strings: materialize the pushed object once,
-  // outside the per-neighbor loop (extents pay their one pread here).
+  // outside the per-target loop (extents pay their one pread here).
   const std::string bytes = body.to_string();
-  for (const std::uint16_t nb : neighbors) {
+  const std::string policy_name = push_policy_->name();
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const std::uint16_t nb = targets[t];
     if (stopping_.load()) break;
-    if (nb == skip_port) continue;
     if (!peer_usable(nb)) continue;  // pushes are best-effort
     HttpRequest put;
     put.method = "PUT";
     put.target = object_path(id, bytes.size());
     put.body = bytes;
+    put.headers.emplace_back("X-Push-Policy", policy_name);
+    // Every *other* target: the receiver can hint its siblings' new copies
+    // without waiting a hint-batch round trip.
+    std::vector<std::uint16_t> others;
+    others.reserve(targets.size() - 1);
+    for (std::size_t o = 0; o < targets.size(); ++o) {
+      if (o != t) others.push_back(targets[o]);
+    }
+    put.headers.emplace_back("X-Push-Targets",
+                             proto::encode_push_targets(others));
     CallOptions opts;
     opts.deadline_seconds = cfg_.metadata_deadline_seconds;
     const auto sent = http_call(pool_, nb, put, opts);
@@ -845,6 +923,8 @@ void ProxyServer::push_to_neighbors(ObjectId id, const cache::Body& body,
       record_peer_success(nb);
       c_.pushes_sent.inc();
       c_.push_bytes_sent.inc(body.size());
+      std::lock_guard lock(push_mu_);
+      push_policy_->note_pushed(body.size());
     } else {
       record_peer_failure(nb);
     }

@@ -73,9 +73,11 @@
 
 #include "cache/disk_store.h"
 #include "cache/sharded_lru.h"
+#include "common/rng.h"
 #include "common/types.h"
 #include "hints/hint_cache.h"
 #include "obs/metrics.h"
+#include "placement/placement.h"
 #include "proto/wire.h"
 #include "proxy/conn_pool.h"
 #include "proxy/http.h"
@@ -101,8 +103,19 @@ struct ProxyConfig {
 
   // Push caching (Section 4, "we are in the process of adding ... push
   // caching to the prototype"): when this daemon supplies an object to a
-  // peer (a cache-to-cache fetch), it also PUTs a copy to each of its other
-  // hint neighbours — the daemon analogue of hierarchical push on miss.
+  // peer (a cache-to-cache fetch), the configured placement policy picks
+  // which of its other hint neighbours receive a pushed copy (PUT) — the
+  // daemon analogue of hierarchical push on miss. Canonical policy name
+  // (placement::policy_names()); construction throws std::invalid_argument
+  // on an unknown name, so a typo'd flag fails startup instead of silently
+  // not pushing. "none" disables pushing.
+  std::string push_policy = "none";
+  // Budget / estimator knobs for the budgeted policies (the adaptive-greedy
+  // byte budget runs on the daemon's wall clock).
+  placement::PolicyParams push_params;
+  // Legacy switch: push to *every* other neighbour on a peer fetch. Kept as
+  // an alias — it maps to push_policy = "push-all" when push_policy is left
+  // at "none".
   bool push_on_peer_fetch = false;
 
   // Subscribe to the origin's server-driven invalidation (DELETE callbacks
@@ -226,6 +239,7 @@ struct ProxyStats {
   std::uint64_t pushes_sent = 0;
   std::uint64_t pushes_received = 0;
   std::uint64_t push_bytes_sent = 0;
+  std::uint64_t pushes_rate_limited = 0;  // discarded by the policy's budget
 
   // Disk-tier counters (all zero when the tier is disabled).
   std::uint64_t disk_hits = 0;        // misses served from the disk tier
@@ -289,6 +303,10 @@ class ProxyServer {
   obs::MetricsSnapshot metrics_snapshot() const;
 
   std::size_t cache_shard_count() const { return cache_.shard_count(); }
+
+  // Canonical name of the placement policy driving push-on-peer-fetch
+  // ("none" when pushing is disabled).
+  const std::string& push_policy_name() const { return push_policy_->name(); }
 
   // The disk tier, or nullptr when `disk_path` is empty. Stable for the
   // daemon's lifetime; tests read stats()/object_count() through it.
@@ -355,8 +373,12 @@ class ProxyServer {
   HttpResponse handle_updates(const HttpRequest& req);
   HttpResponse handle_push(const HttpRequest& req);
   HttpResponse handle_metrics(const HttpRequest& req);
-  void push_to_neighbors(ObjectId id, const cache::Body& body,
-                         std::uint16_t skip_port);
+  // Asks the placement policy which neighbours should receive a pushed copy
+  // of `id` (the requester is excluded) and PUTs it to each, carrying the
+  // full target list in X-Push-Targets so receivers learn their siblings'
+  // new copies immediately.
+  void push_to_peers(ObjectId id, const cache::Body& body,
+                     std::uint16_t requester_port);
 
   // Stores a fetched/pushed body in the sharded cache, queueing the inform
   // for a new entry and invalidations for every eviction. Safe to call with
@@ -437,6 +459,14 @@ class ProxyServer {
   std::unique_ptr<cache::DiskStore> disk_;
   std::atomic<bool> hint_image_restored_{false};
   std::atomic<std::size_t> hint_image_entries_{0};
+
+  // --- push placement: policy + its RNG, shared by the worker threads ---
+  mutable std::mutex push_mu_;
+  std::unique_ptr<placement::Policy> push_policy_;  // never null
+  bool push_enabled_ = false;  // cached: push_policy_->name() != "none"
+  Rng push_rng_;
+  const std::chrono::steady_clock::time_point start_time_{
+      std::chrono::steady_clock::now()};
 
   // --- outbound persistent connections ---
   ConnectionPool pool_;

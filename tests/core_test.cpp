@@ -208,7 +208,7 @@ TEST(HintSystemTest, NamesDescribeConfiguration) {
   Fixture client(cfg);
   EXPECT_EQ(client.sys.name(), "hints-client");
   cfg.client_direct = false;
-  cfg.push = PushPolicy::kPushHalf;
+  cfg.push_policy = "push-half";
   Fixture pushy(cfg);
   EXPECT_EQ(pushy.sys.name(), "hints+push-half");
 }
@@ -217,7 +217,7 @@ TEST(HintSystemTest, NamesDescribeConfiguration) {
 
 TEST(PushTest, IdealPushPricesRemoteHitsAsLocal) {
   HintSystemConfig cfg;
-  cfg.push = PushPolicy::kIdeal;
+  cfg.push_policy = "push-ideal";
   Fixture f(cfg);
   f.sys.handle_request(req(1, 0));
   auto out = f.sys.handle_request(req(1, 32));
@@ -230,7 +230,7 @@ TEST(PushTest, IdealPushPricesRemoteHitsAsLocal) {
 
 TEST(PushTest, CrossSubtreeFetchSeedsEveryGroup) {
   HintSystemConfig cfg;
-  cfg.push = PushPolicy::kPush1;
+  cfg.push_policy = "push-1";
   Fixture f(cfg);
   f.sys.handle_request(req(1, 0));   // copy at L1 0 (group 0)
   f.sys.handle_request(req(1, 32));  // L1 8 fetches at root distance -> push
@@ -245,7 +245,7 @@ TEST(PushTest, CrossSubtreeFetchSeedsEveryGroup) {
 
 TEST(PushTest, WithinSubtreeFetchSeedsTheWholeGroup) {
   HintSystemConfig cfg;
-  cfg.push = PushPolicy::kPush1;
+  cfg.push_policy = "push-1";
   Fixture f(cfg);
   f.sys.handle_request(req(1, 0));  // copy at L1 0
   f.sys.handle_request(req(1, 4));  // L1 1 fetches at distance 2 -> push B
@@ -258,7 +258,7 @@ TEST(PushTest, WithinSubtreeFetchSeedsTheWholeGroup) {
 TEST(PushTest, PushAllOutpushesPushOne) {
   for (bool all : {false, true}) {
     HintSystemConfig cfg;
-    cfg.push = all ? PushPolicy::kPushAll : PushPolicy::kPush1;
+    cfg.push_policy = all ? "push-all" : "push-1";
     Fixture f(cfg);
     f.sys.handle_request(req(1, 0));
     f.sys.handle_request(req(1, 32));
@@ -273,7 +273,7 @@ TEST(PushTest, PushAllOutpushesPushOne) {
 
 TEST(PushTest, PushedBytesAreCountedAndUseIsTracked) {
   HintSystemConfig cfg;
-  cfg.push = PushPolicy::kPushAll;
+  cfg.push_policy = "push-all";
   Fixture f(cfg);
   f.sys.handle_request(req(1, 0, 1000));
   f.sys.handle_request(req(1, 32, 1000));
@@ -291,7 +291,7 @@ TEST(PushTest, PushedBytesAreCountedAndUseIsTracked) {
 
 TEST(PushTest, UpdatePushReseedsPreviousHolders) {
   HintSystemConfig cfg;
-  cfg.push = PushPolicy::kUpdate;
+  cfg.push_policy = "update-push";
   Fixture f(cfg);
   f.sys.handle_request(req(1, 0));   // holders: L1 0
   f.sys.handle_request(req(1, 32)); // holders: L1 0, 8
@@ -306,8 +306,8 @@ TEST(PushTest, UpdatePushReseedsPreviousHolders) {
 
 TEST(PushTest, UpdatePushRespectsBandwidthCap) {
   HintSystemConfig cfg;
-  cfg.push = PushPolicy::kUpdate;
-  cfg.update_push_max_bytes_per_sec = 1e-9;  // effectively zero budget
+  cfg.push_policy = "update-push";
+  cfg.push_params.push_max_bytes_per_sec = 1e-9;  // effectively zero budget
   Fixture f(cfg);
   f.sys.handle_request(req(1, 0));
   f.sys.handle_request(req(1, 32));
@@ -319,7 +319,7 @@ TEST(PushTest, UpdatePushRespectsBandwidthCap) {
 
 TEST(PushTest, UpdatePushWithoutPriorHoldersDoesNothing) {
   HintSystemConfig cfg;
-  cfg.push = PushPolicy::kUpdate;
+  cfg.push_policy = "update-push";
   Fixture f(cfg);
   f.sys.handle_request(req(1, 0));
   EXPECT_EQ(f.sys.push_stats().copies_pushed, 0u);
@@ -327,7 +327,7 @@ TEST(PushTest, UpdatePushWithoutPriorHoldersDoesNothing) {
 
 TEST(PushTest, PushedCopiesChargeCacheSpace) {
   HintSystemConfig cfg;
-  cfg.push = PushPolicy::kPushAll;
+  cfg.push_policy = "push-all";
   cfg.l1_capacity = 10000;
   Fixture f(cfg);
   // Fill L1 4 with its own objects.

@@ -132,10 +132,10 @@ TEST(IntegrationTest, IdealPushBoundsThePushAlgorithms) {
   cfg.cost_model = "rousskov-max";  // push matters most under congestion
   const auto plain = run_experiment_on(dec_records(), cfg);
 
-  cfg.hints.push = PushPolicy::kIdeal;
+  cfg.hints.push_policy = "push-ideal";
   const auto ideal = run_experiment_on(dec_records(), cfg);
 
-  cfg.hints.push = PushPolicy::kPushAll;
+  cfg.hints.push_policy = "push-all";
   const auto all = run_experiment_on(dec_records(), cfg);
 
   // Ideal is an upper bound; push-all lands between plain and ideal.
@@ -155,11 +155,11 @@ TEST(IntegrationTest, PushEfficiencyOrdering) {
   cfg.baseline_node_capacity = 5_GB;
   cfg.hints.l1_capacity = 5_GB;
 
-  cfg.hints.push = PushPolicy::kUpdate;
+  cfg.hints.push_policy = "update-push";
   const auto upd = run_experiment_on(dec_records(), cfg);
-  cfg.hints.push = PushPolicy::kPush1;
+  cfg.hints.push_policy = "push-1";
   const auto p1 = run_experiment_on(dec_records(), cfg);
-  cfg.hints.push = PushPolicy::kPushAll;
+  cfg.hints.push_policy = "push-all";
   const auto pall = run_experiment_on(dec_records(), cfg);
 
   EXPECT_GT(upd.push.efficiency(), p1.push.efficiency());

@@ -105,7 +105,7 @@ TEST(PushAccountingTest, EvictedUnusedPushesStayUnused) {
   auto cost = net::RousskovCostModel::min();
   sim::EventQueue queue;
   core::HintSystemConfig cfg;
-  cfg.push = core::PushPolicy::kPushAll;
+  cfg.push_policy = "push-all";
   cfg.l1_capacity = 10000;
   core::HintSystem sys(topo, cost, cfg, queue);
 

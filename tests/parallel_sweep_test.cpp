@@ -160,7 +160,7 @@ std::vector<ExperimentConfig> mixed_configs(
   ExperimentConfig push_cfg;
   push_cfg.workload = workload;
   push_cfg.system = SystemKind::kHints;
-  push_cfg.hints.push = PushPolicy::kPushHalf;
+  push_cfg.hints.push_policy = "push-half";
   configs.push_back(push_cfg);
   return configs;
 }

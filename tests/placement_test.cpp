@@ -1,0 +1,268 @@
+// The placement-policy layer: registry round-trips, live-proxy target
+// selection, the golden equivalence pin (the four paper heuristics must
+// produce bit-identical figures through the Policy interface to what the
+// old hard-coded enum produced), and the adaptive greedy policy's
+// behavioural guarantees (beats the paper heuristics on local hits without
+// polluting, respects its byte budget, deterministic under --jobs).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/sweep.h"
+#include "placement/placement.h"
+#include "trace/generator.h"
+
+using namespace bh;
+
+namespace {
+
+constexpr double kScale = 1.0 / 256.0;
+
+core::ExperimentConfig push_config(const trace::WorkloadParams& workload,
+                                   const char* model, const char* policy) {
+  core::ExperimentConfig cfg;
+  cfg.workload = workload;
+  cfg.cost_model = model;
+  cfg.system = core::SystemKind::kHints;
+  cfg.hints.l1_capacity = std::uint64_t(5.0 * kScale * double(1_GB));
+  cfg.hints.push_policy = policy;
+  return cfg;
+}
+
+double local_hit_ratio(const core::ExperimentResult& r) {
+  return r.metrics.requests == 0
+             ? 0.0
+             : double(r.metrics.hits_l1) / double(r.metrics.requests);
+}
+
+}  // namespace
+
+// --- registry ---
+
+TEST(PlacementRegistry, NamesRoundTripThroughMakePolicy) {
+  for (const std::string& name : placement::policy_names()) {
+    EXPECT_TRUE(placement::is_policy_name(name)) << name;
+    EXPECT_EQ(placement::make_policy(name)->name(), name);
+  }
+}
+
+TEST(PlacementRegistry, UnknownNameThrowsListingValidNames) {
+  EXPECT_FALSE(placement::is_policy_name("pushhalf"));
+  try {
+    placement::make_policy("pushhalf");
+    FAIL() << "make_policy accepted an unknown policy name";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pushhalf"), std::string::npos) << what;
+    EXPECT_NE(what.find("push-half"), std::string::npos) << what;
+  }
+}
+
+TEST(PlacementRegistry, SlugIsTheMetricKeyForm) {
+  EXPECT_EQ(placement::make_policy("adaptive-greedy")->slug(),
+            "adaptive_greedy");
+  EXPECT_EQ(placement::make_policy("push-1")->slug(), "push_1");
+  EXPECT_EQ(placement::make_policy("none")->slug(), "none");
+}
+
+// --- live-proxy target selection ---
+
+TEST(PlacementSelect, PushAllSeedsEveryOtherCandidate) {
+  const auto policy = placement::make_policy("push-all");
+  Rng rng(7);
+  std::vector<std::uint16_t> out;
+  policy->select_push_targets({ObjectId{1}, 1000, 0, 1.0},
+                              {8001, 8002, 8003}, 8002, rng, out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<std::uint16_t>{8001, 8003}));
+}
+
+TEST(PlacementSelect, PushOneSeedsExactlyOneCandidate) {
+  const auto policy = placement::make_policy("push-1");
+  Rng rng(7);
+  std::vector<std::uint16_t> out;
+  policy->select_push_targets({ObjectId{1}, 1000, 0, 1.0},
+                              {8001, 8002, 8003}, 8002, rng, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0], 8002);
+  EXPECT_TRUE(out[0] == 8001 || out[0] == 8003);
+}
+
+TEST(PlacementSelect, NoneAndIdealAndUpdateSeedNothingOnPeerFetch) {
+  for (const char* name : {"none", "push-ideal", "update-push"}) {
+    const auto policy = placement::make_policy(name);
+    Rng rng(7);
+    std::vector<std::uint16_t> out;
+    policy->select_push_targets({ObjectId{1}, 1000, 0, 1.0}, {8001, 8002},
+                                0, rng, out);
+    EXPECT_TRUE(out.empty()) << name;
+  }
+}
+
+// --- golden equivalence pin ---
+//
+// Captured from the pre-refactor enum implementation (scale 1/256 DEC trace,
+// space-constrained 5 GB * scale L1s, --jobs=4). Exact doubles as hex-float
+// literals: the refactored policy objects must reproduce every figure
+// bit-for-bit — same RNG draw order, same budget arithmetic, same stats.
+TEST(PlacementGolden, LegacyPoliciesBitIdenticalThroughPolicyInterface) {
+  struct Golden {
+    const char* policy;
+    const char* model;
+    double mean_ms;
+    double hit_ratio;
+    std::uint64_t copies_pushed, bytes_pushed, copies_used, bytes_used;
+    std::uint64_t rate_limited, demand_bytes;
+  };
+  static const Golden kGolden[] = {
+      {"none", "rousskov-min", 0x1.4be1549f4b7c4p+8, 0x1.9158fa2a357d6p-1, 0ull, 0ull, 0ull, 0ull, 0ull, 421353644ull},  // mean=331.880197 hit=0.783882
+      {"none", "testbed", 0x1.20830eb597fdp+8, 0x1.9158fa2a357d6p-1, 0ull, 0ull, 0ull, 0ull, 0ull, 421353644ull},  // mean=288.511943 hit=0.783882
+      {"update-push", "rousskov-min", 0x1.4a4812bd11a77p+8, 0x1.9158fa2a357d6p-1, 4810ull, 45395844ull, 765ull, 7158459ull, 0ull, 417278998ull},  // mean=330.281536 hit=0.783882
+      {"update-push", "testbed", 0x1.1e5052b0d5ab1p+8, 0x1.9158fa2a357d6p-1, 4810ull, 45395844ull, 765ull, 7158459ull, 0ull, 417278998ull},  // mean=286.313762 hit=0.783882
+      {"push-1", "rousskov-min", 0x1.3067937b2bf2ep+8, 0x1.911cd02169a14p-1, 113268ull, 1105535117ull, 15370ull, 144870418ull, 0ull, 332520109ull},  // mean=304.404594 hit=0.783423
+      {"push-1", "testbed", 0x1.eaf0effe3935bp+7, 0x1.911cd02169a14p-1, 113268ull, 1105535117ull, 15370ull, 144870418ull, 0ull, 332520109ull},  // mean=245.470581 hit=0.783423
+      {"push-half", "rousskov-min", 0x1.3b305919f8242p+8, 0x1.8572f32b08ec8p-1, 208501ull, 2043491724ull, 13396ull, 126583004ull, 0ull, 336570489ull},  // mean=315.188860 hit=0.760643
+      {"push-half", "testbed", 0x1.f97db76cf0442p+7, 0x1.8572f32b08ec8p-1, 208501ull, 2043491724ull, 13396ull, 126583004ull, 0ull, 336570489ull},  // mean=252.745540 hit=0.760643
+      {"push-all", "rousskov-min", 0x1.45b578a4a8abbp+8, 0x1.75a10a3a00861p-1, 365238ull, 3582762260ull, 12270ull, 115703759ull, 0ull, 325525638ull},  // mean=325.708872 hit=0.729744
+      {"push-all", "testbed", 0x1.ff0acb60dc14ap+7, 0x1.75a10a3a00861p-1, 365238ull, 3582762260ull, 12270ull, 115703759ull, 0ull, 325525638ull},  // mean=255.521083 hit=0.729744
+      {"push-ideal", "rousskov-min", 0x1.0a4e2b59c9607p+8, 0x1.9158fa2a357d6p-1, 0ull, 0ull, 0ull, 0ull, 0ull, 421353644ull},  // mean=266.305349 hit=0.783882
+      {"push-ideal", "testbed", 0x1.568c3c90db06ep+7, 0x1.9158fa2a357d6p-1, 0ull, 0ull, 0ull, 0ull, 0ull, 421353644ull},  // mean=171.273900 hit=0.783882
+  };
+
+  const auto workload = trace::workload_by_name("dec").scaled(kScale);
+  const auto records = trace::TraceGenerator(workload).generate_all();
+  std::vector<core::ExperimentConfig> configs;
+  for (const Golden& g : kGolden) {
+    configs.push_back(push_config(workload, g.model, g.policy));
+  }
+  const auto results = core::run_sweep_on(records, configs, {4});
+  for (std::size_t i = 0; i < std::size(kGolden); ++i) {
+    const Golden& g = kGolden[i];
+    const auto& r = results[i];
+    SCOPED_TRACE(std::string(g.policy) + " / " + g.model);
+    EXPECT_EQ(r.metrics.mean_response_ms(), g.mean_ms);
+    EXPECT_EQ(r.metrics.hit_ratio(), g.hit_ratio);
+    EXPECT_EQ(r.push.copies_pushed, g.copies_pushed);
+    EXPECT_EQ(r.push.bytes_pushed, g.bytes_pushed);
+    EXPECT_EQ(r.push.copies_used, g.copies_used);
+    EXPECT_EQ(r.push.bytes_used, g.bytes_used);
+    EXPECT_EQ(r.push.pushes_rate_limited, g.rate_limited);
+    EXPECT_EQ(r.demand_bytes, g.demand_bytes);
+  }
+}
+
+// --- adaptive greedy ---
+
+TEST(PlacementAdaptive, BeatsTheHeuristicsOnLocalHitsWithoutPolluting) {
+  const auto workload = trace::workload_by_name("dec").scaled(kScale);
+  const auto records = trace::TraceGenerator(workload).generate_all();
+  const std::vector<core::ExperimentConfig> configs = {
+      push_config(workload, "testbed", "push-1"),
+      push_config(workload, "testbed", "push-half"),
+      push_config(workload, "testbed", "adaptive-greedy"),
+  };
+  const auto results = core::run_sweep_on(records, configs, {4});
+  const double push1_local = local_hit_ratio(results[0]);
+  const double half_local = local_hit_ratio(results[1]);
+  const double adaptive_local = local_hit_ratio(results[2]);
+  // The figure of merit: pushing converts remote hits into local ones, and
+  // the demand-gated greedy placement must do at least as well as the best
+  // blind heuristic...
+  EXPECT_GE(adaptive_local, push1_local);
+  EXPECT_GE(adaptive_local, half_local);
+  // ...without the pollution cost the wide heuristics pay (push-half loses
+  // over two points of overall hit ratio to displaced demand copies; the
+  // demand gate must not).
+  EXPECT_GE(results[2].metrics.hit_ratio(),
+            results[0].metrics.hit_ratio() - 1e-9);
+  EXPECT_GT(results[2].metrics.hit_ratio(), results[1].metrics.hit_ratio());
+  // And the latency follows: no worse than the best heuristic's model.
+  EXPECT_LE(results[2].metrics.mean_response_ms(),
+            results[1].metrics.mean_response_ms() * 1.05);
+}
+
+TEST(PlacementAdaptive, ByteBudgetIsRespectedAndAttributed) {
+  const auto workload = trace::workload_by_name("dec").scaled(kScale);
+  const auto records = trace::TraceGenerator(workload).generate_all();
+  auto cfg = push_config(workload, "testbed", "adaptive-greedy");
+  cfg.hints.push_params.push_max_bytes_per_sec = 1e-9;  // effectively zero
+  const auto r = core::run_experiment_on(records, cfg);
+  EXPECT_EQ(r.push.copies_pushed, 0u);
+  EXPECT_EQ(r.push.bytes_pushed, 0u);
+  EXPECT_GT(r.push.pushes_rate_limited, 0u);
+}
+
+TEST(PlacementAdaptive, ParallelSweepIsDeterministic) {
+  const auto workload = trace::workload_by_name("dec").scaled(kScale);
+  const auto records = trace::TraceGenerator(workload).generate_all();
+  const std::vector<core::ExperimentConfig> configs = {
+      push_config(workload, "rousskov-min", "adaptive-greedy"),
+      push_config(workload, "testbed", "adaptive-greedy"),
+  };
+  const auto serial = core::run_sweep_on(records, configs, {1});
+  const auto parallel = core::run_sweep_on(records, configs, {4});
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(serial[i].metrics.mean_response_ms(),
+              parallel[i].metrics.mean_response_ms());
+    EXPECT_EQ(serial[i].metrics.hit_ratio(), parallel[i].metrics.hit_ratio());
+    EXPECT_EQ(serial[i].push.copies_pushed, parallel[i].push.copies_pushed);
+    EXPECT_EQ(serial[i].push.bytes_pushed, parallel[i].push.bytes_pushed);
+    EXPECT_EQ(serial[i].push.copies_used, parallel[i].push.copies_used);
+  }
+}
+
+namespace {
+
+// Minimal Host for driving policy hooks without a simulator.
+class FakeHost final : public placement::Host {
+ public:
+  std::uint32_t num_l1() const override { return 8; }
+  std::uint32_t l1_per_l2() const override { return 4; }
+  std::uint32_t num_l2() const override { return 2; }
+  std::uint32_t l2_of_l1(NodeIndex n) const override { return n / 4; }
+  int lca_level(NodeIndex a, NodeIndex b) const override {
+    if (a == b) return 1;
+    return l2_of_l1(a) == l2_of_l1(b) ? 2 : 3;
+  }
+  bool holder_is_fresh(NodeIndex, const placement::Access&) const override {
+    return false;
+  }
+  bool pushed_copy_unused(NodeIndex, const placement::Access&) const override {
+    return false;
+  }
+  bool place_copy(NodeIndex, const placement::Access&) override {
+    ++placed;
+    return true;
+  }
+  Rng& rng() override { return rng_; }
+
+  int placed = 0;
+
+ private:
+  Rng rng_{42};
+};
+
+}  // namespace
+
+TEST(PlacementAdaptive, DemandRateRisesWithAccessesAndDecaysWithSilence) {
+  placement::PolicyParams params;
+  params.adaptive_tau_seconds = 100.0;
+  placement::AdaptiveGreedyPolicy policy(params);
+  FakeHost host;
+  const ObjectId id{99};
+  EXPECT_EQ(policy.demand_rate(id, 0.0), 0.0);
+  double rate_after_five = 0;
+  for (int i = 1; i <= 5; ++i) {
+    policy.on_local_hit(host, {id, 1000, 0, double(i)}, 0);
+    const double r = policy.demand_rate(id, double(i));
+    EXPECT_GT(r, rate_after_five);
+    rate_after_five = r;
+  }
+  // A long silence decays the estimate toward zero.
+  EXPECT_LT(policy.demand_rate(id, 1000.0), rate_after_five / 100.0);
+}

@@ -117,6 +117,34 @@ TEST(WireTest, PairKeyIsActionBlind) {
   EXPECT_NE(pair_key(inform), pair_key(other_location));
 }
 
+TEST(WireTest, PushTargetsRoundTrip) {
+  const std::vector<std::uint16_t> ports{8001, 8002, 65535};
+  const std::string encoded = encode_push_targets(ports);
+  EXPECT_EQ(encoded, "8001,8002,65535");
+  const auto decoded = decode_push_targets(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, ports);
+}
+
+TEST(WireTest, PushTargetsEmptyListIsEmptyString) {
+  EXPECT_EQ(encode_push_targets({}), "");
+  const auto decoded = decode_push_targets("");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(WireTest, PushTargetsRejectsMalformed) {
+  // Every malformed token invalidates the whole header: a receiver must not
+  // seed hints from a half-parsed list.
+  EXPECT_FALSE(decode_push_targets("8001,").has_value());   // trailing comma
+  EXPECT_FALSE(decode_push_targets(",8001").has_value());   // leading comma
+  EXPECT_FALSE(decode_push_targets("8001,,8002").has_value());
+  EXPECT_FALSE(decode_push_targets("80x1").has_value());    // non-numeric
+  EXPECT_FALSE(decode_push_targets("8001,peer").has_value());
+  EXPECT_FALSE(decode_push_targets("65536").has_value());   // > port range
+  EXPECT_FALSE(decode_push_targets(" 8001").has_value());   // stray space
+}
+
 // --- transports ---
 
 TEST(TransportTest, LoopbackDeliversInOrder) {

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -480,6 +481,87 @@ TEST(ProxyServerTest, PushOnPeerFetchSeedsOtherNeighbors) {
   // The bystander now serves the object locally without any fetch.
   EXPECT_EQ(fetch(t.port(), id, 64).cache, "HIT");
   EXPECT_EQ(origin.requests_served(), 1u);
+}
+
+TEST(ProxyServerTest, PushPolicyOneSeedsExactlyOneBystander) {
+  OriginServer origin;
+  ProxyConfig base;
+  base.origin_port = origin.port();
+  ProxyConfig cs = base;
+  cs.name = "supplier";
+  cs.push_policy = "push-1";
+  ProxyServer s(cs);
+  EXPECT_EQ(s.push_policy_name(), "push-1");
+  ProxyConfig cr = base;
+  cr.name = "requester";
+  ProxyServer r(cr);
+  ProxyConfig ct1 = base;
+  ct1.name = "bystander1";
+  ProxyServer t1(ct1);
+  ProxyConfig ct2 = base;
+  ct2.name = "bystander2";
+  ProxyServer t2(ct2);
+  s.add_hint_neighbor(r.port());
+  s.add_hint_neighbor(t1.port());
+  s.add_hint_neighbor(t2.port());
+  r.add_hint_neighbor(s.port());
+
+  const ObjectId id{54};
+  fetch(s.port(), id, 64);
+  s.flush_hints();
+
+  // Serving the requester's cache-to-cache transfer pushes to exactly one of
+  // the two bystanders — push-1's degree, not push-all's.
+  EXPECT_EQ(fetch(r.port(), id, 64).cache, "SIBLING");
+  EXPECT_EQ(s.stats().pushes_sent, 1u);
+  EXPECT_EQ(t1.stats().pushes_received + t2.stats().pushes_received, 1u);
+  EXPECT_EQ(origin.requests_served(), 1u);
+}
+
+TEST(ProxyServerTest, PushTargetsHeaderSeedsSiblingHints) {
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  ProxyServer p(cfg);
+  // No hints yet.
+  EXPECT_EQ(p.metrics_snapshot().gauge("bh.proxy.hint_entries"), 0.0);
+
+  // A pushed PUT naming a sibling target: the receiver stores the object AND
+  // seeds a hint for the sibling's copy without waiting for a hint batch.
+  HttpRequest put;
+  put.method = "PUT";
+  put.target = object_path(ObjectId{55}, 3);
+  put.body = "abc";
+  put.headers.emplace_back("X-Push-Policy", "push-half");
+  put.headers.emplace_back("X-Push-Targets", "9321");
+  auto resp = http_call(p.port(), put);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(p.stats().pushes_received, 1u);
+  EXPECT_EQ(p.metrics_snapshot().gauge("bh.proxy.hint_entries"), 1.0);
+
+  // A malformed header is ignored wholesale — the object still lands, no
+  // partial hint seeding.
+  put.target = object_path(ObjectId{56}, 3);
+  put.headers.back() = {"X-Push-Targets", "9321,bogus"};
+  resp = http_call(p.port(), put);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(p.metrics_snapshot().gauge("bh.proxy.hint_entries"), 1.0);
+}
+
+TEST(ProxyServerTest, PushPolicyNameResolvesAliasAndRejectsUnknown) {
+  OriginServer origin;
+  ProxyConfig cfg;
+  cfg.origin_port = origin.port();
+  // Legacy flag maps onto the push-all policy.
+  cfg.push_on_peer_fetch = true;
+  ProxyServer p(cfg);
+  EXPECT_EQ(p.push_policy_name(), "push-all");
+
+  ProxyConfig bad = cfg;
+  bad.push_policy = "push-everything";
+  EXPECT_THROW(ProxyServer{bad}, std::invalid_argument);
 }
 
 TEST(ProxyServerTest, PushNeverOverwritesExistingCopy) {

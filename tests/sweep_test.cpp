@@ -8,6 +8,7 @@
 #include "core/experiment.h"
 #include "net/cost_model.h"
 #include "net/topology.h"
+#include "placement/placement.h"
 #include "trace/generator.h"
 #include "trace/stats.h"
 
@@ -157,7 +158,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 // --- every push policy helps (or at least never hurts) with infinite disk ---
 
-class PushSweep : public ::testing::TestWithParam<core::PushPolicy> {};
+class PushSweep : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(PushSweep, PushNeverHurtsWithInfiniteDisk) {
   const auto workload = trace::dec_workload().scaled(1.0 / 256.0);
@@ -167,7 +168,7 @@ TEST_P(PushSweep, PushNeverHurtsWithInfiniteDisk) {
   cfg.cost_model = "rousskov-max";
   cfg.system = core::SystemKind::kHints;
   const auto plain = core::run_experiment_on(records, cfg);
-  cfg.hints.push = GetParam();
+  cfg.hints.push_policy = GetParam();
   const auto pushed = core::run_experiment_on(records, cfg);
   // With no space pressure, extra copies can only shorten distances.
   EXPECT_LE(pushed.metrics.mean_response_ms(),
@@ -178,15 +179,10 @@ TEST_P(PushSweep, PushNeverHurtsWithInfiniteDisk) {
 
 INSTANTIATE_TEST_SUITE_P(
     Policies, PushSweep,
-    ::testing::Values(core::PushPolicy::kUpdate, core::PushPolicy::kPush1,
-                      core::PushPolicy::kPushHalf, core::PushPolicy::kPushAll,
-                      core::PushPolicy::kIdeal),
+    ::testing::Values("update-push", "push-1", "push-half", "push-all",
+                      "push-ideal", "adaptive-greedy"),
     [](const auto& info) {
-      std::string name = core::push_policy_name(info.param);
-      for (auto& ch : name) {
-        if (ch == '-') ch = '_';
-      }
-      return name;
+      return placement::make_policy(info.param)->slug();
     });
 
 // --- topology shapes ---
